@@ -1,0 +1,94 @@
+/// Ablations of DualSim's design choices (DESIGN.md §6), all on LJ:
+///   1. v-group sequences on/off — grouping avoids re-matching data
+///      vertices per full-order sequence (§4).
+///   2. best vs worst global matching order — Cartesian products (§4).
+///   3. paper vs equal buffer allocation (§5).
+///   4. MCVC vs MVC red graphs, and Rules 1/2 on/off (§3).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/plan.h"
+#include "query/queries.h"
+
+namespace {
+
+using namespace dualsim;
+using namespace dualsim::bench;
+
+void Run(DiskGraph* disk, const char* label, PaperQuery pq,
+         EngineOptions options) {
+  DualSimEngine engine(disk, options);
+  auto result = engine.Run(MakePaperQuery(pq));
+  if (!result.ok()) {
+    std::printf("  %-34s %s FAILED: %s\n", label, PaperQueryName(pq),
+                result.status().ToString().c_str());
+    return;
+  }
+  std::printf("  %-34s %-3s %10s %10llu reads %12llu sols\n", label,
+              PaperQueryName(pq),
+              FormatSeconds(result->elapsed_seconds).c_str(),
+              static_cast<unsigned long long>(result->io.physical_reads),
+              static_cast<unsigned long long>(result->embeddings));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablations: v-groups, matching order, buffer allocation, RBI",
+              "DUALSIM (SIGMOD'16) §3-§5 design choices");
+
+  ScopedDbDir dir;
+  Graph g = MakeDataset(DatasetKey::kLiveJournal, BenchScale());
+  auto disk = BuildDb(g, dir, "lj.db");
+
+  std::printf("[1] v-group sequences (q5 has the most sequences)\n");
+  for (bool vgroups : {true, false}) {
+    EngineOptions options = PaperDefaults();
+    options.plan.use_vgroups = vgroups;
+    Run(disk.get(), vgroups ? "v-groups ON (paper)" : "v-groups OFF",
+        PaperQuery::kQ5, options);
+  }
+
+  std::printf(
+      "[2] global matching order (q2: best order has 0 Cartesian products,\n"
+      "    worst has 1; the engine's page-range pruning bounds how much a\n"
+      "    Cartesian level can cost, so the gap is in reads, not blowup)\n");
+  for (bool best : {true, false}) {
+    EngineOptions options = PaperDefaults();
+    options.plan.best_matching_order = best;
+    Run(disk.get(), best ? "best order (paper)" : "worst order",
+        PaperQuery::kQ2, options);
+  }
+
+  std::printf(
+      "[3] buffer allocation strategy (15%% buffer; the paper's win is on\n"
+      "    two-level plans — triangulation — hence Figure 17)\n");
+  for (PaperQuery pq : {PaperQuery::kQ1, PaperQuery::kQ4}) {
+    for (bool paper : {true, false}) {
+      EngineOptions options = PaperDefaults();
+      options.paper_buffer_allocation = paper;
+      Run(disk.get(), paper ? "paper allocation" : "equal split (OPT-style)",
+          pq, options);
+    }
+  }
+
+  std::printf("[4] red graph selection (q2)\n");
+  {
+    EngineOptions options = PaperDefaults();
+    Run(disk.get(), "MCVC + Rules 1/2 (paper)", PaperQuery::kQ2, options);
+    options.plan.rbi.apply_rules = false;
+    Run(disk.get(), "MCVC, first cover (no rules)", PaperQuery::kQ2,
+        options);
+    options.plan.rbi.apply_rules = true;
+    options.plan.rbi.use_connected_cover = false;
+    Run(disk.get(), "MVC (disconnected red graph)", PaperQuery::kQ2,
+        options);
+  }
+  PrintRule();
+  std::printf(
+      "expected shape: each paper choice at least ties its ablation; the\n"
+      "MVC variant pays a Cartesian product, the worst order extra reads,\n"
+      "v-groups save CPU on q5's many sequences.\n");
+  return 0;
+}

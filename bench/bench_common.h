@@ -1,0 +1,137 @@
+#ifndef DUALSIM_BENCH_BENCH_COMMON_H_
+#define DUALSIM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "baseline/twintwig.h"
+#include "core/engine.h"
+#include "distsim/cluster.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "storage/disk_graph.h"
+#include "util/logging.h"
+
+namespace dualsim {
+namespace bench {
+
+/// Scale applied to every dataset in the benchmark harnesses. The shapes
+/// in graph/datasets.cc are already scaled from the paper (DESIGN.md §2);
+/// this knob shrinks them further for quick runs (DUALSIM_BENCH_SCALE env
+/// var, default 1.0).
+inline double BenchScale() {
+  const char* env = std::getenv("DUALSIM_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Temp directory for on-disk databases, removed on destruction.
+class ScopedDbDir {
+ public:
+  ScopedDbDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_bench_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScopedDbDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Page size big enough to hold the graph's largest adjacency record (the
+/// engine's small-degree precondition), at least 4 KiB.
+inline std::size_t PageSizeFor(const Graph& g) {
+  std::size_t need = static_cast<std::size_t>(g.MaxDegree()) * 4 + 64;
+  std::size_t page = 4096;
+  while (page < need) page *= 2;
+  return page;
+}
+
+/// Builds (and opens) the on-disk database for `g` under `dir`.
+inline std::unique_ptr<DiskGraph> BuildDb(const Graph& g,
+                                          const ScopedDbDir& dir,
+                                          const std::string& name) {
+  const std::string path = dir.PathFor(name);
+  Status s = BuildDiskGraph(g, path, PageSizeFor(g),
+                            /*require_single_page=*/true);
+  DS_CHECK(s.ok()) << s.ToString();
+  auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/true);
+  DS_CHECK(disk.ok()) << disk.status().ToString();
+  return std::move(*disk);
+}
+
+/// Engine options matching the paper's defaults: 15% buffer, 6 threads
+/// (the i7-3930K of §6.1), paper buffer allocation.
+inline EngineOptions PaperDefaults() {
+  EngineOptions options;
+  options.buffer_fraction = 0.15;
+  options.num_threads = 6;
+  return options;
+}
+
+/// Fixed single-machine budgets for the TTJ runs, playing the role of the
+/// paper's fixed 24 GB machine: the *same* budget faces every dataset, so
+/// failures onset as graphs grow. Calibrated against the scaled datasets
+/// (see EXPERIMENTS.md "calibration"): TTJ spills beyond 1M tuples and
+/// dies beyond 4M materialized tuples (intermediate + final rounds).
+inline TwinTwigOptions PaperTtjOptions() {
+  TwinTwigOptions options;
+  options.memory_budget_tuples = 1'000'000;
+  options.fail_budget_tuples = 3'500'000;
+  return options;
+}
+
+/// Fixed cluster "hardware" for the distributed runs (51 machines in the
+/// paper). One config faces every dataset; failure onsets are emergent.
+/// Units are partial solutions; see EXPERIMENTS.md "calibration".
+inline ClusterConfig PaperClusterConfig() {
+  ClusterConfig config;
+  config.num_slaves = 50;
+  config.partition_skew = 3.0;
+  config.psgl_graph_units_per_edge = 30.0;
+  config.memory_partials_per_slave = 90'000;
+  config.sparksql_block_limit_tuples = 120'000;
+  config.hadoop_spill_limit_tuples = 240'000;
+  return config;
+}
+
+/// "12.3s" / "417ms" / "93us" formatting for table cells.
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  }
+  return buf;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace dualsim
+
+#endif  // DUALSIM_BENCH_BENCH_COMMON_H_

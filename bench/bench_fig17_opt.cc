@@ -1,0 +1,66 @@
+/// Figure 17 (Appendix B.2): DualSim vs OPT [17] for triangle enumeration
+/// on LJ, FR, YH. Both run on the same substrate; the only difference is
+/// the buffer allocation strategy (OPT splits evenly, DualSim gives most
+/// frames to the internal area) — exactly the cause the paper cites. The
+/// benefit is fewer level-0 iterations, i.e. fewer page reads; the paper
+/// stresses it is "very effective when we use HDDs", so the harness runs
+/// each engine under three simulated device profiles (raw host storage,
+/// SSD-like, HDD-like) via injected per-read latency.
+
+#include <cstdio>
+
+#include "baseline/opt_triangulation.h"
+#include "bench_common.h"
+#include "query/queries.h"
+
+namespace {
+
+using namespace dualsim;
+using namespace dualsim::bench;
+
+struct Device {
+  const char* name;
+  std::uint32_t read_latency_us;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 17: DualSim vs OPT, triangle enumeration",
+              "DUALSIM (SIGMOD'16) Figure 17 / Appendix B.2");
+  std::printf("%-4s %-5s %14s | %10s %8s | %10s %8s | %7s\n", "data", "dev",
+              "triangles", "DualSim", "reads", "OPT", "reads", "speedup");
+
+  const Device devices[] = {{"raw", 0}, {"ssd", 150}, {"hdd", 2000}};
+  ScopedDbDir dir;
+  for (DatasetKey key : {DatasetKey::kLiveJournal, DatasetKey::kFriendster,
+                         DatasetKey::kYahoo}) {
+    Graph g = MakeDataset(key, BenchScale());
+    auto disk = BuildDb(g, dir, std::string(DatasetCode(key)) + ".db");
+    for (const Device& dev : devices) {
+      EngineOptions options = PaperDefaults();
+      options.read_latency_us = dev.read_latency_us;
+      DualSimEngine dual_engine(disk.get(), options);
+      auto dual = dual_engine.Run(MakeTriangleQuery());
+      auto opt = RunOptTriangulation(disk.get(), options);
+      if (!dual.ok() || !opt.ok()) {
+        std::printf("%-4s %-5s failed\n", DatasetCode(key), dev.name);
+        continue;
+      }
+      std::printf("%-4s %-5s %14llu | %10s %8llu | %10s %8llu | %6.2fx\n",
+                  DatasetCode(key), dev.name,
+                  static_cast<unsigned long long>(dual->embeddings),
+                  FormatSeconds(dual->elapsed_seconds).c_str(),
+                  static_cast<unsigned long long>(dual->io.physical_reads),
+                  FormatSeconds(opt->elapsed_seconds).c_str(),
+                  static_cast<unsigned long long>(opt->io.physical_reads),
+                  opt->elapsed_seconds / dual->elapsed_seconds);
+    }
+  }
+  PrintRule();
+  std::printf(
+      "expected shape: identical counts; DualSim reads fewer pages (bigger\n"
+      "internal area => fewer level-0 iterations); the elapsed-time gap\n"
+      "widens as the device gets slower (paper: most effective on HDDs).\n");
+  return 0;
+}

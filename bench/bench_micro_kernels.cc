@@ -1,0 +1,124 @@
+/// Micro-benchmarks (google-benchmark) of the engine's inner kernels:
+/// sorted-list intersection (ivory matching), window-index lookups, page
+/// record scans, and bitmap candidate operations.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/intersect.h"
+#include "core/window_index.h"
+#include "graph/generators.h"
+#include "storage/page.h"
+#include "util/bitmap.h"
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+std::vector<VertexId> SortedRandom(std::size_t n, std::uint64_t seed,
+                                   std::uint32_t universe) {
+  Random rng(seed);
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<VertexId>(rng.Uniform(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void BM_Intersect2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = SortedRandom(n, 1, static_cast<std::uint32_t>(n * 4));
+  auto b = SortedRandom(n, 2, static_cast<std::uint32_t>(n * 4));
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    Intersect2(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_Intersect2)->Range(64, 1 << 14);
+
+void BM_IntersectManyThreeWay(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = SortedRandom(n, 1, static_cast<std::uint32_t>(n * 3));
+  auto b = SortedRandom(n, 2, static_cast<std::uint32_t>(n * 3));
+  auto c = SortedRandom(n / 4 + 1, 3, static_cast<std::uint32_t>(n * 3));
+  std::vector<std::span<const VertexId>> lists = {a, b, c};
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    IntersectMany(lists, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectManyThreeWay)->Range(64, 1 << 12);
+
+void BM_WindowIndexFind(benchmark::State& state) {
+  Graph g = RMat(10, 8000, 0.55, 0.15, 0.15, 5);
+  // Pack one synthetic page worth of records into a buffer and index it.
+  std::vector<std::byte> page(1 << 16);
+  PageWriter writer(page.data(), page.size());
+  VertexId v = 0;
+  while (v < g.NumVertices() &&
+         writer.Append(v, g.Degree(v), 0, g.Neighbors(v))) {
+    ++v;
+  }
+  WindowIndex index;
+  index.AddPage(page.data(), page.size());
+  Random rng(9);
+  for (auto _ : state) {
+    bool found = false;
+    auto span = index.Find(static_cast<VertexId>(rng.Uniform(v)), &found);
+    benchmark::DoNotOptimize(span.data());
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_WindowIndexFind);
+
+void BM_PageRecordScan(benchmark::State& state) {
+  Graph g = ErdosRenyi(2000, 16000, 4);
+  std::vector<std::byte> page(1 << 16);
+  PageWriter writer(page.data(), page.size());
+  VertexId v = 0;
+  while (v < g.NumVertices() &&
+         writer.Append(v, g.Degree(v), 0, g.Neighbors(v))) {
+    ++v;
+  }
+  for (auto _ : state) {
+    PageView view(page.data(), page.size());
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = 0; s < view.NumRecords(); ++s) {
+      VertexRecord rec = view.GetRecord(s);
+      sum += rec.neighbors.size();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PageRecordScan);
+
+void BM_BitmapCandidateOps(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bitmap a(n);
+  Bitmap b(n);
+  Random rng(3);
+  for (std::size_t i = 0; i < n / 8; ++i) {
+    a.Set(rng.Uniform(n));
+    b.Set(rng.Uniform(n));
+  }
+  for (auto _ : state) {
+    Bitmap merged = a;
+    merged.Union(b);
+    std::size_t count = merged.Count();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_BitmapCandidateOps)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+}  // namespace dualsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/// Table 1: dataset statistics. Prints |V|, |E|, average/max degree and
+/// on-disk size for each synthetic stand-in (paper: WebGoogle..Yahoo with
+/// the same relative ordering of size and density).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace dualsim;
+  using namespace dualsim::bench;
+
+  PrintHeader("Table 1: dataset statistics (synthetic stand-ins)",
+              "DUALSIM (SIGMOD'16) Table 1");
+  std::printf("%-4s %-12s %10s %12s %8s %8s %8s %10s\n", "key", "name", "|V|",
+              "|E|", "avg deg", "max deg", "pages", "db bytes");
+
+  ScopedDbDir dir;
+  for (DatasetKey key : AllDatasets()) {
+    Graph g = MakeDataset(key, BenchScale());
+    auto disk = BuildDb(g, dir, std::string(DatasetCode(key)) + ".db");
+    const double avg_deg = g.NumVertices() == 0
+                               ? 0.0
+                               : 2.0 * static_cast<double>(g.NumEdges()) /
+                                     g.NumVertices();
+    std::printf("%-4s %-12s %10u %12llu %8.1f %8u %8u %10llu\n",
+                DatasetCode(key), DatasetName(key), g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()), avg_deg,
+                g.MaxDegree(), disk->num_pages(),
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(disk->num_pages()) *
+                    disk->page_size()));
+  }
+  PrintRule();
+  std::printf("FR vertex samples (Figure 12/15/18 inputs):\n");
+  for (int percent : {20, 40, 60, 80, 100}) {
+    Graph g = MakeFriendsterSample(percent, BenchScale());
+    std::printf("  FR-%3d%%: |V|=%u |E|=%llu\n", percent, g.NumVertices(),
+                static_cast<unsigned long long>(g.NumEdges()));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Table 5 (Appendix B.4): the *estimated* number of intermediate results
+/// using the formulae of TwinTwigJoin [20] (Erdős–Rényi model) and PSGL
+/// [24] (expansion model), side by side with the actual counts of Table 4.
+/// Paper: "there are significant estimation errors".
+
+#include <cstdio>
+
+#include "baseline/estimator.h"
+#include "baseline/psgl.h"
+#include "baseline/twintwig.h"
+#include "bench_common.h"
+#include "query/queries.h"
+
+namespace {
+
+std::string Ratio(std::uint64_t est, std::uint64_t actual) {
+  if (actual == 0 || est == 0) return "-";
+  const double r = static_cast<double>(est) / static_cast<double>(actual);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fx", r);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dualsim;
+  using namespace dualsim::bench;
+
+  PrintHeader("Table 5: estimated vs actual intermediate results",
+              "DUALSIM (SIGMOD'16) Table 5");
+  std::printf("%-4s %-3s | %14s %14s %8s | %14s %14s %8s\n", "", "q",
+              "TTJ est", "TTJ actual", "err", "PSGL est", "PSGL actual",
+              "err");
+
+  for (DatasetKey key : AllDatasets()) {
+    Graph g = MakeDataset(key, BenchScale());
+    for (PaperQuery pq : {PaperQuery::kQ1, PaperQuery::kQ4}) {
+      const QueryGraph q = MakePaperQuery(pq);
+      const std::uint64_t ttj_est = EstimateTwinTwigIntermediate(g, q);
+      const std::uint64_t psgl_est = EstimatePsglIntermediate(g, q);
+
+      TwinTwigOptions topts = PaperTtjOptions();
+      topts.fail_budget_tuples = ~0ULL >> 2;  // want the true count here
+      auto ttj = RunTwinTwigJoin(g, q, topts);
+      PsglOptions popts;
+      popts.memory_budget_partials = ~0ULL >> 2;
+      auto psgl = RunPsgl(g, q, popts);
+
+      const std::uint64_t ttj_actual =
+          ttj.ok() ? ttj->intermediate_results : 0;
+      const std::uint64_t psgl_actual =
+          psgl.ok() ? psgl->intermediate_results : 0;
+      std::printf("%-4s %-3s | %14llu %14llu %8s | %14llu %14llu %8s\n",
+                  DatasetCode(key), PaperQueryName(pq),
+                  static_cast<unsigned long long>(ttj_est),
+                  static_cast<unsigned long long>(ttj_actual),
+                  Ratio(ttj_est, ttj_actual).c_str(),
+                  static_cast<unsigned long long>(psgl_est),
+                  static_cast<unsigned long long>(psgl_actual),
+                  Ratio(psgl_est, psgl_actual).c_str());
+    }
+  }
+  PrintRule();
+  std::printf(
+      "expected shape: large errors in both directions — the ER model\n"
+      "misses skew, the expansion model ignores matched vertices (paper\n"
+      "finds up to 1000x+ over-estimates).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// Clustering-coefficient analysis via disk-based triangle enumeration —
+/// the triangle-enumeration application of the paper's introduction
+/// (Watts & Strogatz clustering; community structure). Demonstrates the
+/// enumeration API (per-embedding visitor), not just counting: per-vertex
+/// triangle participation is accumulated from the visitor callbacks.
+///
+///   clustering_coefficient [edge_list.txt]
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "storage/disk_graph.h"
+
+int main(int argc, char** argv) {
+  using namespace dualsim;
+
+  Graph raw;
+  if (argc > 1) {
+    auto loaded = ReadEdgeListText(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    raw = std::move(loaded).value();
+  } else {
+    raw = RMat(13, 60000, 0.55, 0.18, 0.18, 99);
+  }
+  Graph g = ReorderByDegree(raw);
+  std::printf("graph: %u vertices, %llu edges\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  const std::string db_path =
+      (std::filesystem::temp_directory_path() /
+       ("clustering_" + std::to_string(::getpid()) + ".db"))
+          .string();
+  std::size_t page = 4096;
+  while (page < static_cast<std::size_t>(g.MaxDegree()) * 4 + 64) page *= 2;
+  if (Status s = BuildDiskGraph(g, db_path, page); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto disk = DiskGraph::Open(db_path);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "%s\n", disk.status().ToString().c_str());
+    return 1;
+  }
+
+  EngineOptions options;
+  options.buffer_fraction = 0.15;
+  DualSimEngine engine(disk->get(), options);
+
+  // Triangles per vertex, accumulated concurrently from the visitor.
+  std::vector<std::atomic<std::uint32_t>> triangles(g.NumVertices());
+  auto result = engine.Run(
+      MakePaperQuery(PaperQuery::kQ1), [&](std::span<const VertexId> m) {
+        for (VertexId v : m) {
+          triangles[v].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("triangles: %llu (%.3fs, %llu page reads)\n",
+              static_cast<unsigned long long>(result->embeddings),
+              result->elapsed_seconds,
+              static_cast<unsigned long long>(result->io.physical_reads));
+
+  // Local clustering coefficient c(v) = 2 * tri(v) / (d(v) * (d(v)-1)).
+  double sum = 0;
+  std::uint32_t counted = 0;
+  double wedges = 0;
+  double closed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const double d = g.Degree(v);
+    if (d < 2) continue;
+    const double t = triangles[v].load();
+    sum += 2.0 * t / (d * (d - 1.0));
+    ++counted;
+    wedges += d * (d - 1.0) / 2.0;
+    closed += t;
+  }
+  std::printf("average local clustering coefficient: %.4f (over %u vertices)\n",
+              counted > 0 ? sum / counted : 0.0, counted);
+  std::printf("global clustering coefficient: %.4f\n",
+              wedges > 0 ? closed / wedges : 0.0);
+
+  // Top-5 triangle-dense vertices.
+  std::vector<VertexId> top;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) top.push_back(v);
+  std::partial_sort(top.begin(), top.begin() + std::min<std::size_t>(5, top.size()),
+                    top.end(), [&](VertexId a, VertexId b) {
+                      return triangles[a].load() > triangles[b].load();
+                    });
+  std::printf("top triangle-dense vertices:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, top.size()); ++i) {
+    std::printf("  v%u: %u triangles (degree %u)\n", top[i],
+                triangles[top[i]].load(), g.Degree(top[i]));
+  }
+
+  std::filesystem::remove(db_path);
+  std::filesystem::remove(db_path + ".meta");
+  return 0;
+}

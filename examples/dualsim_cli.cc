@@ -1,0 +1,171 @@
+/// Command-line front end to the library — the workflow a downstream user
+/// runs without writing C++:
+///
+///   dualsim_cli build <edge_list.txt> <db_path> [page_size]
+///       Preprocess (degree reorder via external sort) and write the
+///       slotted-page database.
+///
+///   dualsim_cli stats <db_path>
+///       Print database statistics.
+///
+///   dualsim_cli explain <query>
+///       Show the prepared plan (RBI coloring, v-groups, matching order).
+///
+///   dualsim_cli query <db_path> <query> [buffer_fraction] [max_print]
+///       Enumerate the query; print up to max_print embeddings (default 0:
+///       count only).
+///
+/// <query> is "q1".."q5", a named shape ("triangle", "cycle5", ...), or an
+/// edge list like "0-1,1-2,2-0".
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/engine.h"
+#include "graph/edge_list_io.h"
+#include "query/parser.h"
+#include "storage/disk_graph.h"
+#include "storage/preprocess.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dualsim;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: build <edge_list.txt> <db_path> [page_size]\n");
+    return 2;
+  }
+  auto loaded = ReadEdgeListText(argv[2]);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::printf("loaded %u vertices, %llu edges\n", loaded->NumVertices(),
+              static_cast<unsigned long long>(loaded->NumEdges()));
+
+  WallTimer timer;
+  auto preprocessed = ExternalReorder(*loaded, /*memory_budget=*/64 << 20);
+  if (!preprocessed.ok()) return Fail(preprocessed.status());
+  std::printf("preprocessed (degree reorder, %llu sort runs) in %.3fs\n",
+              static_cast<unsigned long long>(preprocessed->sort_stats.runs),
+              timer.ElapsedSeconds());
+
+  std::size_t page_size = argc > 4 ? std::atoi(argv[4]) : 0;
+  if (page_size == 0) {
+    page_size = 4096;
+    while (page_size <
+           static_cast<std::size_t>(preprocessed->reordered.MaxDegree()) * 4 +
+               64) {
+      page_size *= 2;
+    }
+  }
+  if (Status s = BuildDiskGraph(preprocessed->reordered, argv[3], page_size);
+      !s.ok()) {
+    return Fail(s);
+  }
+  auto disk = DiskGraph::Open(argv[3]);
+  if (!disk.ok()) return Fail(disk.status());
+  std::printf("wrote %s: %u pages of %zu bytes\n", argv[3],
+              (*disk)->num_pages(), page_size);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: stats <db_path>\n");
+    return 2;
+  }
+  auto disk = DiskGraph::Open(argv[2]);
+  if (!disk.ok()) return Fail(disk.status());
+  std::printf("vertices:          %u\n", (*disk)->num_vertices());
+  std::printf("edges:             %llu\n",
+              static_cast<unsigned long long>((*disk)->num_edges()));
+  std::printf("pages:             %u x %zu bytes\n", (*disk)->num_pages(),
+              (*disk)->page_size());
+  std::printf("single-page lists: %s (largest vertex spans %u pages)\n",
+              (*disk)->AllSinglePage() ? "yes" : "no",
+              (*disk)->MaxVertexPages());
+  return 0;
+}
+
+int CmdExplain(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: explain <query>\n");
+    return 2;
+  }
+  auto q = ParseQuery(argv[2]);
+  if (!q.ok()) return Fail(q.status());
+  auto plan = PreparePlan(*q);
+  if (!plan.ok()) return Fail(plan.status());
+  std::fputs(ExplainPlan(*plan).c_str(), stdout);
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: query <db_path> <query> [buffer_fraction] "
+                 "[max_print]\n");
+    return 2;
+  }
+  auto disk = DiskGraph::Open(argv[2]);
+  if (!disk.ok()) return Fail(disk.status());
+  auto q = ParseQuery(argv[3]);
+  if (!q.ok()) return Fail(q.status());
+
+  EngineOptions options;
+  if (argc > 4) options.buffer_fraction = std::atof(argv[4]);
+  const int max_print = argc > 5 ? std::atoi(argv[5]) : 0;
+
+  DualSimEngine engine(disk->get(), options);
+  std::mutex mu;
+  int printed = 0;
+  StatusOr<EngineStats> result =
+      max_print > 0
+          ? engine.Run(*q,
+                       [&](std::span<const VertexId> m) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         if (printed >= max_print) return;
+                         ++printed;
+                         std::printf("match %d: {", printed);
+                         for (std::size_t i = 0; i < m.size(); ++i) {
+                           std::printf("%su%zu->%u", i ? ", " : "", i, m[i]);
+                         }
+                         std::printf("}\n");
+                       })
+          : engine.Run(*q);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("embeddings:    %llu\n",
+              static_cast<unsigned long long>(result->embeddings));
+  std::printf("elapsed:       %.3fs (prepare %.3fms)\n",
+              result->elapsed_seconds, result->prepare_millis);
+  std::printf("page reads:    %llu physical, %llu hits (%zu frames)\n",
+              static_cast<unsigned long long>(result->io.physical_reads),
+              static_cast<unsigned long long>(result->io.logical_hits),
+              result->num_frames);
+  std::printf("internal/external: %llu / %llu\n",
+              static_cast<unsigned long long>(result->internal_embeddings),
+              static_cast<unsigned long long>(result->external_embeddings));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "build") return CmdBuild(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "explain") return CmdExplain(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  std::fprintf(stderr,
+               "usage: dualsim_cli <build|stats|explain|query> ...\n");
+  return 2;
+}

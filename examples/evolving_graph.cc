@@ -1,0 +1,102 @@
+/// Evolving-graph workflow (paper §6.2.1): a graph database receives
+/// updates; instead of reordering the whole database after every batch,
+/// keep 95% of vertices in ≺ order and append the newest 5% out of order.
+/// The paper reports only 14.7-15.9% degradation in that regime. This
+/// example measures exactly that: fully-sorted vs 95%-sorted vs reorder
+/// cost, using the external-sort preprocessing pipeline.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "storage/disk_graph.h"
+#include "storage/preprocess.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dualsim;
+
+double RunQuery(DiskGraph* disk, PaperQuery pq) {
+  EngineOptions options;
+  options.buffer_fraction = 0.15;
+  DualSimEngine engine(disk, options);
+  auto result = engine.Run(MakePaperQuery(pq));
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return -1;
+  }
+  return result->elapsed_seconds;
+}
+
+}  // namespace
+
+int main() {
+  Graph base = RMat(12, 36000, 0.57, 0.19, 0.19, 2026);
+  const auto tmp = std::filesystem::temp_directory_path() /
+                   ("evolving_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(tmp);
+
+  std::size_t page = 4096;
+  while (page < static_cast<std::size_t>(base.MaxDegree()) * 4 + 64) {
+    page *= 2;
+  }
+
+  // Fully preprocessed database (external sort, bounded memory).
+  WallTimer prep;
+  auto sorted = ExternalReorder(base, /*memory_budget_bytes=*/1 << 16);
+  if (!sorted.ok()) {
+    std::fprintf(stderr, "%s\n", sorted.status().ToString().c_str());
+    return 1;
+  }
+  const double prep_seconds = prep.ElapsedSeconds();
+  std::printf("preprocessing (external sort, %llu runs): %.3fs\n",
+              static_cast<unsigned long long>(sorted->sort_stats.runs),
+              prep_seconds);
+
+  const std::string sorted_path = (tmp / "sorted.db").string();
+  if (Status s = BuildDiskGraph(sorted->reordered, sorted_path, page);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Evolving database: 95% in order, 5% appended (paper's simulation).
+  Graph partial = PartiallySortedGraph(base, 0.95, 11);
+  const std::string partial_path = (tmp / "partial.db").string();
+  if (Status s = BuildDiskGraph(partial, partial_path, page); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto sorted_db = DiskGraph::Open(sorted_path);
+  auto partial_db = DiskGraph::Open(partial_path);
+  if (!sorted_db.ok() || !partial_db.ok()) {
+    std::fprintf(stderr, "open failed\n");
+    return 1;
+  }
+
+  std::printf("%-8s %14s %16s %12s\n", "query", "fully sorted",
+              "95% sorted", "degradation");
+  for (PaperQuery pq : {PaperQuery::kQ1, PaperQuery::kQ4}) {
+    const double full = RunQuery(sorted_db->get(), pq);
+    const double evolving = RunQuery(partial_db->get(), pq);
+    if (full < 0 || evolving < 0) continue;
+    std::printf("%-8s %13.3fs %15.3fs %+11.1f%%\n", PaperQueryName(pq), full,
+                evolving, 100.0 * (evolving - full) / full);
+  }
+  std::printf(
+      "\npaper's guidance: for complex queries always reorder (cost %.3fs\n"
+      "here, amortized across queries); for q1 reorder only after large\n"
+      "batches of updates.\n",
+      prep_seconds);
+
+  std::filesystem::remove_all(tmp);
+  return 0;
+}

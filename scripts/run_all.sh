@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, then regenerates every table
+# and figure of the paper (bench_output.txt) — the repository's one-button
+# reproduction script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt

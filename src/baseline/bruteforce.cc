@@ -1,0 +1,133 @@
+#include "baseline/bruteforce.h"
+
+#include <algorithm>
+
+#include "query/symmetry_breaking.h"
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+/// Matching order: start at the highest-degree query vertex, then grow a
+/// connected frontier (every later vertex has a matched neighbor), so
+/// candidates always come from an adjacency list instead of all of V(g).
+std::vector<QueryVertex> MatchingOrder(const QueryGraph& q) {
+  const std::uint8_t n = q.NumVertices();
+  std::vector<QueryVertex> order;
+  std::uint32_t placed = 0;
+  QueryVertex first = 0;
+  for (QueryVertex u = 1; u < n; ++u) {
+    if (q.Degree(u) > q.Degree(first)) first = u;
+  }
+  order.push_back(first);
+  placed |= 1u << first;
+  while (order.size() < n) {
+    QueryVertex best = kMaxQueryVertices;
+    int best_connected = -1;
+    for (QueryVertex u = 0; u < n; ++u) {
+      if ((placed >> u) & 1u) continue;
+      const int connected = __builtin_popcount(q.NeighborMask(u) & placed);
+      if (connected > best_connected ||
+          (connected == best_connected && best != kMaxQueryVertices &&
+           q.Degree(u) > q.Degree(best))) {
+        best = u;
+        best_connected = connected;
+      }
+    }
+    DS_CHECK_GT(best_connected, 0);  // q is connected
+    order.push_back(best);
+    placed |= 1u << best;
+  }
+  return order;
+}
+
+struct SearchState {
+  const Graph* g;
+  const QueryGraph* q;
+  const std::vector<PartialOrder>* orders;
+  const EmbeddingVisitor* visitor;
+  std::vector<QueryVertex> order;
+  Embedding mapping;        // by query vertex; kInvalid when unmapped
+  std::uint64_t count = 0;
+};
+
+constexpr VertexId kUnmapped = 0xFFFFFFFFu;
+
+bool Consistent(const SearchState& s, QueryVertex u, VertexId v) {
+  // Injectivity + adjacency to already-mapped query vertices.
+  for (QueryVertex w = 0; w < s.q->NumVertices(); ++w) {
+    const VertexId mapped = s.mapping[w];
+    if (mapped == kUnmapped) continue;
+    if (mapped == v) return false;
+    if (s.q->HasEdge(u, w) && !s.g->HasEdge(v, mapped)) return false;
+  }
+  // Partial orders whose other side is mapped.
+  for (const PartialOrder& o : *s.orders) {
+    if (o.first == u && s.mapping[o.second] != kUnmapped &&
+        !(v < s.mapping[o.second])) {
+      return false;
+    }
+    if (o.second == u && s.mapping[o.first] != kUnmapped &&
+        !(s.mapping[o.first] < v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Recurse(SearchState& s, std::size_t depth) {
+  if (depth == s.order.size()) {
+    ++s.count;
+    if (*s.visitor) (*s.visitor)(s.mapping);
+    return;
+  }
+  const QueryVertex u = s.order[depth];
+  if (depth == 0) {
+    for (VertexId v = 0; v < s.g->NumVertices(); ++v) {
+      if (!Consistent(s, u, v)) continue;
+      s.mapping[u] = v;
+      Recurse(s, depth + 1);
+      s.mapping[u] = kUnmapped;
+    }
+    return;
+  }
+  // Candidates from the adjacency list of a mapped query neighbor (the one
+  // with the smallest degree in g, to shrink the scan).
+  VertexId anchor = kUnmapped;
+  for (QueryVertex w = 0; w < s.q->NumVertices(); ++w) {
+    if (!s.q->HasEdge(u, w) || s.mapping[w] == kUnmapped) continue;
+    if (anchor == kUnmapped || s.g->Degree(s.mapping[w]) < s.g->Degree(anchor)) {
+      anchor = s.mapping[w];
+    }
+  }
+  DS_CHECK_NE(anchor, kUnmapped);
+  for (VertexId v : s.g->Neighbors(anchor)) {
+    if (!Consistent(s, u, v)) continue;
+    s.mapping[u] = v;
+    Recurse(s, depth + 1);
+    s.mapping[u] = kUnmapped;
+  }
+}
+
+}  // namespace
+
+std::uint64_t EnumerateBruteForce(const Graph& g, const QueryGraph& q,
+                                  const std::vector<PartialOrder>& orders,
+                                  const EmbeddingVisitor& visitor) {
+  if (q.NumVertices() == 0 || g.NumVertices() == 0) return 0;
+  SearchState s;
+  s.g = &g;
+  s.q = &q;
+  s.orders = &orders;
+  s.visitor = &visitor;
+  s.order = MatchingOrder(q);
+  s.mapping.assign(q.NumVertices(), kUnmapped);
+  Recurse(s, 0);
+  return s.count;
+}
+
+std::uint64_t CountOccurrences(const Graph& g, const QueryGraph& q) {
+  return EnumerateBruteForce(g, q, FindPartialOrders(q));
+}
+
+}  // namespace dualsim

@@ -1,0 +1,35 @@
+#ifndef DUALSIM_BASELINE_BRUTEFORCE_H_
+#define DUALSIM_BASELINE_BRUTEFORCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// Mapping from query vertex index to data vertex.
+using Embedding = std::vector<VertexId>;
+
+/// Called once per embedding. The span is indexed by query vertex.
+using EmbeddingVisitor = std::function<void(const Embedding&)>;
+
+/// Reference in-memory backtracking enumerator (the classical DFS strategy
+/// of [7, 12] that §1.2 contrasts with the dual approach). Enumerates every
+/// injection m with all query edges present in `g` and every partial order
+/// satisfied. Used as the correctness oracle for DualSim and the baselines.
+///
+/// `visitor` may be null when only the count is needed.
+std::uint64_t EnumerateBruteForce(const Graph& g, const QueryGraph& q,
+                                  const std::vector<PartialOrder>& orders,
+                                  const EmbeddingVisitor& visitor = nullptr);
+
+/// Convenience: symmetry-broken occurrence count of `q` in `g` (computes
+/// the partial orders internally).
+std::uint64_t CountOccurrences(const Graph& g, const QueryGraph& q);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_BRUTEFORCE_H_

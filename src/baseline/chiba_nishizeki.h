@@ -1,0 +1,28 @@
+#ifndef DUALSIM_BASELINE_CHIBA_NISHIZEKI_H_
+#define DUALSIM_BASELINE_CHIBA_NISHIZEKI_H_
+
+#include <cstdint>
+
+#include "baseline/bruteforce.h"
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Chiba & Nishizeki [7]: the classical O(α(g)·|E|) in-memory edge-
+/// searching algorithms the paper's related work opens with ("[7] proposes
+/// a simple edge-searching based method ... [it] may incur significant
+/// disk reads if applied to external subgraph enumeration"). Implemented
+/// here as the in-memory reference for triangles and 4-cliques, each
+/// occurrence reported exactly once (vertices in ascending order).
+
+/// Lists every triangle {a < b < c}; returns the count.
+std::uint64_t ChibaNishizekiTriangles(const Graph& g,
+                                      const EmbeddingVisitor& visitor = nullptr);
+
+/// Lists every 4-clique {a < b < c < d}; returns the count.
+std::uint64_t ChibaNishizekiFourCliques(
+    const Graph& g, const EmbeddingVisitor& visitor = nullptr);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_CHIBA_NISHIZEKI_H_

@@ -1,0 +1,69 @@
+#include "baseline/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/twintwig.h"
+
+namespace dualsim {
+namespace {
+
+double SaturatingToU64Input(double x) {
+  return std::min(x, 1.8e19);  // clamp before the uint64 cast
+}
+
+}  // namespace
+
+std::uint64_t EstimateTwinTwigIntermediate(const Graph& g,
+                                           const QueryGraph& q) {
+  const double n = static_cast<double>(g.NumVertices());
+  if (n < 2) return 0;
+  const double p =
+      2.0 * static_cast<double>(g.NumEdges()) / (n * (n - 1.0));
+
+  const std::vector<TwinTwig> twigs = DecomposeTwinTwigs(q);
+  double total = 0.0;
+  // Walk the left-deep plan; after joining twig t the partial pattern has
+  // `k` distinct vertices and `m` *covered* edges (the join enforces only
+  // the twig edges seen so far). Expected ER matches:
+  // n * (n-1) * ... * (n-k+1) * p^m.
+  std::uint32_t bound = 0;
+  std::uint32_t m = 0;
+  for (std::size_t t = 0; t < twigs.size(); ++t) {
+    bound |= 1u << twigs[t].center;
+    for (std::uint8_t j = 0; j < twigs[t].num_leaves; ++j) {
+      bound |= 1u << twigs[t].leaves[j];
+    }
+    m += twigs[t].NumEdges();
+    const int k = __builtin_popcount(bound);
+    double expected = 1.0;
+    for (int i = 0; i < k; ++i) expected *= (n - i);
+    expected *= std::pow(p, m);
+    if (t + 1 < twigs.size()) total += expected;  // non-final steps only
+  }
+  return static_cast<std::uint64_t>(SaturatingToU64Input(total));
+}
+
+std::uint64_t EstimatePsglIntermediate(const Graph& g, const QueryGraph& q) {
+  const double n = static_cast<double>(g.NumVertices());
+  if (n < 1 || q.NumVertices() == 0) return 0;
+  const double avg_deg =
+      2.0 * static_cast<double>(g.NumEdges()) / std::max(1.0, n);
+
+  // Expansion model: level 1 matches all n vertices; expanding a partial
+  // instance multiplies by avg_deg for the expansion edge AND by the
+  // number of still-unmatched query vertices every neighbor could map to
+  // ("it assumes that every data vertex in adj(v) can be mapped to any
+  // non-matched query vertex in adj(u)" — the over-estimation Table 5
+  // calls out; neither matched vertices nor partial orders discount it).
+  double level = n;
+  double total = 0.0;
+  for (std::uint8_t l = 1; l < q.NumVertices(); ++l) {
+    const double unmatched = static_cast<double>(q.NumVertices() - l);
+    level = level * avg_deg * unmatched;
+    if (l + 1 < q.NumVertices()) total += level;  // intermediate levels
+  }
+  return static_cast<std::uint64_t>(SaturatingToU64Input(total));
+}
+
+}  // namespace dualsim

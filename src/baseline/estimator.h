@@ -1,0 +1,34 @@
+#ifndef DUALSIM_BASELINE_ESTIMATOR_H_
+#define DUALSIM_BASELINE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// Intermediate-result-size estimators in the style the paper critiques in
+/// Appendix B.4 (Table 5). Both make "unrealistic assumptions" and
+/// over-estimate heavily on real (skewed) graphs — reproducing that
+/// over-estimation is the point.
+
+/// TwinTwigJoin's estimator [20]: assumes the data graph is Erdős–Rényi
+/// (G(n, p) with p = 2|E| / n(n-1)); the expected number of matches of a
+/// partial pattern with k vertices and m edges is n^(k) * p^m (falling
+/// factorial). Returns the summed expected sizes over the left-deep plan's
+/// non-final steps. Ignores bloom filters and partial orders, as Table 5
+/// notes.
+std::uint64_t EstimateTwinTwigIntermediate(const Graph& g,
+                                           const QueryGraph& q);
+
+/// PSGL's estimator [24]: expansion model where, when query vertex u is
+/// matched to data vertex v, *every* vertex in adj(v) is assumed mappable
+/// to any unmatched query neighbor of u; level sizes therefore multiply by
+/// the average degree per expanded vertex, without accounting for already-
+/// matched vertices — the over-estimation the paper calls out.
+std::uint64_t EstimatePsglIntermediate(const Graph& g, const QueryGraph& q);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_ESTIMATOR_H_

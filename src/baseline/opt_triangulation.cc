@@ -1,0 +1,14 @@
+#include "baseline/opt_triangulation.h"
+
+#include "query/queries.h"
+
+namespace dualsim {
+
+StatusOr<EngineStats> RunOptTriangulation(DiskGraph* disk,
+                                          EngineOptions options) {
+  options.paper_buffer_allocation = false;  // OPT's even two-area split
+  DualSimEngine engine(disk, options);
+  return engine.Run(MakeTriangleQuery());
+}
+
+}  // namespace dualsim

@@ -1,0 +1,23 @@
+#ifndef DUALSIM_BASELINE_OPT_TRIANGULATION_H_
+#define DUALSIM_BASELINE_OPT_TRIANGULATION_H_
+
+#include "core/engine.h"
+#include "storage/disk_graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// OPT (Kim et al. [17]): the state-of-the-art overlapped & parallel
+/// disk-based *triangulation* framework that DualSim generalizes. The
+/// paper (Appendix B.2) attributes DualSim's win over OPT to the buffer
+/// allocation strategy: OPT splits the buffer evenly between its two
+/// areas, DualSim gives most frames to the internal area. This wrapper
+/// therefore runs the triangle query through the shared substrate with the
+/// equal-split allocation — the two-red-vertex, two-area special case that
+/// *is* OPT within this codebase.
+StatusOr<EngineStats> RunOptTriangulation(DiskGraph* disk,
+                                          EngineOptions options = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_OPT_TRIANGULATION_H_

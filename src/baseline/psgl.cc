@@ -1,0 +1,156 @@
+#include "baseline/psgl.h"
+
+#include <array>
+
+#include "query/symmetry_breaking.h"
+#include "util/timer.h"
+
+namespace dualsim {
+namespace {
+
+constexpr VertexId kUnbound = 0xFFFFFFFFu;
+using PartialInstance = std::array<VertexId, kMaxQueryVertices>;
+
+/// BFS matching order over the query from its max-degree vertex, plus the
+/// BFS parent of each ordered vertex. PSGL expands along the BFS tree; the
+/// remaining (non-tree) query edges are verified only when an instance is
+/// complete — which is why partial-solution counts explode on cyclic
+/// queries (paper §1: "the size of partial solutions grows exponentially").
+struct BfsPlan {
+  std::vector<QueryVertex> order;
+  std::array<QueryVertex, kMaxQueryVertices> parent{};  // by query vertex
+};
+
+BfsPlan MakeBfsPlan(const QueryGraph& q) {
+  QueryVertex start = 0;
+  for (QueryVertex u = 1; u < q.NumVertices(); ++u) {
+    if (q.Degree(u) > q.Degree(start)) start = u;
+  }
+  BfsPlan plan;
+  plan.order = {start};
+  plan.parent[start] = start;
+  std::uint32_t placed = 1u << start;
+  for (std::size_t head = 0; plan.order.size() < q.NumVertices(); ++head) {
+    if (head < plan.order.size()) {
+      const QueryVertex u = plan.order[head];
+      std::uint32_t candidates = q.NeighborMask(u) & ~placed;
+      while (candidates != 0) {
+        const auto v = static_cast<QueryVertex>(__builtin_ctz(candidates));
+        candidates &= candidates - 1;
+        plan.order.push_back(v);
+        plan.parent[v] = u;
+        placed |= 1u << v;
+      }
+    } else {
+      // Unreachable for connected queries; defensive fallback.
+      for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+        if (((placed >> u) & 1u) == 0) {
+          plan.order.push_back(u);
+          plan.parent[u] = plan.order[0];
+          placed |= 1u << u;
+          break;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+/// Injectivity + partial orders only; tree-edge adjacency is implied by
+/// candidate generation, non-tree edges wait for final verification.
+bool Consistent(const QueryGraph& q, const std::vector<PartialOrder>& po,
+                const PartialInstance& inst, QueryVertex u, VertexId v) {
+  for (QueryVertex w = 0; w < q.NumVertices(); ++w) {
+    if (inst[w] != kUnbound && inst[w] == v) return false;
+  }
+  (void)q;
+  for (const PartialOrder& o : po) {
+    if (o.first == u && inst[o.second] != kUnbound && !(v < inst[o.second])) {
+      return false;
+    }
+    if (o.second == u && inst[o.first] != kUnbound && !(inst[o.first] < v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Full isomorphism check of a complete instance (all query edges).
+bool VerifyAllEdges(const QueryGraph& q, const Graph& g,
+                    const PartialInstance& inst) {
+  for (QueryVertex a = 0; a < q.NumVertices(); ++a) {
+    for (QueryVertex b = static_cast<QueryVertex>(a + 1); b < q.NumVertices();
+         ++b) {
+      if (q.HasEdge(a, b) && !g.HasEdge(inst[a], inst[b])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<PsglResult> RunPsgl(const Graph& g, const QueryGraph& q,
+                             const PsglOptions& options) {
+  if (!q.IsConnected() || q.NumVertices() == 0) {
+    return Status::InvalidArgument("query must be non-empty and connected");
+  }
+  const std::vector<PartialOrder> po = FindPartialOrders(q);
+  const BfsPlan plan = MakeBfsPlan(q);
+
+  PsglResult result;
+  WallTimer timer;
+
+  PartialInstance empty;
+  empty.fill(kUnbound);
+  std::vector<PartialInstance> current = {empty};
+
+  for (std::size_t level = 0; level < plan.order.size(); ++level) {
+    const QueryVertex u = plan.order[level];
+    const bool final_level = level + 1 == plan.order.size();
+    std::vector<PartialInstance> next;
+
+    for (const PartialInstance& inst : current) {
+      const VertexId anchor =
+          level == 0 ? kUnbound : inst[plan.parent[u]];
+      auto expand = [&](VertexId v) {
+        if (!Consistent(q, po, inst, u, v)) return;
+        PartialInstance grown = inst;
+        grown[u] = v;
+        if (final_level && !VerifyAllEdges(q, g, grown)) return;
+        next.push_back(grown);
+      };
+      if (anchor == kUnbound) {
+        for (VertexId v = 0; v < g.NumVertices(); ++v) expand(v);
+      } else {
+        for (VertexId v : g.Neighbors(anchor)) expand(v);
+      }
+      if (next.size() > options.memory_budget_partials) {
+        result.failed = true;
+        result.failure_reason =
+            "out of memory: level " + std::to_string(level + 1) +
+            " exceeds " + std::to_string(options.memory_budget_partials) +
+            " partial solutions";
+        break;
+      }
+    }
+
+    result.level_sizes.push_back(next.size());
+    result.peak_partials =
+        std::max<std::uint64_t>(result.peak_partials, next.size());
+    if (result.failed) {
+      result.intermediate_results += next.size();
+      break;
+    }
+    if (final_level) {
+      result.final_results = next.size();
+    } else {
+      result.intermediate_results += next.size();
+    }
+    current = std::move(next);
+  }
+
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dualsim

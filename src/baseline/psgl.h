@@ -1,0 +1,45 @@
+#ifndef DUALSIM_BASELINE_PSGL_H_
+#define DUALSIM_BASELINE_PSGL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Budget mimicking PSGL's in-memory partial-solution store.
+struct PsglOptions {
+  /// Maximum partial solutions held at once; beyond this the run fails
+  /// with an out-of-memory error (the paper: "PSGL maintains partial
+  /// solutions in memory. Thus, it easily fails for many queries due to
+  /// memory overruns").
+  std::uint64_t memory_budget_partials = 1 << 24;
+};
+
+/// Outcome of a PSGL-style run.
+struct PsglResult {
+  bool failed = false;  // OOM
+  std::string failure_reason;
+  /// Partial solutions produced by levels 1..n-1 (Table 4's PSGL column).
+  std::uint64_t intermediate_results = 0;
+  std::uint64_t final_results = 0;
+  std::uint64_t peak_partials = 0;
+  std::vector<std::uint64_t> level_sizes;
+  double elapsed_seconds = 0.0;
+};
+
+/// PSGL (Shao et al. [24]) reimplementation: level-by-level parallel BFS
+/// expansion of partial subgraph instances, all levels materialized in
+/// memory. Enforces the same symmetry-breaking partial orders as DualSim.
+/// The level sizes grow exponentially with |V_q| — the paper's §1 analysis
+/// — which is why the memory budget trips on cyclic queries.
+StatusOr<PsglResult> RunPsgl(const Graph& g, const QueryGraph& q,
+                             const PsglOptions& options = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_PSGL_H_

@@ -1,0 +1,245 @@
+#include "baseline/twintwig.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "query/symmetry_breaking.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dualsim {
+namespace {
+
+constexpr VertexId kUnbound = 0xFFFFFFFFu;
+
+using PartialTuple = std::array<VertexId, kMaxQueryVertices>;
+
+/// Query vertices bound after joining the twigs in `twigs[0..k]`.
+std::uint32_t BoundMask(const std::vector<TwinTwig>& twigs, std::size_t k) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i <= k && i < twigs.size(); ++i) {
+    mask |= 1u << twigs[i].center;
+    for (std::uint8_t j = 0; j < twigs[i].num_leaves; ++j) {
+      mask |= 1u << twigs[i].leaves[j];
+    }
+  }
+  return mask;
+}
+
+/// Checks injectivity of `v` against bound entries and the partial orders
+/// between `u` and every bound vertex. Deliberately does NOT check query
+/// edges beyond the twig being joined: a TwinTwig join only enforces the
+/// edges its twigs have covered so far, which is precisely why the
+/// intermediate relations explode on cyclic queries (paper §1, Table 4).
+bool ConsistentBind(const QueryGraph& q, const std::vector<PartialOrder>& po,
+                    const PartialTuple& tuple, QueryVertex u, VertexId v) {
+  (void)q;
+  for (QueryVertex w = 0; w < q.NumVertices(); ++w) {
+    if (tuple[w] == kUnbound || w == u) continue;
+    if (tuple[w] == v) return false;
+  }
+  for (const PartialOrder& o : po) {
+    if (o.first == u && tuple[o.second] != kUnbound &&
+        !(v < tuple[o.second])) {
+      return false;
+    }
+    if (o.second == u && tuple[o.first] != kUnbound &&
+        !(tuple[o.first] < v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TwinTwig> DecomposeTwinTwigs(const QueryGraph& q) {
+  const std::uint8_t n = q.NumVertices();
+  // Remaining (uncovered) adjacency masks.
+  std::array<std::uint32_t, kMaxQueryVertices> remaining{};
+  for (QueryVertex u = 0; u < n; ++u) remaining[u] = q.NeighborMask(u);
+
+  std::vector<TwinTwig> twigs;
+  while (true) {
+    QueryVertex best = 0;
+    int best_deg = 0;
+    for (QueryVertex u = 0; u < n; ++u) {
+      const int deg = __builtin_popcount(remaining[u]);
+      if (deg > best_deg) {
+        best_deg = deg;
+        best = u;
+      }
+    }
+    if (best_deg == 0) break;
+    TwinTwig twig;
+    twig.center = best;
+    std::uint32_t edges = remaining[best];
+    while (twig.num_leaves < 2 && edges != 0) {
+      const auto leaf = static_cast<QueryVertex>(__builtin_ctz(edges));
+      edges &= edges - 1;
+      twig.leaves[twig.num_leaves++] = leaf;
+      remaining[best] &= ~(1u << leaf);
+      remaining[leaf] &= ~(1u << best);
+    }
+    twigs.push_back(twig);
+  }
+
+  // Reorder into a connected left-deep plan: each twig after the first
+  // shares a vertex with the already-joined prefix.
+  for (std::size_t i = 1; i < twigs.size(); ++i) {
+    const std::uint32_t bound = BoundMask(twigs, i - 1);
+    for (std::size_t j = i; j < twigs.size(); ++j) {
+      std::uint32_t twig_mask = 1u << twigs[j].center;
+      for (std::uint8_t k = 0; k < twigs[j].num_leaves; ++k) {
+        twig_mask |= 1u << twigs[j].leaves[k];
+      }
+      if ((twig_mask & bound) != 0) {
+        std::swap(twigs[i], twigs[j]);
+        break;
+      }
+    }
+  }
+  return twigs;
+}
+
+StatusOr<TwinTwigResult> RunTwinTwigJoin(const Graph& g, const QueryGraph& q,
+                                         const TwinTwigOptions& options) {
+  if (!q.IsConnected() || q.NumVertices() == 0) {
+    return Status::InvalidArgument("query must be non-empty and connected");
+  }
+  const std::vector<PartialOrder> po = FindPartialOrders(q);
+  const std::vector<TwinTwig> twigs = DecomposeTwinTwigs(q);
+
+  TwinTwigResult result;
+  result.num_twigs = static_cast<std::uint8_t>(twigs.size());
+  result.num_join_rounds = static_cast<std::uint8_t>(
+      twigs.size() > 1 ? twigs.size() - 1 : 1);
+  WallTimer timer;
+
+  PartialTuple empty;
+  empty.fill(kUnbound);
+  std::vector<PartialTuple> current = {empty};
+
+  for (std::size_t t = 0; t < twigs.size(); ++t) {
+    const TwinTwig& twig = twigs[t];
+    const bool final_step = t + 1 == twigs.size();
+    std::vector<PartialTuple> next;
+
+    for (const PartialTuple& tuple : current) {
+      // Candidate centers: bound value, a bound leaf's adjacency, or all
+      // vertices (only ever needed for the first twig).
+      const VertexId bound_center = tuple[twig.center];
+      VertexId anchor = kUnbound;
+      if (bound_center == kUnbound) {
+        for (std::uint8_t j = 0; j < twig.num_leaves; ++j) {
+          if (tuple[twig.leaves[j]] != kUnbound) {
+            anchor = tuple[twig.leaves[j]];
+            break;
+          }
+        }
+      }
+      auto try_center = [&](VertexId a) {
+        if (bound_center == kUnbound &&
+            !ConsistentBind(q, po, tuple, twig.center, a)) {
+          return;
+        }
+        PartialTuple with_center = tuple;
+        with_center[twig.center] = a;
+        // Expand the (up to two) leaves iteratively.
+        std::vector<PartialTuple> stage = {with_center};
+        for (std::uint8_t j = 0; j < twig.num_leaves; ++j) {
+          const QueryVertex leaf = twig.leaves[j];
+          std::vector<PartialTuple> grown;
+          for (const PartialTuple& base : stage) {
+            if (base[leaf] != kUnbound) {
+              // Already bound by a previous twig: this twig's edge is the
+              // join predicate — the only edge checked here.
+              if (g.HasEdge(base[twig.center], base[leaf])) {
+                grown.push_back(base);
+              }
+              continue;
+            }
+            for (VertexId b : g.Neighbors(a)) {
+              if (!ConsistentBind(q, po, base, leaf, b)) continue;
+              PartialTuple bound = base;
+              bound[leaf] = b;
+              grown.push_back(bound);
+            }
+          }
+          stage = std::move(grown);
+        }
+        for (PartialTuple& out : stage) next.push_back(out);
+      };
+
+      if (bound_center != kUnbound) {
+        try_center(bound_center);
+      } else if (anchor != kUnbound) {
+        for (VertexId a : g.Neighbors(anchor)) try_center(a);
+      } else {
+        for (VertexId a = 0; a < g.NumVertices(); ++a) try_center(a);
+      }
+
+      // Hadoop writes every round's output — including the final one — to
+      // disk; the budget therefore counts both (the paper's YH failures
+      // are output-driven as much as intermediate-driven).
+      if (next.size() + result.intermediate_results >
+          options.fail_budget_tuples) {
+        result.failed = true;
+        result.failure_reason =
+            "spill failure: intermediate results exceed " +
+            std::to_string(options.fail_budget_tuples) + " tuples";
+        break;
+      }
+    }
+    if (result.failed) {
+      result.intermediate_results += next.size();
+      result.peak_tuples = std::max<std::uint64_t>(result.peak_tuples,
+                                                   next.size());
+      break;
+    }
+
+    result.peak_tuples =
+        std::max<std::uint64_t>(result.peak_tuples, next.size());
+    if (final_step) {
+      result.final_results = next.size();
+    } else {
+      result.intermediate_results += next.size();
+      if (next.size() > options.memory_budget_tuples) {
+        result.spilled_tuples += next.size() - options.memory_budget_tuples;
+      }
+    }
+    current = std::move(next);
+  }
+
+  result.cpu_seconds = timer.ElapsedSeconds();
+  result.elapsed_seconds =
+      result.cpu_seconds + static_cast<double>(result.spilled_tuples) /
+                               options.spill_tuples_per_second;
+  return result;
+}
+
+double TwinTwigHadoopSeconds(const TwinTwigResult& run,
+                             const SingleMachineCostModel& model) {
+  // Every round writes its output to HDFS and reads it back (2x).
+  const double materialize =
+      2.0 * static_cast<double>(run.intermediate_results) /
+      model.hadoop_materialize_tuples_per_second;
+  return run.cpu_seconds * model.hadoop_cpu_factor + materialize +
+         model.hadoop_round_overhead_seconds *
+             static_cast<double>(run.num_join_rounds);
+}
+
+double TwinTwigPostgresSeconds(const TwinTwigResult& run,
+                               const SingleMachineCostModel& model) {
+  const double n = static_cast<double>(run.intermediate_results);
+  double sort = 0.0;
+  if (n > 1.0) {
+    sort = n * std::log2(n) / model.pg_sort_tuples_per_second;
+    if (run.peak_tuples > model.pg_work_mem_tuples) {
+      sort *= model.pg_external_sort_penalty;  // spills to external sort
+    }
+  }
+  return run.cpu_seconds * model.pg_cpu_factor + sort;
+}
+
+}  // namespace dualsim

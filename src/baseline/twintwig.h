@@ -1,0 +1,104 @@
+#ifndef DUALSIM_BASELINE_TWINTWIG_H_
+#define DUALSIM_BASELINE_TWINTWIG_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// One TwinTwig: a single edge or two incident edges of a query vertex
+/// (Lai et al. [20]). The decomposition covers every query edge exactly
+/// once; the join plan is left-deep over the twigs.
+struct TwinTwig {
+  QueryVertex center = 0;
+  std::array<QueryVertex, 2> leaves{};
+  std::uint8_t num_leaves = 0;
+
+  std::uint8_t NumEdges() const { return num_leaves; }
+};
+
+/// Greedy decomposition: repeatedly take up to two uncovered edges of the
+/// vertex with the most uncovered edges. Twigs are then ordered so each one
+/// (after the first) shares at least one vertex with the prefix, giving a
+/// connected left-deep join plan.
+std::vector<TwinTwig> DecomposeTwinTwigs(const QueryGraph& q);
+
+/// Budgets mimicking the paper's failure modes at our reduced scale.
+struct TwinTwigOptions {
+  /// Tuples that fit "in memory"; beyond this the join spills (Hadoop
+  /// spill / PostgreSQL external sort), adding simulated disk time.
+  std::uint64_t memory_budget_tuples = 1 << 22;
+  /// Hard cap: beyond this the run fails ("spill failure in Hadoop since
+  /// TWINTWIGJOIN generates excessive partial results", §6.2.3).
+  std::uint64_t fail_budget_tuples = 1 << 26;
+  /// Simulated spill throughput, tuples/second (adds to elapsed estimate).
+  double spill_tuples_per_second = 40e6;
+};
+
+/// Outcome of a single-machine TwinTwigJoin run. `failed` mirrors the
+/// paper's TTJ failures; counts are valid up to the failure point.
+struct TwinTwigResult {
+  bool failed = false;
+  std::string failure_reason;
+  /// Partial solutions materialized by all non-final join steps (Table 4).
+  std::uint64_t intermediate_results = 0;
+  /// Final embeddings (must equal DualSim's count when not failed).
+  std::uint64_t final_results = 0;
+  std::uint64_t peak_tuples = 0;
+  std::uint64_t spilled_tuples = 0;
+  std::uint8_t num_twigs = 0;
+  std::uint8_t num_join_rounds = 0;  // map-reduce rounds in the plan
+  double cpu_seconds = 0.0;
+  /// cpu_seconds plus simulated spill I/O.
+  double elapsed_seconds = 0.0;
+};
+
+/// Executes the left-deep TwinTwig join on an in-memory graph, enforcing
+/// the same symmetry-breaking partial orders as DualSim so final counts are
+/// comparable. The explosion of `intermediate_results` on cyclic queries is
+/// the phenomenon the paper's evaluation attributes TTJ's losses to.
+StatusOr<TwinTwigResult> RunTwinTwigJoin(const Graph& g, const QueryGraph& q,
+                                         const TwinTwigOptions& options = {});
+
+/// Cost model for the paper's two single-machine TTJ deployments (§6.1).
+/// The join counts come from the real run above; these turn them into
+/// modeled elapsed times with each system's characteristic overheads.
+struct SingleMachineCostModel {
+  /// Hadoop's framework constants are NOT scaled down with the data: JVM
+  /// startup, job scheduling and HDFS round trips cost the same on a small
+  /// graph (this is why the paper's single-machine TTJ numbers are large
+  /// even on WebGoogle). Per-tuple costs reflect serialization +
+  /// (de)serialization through the MapReduce runtime.
+  double hadoop_round_overhead_seconds = 12.0;
+  double hadoop_materialize_tuples_per_second = 2e6;
+  /// Ratio of MapReduce per-tuple processing cost to this library's raw
+  /// C++ join loops.
+  double hadoop_cpu_factor = 20.0;
+  /// PostgreSQL: merge join sorts each intermediate relation; in-memory
+  /// quicksort below the work_mem budget, external merge sort (~3x) above
+  /// it (§6.2.3: TTJ-PG beats Hadoop in memory, loses when spilling).
+  std::uint64_t pg_work_mem_tuples = 500'000;
+  double pg_sort_tuples_per_second = 10e6;
+  double pg_external_sort_penalty = 3.0;
+  /// Executor/expression-evaluation overhead of an RDBMS per tuple
+  /// relative to the raw loops.
+  double pg_cpu_factor = 8.0;
+};
+
+/// Modeled single-machine elapsed time of TTJ on Hadoop.
+double TwinTwigHadoopSeconds(const TwinTwigResult& run,
+                             const SingleMachineCostModel& model = {});
+
+/// Modeled single-machine elapsed time of TTJ on PostgreSQL (TTJ-PG).
+double TwinTwigPostgresSeconds(const TwinTwigResult& run,
+                               const SingleMachineCostModel& model = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_BASELINE_TWINTWIG_H_

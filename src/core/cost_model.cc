@@ -1,0 +1,117 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dualsim {
+
+double PredictPageReads(const IoCostInputs& inputs) {
+  if (inputs.num_pages == 0 || inputs.buffer_frames == 0) return 0.0;
+  const int levels = inputs.red_vertices;
+  const double p = static_cast<double>(inputs.num_pages);
+  // M / (|V_R|-1): the per-region buffer share, in pages. The paper
+  // assumes M split into |V_R|-1 equal regions (the last level streams
+  // with O(1) frames and is excluded from the split).
+  const double region =
+      static_cast<double>(inputs.buffer_frames) /
+      std::max(1, levels - 1);
+  double total = 0.0;
+  double s_prod = 1.0;
+  for (int l = 1; l <= levels; ++l) {
+    s_prod *= inputs.reduction_factor;
+    total += s_prod * std::pow(p / region, l - 1) * p;
+  }
+  return total;
+}
+
+IoCostInputs MakeCostInputs(const DiskGraph& disk, const QueryPlan& plan,
+                            std::size_t buffer_frames,
+                            double reduction_factor) {
+  IoCostInputs inputs;
+  inputs.num_edges = disk.num_edges();
+  inputs.num_pages = disk.num_pages();
+  inputs.buffer_frames = buffer_frames;
+  inputs.red_vertices = plan.NumLevels();
+  inputs.reduction_factor = reduction_factor;
+  return inputs;
+}
+
+namespace {
+
+const char* ColorName(VertexColor color) {
+  switch (color) {
+    case VertexColor::kRed:
+      return "red";
+    case VertexColor::kBlack:
+      return "black";
+    case VertexColor::kIvory:
+      return "ivory";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainPlan(const QueryPlan& plan) {
+  std::ostringstream out;
+  const QueryGraph& q = plan.rbi.query;
+  out << "query: " << q.ToString() << "\n";
+
+  out << "partial orders:";
+  if (plan.rbi.orders.empty()) out << " (none)";
+  for (const PartialOrder& o : plan.rbi.orders) {
+    out << " u" << int{o.first} << "<u" << int{o.second};
+  }
+  out << "\n";
+
+  out << "rbi coloring:";
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    out << " u" << int{u} << "=" << ColorName(plan.rbi.colors[u]);
+  }
+  out << "\nred graph (q_R): " << plan.rbi.red_graph.ToString()
+      << "  [red = ";
+  for (std::size_t i = 0; i < plan.rbi.red.size(); ++i) {
+    out << (i > 0 ? " " : "") << "u" << int{plan.rbi.red[i]};
+  }
+  out << "]\n";
+
+  out << "v-group sequences (" << plan.groups.size() << "):\n";
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    out << "  vgs" << g + 1 << ":";
+    for (const FullOrderSequence& qs : plan.groups[g].members) {
+      out << " (";
+      for (std::size_t k = 0; k < qs.size(); ++k) {
+        out << (k > 0 ? "," : "") << "r" << int{qs[k]};
+      }
+      out << ")";
+    }
+    out << "\n";
+  }
+
+  out << "global matching order (positions):";
+  for (std::uint8_t pos : plan.matching_order) out << " " << int{pos};
+  out << "\n";
+
+  for (std::size_t g = 0; g < plan.forests.size(); ++g) {
+    const VGroupForest& forest = plan.forests[g];
+    out << "  vgf" << g + 1 << ": parents [";
+    for (std::size_t l = 0; l < forest.parent_level.size(); ++l) {
+      if (l > 0) out << " ";
+      if (forest.parent_level[l] < 0) {
+        out << "root";
+      } else {
+        out << "L" << forest.parent_level[l];
+      }
+    }
+    out << "], cartesian products: " << forest.NumCartesianProducts()
+        << "\n";
+  }
+
+  out << "non-red extension order:";
+  if (plan.nonred_order.empty()) out << " (none)";
+  for (QueryVertex u : plan.nonred_order) out << " u" << int{u};
+  out << "\nprepared in " << plan.prepare_millis << " ms\n";
+  return out.str();
+}
+
+}  // namespace dualsim

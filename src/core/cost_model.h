@@ -1,0 +1,45 @@
+#ifndef DUALSIM_CORE_COST_MODEL_H_
+#define DUALSIM_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/plan.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+
+/// Inputs of the paper's I/O cost analysis (§5.3, Equation 1).
+struct IoCostInputs {
+  std::uint64_t num_edges = 0;     // |E|
+  std::uint64_t num_pages = 0;     // |E| / B in the paper's units
+  std::size_t buffer_frames = 0;   // M (in pages)
+  std::uint8_t red_vertices = 2;   // |V_R|
+  /// Average reduction factor s_j per level (how much the candidate page
+  /// sequences shrink relative to the whole database); the paper leaves
+  /// these workload-dependent. One shared factor is exposed here.
+  double reduction_factor = 1.0;
+};
+
+/// Equation 1: total disk I/Os of DualSim,
+///   sum over levels l of  prod_{i<=l} s_i * (|E| / (M/(|V_R|-1)))^(l-1)
+///                         * |E|/B.
+/// Expressed in pages: page reads = sum_l s^l * (P / (M/(|V_R|-1)))^(l-1)
+/// * P, with P = num_pages. Returns the predicted number of page reads.
+double PredictPageReads(const IoCostInputs& inputs);
+
+/// Convenience: fills the inputs from an opened database and plan (frames
+/// as the engine would allocate them).
+IoCostInputs MakeCostInputs(const DiskGraph& disk, const QueryPlan& plan,
+                            std::size_t buffer_frames,
+                            double reduction_factor = 1.0);
+
+/// Human-readable description of a prepared plan: the RBI coloring, the
+/// partial orders, each v-group sequence with its members, the global
+/// matching order, and each forest's parent links / Cartesian products.
+/// This is DualSim's EXPLAIN.
+std::string ExplainPlan(const QueryPlan& plan);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_COST_MODEL_H_

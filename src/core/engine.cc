@@ -1,0 +1,619 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <latch>
+#include <mutex>
+#include <thread>
+
+#include "core/enumerator.h"
+#include "core/window_index.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dualsim {
+namespace {
+
+/// Accumulates solutions from one enumeration task, then flushes into the
+/// execution-wide atomics (one atomic op per task, not per embedding).
+struct TaskCounters {
+  std::uint64_t embeddings = 0;
+  std::uint64_t red_assignments = 0;
+};
+
+/// RedEmitter that maps every member full-order sequence of the v-group to
+/// the emitted data sequence and extends it over the non-red vertices.
+class ExtendingEmitter : public RedEmitter {
+ public:
+  ExtendingEmitter(const QueryPlan& plan, const VGroupSequence& group,
+                   const FullEmbeddingFn* visitor, TaskCounters* counters)
+      : plan_(plan), group_(group), visitor_(visitor), counters_(counters) {
+    mapping_.fill(kNoVertex);
+  }
+
+  void Emit(std::span<const VertexId> vertex_by_position,
+            std::span<const std::span<const VertexId>> adjacency_by_position)
+      override {
+    ++counters_->red_assignments;
+    const std::uint8_t num_q = plan_.rbi.query.NumVertices();
+    for (const FullOrderSequence& qs : group_.members) {
+      // Position k of qs maps red-graph vertex qs[k] to the k-th data
+      // vertex; translate to original query-vertex indexing.
+      for (std::uint8_t k = 0; k < qs.size(); ++k) {
+        const QueryVertex u = plan_.rbi.red[qs[k]];
+        mapping_[u] = vertex_by_position[k];
+        red_adjacency_[u] = adjacency_by_position[k];
+      }
+      counters_->embeddings += ExtendNonRed(
+          plan_.rbi, plan_.nonred_order, {mapping_.data(), num_q},
+          {red_adjacency_.data(), num_q}, visitor_);
+      for (std::uint8_t k = 0; k < qs.size(); ++k) {
+        mapping_[plan_.rbi.red[qs[k]]] = kNoVertex;
+      }
+    }
+  }
+
+ private:
+  const QueryPlan& plan_;
+  const VGroupSequence& group_;
+  const FullEmbeddingFn* visitor_;
+  TaskCounters* counters_;
+  std::array<VertexId, kMaxQueryVertices> mapping_;
+  std::array<std::span<const VertexId>, kMaxQueryVertices> red_adjacency_;
+};
+
+/// Per-(v-group, level) candidate state.
+struct GroupLevelState {
+  bool is_root = false;
+  Bitmap cvs;  // candidate vertices (unused for roots)
+  Bitmap cps;  // candidate pages (all-ones for roots)
+};
+
+/// Per-level window state.
+struct LevelState {
+  std::size_t budget = 0;
+  Bitmap window_pages;               // pages of the current window
+  std::vector<PageId> pinned_pages;  // to unpin when the window retires
+  WindowIndex index;
+  PageId min_page = 0;
+  PageId max_page = 0;
+  bool has_window = false;
+  std::vector<GroupLevelState> per_group;
+};
+
+/// One Run() invocation: owns the pools and all traversal state.
+class Execution {
+ public:
+  Execution(DiskGraph* disk, const EngineOptions& options,
+            const QueryPlan& plan, const FullEmbeddingFn* visitor,
+            ThreadPool* cpu_pool, BufferPool* pool, std::size_t total_frames)
+      : disk_(disk),
+        options_(options),
+        plan_(plan),
+        visitor_(visitor),
+        levels_(plan.NumLevels()),
+        num_groups_(plan.groups.size()),
+        cpu_pool_(*cpu_pool),
+        pool_(*pool),
+        total_frames_(total_frames) {}
+
+  StatusOr<EngineStats> Run() {
+    const PageId num_pages = disk_->num_pages();
+    const std::uint32_t num_vertices = disk_->num_vertices();
+
+    // Frame budgets per level (buffer allocation strategy).
+    budgets_ = DualSimEngine::ComputeFrameBudgets(
+        levels_, total_frames_, static_cast<int>(cpu_pool_.num_threads()),
+        options_.paper_buffer_allocation);
+    std::size_t frames_needed = 0;
+    for (std::size_t b : budgets_) frames_needed += b;
+    DS_CHECK_LE(frames_needed, total_frames_);
+    pool_.ResetStats();
+
+    // Level / group state.
+    level_.resize(levels_);
+    for (std::uint8_t l = 0; l < levels_; ++l) {
+      LevelState& st = level_[l];
+      st.budget = budgets_[l];
+      st.window_pages.Resize(num_pages);
+      st.per_group.resize(num_groups_);
+      for (std::size_t g = 0; g < num_groups_; ++g) {
+        GroupLevelState& gl = st.per_group[g];
+        gl.is_root = plan_.forests[g].parent_level[l] < 0;
+        gl.cps.Resize(num_pages);
+        if (gl.is_root) {
+          gl.cps.SetAll();  // InitializeCandidateSequences for roots
+        } else {
+          gl.cvs.Resize(num_vertices);
+        }
+      }
+    }
+
+    level_stats_.assign(levels_, LevelStats{});
+
+    WallTimer timer;
+    ProcessLevel(0);
+    cpu_pool_.WaitIdle();
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_.ok()) return first_error_;
+    }
+
+    EngineStats stats;
+    stats.internal_embeddings = internal_embeddings_.load();
+    stats.external_embeddings = external_embeddings_.load();
+    stats.embeddings = stats.internal_embeddings + stats.external_embeddings;
+    stats.red_assignments = red_assignments_.load();
+    stats.io = pool_.stats();
+    stats.elapsed_seconds = timer.ElapsedSeconds();
+    stats.prepare_millis = plan_.prepare_millis;
+    stats.num_frames = frames_needed;
+    stats.frames_per_level = budgets_;
+    stats.level_stats = level_stats_;
+    return stats;
+  }
+
+ private:
+  bool HasError() {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return !first_error_.ok();
+  }
+
+  void SetError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_.ok()) first_error_ = status;
+  }
+
+  /// True when `pid` is pinned by the current window of a level above `l`.
+  bool PinnedByAncestor(PageId pid, std::uint8_t l) const {
+    for (std::uint8_t a = 0; a < l; ++a) {
+      if (level_[a].has_window && level_[a].window_pages.Test(pid)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The window loop for level `l` (Algorithm 1 lines 7-17 for level 0,
+  /// Algorithm 2 for deeper levels).
+  void ProcessLevel(std::uint8_t l) {
+    LevelState& st = level_[l];
+    const PageId num_pages = disk_->num_pages();
+
+    // Merged candidate page sequence for this level across all v-groups.
+    Bitmap merged(num_pages);
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      merged.Union(st.per_group[g].cps);
+    }
+
+    // Total-order page pruning against ancestor windows: position order
+    // implies non-decreasing page order (Lemma 1).
+    std::size_t lo = 0;
+    std::size_t hi = num_pages == 0 ? 0 : num_pages - 1;
+    const std::uint8_t pos_l = plan_.matching_order[l];
+    for (std::uint8_t a = 0; a < l; ++a) {
+      const std::uint8_t pos_a = plan_.matching_order[a];
+      if (pos_l < pos_a) {
+        hi = std::min<std::size_t>(hi, level_[a].max_page);
+      } else {
+        lo = std::max<std::size_t>(lo, level_[a].min_page);
+      }
+    }
+
+    std::size_t next = merged.FindNext(lo);
+    while (next <= hi && next < merged.size() && !HasError()) {
+      // Form one window: up to `budget` non-borrowed pages plus any pages
+      // pinned by ancestor windows (they cost no frame — the paper's
+      // variably-sized disjoint windows). A vertex whose adjacency spans
+      // several pages is never split across windows: its continuation
+      // pages are pulled in with its head page (§5.2 large-degree case),
+      // overshooting the budget by at most MaxVertexPages()-1 frames,
+      // which the pool reserves as slack.
+      st.window_pages.ClearAll();
+      st.pinned_pages.clear();
+      std::vector<PageId> window_list;
+      std::size_t owned = 0;
+      bool first = true;
+      auto add_page = [&](PageId pid, bool borrowed) {
+        st.window_pages.Set(pid);
+        window_list.push_back(pid);
+        if (borrowed) {
+          ++level_stats_[l].borrowed_pages;
+        } else {
+          ++owned;
+          ++level_stats_[l].owned_pages;
+        }
+        if (first) {
+          st.min_page = pid;
+          first = false;
+        }
+        st.max_page = pid;
+      };
+      while (next <= hi && next < merged.size()) {
+        const PageId pid = static_cast<PageId>(next);
+        if (!st.window_pages.Test(pid)) {
+          const bool borrowed = PinnedByAncestor(pid, l);
+          if (!borrowed && owned >= st.budget) break;
+          add_page(pid, borrowed);
+          for (PageId cont = pid; disk_->SpansBeyond(cont);) {
+            ++cont;
+            if (!st.window_pages.Test(cont)) {
+              add_page(cont, PinnedByAncestor(cont, l));
+            }
+          }
+        }
+        next = merged.FindNext(next + 1);
+      }
+      if (window_list.empty()) break;
+      ++level_stats_[l].windows;
+      st.has_window = true;
+
+      if (l + 1 == levels_ && levels_ > 1) {
+        ProcessLastLevelWindow(l, window_list);
+      } else {
+        ProcessInnerWindow(l, window_list);
+      }
+      st.has_window = false;
+    }
+  }
+
+  /// Loads a non-last-level window, computes child candidate sequences,
+  /// recurses (and, at level 0, runs the internal pass concurrently).
+  void ProcessInnerWindow(std::uint8_t l, const std::vector<PageId>& pages) {
+    LevelState& st = level_[l];
+
+    // Pin everything (async; borrowed pages are hits) and build the index.
+    struct Arrival {
+      PageId pid;
+      const std::byte* data = nullptr;
+    };
+    std::vector<Arrival> arrivals(pages.size());
+    std::latch arrived(static_cast<std::ptrdiff_t>(pages.size()));
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      arrivals[i].pid = pages[i];
+      pool_.PinAsync(pages[i],
+                      [this, &arrivals, &arrived, i](
+                          Status s, PageId, const std::byte* data) {
+                        if (!s.ok()) {
+                          SetError(s);
+                        } else {
+                          arrivals[i].data = data;
+                        }
+                        arrived.count_down();
+                      });
+    }
+    arrived.wait();
+    if (HasError()) {
+      for (const Arrival& a : arrivals) {
+        if (a.data != nullptr) pool_.Unpin(a.pid);
+      }
+      return;
+    }
+    st.index.Clear();
+    for (const Arrival& a : arrivals) {
+      st.pinned_pages.push_back(a.pid);
+      st.index.AddPage(a.data, disk_->page_size());
+    }
+
+    // ComputeCandidateSequences: recompute cvs/cps of every child level
+    // from this window's current vertex windows.
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      ComputeChildCandidates(l, g);
+    }
+
+    if (l == 0) {
+      LaunchInternalTasks();
+      if (levels_ > 1) ProcessLevel(1);
+      cpu_pool_.WaitIdle();  // join internal (and any external) tasks
+    } else {
+      ProcessLevel(static_cast<std::uint8_t>(l + 1));
+    }
+
+    // ClearCandidateSequences for children + release the window.
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      ClearChildCandidates(l, g);
+    }
+    for (PageId pid : st.pinned_pages) pool_.Unpin(pid);
+    st.pinned_pages.clear();
+  }
+
+  /// Last level: pages are dispatched to enumeration the moment they
+  /// arrive, overlapping CPU with the remaining reads (ExtVertexMapping).
+  /// Consecutive pages carrying one spilling vertex form a "run" that is
+  /// dispatched as a unit once all its pages are resident.
+  void ProcessLastLevelWindow(std::uint8_t l,
+                              const std::vector<PageId>& pages) {
+    // Split the (ascending) window page list into runs.
+    struct Run {
+      std::vector<PageId> pages;
+      std::vector<const std::byte*> data;
+      std::atomic<std::size_t> remaining{0};
+    };
+    std::vector<std::unique_ptr<Run>> runs;
+    for (std::size_t i = 0; i < pages.size();) {
+      auto run = std::make_unique<Run>();
+      run->pages.push_back(pages[i]);
+      while (i + 1 < pages.size() && pages[i + 1] == pages[i] + 1 &&
+             disk_->SpansBeyond(pages[i])) {
+        run->pages.push_back(pages[++i]);
+      }
+      ++i;
+      run->data.resize(run->pages.size());
+      run->remaining.store(run->pages.size());
+      runs.push_back(std::move(run));
+    }
+
+    std::latch done(static_cast<std::ptrdiff_t>(runs.size()));
+    for (auto& run_ptr : runs) {
+      Run* run = run_ptr.get();
+      for (std::size_t k = 0; k < run->pages.size(); ++k) {
+        pool_.PinAsync(run->pages[k], [this, l, run, k, &done](
+                                          Status s, PageId p,
+                                          const std::byte* data) {
+          (void)p;
+          if (!s.ok()) {
+            SetError(s);  // failed pins hold no frame; nothing to unpin
+          } else {
+            run->data[k] = data;
+          }
+          if (run->remaining.fetch_sub(1) == 1) {
+            cpu_pool_.Enqueue([this, l, run, &done] {
+              if (!HasError()) EnumerateLastLevelRun(l, run->data);
+              for (std::size_t j = 0; j < run->pages.size(); ++j) {
+                if (run->data[j] != nullptr) pool_.Unpin(run->pages[j]);
+              }
+              done.count_down();
+            });
+          }
+        });
+      }
+    }
+    done.wait();
+  }
+
+  /// Vertex-level external matching for the records of one last-level run.
+  void EnumerateLastLevelRun(std::uint8_t l,
+                             const std::vector<const std::byte*>& run_data) {
+    WindowIndex page_index;
+    for (const std::byte* data : run_data) {
+      page_index.AddPage(data, disk_->page_size());
+    }
+    TaskCounters counters;
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      std::array<LevelDomain, kMaxQueryVertices> domains;
+      for (std::uint8_t j = 0; j < levels_; ++j) {
+        domains[j].index = j == l ? &page_index : &level_[j].index;
+        const GroupLevelState& gl = level_[j].per_group[g];
+        domains[j].candidates = gl.is_root ? nullptr : &gl.cvs;
+      }
+      GroupMatchInput input;
+      input.group = &plan_.groups[g];
+      input.matching_order = &plan_.matching_order;
+      input.domains = {domains.data(), levels_};
+      input.level_order = plan_.external_level_order[g];
+      input.seeds = page_index.entries();
+      input.first_page = disk_->FirstPageMap();
+      input.skip_if_all_pages_in = &level_[0].window_pages;
+      ExtendingEmitter emitter(plan_, plan_.groups[g], visitor_, &counters);
+      MatchGroup(input, emitter);
+    }
+    external_embeddings_.fetch_add(counters.embeddings);
+    red_assignments_.fetch_add(counters.red_assignments);
+  }
+
+  /// Internal pass over the level-0 window, split into per-chunk tasks that
+  /// share the CPU pool with external enumeration (thread morphing: when
+  /// one side drains, workers pick up the other's tasks).
+  void LaunchInternalTasks() {
+    const LevelState& st = level_[0];
+    const std::vector<WindowIndex::Entry>& entries = st.index.entries();
+    if (entries.empty()) return;
+    const std::size_t chunk =
+        std::max<std::size_t>(1, entries.size() / (cpu_pool_.num_threads() * 4));
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      for (std::size_t begin = 0; begin < entries.size(); begin += chunk) {
+        const std::size_t end = std::min(entries.size(), begin + chunk);
+        cpu_pool_.Enqueue([this, g, begin, end] {
+          RunInternalChunk(g, begin, end);
+        });
+      }
+    }
+  }
+
+  void RunInternalChunk(std::size_t g, std::size_t begin, std::size_t end) {
+    const LevelState& st = level_[0];
+    TaskCounters counters;
+    std::array<LevelDomain, kMaxQueryVertices> domains;
+    for (std::uint8_t j = 0; j < levels_; ++j) {
+      domains[j].index = &st.index;
+      domains[j].candidates = nullptr;
+    }
+    GroupMatchInput input;
+    input.group = &plan_.groups[g];
+    input.matching_order = &plan_.matching_order;
+    input.domains = {domains.data(), levels_};
+    input.level_order = plan_.internal_level_order[g];
+    input.seeds = {st.index.entries().data() + begin, end - begin};
+    ExtendingEmitter emitter(plan_, plan_.groups[g], visitor_, &counters);
+    MatchGroup(input, emitter);
+    internal_embeddings_.fetch_add(counters.embeddings);
+    red_assignments_.fetch_add(counters.red_assignments);
+  }
+
+  /// Recomputes cvs/cps for every child of level `l` in group `g` from the
+  /// group's current vertex window at `l` (Algorithm 3). Neighbors are
+  /// filtered by the pairwise total-order constraint between the child and
+  /// parent positions.
+  void ComputeChildCandidates(std::uint8_t l, std::size_t g) {
+    const VGroupForest& forest = plan_.forests[g];
+    const GroupLevelState& parent_state = level_[l].per_group[g];
+    std::vector<std::uint8_t> children;
+    for (std::uint8_t c = static_cast<std::uint8_t>(l + 1); c < levels_; ++c) {
+      if (forest.parent_level[c] == static_cast<int>(l)) children.push_back(c);
+    }
+    if (children.empty()) return;
+    for (std::uint8_t c : children) {
+      GroupLevelState& child = level_[c].per_group[g];
+      child.cvs.ClearAll();
+      child.cps.ClearAll();
+    }
+    const std::uint8_t pos_parent = plan_.matching_order[l];
+    const std::span<const PageId> first_page = disk_->FirstPageMap();
+    for (const WindowIndex::Entry& e : level_[l].index.entries()) {
+      // Current vertex window: resident vertices passing the level's cvs.
+      if (!parent_state.is_root &&
+          (e.vertex >= parent_state.cvs.size() ||
+           !parent_state.cvs.Test(e.vertex))) {
+        continue;
+      }
+      for (std::uint8_t c : children) {
+        GroupLevelState& child = level_[c].per_group[g];
+        const bool child_larger = plan_.matching_order[c] > pos_parent;
+        for (VertexId w : e.adjacency) {
+          if (child_larger ? (w > e.vertex) : (w < e.vertex)) {
+            child.cvs.Set(w);
+            child.cps.Set(first_page[w]);
+          }
+        }
+      }
+    }
+  }
+
+  void ClearChildCandidates(std::uint8_t l, std::size_t g) {
+    const VGroupForest& forest = plan_.forests[g];
+    for (std::uint8_t c = static_cast<std::uint8_t>(l + 1); c < levels_; ++c) {
+      if (forest.parent_level[c] != static_cast<int>(l)) continue;
+      GroupLevelState& child = level_[c].per_group[g];
+      child.cvs.ClearAll();
+      child.cps.ClearAll();
+    }
+  }
+
+  DiskGraph* disk_;
+  const EngineOptions& options_;
+  const QueryPlan& plan_;
+  const FullEmbeddingFn* visitor_;
+  const std::uint8_t levels_;
+  const std::size_t num_groups_;
+
+  ThreadPool& cpu_pool_;
+  BufferPool& pool_;
+  const std::size_t total_frames_;
+  std::vector<std::size_t> budgets_;
+  std::vector<LevelState> level_;
+
+  std::vector<LevelStats> level_stats_;
+  std::atomic<std::uint64_t> internal_embeddings_{0};
+  std::atomic<std::uint64_t> external_embeddings_{0};
+  std::atomic<std::uint64_t> red_assignments_{0};
+  std::mutex error_mutex_;
+  Status first_error_;
+};
+
+}  // namespace
+
+DualSimEngine::DualSimEngine(DiskGraph* disk, EngineOptions options)
+    : disk_(disk), options_(options) {}
+
+DualSimEngine::~DualSimEngine() {
+  // The buffer pool drains its in-flight reads before the I/O pool dies.
+  buffer_pool_.reset();
+  io_pool_.reset();
+  cpu_pool_.reset();
+}
+
+StatusOr<EngineStats> DualSimEngine::Run(const QueryGraph& q) {
+  return Run(q, FullEmbeddingFn{});
+}
+
+StatusOr<EngineStats> DualSimEngine::Run(const QueryGraph& q,
+                                         const FullEmbeddingFn& visitor) {
+  DUALSIM_ASSIGN_OR_RETURN(QueryPlan plan, PreparePlan(q, options_.plan));
+
+  // Large-degree vertices (adjacency lists spanning MaxVertexPages pages)
+  // are kept whole within a window, overshooting the per-level budget by
+  // up to mvp-1 frames; the pool reserves that slack per level.
+  const std::size_t slack =
+      static_cast<std::size_t>(disk_->MaxVertexPages() - 1) *
+      static_cast<std::size_t>(plan.NumLevels());
+  // The buffer pool persists across runs; it only grows when a deeper
+  // plan needs more minimum frames than any query before it.
+  const std::size_t min_frames =
+      static_cast<std::size_t>(plan.NumLevels()) * 2 +
+      static_cast<std::size_t>(std::max(1, options_.io_threads)) + 2 + slack;
+  if (buffer_pool_ == nullptr || pool_frames_ < min_frames) {
+    if (cpu_pool_ == nullptr) {
+      cpu_pool_ = std::make_unique<ThreadPool>(
+          options_.num_threads > 0
+              ? static_cast<std::size_t>(options_.num_threads)
+              : std::max(1u, std::thread::hardware_concurrency()));
+      io_pool_ = std::make_unique<ThreadPool>(
+          static_cast<std::size_t>(std::max(1, options_.io_threads)));
+    }
+    pool_frames_ = options_.num_frames;
+    if (pool_frames_ == 0) {
+      pool_frames_ = static_cast<std::size_t>(
+          static_cast<double>(disk_->num_pages()) * options_.buffer_fraction);
+    }
+    pool_frames_ = std::max(pool_frames_, min_frames);
+    buffer_pool_.reset();  // drain before replacing
+    buffer_pool_ = std::make_unique<BufferPool>(
+        &disk_->file(), pool_frames_, io_pool_.get(),
+        BufferPoolOptions{options_.read_latency_us});
+  }
+
+  Execution exec(disk_, options_, plan, visitor ? &visitor : nullptr,
+                 cpu_pool_.get(), buffer_pool_.get(), pool_frames_ - slack);
+  return exec.Run();
+}
+
+std::vector<std::size_t> DualSimEngine::ComputeFrameBudgets(
+    std::uint8_t levels, std::size_t total, int num_threads,
+    bool paper_allocation) {
+  DS_CHECK_GE(levels, 1);
+  std::vector<std::size_t> budgets(levels, 1);
+  if (levels == 1) {
+    budgets[0] = std::max<std::size_t>(1, total);
+    return budgets;
+  }
+  if (!paper_allocation) {
+    const std::size_t each = std::max<std::size_t>(1, total / levels);
+    std::fill(budgets.begin(), budgets.end(), each);
+    return budgets;
+  }
+  // Paper strategy: last level gets 2 frames per thread (one being read,
+  // one in flight); level 0 gets two thirds of the rest; middle levels
+  // split the final third equally.
+  std::size_t last = std::min<std::size_t>(
+      std::max<std::size_t>(2, 2 * static_cast<std::size_t>(num_threads)),
+      total / 2);
+  last = std::max<std::size_t>(last, 1);
+  const std::size_t rest = total > last ? total - last : 1;
+  budgets[levels - 1] = last;
+  if (levels == 2) {
+    budgets[0] = std::max<std::size_t>(1, rest);
+    return budgets;
+  }
+  const std::size_t first = std::max<std::size_t>(1, rest * 2 / 3);
+  const std::size_t middle_total = rest > first ? rest - first : 0;
+  const std::size_t num_middle = static_cast<std::size_t>(levels) - 2;
+  const std::size_t each_middle =
+      std::max<std::size_t>(1, middle_total / num_middle);
+  budgets[0] = first;
+  for (std::uint8_t l = 1; l + 1 < levels; ++l) budgets[l] = each_middle;
+  // Rounding may have pushed the sum past `total` (middle floors of 1);
+  // shave the largest budgets until the split fits.
+  std::size_t sum = 0;
+  for (std::size_t b : budgets) sum += b;
+  while (sum > total) {
+    auto it = std::max_element(budgets.begin(), budgets.end());
+    DS_CHECK_GT(*it, 1u);
+    --*it;
+    --sum;
+  }
+  return budgets;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,110 @@
+#ifndef DUALSIM_CORE_ENGINE_H_
+#define DUALSIM_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "core/extension.h"
+#include "core/plan.h"
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dualsim {
+
+/// Engine configuration. Defaults mirror the paper's experimental setup
+/// (buffer = 15% of the data graph, paper buffer allocation strategy).
+struct EngineOptions {
+  /// Buffer frames. 0 = derive from `buffer_fraction` of the page count.
+  std::size_t num_frames = 0;
+  /// Fraction of the data-graph size kept in the buffer (Table 2: buf).
+  double buffer_fraction = 0.15;
+  /// Worker threads for enumeration. 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Threads servicing asynchronous page reads.
+  int io_threads = 2;
+  /// Injected latency per physical read (device simulation; 0 = none).
+  std::uint32_t read_latency_us = 0;
+  /// Paper's buffer allocation strategy (§5: 2 frames x #threads for the
+  /// last level, 2/3 of the rest for level 1, remainder split over middle
+  /// levels). When false, frames are split equally per level (the OPT [17]
+  /// strategy; ablation + Figure 17).
+  bool paper_buffer_allocation = true;
+  /// Preparation-step options (RBI choice, v-grouping, matching order).
+  PlanOptions plan;
+};
+
+/// Per-level traversal counters.
+struct LevelStats {
+  std::uint64_t windows = 0;         // current windows formed
+  std::uint64_t owned_pages = 0;     // pages charged to this level's budget
+  std::uint64_t borrowed_pages = 0;  // pages shared with ancestor windows
+};
+
+/// Counters of one engine run.
+struct EngineStats {
+  std::uint64_t embeddings = 0;           // total solutions
+  std::uint64_t internal_embeddings = 0;  // found by the internal pass
+  std::uint64_t external_embeddings = 0;  // found by the external pass
+  std::uint64_t red_assignments = 0;      // vertex-level red matches
+  IoStats io;                             // buffer-pool counters
+  double elapsed_seconds = 0.0;           // execution step only
+  double prepare_millis = 0.0;            // preparation step (Table 6)
+  std::size_t num_frames = 0;             // frames actually used
+  std::vector<std::size_t> frames_per_level;
+  std::vector<LevelStats> level_stats;    // one per v-group-forest level
+};
+
+/// DUALSIM (Algorithm 1): disk-based, parallel subgraph enumeration on a
+/// single machine via the dual approach. One engine instance can run many
+/// queries against the same on-disk graph; the buffer pool and worker
+/// pools persist across runs, so a repeated query runs hot (the paper's
+/// Appendix B.1 "preload the whole graph in memory" setup is simply a
+/// buffer_fraction of 1.0 plus a warm-up run).
+///
+/// The data graph must be degree-ordered (preprocessing) and built with
+/// single-page adjacency records (DiskGraph::AllSinglePage); Run() checks
+/// both preconditions. Run() is not re-entrant: callers serialize runs on
+/// one engine (the enumeration itself is parallel internally).
+class DualSimEngine {
+ public:
+  explicit DualSimEngine(DiskGraph* disk, EngineOptions options = {});
+  ~DualSimEngine();
+
+  /// Enumerates all embeddings of `q` (counting only).
+  StatusOr<EngineStats> Run(const QueryGraph& q);
+
+  /// Enumerates all embeddings, invoking `visitor` per embedding with the
+  /// mapping indexed by query vertex. The visitor is called concurrently
+  /// from worker threads and must be thread-safe.
+  StatusOr<EngineStats> Run(const QueryGraph& q,
+                            const FullEmbeddingFn& visitor);
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Per-level frame budgets the current options yield for a plan with
+  /// `levels` levels and `total` frames (exposed for tests/benches).
+  static std::vector<std::size_t> ComputeFrameBudgets(std::uint8_t levels,
+                                                      std::size_t total,
+                                                      int num_threads,
+                                                      bool paper_allocation);
+
+ private:
+  DiskGraph* disk_;
+  EngineOptions options_;
+  // Lazily created on the first Run() and reused afterwards. Destruction
+  // order matters: the buffer pool must drain before the I/O pool dies.
+  std::unique_ptr<ThreadPool> cpu_pool_;
+  std::unique_ptr<ThreadPool> io_pool_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::size_t pool_frames_ = 0;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_ENGINE_H_

@@ -1,0 +1,147 @@
+#include "core/enumerator.h"
+
+#include <array>
+#include <vector>
+
+#include "core/intersect.h"
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+class Matcher {
+ public:
+  Matcher(const GroupMatchInput& in, RedEmitter& emitter)
+      : in_(in),
+        emitter_(emitter),
+        levels_(static_cast<std::uint8_t>(in.matching_order->size())) {
+    scratch_.resize(levels_);
+  }
+
+  void Run() { Recurse(0); }
+
+ private:
+  /// True when `v` can be placed at level `l` given the `depth` levels
+  /// assigned so far (order constraints + cvs filter).
+  bool Admissible(std::uint8_t l, VertexId v, std::size_t depth) const {
+    const LevelDomain& dom = in_.domains[l];
+    if (dom.candidates != nullptr &&
+        (v >= dom.candidates->size() || !dom.candidates->Test(v))) {
+      return false;
+    }
+    const std::uint8_t pos_l = (*in_.matching_order)[l];
+    for (std::size_t d = 0; d < depth; ++d) {
+      const std::uint8_t a = in_.level_order[d];
+      const std::uint8_t pos_a = (*in_.matching_order)[a];
+      // Positions map to strictly ≺-increasing data vertices (Property 1);
+      // with the database in ≺ order this is a plain id comparison.
+      if (pos_a < pos_l) {
+        if (!(vertex_[a] < v)) return false;
+      } else {
+        if (!(v < vertex_[a])) return false;
+      }
+    }
+    return true;
+  }
+
+  void TryAssign(std::uint8_t l, std::size_t depth, VertexId v,
+                 std::span<const VertexId> adjacency) {
+    vertex_[l] = v;
+    adj_[l] = adjacency;
+    Recurse(depth + 1);
+  }
+
+  void Recurse(std::size_t depth) {
+    if (depth == levels_) {
+      EmitCurrent();
+      return;
+    }
+    const std::uint8_t l = in_.level_order[depth];
+    const std::uint8_t pos_l = (*in_.matching_order)[l];
+
+    // Collect adjacency lists of assigned levels positionally adjacent to
+    // this one (U_CON in Algorithm 5).
+    std::array<std::span<const VertexId>, kMaxQueryVertices> connected;
+    std::size_t num_connected = 0;
+    for (std::size_t d = 0; d < depth; ++d) {
+      const std::uint8_t a = in_.level_order[d];
+      if (in_.group->PositionsAdjacent(pos_l, (*in_.matching_order)[a])) {
+        connected[num_connected++] = adj_[a];
+      }
+    }
+
+    if (num_connected == 0) {
+      // Root-like level: scan the window (or the provided seeds at depth 0).
+      if (depth == 0 && !in_.seeds.empty()) {
+        for (const WindowIndex::Entry& e : in_.seeds) {
+          if (Admissible(l, e.vertex, depth)) {
+            TryAssign(l, depth, e.vertex, e.adjacency);
+          }
+        }
+        return;
+      }
+      for (const WindowIndex::Entry& e : in_.domains[l].index->entries()) {
+        if (Admissible(l, e.vertex, depth)) {
+          TryAssign(l, depth, e.vertex, e.adjacency);
+        }
+      }
+      return;
+    }
+
+    // Connected level: candidates = intersection of the assigned adjacent
+    // levels' adjacency lists, filtered to this level's window.
+    std::vector<VertexId>& candidates = scratch_[depth];
+    IntersectMany({connected.data(), num_connected}, &candidates);
+    for (VertexId v : candidates) {
+      if (!Admissible(l, v, depth)) continue;
+      bool resident = false;
+      const std::span<const VertexId> adjacency =
+          in_.domains[l].index->Find(v, &resident);
+      if (!resident) continue;  // not in this level's current window
+      TryAssign(l, depth, v, adjacency);
+    }
+  }
+
+  void EmitCurrent() {
+    if (in_.skip_if_all_pages_in != nullptr) {
+      bool all_inside = true;
+      for (std::uint8_t l = 0; l < levels_; ++l) {
+        const PageId p = in_.first_page[vertex_[l]];
+        if (p >= in_.skip_if_all_pages_in->size() ||
+            !in_.skip_if_all_pages_in->Test(p)) {
+          all_inside = false;
+          break;
+        }
+      }
+      if (all_inside) return;  // internal subgraph; counted by internal pass
+    }
+    std::array<VertexId, kMaxQueryVertices> by_position;
+    std::array<std::span<const VertexId>, kMaxQueryVertices> adj_by_position;
+    for (std::uint8_t l = 0; l < levels_; ++l) {
+      const std::uint8_t pos = (*in_.matching_order)[l];
+      by_position[pos] = vertex_[l];
+      adj_by_position[pos] = adj_[l];
+    }
+    emitter_.Emit({by_position.data(), levels_},
+                  {adj_by_position.data(), levels_});
+  }
+
+  const GroupMatchInput& in_;
+  RedEmitter& emitter_;
+  const std::uint8_t levels_;
+  std::array<VertexId, kMaxQueryVertices> vertex_{};
+  std::array<std::span<const VertexId>, kMaxQueryVertices> adj_{};
+  std::vector<std::vector<VertexId>> scratch_;
+};
+
+}  // namespace
+
+void MatchGroup(const GroupMatchInput& input, RedEmitter& emitter) {
+  DS_CHECK(input.group != nullptr);
+  DS_CHECK(input.matching_order != nullptr);
+  DS_CHECK_EQ(input.domains.size(), input.matching_order->size());
+  DS_CHECK_EQ(input.level_order.size(), input.matching_order->size());
+  Matcher(input, emitter).Run();
+}
+
+}  // namespace dualsim

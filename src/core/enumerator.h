@@ -1,0 +1,62 @@
+#ifndef DUALSIM_CORE_ENUMERATOR_H_
+#define DUALSIM_CORE_ENUMERATOR_H_
+
+#include <span>
+
+#include "core/sequences.h"
+#include "core/vgroup_forest.h"
+#include "core/window_index.h"
+#include "storage/page.h"
+#include "util/bitmap.h"
+
+namespace dualsim {
+
+/// What one level of the v-group forest may match right now: the vertices
+/// resident in its current window, optionally restricted by its candidate
+/// vertex sequence (cvs) bitmap.
+struct LevelDomain {
+  const WindowIndex* index = nullptr;
+  const Bitmap* candidates = nullptr;  // nullptr = unrestricted (root/internal)
+};
+
+/// Receives every complete red-graph assignment of one v-group sequence.
+/// Spans are indexed by *position* in the v-group sequence (position k =
+/// k-th data vertex in ≺ order).
+class RedEmitter {
+ public:
+  virtual ~RedEmitter() = default;
+  virtual void Emit(
+      std::span<const VertexId> vertex_by_position,
+      std::span<const std::span<const VertexId>> adjacency_by_position) = 0;
+};
+
+/// One invocation of the vertex-level matching recursion
+/// (ExtVertexMapping / RecExtVertexMapping, Algorithms 4-5, also reused for
+/// internal enumeration). Levels are assigned in `level_order`; candidates
+/// for a level adjacent to assigned levels come from intersecting their
+/// adjacency lists, otherwise from scanning the level's window.
+struct GroupMatchInput {
+  const VGroupSequence* group = nullptr;
+  const MatchingOrder* matching_order = nullptr;   // level -> position
+  std::span<const LevelDomain> domains;            // per level
+  std::span<const std::uint8_t> level_order;       // assignment order
+  /// Seeds for level_order[0]: the (vertex, adjacency) pairs to try first
+  /// (e.g. the records of one just-arrived page). Still subject to the
+  /// level's cvs filter.
+  std::span<const WindowIndex::Entry> seeds;
+  /// P(v) for every vertex (DiskGraph::FirstPageMap); used by the
+  /// internal-duplicate check below. May be empty when skip bitmap is null.
+  std::span<const PageId> first_page;
+  /// When set, assignments whose vertices all live in these pages are
+  /// skipped — they are internal subgraphs, enumerated by the internal
+  /// pass (paper §5.2: external matching "avoids matching all red query
+  /// vertices with data subgraphs in the internal area").
+  const Bitmap* skip_if_all_pages_in = nullptr;
+};
+
+/// Runs the recursion; calls `emitter` once per valid red assignment.
+void MatchGroup(const GroupMatchInput& input, RedEmitter& emitter);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_ENUMERATOR_H_

@@ -1,0 +1,97 @@
+#include "core/extension.h"
+
+#include <array>
+#include <vector>
+
+#include "core/intersect.h"
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+struct ExtensionState {
+  const RbiQueryGraph* rbi;
+  std::span<const QueryVertex> order;
+  std::span<VertexId> mapping;
+  std::span<const std::span<const VertexId>> red_adjacency;
+  const FullEmbeddingFn* on_embedding;
+  std::uint64_t count = 0;
+  // Scratch intersection buffers, one per recursion depth.
+  std::vector<std::vector<VertexId>> scratch;
+};
+
+bool AdmissibleNonRed(const ExtensionState& s, QueryVertex u, VertexId v) {
+  // Injectivity against everything mapped so far.
+  for (QueryVertex w = 0; w < s.rbi->query.NumVertices(); ++w) {
+    if (s.mapping[w] == v) return false;
+  }
+  // Partial orders whose other endpoint is already mapped.
+  for (const PartialOrder& o : s.rbi->orders) {
+    if (o.first == u && s.mapping[o.second] != kNoVertex &&
+        !(v < s.mapping[o.second])) {
+      return false;
+    }
+    if (o.second == u && s.mapping[o.first] != kNoVertex &&
+        !(s.mapping[o.first] < v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Recurse(ExtensionState& s, std::size_t depth) {
+  if (depth == s.order.size()) {
+    ++s.count;
+    if (s.on_embedding != nullptr && *s.on_embedding) {
+      (*s.on_embedding)(s.mapping);
+    }
+    return;
+  }
+  const QueryVertex u = s.order[depth];
+
+  // Candidates: intersection of the adjacency lists of u's red neighbors
+  // (>= 1 of them since the red set is a vertex cover of a connected q).
+  std::array<std::span<const VertexId>, kMaxQueryVertices> lists;
+  std::size_t num_lists = 0;
+  for (QueryVertex r : s.rbi->red) {
+    if (s.rbi->query.HasEdge(u, r)) lists[num_lists++] = s.red_adjacency[r];
+  }
+  DS_CHECK_GE(num_lists, 1u);
+
+  if (num_lists == 1) {
+    // Black vertex: browse the single red neighbor's adjacency list.
+    for (VertexId v : lists[0]) {
+      if (!AdmissibleNonRed(s, u, v)) continue;
+      s.mapping[u] = v;
+      Recurse(s, depth + 1);
+      s.mapping[u] = kNoVertex;
+    }
+    return;
+  }
+  // Ivory vertex: m-way intersection.
+  std::vector<VertexId>& candidates = s.scratch[depth];
+  IntersectMany({lists.data(), num_lists}, &candidates);
+  for (VertexId v : candidates) {
+    if (!AdmissibleNonRed(s, u, v)) continue;
+    s.mapping[u] = v;
+    Recurse(s, depth + 1);
+    s.mapping[u] = kNoVertex;
+  }
+}
+
+}  // namespace
+
+std::uint64_t ExtendNonRed(
+    const RbiQueryGraph& rbi, std::span<const QueryVertex> nonred_order,
+    std::span<VertexId> mapping,
+    std::span<const std::span<const VertexId>> red_adjacency,
+    const FullEmbeddingFn* on_embedding) {
+  ExtensionState s{&rbi,          nonred_order, mapping,
+                   red_adjacency, on_embedding, 0,
+                   {}};
+  s.scratch.resize(nonred_order.size());
+  Recurse(s, 0);
+  return s.count;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,40 @@
+#ifndef DUALSIM_CORE_EXTENSION_H_
+#define DUALSIM_CORE_EXTENSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+#include "query/rbi.h"
+
+namespace dualsim {
+
+/// Sentinel for unmapped query vertices in extension state.
+inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
+
+/// Called for each complete embedding; `mapping` is indexed by query
+/// vertex of the original query graph.
+using FullEmbeddingFn =
+    std::function<void(std::span<const VertexId> mapping)>;
+
+/// NonRedVertexMatching (Algorithm 5, line 13): extends a complete red
+/// mapping to the black and ivory vertices. Candidates for an ivory vertex
+/// are the m-way intersection of its red neighbors' adjacency lists; a
+/// black vertex scans its single red neighbor's list (§3). Injectivity and
+/// the partial orders involving non-red vertices are enforced here.
+///
+/// `mapping` must have the red vertices filled (and non-red = kNoVertex);
+/// `red_adjacency` holds adj(m(r)) for each red query vertex r, straight
+/// from the pinned pages. Returns the number of full embeddings found;
+/// invokes `on_embedding` per embedding when non-null. `mapping` is
+/// restored on return.
+std::uint64_t ExtendNonRed(
+    const RbiQueryGraph& rbi, std::span<const QueryVertex> nonred_order,
+    std::span<VertexId> mapping,
+    std::span<const std::span<const VertexId>> red_adjacency,
+    const FullEmbeddingFn* on_embedding);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_EXTENSION_H_

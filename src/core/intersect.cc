@@ -1,0 +1,48 @@
+#include "core/intersect.h"
+
+#include <algorithm>
+
+namespace dualsim {
+
+void Intersect2(std::span<const VertexId> a, std::span<const VertexId> b,
+                std::vector<VertexId>* out) {
+  out->clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void IntersectMany(std::span<const std::span<const VertexId>> lists,
+                   std::vector<VertexId>* out) {
+  out->clear();
+  if (lists.empty()) return;
+  if (lists.size() == 1) {
+    out->assign(lists[0].begin(), lists[0].end());
+    return;
+  }
+  // Drive from the smallest list; binary-search membership in the rest.
+  std::size_t smallest = 0;
+  for (std::size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  }
+  for (VertexId v : lists[smallest]) {
+    bool in_all = true;
+    for (std::size_t i = 0; i < lists.size() && in_all; ++i) {
+      if (i == smallest) continue;
+      in_all = std::binary_search(lists[i].begin(), lists[i].end(), v);
+    }
+    if (in_all) out->push_back(v);
+  }
+}
+
+}  // namespace dualsim

@@ -1,0 +1,24 @@
+#ifndef DUALSIM_CORE_INTERSECT_H_
+#define DUALSIM_CORE_INTERSECT_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Intersects two sorted vertex lists into `out` (cleared first).
+void Intersect2(std::span<const VertexId> a, std::span<const VertexId> b,
+                std::vector<VertexId>* out);
+
+/// m-way intersection of sorted vertex lists (the paper's ivory-vertex
+/// operation). The lists are processed smallest-first with galloping
+/// lookups in the others. `out` is cleared first. With a single input the
+/// result is a copy (the black-vertex "scan").
+void IntersectMany(std::span<const std::span<const VertexId>> lists,
+                   std::vector<VertexId>* out);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_INTERSECT_H_

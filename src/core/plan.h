@@ -1,0 +1,58 @@
+#ifndef DUALSIM_CORE_PLAN_H_
+#define DUALSIM_CORE_PLAN_H_
+
+#include <vector>
+
+#include "core/sequences.h"
+#include "core/vgroup_forest.h"
+#include "query/rbi.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Knobs for the preparation step; the non-default settings exist for the
+/// ablation benchmarks (DESIGN.md §6).
+struct PlanOptions {
+  RbiOptions rbi;
+  /// Group full-order sequences into v-groups (paper default). When false,
+  /// every sequence is matched separately (ablation).
+  bool use_vgroups = true;
+  /// Pick the matching order minimizing Cartesian products (paper default).
+  /// When false, pick the one maximizing them (ablation).
+  bool best_matching_order = true;
+};
+
+/// Output of the preparation step (Algorithm 1 lines 1-5). Everything here
+/// is independent of the data graph.
+struct QueryPlan {
+  RbiQueryGraph rbi;
+  /// Internal partial orders, re-indexed to red-graph-local vertices.
+  std::vector<PartialOrder> internal_orders;
+  std::vector<VGroupSequence> groups;
+  /// matching_order[level] = position handled at that level.
+  MatchingOrder matching_order;
+  std::vector<VGroupForest> forests;  // parallel to `groups`
+  /// Per group: order in which levels are assigned during *external* vertex
+  /// mapping (qo_i in Algorithm 4/5): the last level first, then greedily a
+  /// level adjacent to an assigned one (deepest first), falling back to any
+  /// unassigned level.
+  std::vector<std::vector<std::uint8_t>> external_level_order;
+  /// Level-assignment order for *internal* enumeration: starts at level 0.
+  std::vector<std::vector<std::uint8_t>> internal_level_order;
+  /// Non-red query vertices in extension order (most red neighbors first).
+  std::vector<QueryVertex> nonred_order;
+  /// Elapsed preparation time (Table 6 reports this; paper: <= 1 msec).
+  double prepare_millis = 0.0;
+
+  std::uint8_t NumLevels() const {
+    return static_cast<std::uint8_t>(matching_order.size());
+  }
+};
+
+/// Runs the whole preparation step for `q`.
+StatusOr<QueryPlan> PreparePlan(const QueryGraph& q,
+                                const PlanOptions& options = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_PLAN_H_

@@ -1,0 +1,61 @@
+#include "core/sequences.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dualsim {
+
+std::vector<FullOrderSequence> EnumerateFullOrderSequences(
+    const QueryGraph& red_graph,
+    const std::vector<PartialOrder>& internal_orders) {
+  const std::uint8_t n = red_graph.NumVertices();
+  std::vector<QueryVertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<FullOrderSequence> out;
+  // Position of each vertex in the permutation.
+  std::array<std::uint8_t, kMaxQueryVertices> pos{};
+  do {
+    for (std::uint8_t k = 0; k < n; ++k) pos[perm[k]] = k;
+    bool ok = true;
+    for (const PartialOrder& o : internal_orders) {
+      if (pos[o.first] >= pos[o.second]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.emplace_back(perm.begin(), perm.end());
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return out;
+}
+
+std::vector<VGroupSequence> GroupSequencesByTopology(
+    const QueryGraph& red_graph,
+    const std::vector<FullOrderSequence>& sequences) {
+  std::vector<VGroupSequence> groups;
+  for (const FullOrderSequence& qs : sequences) {
+    const std::uint8_t n = static_cast<std::uint8_t>(qs.size());
+    std::array<std::uint16_t, kMaxQueryVertices> adjacency{};
+    for (std::uint8_t k = 0; k < n; ++k) {
+      for (std::uint8_t k2 = 0; k2 < n; ++k2) {
+        if (k != k2 && red_graph.HasEdge(qs[k], qs[k2])) {
+          adjacency[k] |= static_cast<std::uint16_t>(1u << k2);
+        }
+      }
+    }
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&adjacency](const VGroupSequence& g) {
+                             return g.position_adjacency == adjacency;
+                           });
+    if (it == groups.end()) {
+      VGroupSequence group;
+      group.position_adjacency = adjacency;
+      group.members.push_back(qs);
+      groups.push_back(std::move(group));
+    } else {
+      it->members.push_back(qs);
+    }
+  }
+  return groups;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,53 @@
+#ifndef DUALSIM_CORE_SEQUENCES_H_
+#define DUALSIM_CORE_SEQUENCES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// One full-order query sequence (Definition 2): a permutation qs of the
+/// red-graph vertices such that the internal partial orders are a subset of
+/// qs[0] < qs[1] < ... Entries are red-graph-local vertex indices; position
+/// k is matched to the k-th data vertex of a ≺-ordered data sequence
+/// (Property 1), hence to a non-decreasing page sequence (Lemma 1).
+using FullOrderSequence = std::vector<QueryVertex>;
+
+/// Enumerates all full-order query sequences of the red graph under the
+/// (red-graph-local) internal partial orders.
+std::vector<FullOrderSequence> EnumerateFullOrderSequences(
+    const QueryGraph& red_graph,
+    const std::vector<PartialOrder>& internal_orders);
+
+/// A v-group sequence (Definition 3): the equivalence class of full-order
+/// sequences with identical positional topology. All members match exactly
+/// the same ≺-ordered data vertex sequences, so the data graph is matched
+/// once per group and each member then yields one embedding of q_R.
+struct VGroupSequence {
+  /// Positional adjacency: bit k' of position_adjacency[k] is set iff
+  /// (qs[k], qs[k']) is a red-graph edge for every member qs.
+  std::array<std::uint16_t, kMaxQueryVertices> position_adjacency{};
+  /// The member full-order sequences.
+  std::vector<FullOrderSequence> members;
+
+  std::uint8_t Length() const {
+    return members.empty() ? 0
+                           : static_cast<std::uint8_t>(members[0].size());
+  }
+  bool PositionsAdjacent(std::uint8_t k, std::uint8_t k2) const {
+    return (position_adjacency[k] >> k2) & 1u;
+  }
+};
+
+/// Groups full-order sequences into v-group sequences (FindVGroupSequences
+/// in Algorithm 1). Order of groups is deterministic (first occurrence).
+std::vector<VGroupSequence> GroupSequencesByTopology(
+    const QueryGraph& red_graph,
+    const std::vector<FullOrderSequence>& sequences);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_SEQUENCES_H_

@@ -1,0 +1,55 @@
+#include "core/vgroup_forest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dualsim {
+
+VGroupForest BuildVGroupForest(const VGroupSequence& group,
+                               const MatchingOrder& order) {
+  const std::size_t levels = order.size();
+  VGroupForest forest;
+  forest.parent_level.assign(levels, -1);
+  std::vector<int> depth(levels, 0);
+  for (std::size_t j = 1; j < levels; ++j) {
+    int best_parent = -1;
+    for (std::size_t p = 0; p < j; ++p) {
+      if (!group.PositionsAdjacent(order[j], order[p])) continue;
+      if (best_parent < 0 || depth[p] > depth[best_parent]) {
+        best_parent = static_cast<int>(p);
+      }
+    }
+    forest.parent_level[j] = best_parent;
+    depth[j] = best_parent < 0 ? 0 : depth[best_parent] + 1;
+  }
+  return forest;
+}
+
+int CountCartesianProducts(const std::vector<VGroupSequence>& groups,
+                           const MatchingOrder& order) {
+  int total = 0;
+  for (const VGroupSequence& group : groups) {
+    total += BuildVGroupForest(group, order).NumCartesianProducts();
+  }
+  return total;
+}
+
+MatchingOrder FindGlobalMatchingOrder(const std::vector<VGroupSequence>& groups,
+                                      std::uint8_t sequence_length) {
+  MatchingOrder order(sequence_length);
+  std::iota(order.begin(), order.end(), 0);
+  MatchingOrder best = order;
+  int best_cost = CountCartesianProducts(groups, order);
+  while (std::next_permutation(order.begin(), order.end())) {
+    const int cost = CountCartesianProducts(groups, order);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = order;
+    }
+  }
+  return best;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,57 @@
+#ifndef DUALSIM_CORE_VGROUP_FOREST_H_
+#define DUALSIM_CORE_VGROUP_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sequences.h"
+
+namespace dualsim {
+
+/// A global matching order: matching_order[level] = the *position* (array
+/// index into the v-group sequence) handled at that level, level 0 first.
+/// One order is shared by every v-group forest so the data graph is
+/// traversed once (paper §4, "global matching order").
+using MatchingOrder = std::vector<std::uint8_t>;
+
+/// The acyclic traversal structure for one v-group sequence (paper §4):
+/// one node per level; a node's parent is an earlier level whose position
+/// is adjacent (in positional topology) — the deepest such level, as the
+/// paper picks "the one which is farthest from its root node". Levels with
+/// no adjacent earlier level are roots: reaching them requires a Cartesian
+/// product with all pages.
+struct VGroupForest {
+  /// parent_level[j] is the level whose window generates level j's
+  /// candidates, or -1 when level j is a root (level 0 is always a root).
+  std::vector<int> parent_level;
+
+  /// Number of roots beyond level 0 = Cartesian products this forest
+  /// incurs under its matching order.
+  int NumCartesianProducts() const {
+    int count = 0;
+    for (std::size_t j = 1; j < parent_level.size(); ++j) {
+      if (parent_level[j] < 0) ++count;
+    }
+    return count;
+  }
+};
+
+/// Builds the forest for `group` under `order` (BuildVGroupForests).
+VGroupForest BuildVGroupForest(const VGroupSequence& group,
+                               const MatchingOrder& order);
+
+/// Total Cartesian products over all groups for a candidate order.
+int CountCartesianProducts(const std::vector<VGroupSequence>& groups,
+                           const MatchingOrder& order);
+
+/// FindGlobalMatchingOrder (Algorithm 1, line 4): enumerates all |V_R|!
+/// orders and returns one generating the fewest Cartesian products (§4:
+/// "we enumerate all possible matching orders and choose the one
+/// generating the least number of Cartesian products"). Ties are broken
+/// toward the lexicographically smallest order for determinism.
+MatchingOrder FindGlobalMatchingOrder(const std::vector<VGroupSequence>& groups,
+                                      std::uint8_t sequence_length);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_VGROUP_FOREST_H_

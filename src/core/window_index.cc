@@ -1,0 +1,80 @@
+#include "core/window_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+constexpr VertexId kNoPending = 0xFFFFFFFFu;
+
+}  // namespace
+
+void WindowIndex::Clear() {
+  entries_.clear();
+  arena_.clear();
+  pending_vertex_ = kNoPending;
+  pending_expected_ = 0;
+}
+
+void WindowIndex::AddPage(const std::byte* page_data, std::size_t page_size) {
+  const PageView view(page_data, page_size);
+  const std::uint32_t n = view.NumRecords();
+  for (std::uint32_t slot = 0; slot < n; ++slot) {
+    const VertexRecord rec = view.GetRecord(slot);
+    if (rec.IsComplete()) {
+      entries_.push_back({rec.vertex, rec.neighbors});
+      continue;
+    }
+    // Sublist of a multi-page vertex: stitch into the arena.
+    if (rec.sublist_offset == 0) {
+      DS_CHECK_EQ(pending_vertex_, kNoPending)
+          << "interleaved multi-page vertices";
+      arena_.emplace_back();
+      arena_.back().reserve(rec.total_degree);
+      pending_vertex_ = rec.vertex;
+      pending_expected_ = rec.total_degree;
+    } else if (pending_vertex_ != rec.vertex) {
+      // Orphan tail: this page was included for the vertices *starting* in
+      // it; the spilling vertex's head page belongs to another window,
+      // which is where that vertex is resident.
+      continue;
+    } else {
+      DS_CHECK_EQ(rec.sublist_offset, arena_.back().size());
+    }
+    arena_.back().insert(arena_.back().end(), rec.neighbors.begin(),
+                         rec.neighbors.end());
+    if (arena_.back().size() == pending_expected_) {
+      entries_.push_back({pending_vertex_, arena_.back()});
+      pending_vertex_ = kNoPending;
+      pending_expected_ = 0;
+    }
+  }
+  // Windows may interleave borrowed (already-resident) and owned pages out
+  // of strict id order when built from async arrivals; keep sorted.
+  if (!std::is_sorted(entries_.begin(), entries_.end(),
+                      [](const Entry& a, const Entry& b) {
+                        return a.vertex < b.vertex;
+                      })) {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.vertex < b.vertex;
+              });
+  }
+}
+
+std::span<const VertexId> WindowIndex::Find(VertexId v, bool* found) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), v,
+                             [](const Entry& e, VertexId x) {
+                               return e.vertex < x;
+                             });
+  if (it != entries_.end() && it->vertex == v) {
+    *found = true;
+    return it->adjacency;
+  }
+  *found = false;
+  return {};
+}
+
+}  // namespace dualsim

@@ -1,0 +1,66 @@
+#ifndef DUALSIM_CORE_WINDOW_INDEX_H_
+#define DUALSIM_CORE_WINDOW_INDEX_H_
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/page.h"
+
+namespace dualsim {
+
+/// Directory of the data vertices resident in one current window: maps a
+/// vertex to its adjacency list inside the pinned page frames. Built once
+/// per window from the raw page bytes; read-only (and thread-safe) while
+/// the window is processed.
+///
+/// Single-page adjacency records are referenced zero-copy. Adjacency lists
+/// split into sublists across pages (paper §2/§5.2 large-degree vertices)
+/// are stitched into an owned arena as their pages arrive; the pages of
+/// one vertex must be added in ascending order with no gaps, which the
+/// engine guarantees by never splitting a vertex across windows.
+class WindowIndex {
+ public:
+  WindowIndex() = default;
+
+  /// Appends all records of a pinned page. A page whose first record
+  /// continues a vertex from the previous page must be added right after
+  /// it.
+  void AddPage(const std::byte* page_data, std::size_t page_size);
+
+  void Clear();
+
+  std::size_t NumVertices() const { return entries_.size(); }
+
+  /// Adjacency list of `v` if resident (and complete).
+  std::span<const VertexId> Find(VertexId v, bool* found) const;
+
+  bool Contains(VertexId v) const {
+    bool found = false;
+    Find(v, &found);
+    return found;
+  }
+
+  struct Entry {
+    VertexId vertex;
+    std::span<const VertexId> adjacency;
+  };
+
+  /// All resident vertices in ascending id order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  /// Owned stitched adjacency lists of multi-page vertices. A deque keeps
+  /// element addresses stable as more vertices are stitched.
+  std::deque<std::vector<VertexId>> arena_;
+  /// Vertex currently being stitched (kInvalidPage-like sentinel when
+  /// none); its partial data lives in arena_.back().
+  VertexId pending_vertex_ = 0xFFFFFFFFu;
+  std::uint32_t pending_expected_ = 0;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_WINDOW_INDEX_H_

@@ -1,0 +1,151 @@
+#include "distsim/cluster.h"
+
+#include <algorithm>
+
+#include "baseline/psgl.h"
+#include "baseline/twintwig.h"
+#include "distsim/partitioner.h"
+
+namespace dualsim {
+namespace {
+
+/// In-process safety rail: the cluster model applies its own (per-slave)
+/// limits to the true counts afterwards, but the local rerun must not eat
+/// the host's RAM. A run that trips this cap would certainly have tripped
+/// the cluster limits too, so it is reported as failed either way.
+constexpr std::uint64_t kLocalRerunCapTuples = 16u << 20;
+
+ClusterRunResult ModelTwinTwig(const TwinTwigResult& run, bool spark_sql,
+                               const ClusterConfig& config) {
+  ClusterRunResult out;
+  out.intermediate_results = run.intermediate_results;
+  out.final_results = run.final_results;
+  out.rounds = run.num_join_rounds;
+
+  // The heaviest shuffle partition under hash partitioning.
+  const double per_slave_peak =
+      static_cast<double>(run.peak_tuples) * config.partition_skew /
+      std::max(1, config.num_slaves);
+
+  if (spark_sql) {
+    if (per_slave_peak > static_cast<double>(
+                             config.sparksql_block_limit_tuples)) {
+      out.failed = true;
+      out.failure_reason =
+          "shuffle partition block exceeds the block size limit";
+    }
+  } else {
+    // Hadoop spills to local disk; it only dies when the spill budget is
+    // exhausted.
+    if (per_slave_peak >
+        static_cast<double>(config.hadoop_spill_limit_tuples)) {
+      out.failed = true;
+      out.failure_reason = "spill failure: local disks exhausted";
+    }
+  }
+  if (run.failed) {
+    out.failed = true;
+    out.failure_reason = run.failure_reason;
+  }
+
+  // Modeled time: framework CPU divided across slaves with skew +
+  // shuffling every intermediate tuple once per join round boundary +
+  // round overheads.
+  const double cpu = run.cpu_seconds * config.framework_cpu_factor *
+                     config.partition_skew /
+                     std::max(1, config.num_slaves);
+  const double shuffle = static_cast<double>(run.intermediate_results) /
+                         config.shuffle_tuples_per_second;
+  // SparkSQL keeps intermediates in memory when they fit (faster); Hadoop
+  // always writes them between rounds (model: 2x shuffle cost).
+  const double materialize = spark_sql ? shuffle : 2.0 * shuffle;
+  const double round_overhead = spark_sql
+                                    ? config.spark_round_overhead_seconds
+                                    : config.hadoop_round_overhead_seconds;
+  out.elapsed_seconds = cpu + shuffle + materialize +
+                        round_overhead * static_cast<double>(out.rounds);
+  return out;
+}
+
+ClusterRunResult ModelPsgl(const PsglResult& run, EdgeId num_edges,
+                           const ClusterConfig& config) {
+  ClusterRunResult out;
+  out.intermediate_results = run.intermediate_results;
+  out.final_results = run.final_results;
+  out.rounds = run.level_sizes.size();
+
+  // Giraph's per-slave footprint: its partition of the graph (plus message
+  // buffers) and its share of the partial solutions, both skewed.
+  const double per_slave_units =
+      (static_cast<double>(run.peak_partials) +
+       static_cast<double>(num_edges) * config.psgl_graph_units_per_edge /
+           config.partition_skew) *
+      config.partition_skew / std::max(1, config.num_slaves);
+  if (run.failed ||
+      per_slave_units >
+          static_cast<double>(config.memory_partials_per_slave)) {
+    out.failed = true;
+    out.failure_reason = run.failed
+                             ? run.failure_reason
+                             : "out of memory on one slave (graph partition "
+                               "+ partial solutions exceed per-machine RAM)";
+  }
+
+  // Giraph keeps partials in memory: no materialization term, but every
+  // superstep exchanges the frontier over the network.
+  const double cpu = run.elapsed_seconds * config.framework_cpu_factor *
+                     config.partition_skew /
+                     std::max(1, config.num_slaves);
+  const double shuffle = static_cast<double>(run.intermediate_results) /
+                         config.shuffle_tuples_per_second;
+  out.elapsed_seconds = cpu + shuffle +
+                        config.psgl_superstep_overhead_seconds *
+                            static_cast<double>(out.rounds);
+  return out;
+}
+
+}  // namespace
+
+const char* ClusterSystemName(ClusterSystem system) {
+  switch (system) {
+    case ClusterSystem::kTwinTwigHadoop:
+      return "TwinTwig(Hadoop)";
+    case ClusterSystem::kTwinTwigSparkSql:
+      return "TTJ-SparkSQL";
+    case ClusterSystem::kPsgl:
+      return "PSGL";
+  }
+  return "?";
+}
+
+StatusOr<ClusterRunResult> RunOnCluster(ClusterSystem system, const Graph& g,
+                                        const QueryGraph& q,
+                                        const ClusterConfig& base_config) {
+  ClusterConfig config = base_config;
+  if (config.partition_skew <= 0) {
+    // Measure the straggler factor from a real hash partition of g.
+    config.partition_skew =
+        HashPartition(g, std::max(1, config.num_slaves)).skew;
+  }
+  switch (system) {
+    case ClusterSystem::kTwinTwigHadoop:
+    case ClusterSystem::kTwinTwigSparkSql: {
+      TwinTwigOptions options;
+      options.memory_budget_tuples = kLocalRerunCapTuples;
+      options.fail_budget_tuples = kLocalRerunCapTuples;
+      DUALSIM_ASSIGN_OR_RETURN(TwinTwigResult run,
+                               RunTwinTwigJoin(g, q, options));
+      return ModelTwinTwig(run, system == ClusterSystem::kTwinTwigSparkSql,
+                           config);
+    }
+    case ClusterSystem::kPsgl: {
+      PsglOptions options;
+      options.memory_budget_partials = kLocalRerunCapTuples;
+      DUALSIM_ASSIGN_OR_RETURN(PsglResult run, RunPsgl(g, q, options));
+      return ModelPsgl(run, g.NumEdges(), config);
+    }
+  }
+  return Status::InvalidArgument("unknown cluster system");
+}
+
+}  // namespace dualsim

@@ -1,0 +1,80 @@
+#ifndef DUALSIM_DISTSIM_CLUSTER_H_
+#define DUALSIM_DISTSIM_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Cluster model for the paper's distributed competitors (§6.1: one master
+/// plus 50 slaves, 32 GB RAM each, InfiniBand 40G, one HDD each). The
+/// simulator executes the *real* single-process algorithm to obtain exact
+/// intermediate-result and solution counts, then models the distributed
+/// elapsed time: CPU divided across slaves (with partition skew), shuffle
+/// of intermediate tuples over the network, per-round framework overhead,
+/// and spill-to-disk beyond per-machine memory. Failure conditions mirror
+/// the paper: PSGL dies when one slave's partials exceed its RAM;
+/// TTJ-SparkSQL dies when one shuffle partition block exceeds the block
+/// limit; TTJ-Hadoop spills (slower) until its disk budget is exhausted.
+struct ClusterConfig {
+  int num_slaves = 50;
+  /// Partial solutions one slave can hold in memory (scaled down with the
+  /// datasets; the ratio to graph size is what matters).
+  std::uint64_t memory_partials_per_slave = 1 << 21;
+  /// Largest single shuffle-partition block, in tuples (Spark's 2 GB block
+  /// limit, scaled).
+  std::uint64_t sparksql_block_limit_tuples = 1 << 22;
+  /// Hadoop's disk spill budget per slave, in tuples.
+  std::uint64_t hadoop_spill_limit_tuples = 1 << 26;
+  /// Shuffle throughput of the whole cluster, tuples per second
+  /// (serialization + network + deserialization on the receiving side).
+  double shuffle_tuples_per_second = 10e6;
+  /// Fixed framework overheads per round/superstep. These are real-world
+  /// constants that do not shrink with the data.
+  double hadoop_round_overhead_seconds = 0.30;
+  double spark_round_overhead_seconds = 0.15;
+  double psgl_superstep_overhead_seconds = 0.05;
+  /// Per-tuple processing cost of the JVM frameworks relative to this
+  /// library's raw C++ loops.
+  double framework_cpu_factor = 10.0;
+  /// Max/avg load skew across slaves from hash partitioning. Set to a
+  /// non-positive value to have RunOnCluster measure it by actually
+  /// hash-partitioning the graph (distsim/partitioner.h).
+  double partition_skew = 3.0;
+  /// Giraph (PSGL) keeps the partitioned graph, vertex values and message
+  /// buffers in memory; this charges that fixed footprint against the
+  /// per-slave budget, in partial-solution units per data edge.
+  double psgl_graph_units_per_edge = 90.0;
+};
+
+/// Which distributed system is being modeled.
+enum class ClusterSystem {
+  kTwinTwigHadoop,    // TwinTwigJoin on Hadoop MapReduce
+  kTwinTwigSparkSql,  // TTJ-SparkSQL variant (§6.1)
+  kPsgl,              // PSGL on Giraph
+};
+
+const char* ClusterSystemName(ClusterSystem system);
+
+/// Result of one simulated cluster run.
+struct ClusterRunResult {
+  bool failed = false;
+  std::string failure_reason;
+  std::uint64_t intermediate_results = 0;
+  std::uint64_t final_results = 0;
+  std::uint64_t rounds = 0;
+  double elapsed_seconds = 0.0;  // modeled cluster time
+};
+
+/// Runs `system` on the cluster model for query `q` over graph `g`.
+StatusOr<ClusterRunResult> RunOnCluster(ClusterSystem system, const Graph& g,
+                                        const QueryGraph& q,
+                                        const ClusterConfig& config = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_DISTSIM_CLUSTER_H_

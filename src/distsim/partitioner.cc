@@ -1,0 +1,51 @@
+#include "distsim/partitioner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+/// Multiplicative (Fibonacci) hash of a vertex id into [0, parts).
+int PartOf(VertexId v, int parts, std::uint64_t seed) {
+  std::uint64_t h = (static_cast<std::uint64_t>(v) + seed + 1) *
+                    0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<int>(h % static_cast<std::uint64_t>(parts));
+}
+
+}  // namespace
+
+PartitionStats HashPartition(const Graph& g, int num_parts,
+                             std::uint64_t seed) {
+  DS_CHECK_GE(num_parts, 1);
+  PartitionStats stats;
+  stats.num_parts = num_parts;
+  stats.edges_per_part.assign(num_parts, 0);
+
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const int part_u = PartOf(u, num_parts, seed);
+    for (VertexId v : g.Neighbors(u)) {
+      if (v < u) continue;  // each undirected edge once
+      ++stats.edges_per_part[part_u];
+      if (PartOf(v, num_parts, seed) != part_u) ++stats.cut_edges;
+    }
+  }
+
+  const std::uint64_t total = g.NumEdges();
+  if (total > 0 && num_parts > 0) {
+    const double avg =
+        static_cast<double>(total) / static_cast<double>(num_parts);
+    const std::uint64_t max_part = *std::max_element(
+        stats.edges_per_part.begin(), stats.edges_per_part.end());
+    stats.skew = avg > 0 ? static_cast<double>(max_part) / avg : 1.0;
+    stats.cut_fraction =
+        static_cast<double>(stats.cut_edges) / static_cast<double>(total);
+  }
+  return stats;
+}
+
+}  // namespace dualsim

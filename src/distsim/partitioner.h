@@ -1,0 +1,37 @@
+#ifndef DUALSIM_DISTSIM_PARTITIONER_H_
+#define DUALSIM_DISTSIM_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Result of hash-partitioning a graph across cluster machines.
+struct PartitionStats {
+  int num_parts = 0;
+  /// Edges owned by each part (an edge belongs to its smaller endpoint's
+  /// part, the convention of edge-partitioned BSP systems).
+  std::vector<std::uint64_t> edges_per_part;
+  /// Edges whose endpoints land in different parts — every superstep
+  /// message for them crosses the network.
+  std::uint64_t cut_edges = 0;
+  /// max / average edges per part: the straggler factor the cluster model
+  /// multiplies per-machine load by.
+  double skew = 1.0;
+  /// cut_edges / |E|: fraction of traffic that is remote.
+  double cut_fraction = 0.0;
+};
+
+/// Partitions vertices by multiplicative hashing (the default partitioner
+/// of Giraph/Hadoop-style systems: no locality, ~uniform vertex counts,
+/// but hub edges concentrate wherever hubs land — the skew the paper's
+/// Appendix B.3 blames when "one slave machine has three times more
+/// intermediate results ... depending on partitioning results").
+PartitionStats HashPartition(const Graph& g, int num_parts,
+                             std::uint64_t seed = 0);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_DISTSIM_PARTITIONER_H_

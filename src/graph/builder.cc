@@ -1,0 +1,64 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dualsim {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v + 1 > num_vertices_) num_vertices_ = v + 1;
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<EdgeId> offsets(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> neighbors(offsets.back());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Each adjacency run is already sorted except for interleaving of the two
+  // directions; sort per vertex to guarantee order.
+  for (std::uint32_t v = 0; v < num_vertices_; ++v) {
+    std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  edges_.clear();
+  std::uint32_t n = num_vertices_;
+  num_vertices_ = 0;
+  (void)n;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& keep) {
+  std::unordered_map<VertexId, VertexId> relabel;
+  relabel.reserve(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    relabel.emplace(keep[i], static_cast<VertexId>(i));
+  }
+  GraphBuilder builder(static_cast<std::uint32_t>(keep.size()));
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (VertexId w : g.Neighbors(keep[i])) {
+      auto it = relabel.find(w);
+      if (it != relabel.end()) {
+        builder.AddEdge(static_cast<VertexId>(i), it->second);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dualsim

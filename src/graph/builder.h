@@ -1,0 +1,40 @@
+#ifndef DUALSIM_GRAPH_BUILDER_H_
+#define DUALSIM_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Accumulates undirected edges and materializes a clean CSR Graph:
+/// self-loops dropped, duplicates merged, adjacency lists sorted.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// Hint for the final number of vertices (ids beyond it still grow it).
+  explicit GraphBuilder(std::uint32_t num_vertices_hint)
+      : num_vertices_(num_vertices_hint) {}
+
+  /// Records the undirected edge {u, v}. Self-loops are ignored.
+  void AddEdge(VertexId u, VertexId v);
+
+  std::uint64_t NumAddedEdges() const { return edges_.size(); }
+
+  /// Builds the CSR graph. The builder is left empty afterwards.
+  Graph Build();
+
+ private:
+  std::uint32_t num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Returns the induced subgraph on `keep` (which may be unsorted), with
+/// vertices relabeled to 0..keep.size()-1 in the given order.
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& keep);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_BUILDER_H_

@@ -1,0 +1,111 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+// Scaled-down shape parameters. The paper's graphs are 10^6..10^9 edges;
+// these keep the same relative ordering of size and density so that every
+// comparative claim (who wins, where methods fail) can be observed in
+// minutes. Tuned so the heaviest (query, dataset) pair stays tractable.
+struct Shape {
+  const char* code;
+  const char* name;
+  std::uint32_t vertices;
+  std::uint32_t avg_degree;
+  double skew;  // RMAT `a` parameter; larger => heavier hubs.
+  bool bipartite;
+  std::uint64_t seed;
+};
+
+constexpr Shape kShapes[] = {
+    // code  name           |V|     deg  skew  bipartite  seed
+    {"WG", "WebGoogle", 5000, 10, 0.55, false, 101},
+    {"WT", "WikiTalk", 9000, 4, 0.62, false, 102},
+    {"UP", "USPatents", 16000, 9, 0.45, false, 103},
+    {"LJ", "LiveJournal", 10000, 12, 0.53, false, 104},
+    {"OK", "Orkut", 6000, 24, 0.52, false, 105},
+    {"WP", "Wikipedia", 12000, 11, 0.60, true, 106},
+    {"FR", "Friendster", 25000, 12, 0.53, false, 107},
+    {"YH", "Yahoo", 80000, 12, 0.57, false, 108},
+};
+
+const Shape& ShapeFor(DatasetKey key) {
+  return kShapes[static_cast<int>(key)];
+}
+
+std::uint32_t NextPow2Scale(std::uint32_t n) {
+  std::uint32_t scale = 1;
+  while ((1u << scale) < n) ++scale;
+  return scale;
+}
+
+Graph Generate(const Shape& shape, double scale_factor) {
+  const auto target_vertices = static_cast<std::uint32_t>(
+      std::max(64.0, shape.vertices * scale_factor));
+  const std::uint64_t target_edges =
+      static_cast<std::uint64_t>(target_vertices) * shape.avg_degree / 2;
+  if (shape.bipartite) {
+    return ReorderByDegree(BipartitePowerLaw(
+        target_vertices / 2, target_vertices - target_vertices / 2,
+        target_edges, shape.seed));
+  }
+  const std::uint32_t rmat_scale = NextPow2Scale(target_vertices);
+  const double a = shape.skew;
+  const double rest = (1.0 - a) / 3.0;
+  // Oversample by ~15% to compensate for duplicate collisions in RMAT.
+  Graph g = RMat(rmat_scale, target_edges + target_edges / 7, a, rest, rest,
+                 shape.seed);
+  // RMAT leaves isolated vertices on the high-id side; drop them so |V|
+  // matches the target shape more closely.
+  std::vector<VertexId> keep;
+  keep.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 0) keep.push_back(v);
+  }
+  return ReorderByDegree(InducedSubgraph(g, keep));
+}
+
+}  // namespace
+
+std::vector<DatasetKey> AllDatasets() {
+  return {DatasetKey::kWebGoogle, DatasetKey::kWikiTalk,
+          DatasetKey::kUsPatents, DatasetKey::kLiveJournal,
+          DatasetKey::kOrkut,     DatasetKey::kWikipedia,
+          DatasetKey::kFriendster, DatasetKey::kYahoo};
+}
+
+const char* DatasetCode(DatasetKey key) { return ShapeFor(key).code; }
+
+const char* DatasetName(DatasetKey key) { return ShapeFor(key).name; }
+
+Graph MakeDataset(DatasetKey key, double scale) {
+  DS_CHECK_GT(scale, 0.0);
+  DS_CHECK_LE(scale, 1.0);
+  return Generate(ShapeFor(key), scale);
+}
+
+Graph MakeFriendsterSample(int percent, double scale) {
+  DS_CHECK(percent == 20 || percent == 40 || percent == 60 || percent == 80 ||
+           percent == 100);
+  Graph full = MakeDataset(DatasetKey::kFriendster, scale);
+  if (percent == 100) return full;
+  // Random vertex sample, as in the paper (§6.2.3): induced subgraph on
+  // `percent`% of the vertices.
+  Random rng(9000 + static_cast<std::uint64_t>(percent));
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < full.NumVertices(); ++v) {
+    if (rng.UniformDouble() * 100.0 < percent) keep.push_back(v);
+  }
+  return ReorderByDegree(InducedSubgraph(full, keep));
+}
+
+}  // namespace dualsim

@@ -1,0 +1,48 @@
+#ifndef DUALSIM_GRAPH_DATASETS_H_
+#define DUALSIM_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Synthetic stand-ins for the paper's eight real-world datasets (Table 1).
+/// Each is generated deterministically with a shape (|E|/|V| ratio, degree
+/// skew, bipartiteness) echoing the original; see DESIGN.md §2/§4 for the
+/// substitution rationale. All are degree-reordered (≺) on creation, i.e.,
+/// they come out of the paper's preprocessing step.
+enum class DatasetKey {
+  kWebGoogle,    // WG: web graph, power-law
+  kWikiTalk,     // WT: very skewed, sparse
+  kUsPatents,    // UP: citation graph, low skew
+  kLiveJournal,  // LJ: social, power-law
+  kOrkut,        // OK: social, dense
+  kWikipedia,    // WP: bipartite (no 4-cliques)
+  kFriendster,   // FR: large social
+  kYahoo,        // YH: largest, sparse
+};
+
+/// All datasets in the paper's Table 1 order.
+std::vector<DatasetKey> AllDatasets();
+
+/// Two-letter code used throughout the paper ("WG", "LJ", ...).
+const char* DatasetCode(DatasetKey key);
+
+/// Full name ("WebGoogle", ...).
+const char* DatasetName(DatasetKey key);
+
+/// Generates (deterministically) the stand-in graph for `key`, already
+/// degree-reordered. `scale` in (0, 1] shrinks the target vertex count,
+/// which the tests use to keep runtimes small.
+Graph MakeDataset(DatasetKey key, double scale = 1.0);
+
+/// Vertex-sampled Friendster subgraph with `percent` in {20,40,60,80,100}
+/// percent of vertices (paper §6.2.3), degree-reordered.
+Graph MakeFriendsterSample(int percent, double scale = 1.0);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_DATASETS_H_

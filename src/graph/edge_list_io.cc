@@ -1,0 +1,112 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "graph/builder.h"
+
+namespace dualsim {
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x44534C4745313030ULL;  // "DSLGE100"
+
+struct BinaryHeader {
+  std::uint64_t magic;
+  std::uint32_t num_vertices;
+  std::uint32_t reserved;
+  std::uint64_t num_edges;
+};
+
+class FileCloser {
+ public:
+  explicit FileCloser(std::FILE* f) : f_(f) {}
+  ~FileCloser() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileCloser(const FileCloser&) = delete;
+  FileCloser& operator=(const FileCloser&) = delete;
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status WriteEdgeListText(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+  std::fprintf(f, "# dualsim edge list: %u vertices, %llu edges\n",
+               g.NumVertices(),
+               static_cast<unsigned long long>(g.NumEdges()));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) std::fprintf(f, "%u %u\n", u, v);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadEdgeListText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+  GraphBuilder builder;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\0') continue;
+    unsigned long u = 0;
+    unsigned long v = 0;
+    if (std::sscanf(line, "%lu %lu", &u, &v) != 2) {
+      return Status::InvalidArgument("bad edge list line in " + path + ": " +
+                                     line);
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+Status WriteEdgeListBinary(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+  BinaryHeader header{kBinaryMagic, g.NumVertices(), 0, g.NumEdges()};
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    return Status::IOError("short write of header to " + path);
+  }
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v) {
+        const std::uint32_t pair[2] = {u, v};
+        if (std::fwrite(pair, sizeof(pair), 1, f) != 1) {
+          return Status::IOError("short write of edge to " + path);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<Graph> ReadEdgeListBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  FileCloser closer(f);
+  BinaryHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    return Status::IOError("short read of header from " + path);
+  }
+  if (header.magic != kBinaryMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  GraphBuilder builder(header.num_vertices);
+  for (std::uint64_t i = 0; i < header.num_edges; ++i) {
+    std::uint32_t pair[2];
+    if (std::fread(pair, sizeof(pair), 1, f) != 1) {
+      return Status::IOError("short read of edge from " + path);
+    }
+    builder.AddEdge(pair[0], pair[1]);
+  }
+  return builder.Build();
+}
+
+}  // namespace dualsim

@@ -1,0 +1,26 @@
+#ifndef DUALSIM_GRAPH_EDGE_LIST_IO_H_
+#define DUALSIM_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Writes `g` as a text edge list ("u v\n" per undirected edge, u < v).
+/// Lines starting with '#' are comments on read.
+Status WriteEdgeListText(const Graph& g, const std::string& path);
+
+/// Parses a text edge list into a Graph. Ignores blank lines, comments,
+/// self-loops, and duplicate edges.
+StatusOr<Graph> ReadEdgeListText(const std::string& path);
+
+/// Compact binary format: header (magic, vertex count, edge count) followed
+/// by (u, v) uint32 pairs.
+Status WriteEdgeListBinary(const Graph& g, const std::string& path);
+StatusOr<Graph> ReadEdgeListBinary(const std::string& path);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_EDGE_LIST_IO_H_

@@ -1,0 +1,149 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace dualsim {
+
+Graph ErdosRenyi(std::uint32_t num_vertices, std::uint64_t num_edges,
+                 std::uint64_t seed) {
+  Random rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Oversample: duplicates/self-loops are dropped by the builder. For the
+  // sparse graphs used here the expected shortfall is tiny and irrelevant —
+  // the datasets are synthetic stand-ins.
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(num_vertices));
+    VertexId v = static_cast<VertexId>(rng.Uniform(num_vertices));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph RMat(std::uint32_t scale, std::uint64_t num_edges, double a, double b,
+           double c, std::uint64_t seed) {
+  Random rng(seed);
+  const std::uint32_t n = 1u << scale;
+  GraphBuilder builder(n);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.UniformDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // Top-left quadrant: both bits 0.
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BipartitePowerLaw(std::uint32_t left, std::uint32_t right,
+                        std::uint64_t num_edges, std::uint64_t seed) {
+  Random rng(seed);
+  GraphBuilder builder(left + right);
+  // Endpoint chosen via squared-uniform skew: low-index vertices get more
+  // edges, approximating a power-law degree distribution on both sides.
+  auto skewed = [&rng](std::uint32_t n) {
+    const double r = rng.UniformDouble();
+    return static_cast<VertexId>(static_cast<double>(n) * r * r);
+  };
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    VertexId u = skewed(left);
+    VertexId v = left + skewed(right);
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(std::uint32_t num_vertices,
+                     std::uint32_t edges_per_vertex, std::uint64_t seed) {
+  Random rng(seed);
+  GraphBuilder builder(num_vertices);
+  // Endpoint pool: every edge endpoint appears once, so sampling uniformly
+  // from the pool is sampling proportionally to degree.
+  std::vector<VertexId> pool;
+  const std::uint32_t m = std::max(1u, edges_per_vertex);
+  // Seed clique of m+1 vertices.
+  const std::uint32_t seed_size = std::min(num_vertices, m + 1);
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId v = seed_size; v < num_vertices; ++v) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      const VertexId target = pool[rng.Uniform(pool.size())];
+      if (target == v) continue;
+      builder.AddEdge(v, target);
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(std::uint32_t num_vertices, std::uint32_t k, double beta,
+                    std::uint64_t seed) {
+  Random rng(seed);
+  GraphBuilder builder(num_vertices);
+  if (num_vertices < 3) return builder.Build();
+  const std::uint32_t half = std::max(1u, k / 2);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (std::uint32_t j = 1; j <= half; ++j) {
+      VertexId w = (v + j) % num_vertices;
+      if (rng.Bernoulli(beta)) {
+        // Rewire to a uniform random endpoint (self-loops/duplicates are
+        // dropped by the builder).
+        w = static_cast<VertexId>(rng.Uniform(num_vertices));
+      }
+      builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+Graph Complete(std::uint32_t n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph Cycle(std::uint32_t n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  if (n >= 3) builder.AddEdge(n - 1, 0);
+  return builder.Build();
+}
+
+Graph Path(std::uint32_t n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Graph Star(std::uint32_t n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+}  // namespace dualsim

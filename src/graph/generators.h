@@ -1,0 +1,59 @@
+#ifndef DUALSIM_GRAPH_GENERATORS_H_
+#define DUALSIM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Deterministic synthetic graph generators. These stand in for the paper's
+/// real-world datasets (see DESIGN.md §2): the evaluation's shape is driven
+/// by |E|/|V| ratio and degree skew, both of which the generators control.
+
+/// G(n, m) Erdős–Rényi: `num_edges` distinct uniform random edges.
+Graph ErdosRenyi(std::uint32_t num_vertices, std::uint64_t num_edges,
+                 std::uint64_t seed);
+
+/// R-MAT power-law generator (Chakrabarti et al.): 2^scale vertices,
+/// `num_edges` edges, recursive quadrant probabilities (a, b, c, implicit d).
+/// Larger `a` concentrates edges on low-id vertices => heavier skew.
+Graph RMat(std::uint32_t scale, std::uint64_t num_edges, double a, double b,
+           double c, std::uint64_t seed);
+
+/// Bipartite power-law graph: edges only between the two sides
+/// [0, left) and [left, left+right). Stand-in for Wikipedia (paper: WP is
+/// bipartite, so q4 = 4-clique has no matches).
+Graph BipartitePowerLaw(std::uint32_t left, std::uint32_t right,
+                        std::uint64_t num_edges, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces power-law degree tails with organic growth (unlike RMAT's
+/// recursive structure).
+Graph BarabasiAlbert(std::uint32_t num_vertices,
+                     std::uint32_t edges_per_vertex, std::uint64_t seed);
+
+/// Watts–Strogatz small world: a ring lattice (each vertex joined to its
+/// `k` nearest neighbors) with every edge rewired with probability `beta`.
+/// High clustering coefficient at low beta — the clustering-coefficient
+/// example's natural input.
+Graph WattsStrogatz(std::uint32_t num_vertices, std::uint32_t k, double beta,
+                    std::uint64_t seed);
+
+/// Complete graph K_n. Embedding counts on K_n have closed forms, which the
+/// tests use as ground truth.
+Graph Complete(std::uint32_t n);
+
+/// Cycle C_n (n >= 3).
+Graph Cycle(std::uint32_t n);
+
+/// Path P_n (n vertices, n-1 edges).
+Graph Path(std::uint32_t n);
+
+/// Star: center 0 connected to n-1 leaves.
+Graph Star(std::uint32_t n);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_GENERATORS_H_

@@ -1,0 +1,30 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dualsim {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  assert(!offsets_.empty());
+  assert(offsets_.back() == neighbors_.size());
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  // Search the shorter list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto adj = Neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::uint32_t Graph::MaxDegree() const {
+  std::uint32_t max_deg = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    max_deg = std::max(max_deg, Degree(v));
+  }
+  return max_deg;
+}
+
+}  // namespace dualsim

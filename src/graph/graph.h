@@ -1,0 +1,66 @@
+#ifndef DUALSIM_GRAPH_GRAPH_H_
+#define DUALSIM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dualsim {
+
+/// Data-graph vertex identifier. The paper relabels vertices so that the
+/// total order `≺` (degree, then id) coincides with numeric id order; all
+/// engine code relies on that and compares ids directly.
+using VertexId = std::uint32_t;
+
+/// Undirected edge count / adjacency offsets type.
+using EdgeId = std::uint64_t;
+
+/// Immutable in-memory undirected graph in CSR form. Adjacency lists are
+/// sorted ascending and contain no self-loops or duplicates. This is the
+/// substrate from which the on-disk slotted-page database is built, and the
+/// graph used by in-memory baselines.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of CSR arrays. `offsets.size() == num_vertices + 1`,
+  /// `neighbors.size() == offsets.back()` (= 2 * #undirected edges).
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  std::uint32_t NumVertices() const {
+    return offsets_.empty()
+               ? 0
+               : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  EdgeId NumEdges() const {
+    return offsets_.empty() ? 0 : offsets_.back() / 2;
+  }
+
+  std::uint32_t Degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of `v`.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True when edge {u, v} exists (binary search; O(log deg)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  std::uint32_t MaxDegree() const;
+
+  const std::vector<EdgeId>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_GRAPH_H_

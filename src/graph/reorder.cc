@@ -1,0 +1,48 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace dualsim {
+
+bool DegreeIdLess(const Graph& g, VertexId u, VertexId v) {
+  const std::uint32_t du = g.Degree(u);
+  const std::uint32_t dv = g.Degree(v);
+  if (du != dv) return du < dv;
+  return u < v;
+}
+
+std::vector<VertexId> DegreeOrderPermutation(const Graph& g) {
+  std::vector<VertexId> perm(g.NumVertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&g](VertexId a, VertexId b) {
+    return DegreeIdLess(g, a, b);
+  });
+  return perm;
+}
+
+Graph ReorderByDegree(const Graph& g) {
+  const std::vector<VertexId> perm = DegreeOrderPermutation(g);
+  std::vector<VertexId> inverse(perm.size());
+  for (std::size_t rank = 0; rank < perm.size(); ++rank) {
+    inverse[perm[rank]] = static_cast<VertexId>(rank);
+  }
+  GraphBuilder builder(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (v < w) builder.AddEdge(inverse[v], inverse[w]);
+    }
+  }
+  return builder.Build();
+}
+
+bool IsDegreeOrdered(const Graph& g) {
+  for (VertexId v = 0; v + 1 < g.NumVertices(); ++v) {
+    if (g.Degree(v) > g.Degree(v + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace dualsim

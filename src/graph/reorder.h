@@ -1,0 +1,29 @@
+#ifndef DUALSIM_GRAPH_REORDER_H_
+#define DUALSIM_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// The paper's total order ≺ on data vertices: v_i ≺ v_j iff
+/// d(v_i) < d(v_j), or d(v_i) == d(v_j) and id(v_i) < id(v_j) (§2).
+/// Returns true when u ≺ v in `g`.
+bool DegreeIdLess(const Graph& g, VertexId u, VertexId v);
+
+/// Returns the permutation `perm` such that perm[rank] = old id of the
+/// vertex with that ≺-rank (ascending).
+std::vector<VertexId> DegreeOrderPermutation(const Graph& g);
+
+/// Relabels `g` so that ids follow ≺: new id i ≺ new id j iff i < j.
+/// All engine code assumes its input was reordered this way, mirroring the
+/// paper's preprocessing that rewrites the database in ≺ order.
+Graph ReorderByDegree(const Graph& g);
+
+/// True when ids already follow ≺ (degree non-decreasing with id).
+bool IsDegreeOrdered(const Graph& g);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_GRAPH_REORDER_H_

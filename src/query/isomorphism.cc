@@ -1,0 +1,29 @@
+#include "query/isomorphism.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dualsim {
+
+std::vector<QueryPermutation> Automorphisms(const QueryGraph& q) {
+  const std::uint8_t n = q.NumVertices();
+  std::vector<QueryVertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<QueryPermutation> autos;
+  do {
+    bool ok = true;
+    for (QueryVertex u = 0; u < n && ok; ++u) {
+      for (QueryVertex v = u + 1; v < n && ok; ++v) {
+        if (q.HasEdge(u, v) != q.HasEdge(perm[u], perm[v])) ok = false;
+      }
+    }
+    if (ok) {
+      QueryPermutation out{};
+      std::copy(perm.begin(), perm.end(), out.begin());
+      autos.push_back(out);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return autos;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,21 @@
+#ifndef DUALSIM_QUERY_ISOMORPHISM_H_
+#define DUALSIM_QUERY_ISOMORPHISM_H_
+
+#include <array>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// A permutation of query vertices; perm[u] is the image of u.
+using QueryPermutation = std::array<QueryVertex, kMaxQueryVertices>;
+
+/// All automorphisms of `q` (graph isomorphisms from q to itself), found by
+/// brute force over permutations — fine for |V_q| <= kMaxQueryVertices.
+/// The identity is always included.
+std::vector<QueryPermutation> Automorphisms(const QueryGraph& q);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_ISOMORPHISM_H_

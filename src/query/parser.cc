@@ -1,0 +1,121 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+/// "path5" / "star3" / "clique4" / "cycle6" -> builder(N).
+bool MatchShape(const std::string& text, const std::string& prefix,
+                int* out_n) {
+  if (text.size() <= prefix.size() || text.compare(0, prefix.size(), prefix)) {
+    return false;
+  }
+  int n = 0;
+  for (std::size_t i = prefix.size(); i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+    n = n * 10 + (text[i] - '0');
+  }
+  *out_n = n;
+  return n > 0;
+}
+
+}  // namespace
+
+StatusOr<QueryGraph> ParseQuery(const std::string& text) {
+  // Named shapes first.
+  if (text == "q1" || text == "triangle") return MakePaperQuery(PaperQuery::kQ1);
+  if (text == "q2" || text == "square") return MakePaperQuery(PaperQuery::kQ2);
+  if (text == "q3" || text == "chordal-square") {
+    return MakePaperQuery(PaperQuery::kQ3);
+  }
+  if (text == "q4" || text == "4-clique") return MakePaperQuery(PaperQuery::kQ4);
+  if (text == "q5" || text == "house") return MakePaperQuery(PaperQuery::kQ5);
+  int n = 0;
+  if (MatchShape(text, "path", &n)) {
+    if (n < 2 || n > kMaxQueryVertices) {
+      return Status::InvalidArgument("path size out of range: " + text);
+    }
+    return MakePathQuery(n);
+  }
+  if (MatchShape(text, "star", &n)) {
+    if (n < 1 || n + 1 > kMaxQueryVertices) {
+      return Status::InvalidArgument("star size out of range: " + text);
+    }
+    return MakeStarQuery(n);
+  }
+  if (MatchShape(text, "clique", &n)) {
+    if (n < 2 || n > kMaxQueryVertices) {
+      return Status::InvalidArgument("clique size out of range: " + text);
+    }
+    return MakeCliqueQuery(n);
+  }
+  if (MatchShape(text, "cycle", &n)) {
+    if (n < 3 || n > kMaxQueryVertices) {
+      return Status::InvalidArgument("cycle size out of range: " + text);
+    }
+    return MakeCycleQuery(n);
+  }
+
+  // Edge list: tokens "a-b" separated by commas/whitespace.
+  std::vector<std::pair<int, int>> edges;
+  int max_vertex = -1;
+  std::size_t i = 0;
+  auto skip_separators = [&] {
+    while (i < text.size() &&
+           (text[i] == ',' || std::isspace(static_cast<unsigned char>(text[i])))) {
+      ++i;
+    }
+  };
+  auto parse_int = [&](int* out) -> bool {
+    if (i >= text.size() || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+    int value = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + (text[i] - '0');
+      ++i;
+    }
+    *out = value;
+    return true;
+  };
+  skip_separators();
+  while (i < text.size()) {
+    int a = 0;
+    int b = 0;
+    if (!parse_int(&a) || i >= text.size() || text[i] != '-') {
+      return Status::InvalidArgument("cannot parse query edge list: " + text);
+    }
+    ++i;  // '-'
+    if (!parse_int(&b)) {
+      return Status::InvalidArgument("cannot parse query edge list: " + text);
+    }
+    if (a == b) {
+      return Status::InvalidArgument("self-loop in query: " + text);
+    }
+    if (a >= kMaxQueryVertices || b >= kMaxQueryVertices) {
+      return Status::InvalidArgument("query vertex id too large in: " + text);
+    }
+    edges.emplace_back(a, b);
+    max_vertex = std::max({max_vertex, a, b});
+    skip_separators();
+  }
+  if (edges.empty()) {
+    return Status::InvalidArgument("empty query: " + text);
+  }
+  QueryGraph q(static_cast<std::uint8_t>(max_vertex + 1));
+  for (const auto& [a, b] : edges) {
+    q.AddEdge(static_cast<QueryVertex>(a), static_cast<QueryVertex>(b));
+  }
+  if (!q.IsConnected()) {
+    return Status::InvalidArgument("query graph must be connected: " + text);
+  }
+  return q;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,26 @@
+#ifndef DUALSIM_QUERY_PARSER_H_
+#define DUALSIM_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/query_graph.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Parses a query graph from a compact edge-list string:
+///
+///   "0-1,1-2,2-0"           a triangle
+///   "0-1 1-2 2-3 3-0"       a square (spaces and commas both separate)
+///
+/// Also accepts the named shapes used throughout the paper:
+///   "q1".."q5", "triangle", "square", "chordal-square", "4-clique",
+///   "house", "path<N>", "star<N>", "clique<N>", "cycle<N>"
+///
+/// Vertex ids must be 0..kMaxQueryVertices-1; the result must be
+/// connected and non-empty.
+StatusOr<QueryGraph> ParseQuery(const std::string& text);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_PARSER_H_

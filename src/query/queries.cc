@@ -1,0 +1,96 @@
+#include "query/queries.h"
+
+#include "util/logging.h"
+
+namespace dualsim {
+
+std::vector<PaperQuery> AllPaperQueries() {
+  return {PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3, PaperQuery::kQ4,
+          PaperQuery::kQ5};
+}
+
+const char* PaperQueryName(PaperQuery query) {
+  switch (query) {
+    case PaperQuery::kQ1:
+      return "q1";
+    case PaperQuery::kQ2:
+      return "q2";
+    case PaperQuery::kQ3:
+      return "q3";
+    case PaperQuery::kQ4:
+      return "q4";
+    case PaperQuery::kQ5:
+      return "q5";
+  }
+  return "?";
+}
+
+QueryGraph MakePaperQuery(PaperQuery query) {
+  switch (query) {
+    case PaperQuery::kQ1:
+      return MakeCliqueQuery(3);
+    case PaperQuery::kQ2:
+      return MakeCycleQuery(4);
+    case PaperQuery::kQ3: {
+      QueryGraph q = MakeCycleQuery(4);
+      q.AddEdge(0, 2);  // the chord
+      return q;
+    }
+    case PaperQuery::kQ4:
+      return MakeCliqueQuery(4);
+    case PaperQuery::kQ5: {
+      // House: square 0-1-2-3 plus apex 4 over the 2-3 edge. The MCVC has
+      // three vertices and the two non-red vertices are each adjacent to
+      // two red vertices — the running example of the paper's Figure 1.
+      QueryGraph q(5);
+      q.AddEdge(0, 1);
+      q.AddEdge(1, 2);
+      q.AddEdge(2, 3);
+      q.AddEdge(3, 0);
+      q.AddEdge(2, 4);
+      q.AddEdge(3, 4);
+      return q;
+    }
+  }
+  DS_CHECK(false);
+  return QueryGraph(0);
+}
+
+QueryGraph MakeTriangleQuery() { return MakeCliqueQuery(3); }
+
+QueryGraph MakePathQuery(int num_vertices) {
+  QueryGraph q(static_cast<std::uint8_t>(num_vertices));
+  for (int v = 0; v + 1 < num_vertices; ++v) {
+    q.AddEdge(static_cast<QueryVertex>(v), static_cast<QueryVertex>(v + 1));
+  }
+  return q;
+}
+
+QueryGraph MakeStarQuery(int num_leaves) {
+  QueryGraph q(static_cast<std::uint8_t>(num_leaves + 1));
+  for (int leaf = 1; leaf <= num_leaves; ++leaf) {
+    q.AddEdge(0, static_cast<QueryVertex>(leaf));
+  }
+  return q;
+}
+
+QueryGraph MakeCliqueQuery(int num_vertices) {
+  QueryGraph q(static_cast<std::uint8_t>(num_vertices));
+  for (int u = 0; u < num_vertices; ++u) {
+    for (int v = u + 1; v < num_vertices; ++v) {
+      q.AddEdge(static_cast<QueryVertex>(u), static_cast<QueryVertex>(v));
+    }
+  }
+  return q;
+}
+
+QueryGraph MakeCycleQuery(int num_vertices) {
+  QueryGraph q(static_cast<std::uint8_t>(num_vertices));
+  for (int v = 0; v + 1 < num_vertices; ++v) {
+    q.AddEdge(static_cast<QueryVertex>(v), static_cast<QueryVertex>(v + 1));
+  }
+  q.AddEdge(static_cast<QueryVertex>(num_vertices - 1), 0);
+  return q;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,37 @@
+#ifndef DUALSIM_QUERY_QUERIES_H_
+#define DUALSIM_QUERY_QUERIES_H_
+
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// The paper's query workload (Figure 8, same set as PSGL [24]).
+enum class PaperQuery {
+  kQ1,  // triangle
+  kQ2,  // square (4-cycle)
+  kQ3,  // chordal square (4-cycle + one diagonal)
+  kQ4,  // 4-clique
+  kQ5,  // house: square + roof apex (5 vertices, 6 edges; Figure 1's query)
+};
+
+/// All five paper queries in order.
+std::vector<PaperQuery> AllPaperQueries();
+
+/// "q1".."q5".
+const char* PaperQueryName(PaperQuery query);
+
+/// Builds the query graph for `query`.
+QueryGraph MakePaperQuery(PaperQuery query);
+
+/// Extra shapes used by tests and examples.
+QueryGraph MakeTriangleQuery();
+QueryGraph MakePathQuery(int num_vertices);
+QueryGraph MakeStarQuery(int num_leaves);
+QueryGraph MakeCliqueQuery(int num_vertices);
+QueryGraph MakeCycleQuery(int num_vertices);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_QUERIES_H_

@@ -1,0 +1,64 @@
+#include "query/query_graph.h"
+
+#include "util/logging.h"
+
+namespace dualsim {
+
+QueryGraph::QueryGraph(std::uint8_t num_vertices)
+    : num_vertices_(num_vertices) {
+  DS_CHECK_LE(num_vertices, kMaxQueryVertices);
+}
+
+void QueryGraph::AddEdge(QueryVertex u, QueryVertex v) {
+  DS_CHECK_LT(u, num_vertices_);
+  DS_CHECK_LT(v, num_vertices_);
+  DS_CHECK_NE(u, v);
+  if (HasEdge(u, v)) return;
+  adj_[u] |= 1u << v;
+  adj_[v] |= 1u << u;
+  ++num_edges_;
+}
+
+std::vector<std::pair<QueryVertex, QueryVertex>> QueryGraph::Edges() const {
+  std::vector<std::pair<QueryVertex, QueryVertex>> edges;
+  for (QueryVertex u = 0; u < num_vertices_; ++u) {
+    for (QueryVertex v = u + 1; v < num_vertices_; ++v) {
+      if (HasEdge(u, v)) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (num_vertices_ == 0) return false;
+  return IsConnectedSubset((1u << num_vertices_) - 1);
+}
+
+bool QueryGraph::IsConnectedSubset(std::uint32_t mask) const {
+  if (mask == 0) return false;
+  const std::uint32_t start = mask & (~mask + 1);  // lowest set bit
+  std::uint32_t reached = start;
+  while (true) {
+    std::uint32_t frontier = 0;
+    std::uint32_t scan = reached;
+    while (scan != 0) {
+      const int v = __builtin_ctz(scan);
+      scan &= scan - 1;
+      frontier |= adj_[v] & mask;
+    }
+    const std::uint32_t next = reached | frontier;
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached == mask;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out = std::to_string(num_vertices_) + " vertices:";
+  for (const auto& [u, v] : Edges()) {
+    out += " " + std::to_string(u) + "-" + std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,68 @@
+#ifndef DUALSIM_QUERY_QUERY_GRAPH_H_
+#define DUALSIM_QUERY_QUERY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dualsim {
+
+/// Index of a query vertex (u_i in the paper).
+using QueryVertex = std::uint8_t;
+
+/// Maximum number of query vertices. The paper's workloads use 3..5; 12
+/// leaves room for extensions while keeping adjacency masks in a word.
+inline constexpr std::uint8_t kMaxQueryVertices = 12;
+
+/// Small undirected, unlabeled, connected query graph, stored as per-vertex
+/// adjacency bitmasks. All algorithms over it (automorphisms, vertex
+/// covers, sequence enumeration) are exponential in |V_q| but |V_q| <= 12.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  explicit QueryGraph(std::uint8_t num_vertices);
+
+  std::uint8_t NumVertices() const { return num_vertices_; }
+  std::uint8_t NumEdges() const { return num_edges_; }
+
+  void AddEdge(QueryVertex u, QueryVertex v);
+  bool HasEdge(QueryVertex u, QueryVertex v) const {
+    return (adj_[u] >> v) & 1u;
+  }
+
+  /// Bitmask of neighbors of `u`.
+  std::uint32_t NeighborMask(QueryVertex u) const { return adj_[u]; }
+
+  std::uint8_t Degree(QueryVertex u) const {
+    return static_cast<std::uint8_t>(__builtin_popcount(adj_[u]));
+  }
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<QueryVertex, QueryVertex>> Edges() const;
+
+  /// True when the graph is connected (the problem statement requires it).
+  bool IsConnected() const;
+
+  /// True when the induced subgraph on `mask` is connected (and non-empty).
+  bool IsConnectedSubset(std::uint32_t mask) const;
+
+  /// Human-readable listing, e.g. "4 vertices: 0-1 1-2 2-3".
+  std::string ToString() const;
+
+ private:
+  std::uint8_t num_vertices_ = 0;
+  std::uint8_t num_edges_ = 0;
+  std::uint32_t adj_[kMaxQueryVertices] = {};
+};
+
+/// A partial order constraint u < v between query vertices: any embedding m
+/// must satisfy m(u) ≺ m(v). Produced by symmetry breaking.
+struct PartialOrder {
+  QueryVertex first;   // the smaller side
+  QueryVertex second;  // the larger side
+  bool operator==(const PartialOrder&) const = default;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_QUERY_GRAPH_H_

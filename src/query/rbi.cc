@@ -1,0 +1,105 @@
+#include "query/rbi.h"
+
+#include "query/vertex_cover.h"
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+int CountInternalOrders(const std::vector<PartialOrder>& orders,
+                        std::uint32_t red_mask) {
+  int count = 0;
+  for (const PartialOrder& o : orders) {
+    if (((red_mask >> o.first) & 1u) && ((red_mask >> o.second) & 1u)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int CountInducedEdges(const QueryGraph& q, std::uint32_t mask) {
+  int count = 0;
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if (((mask >> u) & 1u) == 0) continue;
+    count += __builtin_popcount(q.NeighborMask(u) & mask);
+  }
+  return count / 2;
+}
+
+}  // namespace
+
+std::uint8_t RbiQueryGraph::RedIndex(QueryVertex u) const {
+  for (std::uint8_t i = 0; i < red.size(); ++i) {
+    if (red[i] == u) return i;
+  }
+  DS_CHECK(false) << "vertex " << int{u} << " is not red";
+  return 0;
+}
+
+std::vector<PartialOrder> RbiQueryGraph::InternalOrders() const {
+  std::vector<PartialOrder> internal;
+  for (const PartialOrder& o : orders) {
+    if (IsRed(o.first) && IsRed(o.second)) {
+      internal.push_back({RedIndex(o.first), RedIndex(o.second)});
+    }
+  }
+  return internal;
+}
+
+RbiQueryGraph GenerateRbiQueryGraph(const QueryGraph& q,
+                                    std::vector<PartialOrder> orders,
+                                    const RbiOptions& options) {
+  DS_CHECK(q.IsConnected());
+  const std::vector<std::uint32_t> covers =
+      options.use_connected_cover ? MinimumConnectedVertexCovers(q)
+                                  : MinimumVertexCovers(q);
+  DS_CHECK(!covers.empty());
+
+  std::uint32_t best = covers.front();
+  if (options.apply_rules) {
+    int best_orders = CountInternalOrders(orders, best);
+    int best_edges = CountInducedEdges(q, best);
+    for (std::size_t i = 1; i < covers.size(); ++i) {
+      const int n_orders = CountInternalOrders(orders, covers[i]);
+      const int n_edges = CountInducedEdges(q, covers[i]);
+      // Rule 1: more internal partial orders. Rule 2: denser red graph.
+      if (n_orders > best_orders ||
+          (n_orders == best_orders && n_edges > best_edges)) {
+        best = covers[i];
+        best_orders = n_orders;
+        best_edges = n_edges;
+      }
+    }
+  }
+
+  RbiQueryGraph rbi;
+  rbi.query = q;
+  rbi.orders = std::move(orders);
+  rbi.colors.resize(q.NumVertices());
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if ((best >> u) & 1u) {
+      rbi.colors[u] = VertexColor::kRed;
+      rbi.red.push_back(u);
+    }
+  }
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if ((best >> u) & 1u) continue;
+    const int red_neighbors = __builtin_popcount(q.NeighborMask(u) & best);
+    // Red is a vertex cover of a connected query, so every non-red vertex
+    // has at least one red neighbor.
+    DS_CHECK_GE(red_neighbors, 1);
+    rbi.colors[u] =
+        red_neighbors > 1 ? VertexColor::kIvory : VertexColor::kBlack;
+  }
+
+  rbi.red_graph = QueryGraph(static_cast<std::uint8_t>(rbi.red.size()));
+  for (std::uint8_t i = 0; i < rbi.red.size(); ++i) {
+    for (std::uint8_t j = static_cast<std::uint8_t>(i + 1); j < rbi.red.size();
+         ++j) {
+      if (q.HasEdge(rbi.red[i], rbi.red[j])) rbi.red_graph.AddEdge(i, j);
+    }
+  }
+  return rbi;
+}
+
+}  // namespace dualsim

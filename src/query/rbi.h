@@ -1,0 +1,60 @@
+#ifndef DUALSIM_QUERY_RBI_H_
+#define DUALSIM_QUERY_RBI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// Operational color of a query vertex (paper §3).
+enum class VertexColor : std::uint8_t {
+  kRed,    // matched by graph traversal (adjacency list retrieved from disk)
+  kBlack,  // adjacent to exactly one red vertex: scan that red's adj list
+  kIvory,  // adjacent to >= 2 red vertices: m-way adjacency intersection
+};
+
+/// Options for red-graph selection.
+struct RbiOptions {
+  /// Use MCVC (paper default). When false, use plain MVC — the paper notes
+  /// the extension is straightforward; exposed for the ablation bench.
+  bool use_connected_cover = true;
+  /// Apply Rules 1/2 to pick among multiple covers; when false the first
+  /// cover in subset order is used (ablation).
+  bool apply_rules = true;
+};
+
+/// The RBI query graph: the original query plus a color per vertex, the
+/// chosen red set, and the red query graph (induced subgraph on red
+/// vertices, relabeled 0..|V_R|-1 in red-list order).
+struct RbiQueryGraph {
+  QueryGraph query;                  // original query q
+  std::vector<PartialOrder> orders;  // PO over q's vertices
+  std::vector<VertexColor> colors;   // per query vertex
+  std::vector<QueryVertex> red;      // red vertices, ascending
+  QueryGraph red_graph;              // q_R, on indices into `red`
+
+  bool IsRed(QueryVertex u) const {
+    return colors[u] == VertexColor::kRed;
+  }
+
+  /// Position of query vertex u in `red` (u must be red).
+  std::uint8_t RedIndex(QueryVertex u) const;
+
+  /// Partial orders with both endpoints red, re-indexed into red-graph
+  /// vertex numbers ("internal partial orders", §3).
+  std::vector<PartialOrder> InternalOrders() const;
+};
+
+/// GenerateRBIQueryGraph (Algorithm 1, line 2): chooses the red set among
+/// the minimum (connected) vertex covers using Rule 1 (most internal
+/// partial orders) then Rule 2 (denser red graph), colors the remaining
+/// vertices black/ivory, and builds q_R.
+RbiQueryGraph GenerateRbiQueryGraph(const QueryGraph& q,
+                                    std::vector<PartialOrder> orders,
+                                    const RbiOptions& options = {});
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_RBI_H_

@@ -1,0 +1,51 @@
+#include "query/symmetry_breaking.h"
+
+#include <cstdint>
+
+#include "query/isomorphism.h"
+
+namespace dualsim {
+
+std::vector<PartialOrder> FindPartialOrders(const QueryGraph& q) {
+  std::vector<QueryPermutation> group = Automorphisms(q);
+  const std::uint8_t n = q.NumVertices();
+  std::vector<PartialOrder> orders;
+
+  while (group.size() > 1) {
+    // Orbit of each vertex under the current group; pick the vertex whose
+    // orbit is largest (ties: smallest id) — the standard heuristic, it
+    // prunes the most embeddings per added constraint.
+    QueryVertex best = 0;
+    std::uint32_t best_orbit = 0;
+    int best_size = 0;
+    for (QueryVertex v = 0; v < n; ++v) {
+      std::uint32_t orbit = 0;
+      for (const QueryPermutation& g : group) orbit |= 1u << g[v];
+      const int size = __builtin_popcount(orbit);
+      if (size > best_size) {
+        best_size = size;
+        best = v;
+        best_orbit = orbit;
+      }
+    }
+    if (best_size <= 1) break;  // all orbits trivial; group must be identity
+
+    // Constrain `best` below every other member of its orbit.
+    std::uint32_t rest = best_orbit & ~(1u << best);
+    while (rest != 0) {
+      const auto w = static_cast<QueryVertex>(__builtin_ctz(rest));
+      rest &= rest - 1;
+      orders.push_back({best, w});
+    }
+
+    // Restrict to the stabilizer of `best`.
+    std::vector<QueryPermutation> stabilizer;
+    for (const QueryPermutation& g : group) {
+      if (g[best] == best) stabilizer.push_back(g);
+    }
+    group = std::move(stabilizer);
+  }
+  return orders;
+}
+
+}  // namespace dualsim

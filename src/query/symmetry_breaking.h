@@ -1,0 +1,31 @@
+#ifndef DUALSIM_QUERY_SYMMETRY_BREAKING_H_
+#define DUALSIM_QUERY_SYMMETRY_BREAKING_H_
+
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// Computes a set of partial orders that breaks the automorphisms of `q`
+/// (FindPartialOrders in Algorithm 1, using the symmetry-breaking algorithm
+/// of Grochow & Kellis [12]): repeatedly pick a vertex in a non-trivial
+/// orbit, constrain it to be the ≺-minimum of its orbit, and restrict to
+/// its stabilizer. With these constraints every subgraph occurrence has
+/// exactly one embedding satisfying all orders.
+std::vector<PartialOrder> FindPartialOrders(const QueryGraph& q);
+
+/// True when the map `m` (data ids indexed by query vertex) satisfies every
+/// order in `po`: m[first] < m[second].
+template <typename MappingArray>
+bool SatisfiesPartialOrders(const std::vector<PartialOrder>& po,
+                            const MappingArray& m) {
+  for (const PartialOrder& o : po) {
+    if (!(m[o.first] < m[o.second])) return false;
+  }
+  return true;
+}
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_SYMMETRY_BREAKING_H_

@@ -1,0 +1,45 @@
+#include "query/vertex_cover.h"
+
+namespace dualsim {
+namespace {
+
+std::vector<std::uint32_t> CoversOfMinSize(const QueryGraph& q,
+                                           bool require_connected) {
+  const std::uint8_t n = q.NumVertices();
+  std::vector<std::uint32_t> best;
+  int best_size = n + 1;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const int size = __builtin_popcount(mask);
+    if (size > best_size) continue;
+    if (!IsVertexCover(q, mask)) continue;
+    if (require_connected && !q.IsConnectedSubset(mask)) continue;
+    if (size < best_size) {
+      best_size = size;
+      best.clear();
+    }
+    best.push_back(mask);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool IsVertexCover(const QueryGraph& q, std::uint32_t mask) {
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if ((mask >> u) & 1u) continue;
+    // Every edge of a non-cover vertex must end in the cover; a neighbor
+    // outside the cover means an uncovered edge.
+    if ((q.NeighborMask(u) & ~mask) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> MinimumVertexCovers(const QueryGraph& q) {
+  return CoversOfMinSize(q, /*require_connected=*/false);
+}
+
+std::vector<std::uint32_t> MinimumConnectedVertexCovers(const QueryGraph& q) {
+  return CoversOfMinSize(q, /*require_connected=*/true);
+}
+
+}  // namespace dualsim

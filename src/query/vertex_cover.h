@@ -1,0 +1,25 @@
+#ifndef DUALSIM_QUERY_VERTEX_COVER_H_
+#define DUALSIM_QUERY_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace dualsim {
+
+/// True when the vertex set `mask` covers every edge of `q`.
+bool IsVertexCover(const QueryGraph& q, std::uint32_t mask);
+
+/// All minimum vertex covers of `q`, as vertex bitmasks (§2). Exhaustive
+/// search over subsets — NP-hard in general but |V_q| is tiny (paper: "its
+/// exponential complexity is not a problem in reality").
+std::vector<std::uint32_t> MinimumVertexCovers(const QueryGraph& q);
+
+/// All minimum *connected* vertex covers (MCVC, §2): covers whose induced
+/// subgraph is connected, of minimum size among such covers.
+std::vector<std::uint32_t> MinimumConnectedVertexCovers(const QueryGraph& q);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_QUERY_VERTEX_COVER_H_

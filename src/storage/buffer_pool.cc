@@ -1,0 +1,220 @@
+#include "storage/buffer_pool.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace dualsim {
+
+BufferPool::BufferPool(PageFile* file, std::size_t num_frames,
+                       ThreadPool* io_pool, BufferPoolOptions options)
+    : file_(file), io_pool_(io_pool), options_(options) {
+  DS_CHECK_GE(num_frames, 1u);
+  frames_.resize(num_frames);
+  storage_.resize(num_frames * file_->page_size());
+  free_frames_.reserve(num_frames);
+  for (std::uint32_t i = 0; i < num_frames; ++i) {
+    free_frames_.push_back(static_cast<std::uint32_t>(num_frames - 1 - i));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Wait for in-flight async reads so their callbacks don't touch a dead
+  // pool.
+  std::unique_lock<std::mutex> lock(mutex_);
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::uint32_t BufferPool::AllocateFrameLocked() {
+  if (!free_frames_.empty()) {
+    const std::uint32_t id = free_frames_.back();
+    free_frames_.pop_back();
+    return id;
+  }
+  if (!lru_.empty()) {
+    const std::uint32_t victim = lru_.front();
+    lru_.pop_front();
+    Frame& f = frames_[victim];
+    DS_CHECK_EQ(f.pins, 0u);
+    DS_CHECK(f.state == FrameState::kReady);
+    page_table_.erase(f.page);
+    f.page = kInvalidPage;
+    f.state = FrameState::kEmpty;
+    f.in_lru = false;
+    ++stats_.evictions;
+    return victim;
+  }
+  return static_cast<std::uint32_t>(frames_.size());
+}
+
+void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
+  const Status status = file_->ReadPage(pid, FrameData(frame_id));
+  if (options_.read_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.read_latency_us));
+  }
+
+  std::vector<PinCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Frame& f = frames_[frame_id];
+    ++stats_.physical_reads;
+    stats_.bytes_read += page_size();
+    if (status.ok()) {
+      f.state = FrameState::kReady;
+    } else {
+      // Failed read: drop the frame; waiters get the error.
+      page_table_.erase(pid);
+      f.page = kInvalidPage;
+      f.state = FrameState::kEmpty;
+      // Pins were credited optimistically at request time; undo them.
+      f.pins = 0;
+      free_frames_.push_back(frame_id);
+    }
+    callbacks.swap(f.waiters);
+    --inflight_;
+    if (inflight_ == 0) inflight_cv_.notify_all();
+  }
+  ready_cv_.notify_all();
+  const std::byte* data = status.ok() ? FrameData(frame_id) : nullptr;
+  for (PinCallback& cb : callbacks) cb(status, pid, data);
+}
+
+Status BufferPool::Pin(PageId pid, const std::byte** data) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto it = page_table_.find(pid);
+    if (it != page_table_.end()) {
+      Frame& f = frames_[it->second];
+      if (f.state == FrameState::kLoading) {
+        // Another thread is reading this page: wait for it.
+        ready_cv_.wait(lock);
+        continue;  // re-lookup: the load may have failed
+      }
+      if (f.pins == 0 && f.in_lru) {
+        lru_.erase(f.lru_it);
+        f.in_lru = false;
+      }
+      ++f.pins;
+      ++stats_.logical_hits;
+      *data = FrameData(it->second);
+      return Status::OK();
+    }
+    const std::uint32_t frame_id = AllocateFrameLocked();
+    if (frame_id == frames_.size()) {
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+    Frame& f = frames_[frame_id];
+    f.page = pid;
+    f.state = FrameState::kLoading;
+    f.pins = 1;
+    page_table_.emplace(pid, frame_id);
+    lock.unlock();
+
+    const Status status = file_->ReadPage(pid, FrameData(frame_id));
+    if (options_.read_latency_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.read_latency_us));
+    }
+
+    lock.lock();
+    ++stats_.physical_reads;
+    stats_.bytes_read += page_size();
+    std::vector<PinCallback> callbacks;
+    callbacks.swap(f.waiters);
+    if (!status.ok()) {
+      page_table_.erase(pid);
+      f.page = kInvalidPage;
+      f.state = FrameState::kEmpty;
+      f.pins = 0;
+      free_frames_.push_back(frame_id);
+      lock.unlock();
+      ready_cv_.notify_all();
+      for (PinCallback& cb : callbacks) cb(status, pid, nullptr);
+      return status;
+    }
+    f.state = FrameState::kReady;
+    *data = FrameData(frame_id);
+    lock.unlock();
+    ready_cv_.notify_all();
+    for (PinCallback& cb : callbacks) cb(status, pid, FrameData(frame_id));
+    return Status::OK();
+  }
+}
+
+void BufferPool::PinAsync(PageId pid, PinCallback callback) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.state == FrameState::kLoading) {
+      ++f.pins;  // credited now; LoadAndDispatch hands the pin to callback
+      f.waiters.push_back(std::move(callback));
+      return;
+    }
+    if (f.pins == 0 && f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    ++stats_.logical_hits;
+    const std::byte* data = FrameData(it->second);
+    lock.unlock();
+    callback(Status::OK(), pid, data);
+    return;
+  }
+  const std::uint32_t frame_id = AllocateFrameLocked();
+  if (frame_id == frames_.size()) {
+    lock.unlock();
+    callback(Status::ResourceExhausted("all buffer frames pinned"), pid,
+             nullptr);
+    return;
+  }
+  Frame& f = frames_[frame_id];
+  f.page = pid;
+  f.state = FrameState::kLoading;
+  f.pins = 1;
+  f.waiters.push_back(std::move(callback));
+  page_table_.emplace(pid, frame_id);
+  ++inflight_;
+  lock.unlock();
+  io_pool_->Enqueue([this, frame_id, pid] { LoadAndDispatch(frame_id, pid); });
+}
+
+void BufferPool::Unpin(PageId pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(pid);
+  DS_CHECK(it != page_table_.end());
+  Frame& f = frames_[it->second];
+  DS_CHECK_GT(f.pins, 0u);
+  if (--f.pins == 0 && f.state == FrameState::kReady) {
+    lru_.push_back(it->second);
+    f.lru_it = std::prev(lru_.end());
+    f.in_lru = true;
+  }
+}
+
+bool BufferPool::Contains(PageId pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = page_table_.find(pid);
+  return it != page_table_.end() &&
+         frames_[it->second].state == FrameState::kReady;
+}
+
+std::size_t BufferPool::AvailableFrames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_frames_.size() + lru_.size();
+}
+
+IoStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = IoStats{};
+}
+
+}  // namespace dualsim

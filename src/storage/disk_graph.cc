@@ -1,0 +1,188 @@
+#include "storage/disk_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+constexpr std::uint64_t kMetaMagic = 0x44534D4554413032ULL;  // "DSMETA02"
+
+struct MetaHeader {
+  std::uint64_t magic;
+  std::uint64_t page_size;
+  std::uint32_t num_vertices;
+  std::uint32_t num_pages;
+  std::uint64_t num_edges;
+  std::uint32_t all_single_page;
+  std::uint32_t reserved;
+};
+
+std::string MetaPath(const std::string& path) { return path + ".meta"; }
+
+}  // namespace
+
+Status BuildDiskGraph(const Graph& g, const std::string& path,
+                      std::size_t page_size, bool require_single_page) {
+  DUALSIM_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file,
+                           PageFile::Create(path, page_size));
+
+  const std::size_t max_chunk = PageWriter::MaxNeighborsPerPage(page_size);
+  if (max_chunk == 0) return Status::InvalidArgument("page size too small");
+
+  std::vector<PageId> first_page(g.NumVertices(), kInvalidPage);
+  std::vector<PageId> last_page(g.NumVertices(), kInvalidPage);
+  std::vector<VertexId> first_vertex;
+  std::vector<std::byte> buf(page_size);
+  PageWriter writer(buf.data(), page_size);
+  PageId current_page = 0;
+  VertexId current_first_vertex = kInvalidPage;
+  bool all_single_page = true;
+
+  auto flush = [&]() -> Status {
+    if (writer.NumRecords() == 0) return Status::OK();
+    DUALSIM_RETURN_IF_ERROR(file->WritePage(current_page, buf.data()));
+    first_vertex.push_back(current_first_vertex);
+    ++current_page;
+    writer = PageWriter(buf.data(), page_size);
+    current_first_vertex = kInvalidPage;
+    return Status::OK();
+  };
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto adj = g.Neighbors(v);
+    if (adj.size() > max_chunk && require_single_page) {
+      return Status::InvalidArgument(
+          "vertex adjacency exceeds page capacity (degree " +
+          std::to_string(adj.size()) + " > " + std::to_string(max_chunk) +
+          "); use a larger page size");
+    }
+    std::uint32_t offset = 0;
+    while (true) {
+      const std::size_t remaining = adj.size() - offset;
+      // Try to fit the rest of the list in the current page.
+      std::span<const VertexId> chunk =
+          adj.subspan(offset, std::min(remaining, max_chunk));
+      if (chunk.size() == remaining &&
+          writer.Append(v, static_cast<std::uint32_t>(adj.size()), offset,
+                        chunk)) {
+        if (first_page[v] == kInvalidPage) {
+          first_page[v] = current_page;
+          if (current_first_vertex == kInvalidPage) current_first_vertex = v;
+        }
+        last_page[v] = current_page;
+        break;
+      }
+      // Doesn't fit entirely. If the page already has records, close it and
+      // retry on a fresh page (avoids tiny fragments of big lists).
+      if (writer.NumRecords() > 0) {
+        DUALSIM_RETURN_IF_ERROR(flush());
+        continue;
+      }
+      // Fresh page and still too large: write a maximal sublist.
+      all_single_page = false;
+      DS_CHECK(writer.Append(v, static_cast<std::uint32_t>(adj.size()), offset,
+                             chunk));
+      if (first_page[v] == kInvalidPage) {
+        first_page[v] = current_page;
+        if (current_first_vertex == kInvalidPage) current_first_vertex = v;
+      }
+      last_page[v] = current_page;
+      offset += static_cast<std::uint32_t>(chunk.size());
+      DUALSIM_RETURN_IF_ERROR(flush());
+      if (offset >= adj.size()) break;
+    }
+  }
+  DUALSIM_RETURN_IF_ERROR(flush());
+  DUALSIM_RETURN_IF_ERROR(file->Sync());
+
+  // Catalog.
+  std::FILE* meta = std::fopen(MetaPath(path).c_str(), "wb");
+  if (meta == nullptr) return Status::IOError("cannot open " + MetaPath(path));
+  MetaHeader header{kMetaMagic,
+                    page_size,
+                    g.NumVertices(),
+                    current_page,
+                    g.NumEdges(),
+                    all_single_page ? 1u : 0u,
+                    0};
+  bool ok = std::fwrite(&header, sizeof(header), 1, meta) == 1;
+  ok = ok && (first_page.empty() ||
+              std::fwrite(first_page.data(), sizeof(PageId), first_page.size(),
+                          meta) == first_page.size());
+  ok = ok && (last_page.empty() ||
+              std::fwrite(last_page.data(), sizeof(PageId), last_page.size(),
+                          meta) == last_page.size());
+  ok = ok && (first_vertex.empty() ||
+              std::fwrite(first_vertex.data(), sizeof(VertexId),
+                          first_vertex.size(), meta) == first_vertex.size());
+  std::fclose(meta);
+  if (!ok) return Status::IOError("short write to " + MetaPath(path));
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(const std::string& path,
+                                                     bool bypass_os_cache) {
+  std::FILE* meta = std::fopen(MetaPath(path).c_str(), "rb");
+  if (meta == nullptr) return Status::IOError("cannot open " + MetaPath(path));
+  MetaHeader header;
+  if (std::fread(&header, sizeof(header), 1, meta) != 1) {
+    std::fclose(meta);
+    return Status::IOError("short read from " + MetaPath(path));
+  }
+  if (header.magic != kMetaMagic) {
+    std::fclose(meta);
+    return Status::InvalidArgument("bad meta magic in " + MetaPath(path));
+  }
+  std::vector<PageId> first_page(header.num_vertices);
+  std::vector<PageId> last_page(header.num_vertices);
+  std::vector<VertexId> first_vertex(header.num_pages);
+  bool ok = first_page.empty() ||
+            std::fread(first_page.data(), sizeof(PageId), first_page.size(),
+                       meta) == first_page.size();
+  ok = ok && (last_page.empty() ||
+              std::fread(last_page.data(), sizeof(PageId), last_page.size(),
+                         meta) == last_page.size());
+  ok = ok && (first_vertex.empty() ||
+              std::fread(first_vertex.data(), sizeof(VertexId),
+                         first_vertex.size(), meta) == first_vertex.size());
+  std::fclose(meta);
+  if (!ok) return Status::IOError("short read from " + MetaPath(path));
+
+  DUALSIM_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageFile> file,
+      PageFile::Open(path, header.page_size, bypass_os_cache));
+  if (file->num_pages() != header.num_pages) {
+    return Status::InvalidArgument("meta/page-file mismatch for " + path);
+  }
+  return std::unique_ptr<DiskGraph>(
+      new DiskGraph(std::move(file), std::move(first_page),
+                    std::move(last_page), std::move(first_vertex),
+                    header.num_edges, header.all_single_page != 0));
+}
+
+DiskGraph::DiskGraph(std::unique_ptr<PageFile> file,
+                     std::vector<PageId> first_page,
+                     std::vector<PageId> last_page,
+                     std::vector<VertexId> first_vertex, EdgeId num_edges,
+                     bool all_single_page)
+    : file_(std::move(file)),
+      first_page_(std::move(first_page)),
+      last_page_(std::move(last_page)),
+      first_vertex_(std::move(first_vertex)),
+      num_edges_(num_edges),
+      all_single_page_(all_single_page) {
+  spans_beyond_.assign(file_->num_pages(), false);
+  for (VertexId v = 0; v < first_page_.size(); ++v) {
+    const PageId first = first_page_[v];
+    const PageId last = last_page_[v];
+    if (first == kInvalidPage) continue;
+    max_vertex_pages_ = std::max(max_vertex_pages_, last - first + 1);
+    for (PageId p = first; p < last; ++p) spans_beyond_[p] = true;
+  }
+}
+
+}  // namespace dualsim

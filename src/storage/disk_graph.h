@@ -1,0 +1,85 @@
+#ifndef DUALSIM_STORAGE_DISK_GRAPH_H_
+#define DUALSIM_STORAGE_DISK_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Writes `g` (which must already be in ≺ order — see ReorderByDegree) to a
+/// slotted-page database at `path` (+ `.meta` catalog). Vertices are laid
+/// out in id order, so P(v) is non-decreasing in v (Lemma 1). Adjacency
+/// lists larger than a page are split into sublists across consecutive
+/// pages unless `require_single_page` is set, in which case building fails
+/// for such vertices (the enumeration engine assumes the paper's
+/// small-degree case; see DESIGN.md).
+Status BuildDiskGraph(const Graph& g, const std::string& path,
+                      std::size_t page_size,
+                      bool require_single_page = false);
+
+/// Read-side handle: the page file plus the in-memory catalog (vertex →
+/// first page, page → first record's vertex). The adjacency data itself
+/// stays on disk and is only reachable through a BufferPool.
+class DiskGraph {
+ public:
+  static StatusOr<std::unique_ptr<DiskGraph>> Open(
+      const std::string& path, bool bypass_os_cache = true);
+
+  const PageFile& file() const { return *file_; }
+  PageFile& file() { return *file_; }
+
+  std::size_t page_size() const { return file_->page_size(); }
+  PageId num_pages() const { return file_->num_pages(); }
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(first_page_.size());
+  }
+  EdgeId num_edges() const { return num_edges_; }
+
+  /// P(v): page holding the first sublist of v's adjacency list.
+  PageId FirstPageOf(VertexId v) const { return first_page_[v]; }
+
+  /// The whole P(·) map, indexed by vertex id.
+  std::span<const PageId> FirstPageMap() const { return first_page_; }
+
+  /// Page holding the last sublist of v's adjacency list (== FirstPageOf
+  /// for single-page vertices).
+  PageId LastPageOf(VertexId v) const { return last_page_[v]; }
+
+  /// Smallest vertex with a record starting in page `pid`.
+  VertexId FirstVertexOf(PageId pid) const { return first_vertex_[pid]; }
+
+  /// True when every vertex's adjacency list fits in one page.
+  bool AllSinglePage() const { return all_single_page_; }
+
+  /// True when some vertex's adjacency continues from page `pid` into
+  /// `pid`+1; such pages must stay in one window (paper §5.2's
+  /// large-degree handling requires whole adjacency lists per area).
+  bool SpansBeyond(PageId pid) const { return spans_beyond_[pid]; }
+
+  /// Largest number of pages any single vertex's adjacency occupies.
+  std::uint32_t MaxVertexPages() const { return max_vertex_pages_; }
+
+ private:
+  DiskGraph(std::unique_ptr<PageFile> file, std::vector<PageId> first_page,
+            std::vector<PageId> last_page, std::vector<VertexId> first_vertex,
+            EdgeId num_edges, bool all_single_page);
+
+  std::unique_ptr<PageFile> file_;
+  std::vector<PageId> first_page_;
+  std::vector<PageId> last_page_;
+  std::vector<VertexId> first_vertex_;
+  std::vector<bool> spans_beyond_;
+  EdgeId num_edges_;
+  bool all_single_page_;
+  std::uint32_t max_vertex_pages_ = 1;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_STORAGE_DISK_GRAPH_H_

@@ -1,0 +1,141 @@
+#ifndef DUALSIM_STORAGE_EXTERNAL_SORT_H_
+#define DUALSIM_STORAGE_EXTERNAL_SORT_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Counters for one external sort.
+struct ExternalSortStats {
+  std::uint64_t records = 0;
+  std::uint64_t runs = 0;           // spilled sorted runs
+  std::uint64_t spilled_bytes = 0;  // bytes written to run files
+};
+
+/// External merge sort over fixed-size trivially-copyable records with a
+/// bounded in-memory buffer. Used by the preprocessing step (paper §6.2.1):
+/// the database is reordered by ≺ via "an external sort of the original
+/// database" with cost O(n_p log n_p).
+///
+/// Usage: Add() all records, call Finish(), then drain with Next().
+/// Run files are anonymous tmpfile()s, deleted automatically.
+template <typename Record, typename Less = std::less<Record>>
+class ExternalSorter {
+ public:
+  /// `memory_budget_bytes` bounds the in-memory buffer (>= one record).
+  explicit ExternalSorter(std::size_t memory_budget_bytes, Less less = Less())
+      : less_(less),
+        capacity_(std::max<std::size_t>(1, memory_budget_bytes /
+                                               sizeof(Record))) {
+    buffer_.reserve(capacity_);
+  }
+
+  ~ExternalSorter() {
+    for (RunReader& r : runs_) {
+      if (r.file != nullptr) std::fclose(r.file);
+    }
+  }
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  Status Add(const Record& record) {
+    ++stats_.records;
+    buffer_.push_back(record);
+    if (buffer_.size() >= capacity_) return SpillRun();
+    return Status::OK();
+  }
+
+  /// Sorts the tail buffer and prepares the merged stream.
+  Status Finish() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    buffer_pos_ = 0;
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      DUALSIM_RETURN_IF_ERROR(FillRun(i));
+      if (runs_[i].valid) heap_.push(i);
+    }
+    finished_ = true;
+    return Status::OK();
+  }
+
+  /// Pops the next record in sorted order; false when drained.
+  bool Next(Record* out) {
+    // Merge the in-memory tail with the spilled runs.
+    const bool buffer_has = buffer_pos_ < buffer_.size();
+    if (heap_.empty()) {
+      if (!buffer_has) return false;
+      *out = buffer_[buffer_pos_++];
+      return true;
+    }
+    const std::size_t top = heap_.top();
+    if (buffer_has && less_(buffer_[buffer_pos_], runs_[top].current)) {
+      *out = buffer_[buffer_pos_++];
+      return true;
+    }
+    *out = runs_[top].current;
+    heap_.pop();
+    if (FillRun(top).ok() && runs_[top].valid) heap_.push(top);
+    return true;
+  }
+
+  const ExternalSortStats& stats() const { return stats_; }
+
+ private:
+  struct RunReader {
+    std::FILE* file = nullptr;
+    Record current;
+    bool valid = false;
+  };
+
+  struct HeapLess {
+    explicit HeapLess(ExternalSorter* sorter) : sorter(sorter) {}
+    // priority_queue is a max-heap; invert for min-heap semantics.
+    bool operator()(std::size_t a, std::size_t b) const {
+      return sorter->less_(sorter->runs_[b].current,
+                           sorter->runs_[a].current);
+    }
+    ExternalSorter* sorter;
+  };
+
+  Status SpillRun() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    std::FILE* f = std::tmpfile();
+    if (f == nullptr) return Status::IOError("tmpfile() failed");
+    if (std::fwrite(buffer_.data(), sizeof(Record), buffer_.size(), f) !=
+        buffer_.size()) {
+      std::fclose(f);
+      return Status::IOError("short write to run file");
+    }
+    std::rewind(f);
+    runs_.push_back(RunReader{f, Record{}, false});
+    ++stats_.runs;
+    stats_.spilled_bytes += buffer_.size() * sizeof(Record);
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status FillRun(std::size_t i) {
+    RunReader& r = runs_[i];
+    r.valid = std::fread(&r.current, sizeof(Record), 1, r.file) == 1;
+    return Status::OK();
+  }
+
+  Less less_;
+  std::size_t capacity_;
+  std::vector<Record> buffer_;
+  std::size_t buffer_pos_ = 0;
+  std::vector<RunReader> runs_;
+  std::priority_queue<std::size_t, std::vector<std::size_t>, HeapLess> heap_{
+      HeapLess(this)};
+  ExternalSortStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_STORAGE_EXTERNAL_SORT_H_

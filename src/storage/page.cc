@@ -1,0 +1,100 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace dualsim {
+namespace {
+
+constexpr std::size_t kSlotBytes = sizeof(std::uint32_t);
+constexpr std::size_t kRecordHeaderBytes = 4 * sizeof(std::uint32_t);
+
+std::uint32_t LoadU32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+std::uint32_t PageView::NumRecords() const {
+  return LoadU32(data_);  // PageHeader.num_records
+}
+
+VertexRecord PageView::GetRecord(std::uint32_t slot) const {
+  DS_CHECK_LT(slot, NumRecords());
+  const std::byte* slot_ptr =
+      data_ + page_size_ - (static_cast<std::size_t>(slot) + 1) * kSlotBytes;
+  const std::uint32_t offset = LoadU32(slot_ptr);
+  const std::byte* rec = data_ + offset;
+  VertexRecord out;
+  out.vertex = LoadU32(rec);
+  out.total_degree = LoadU32(rec + 4);
+  out.sublist_offset = LoadU32(rec + 8);
+  const std::uint32_t count = LoadU32(rec + 12);
+  out.neighbors = {reinterpret_cast<const VertexId*>(rec + 16), count};
+  return out;
+}
+
+PageWriter::PageWriter(std::byte* data, std::size_t page_size)
+    : data_(data), page_size_(page_size) {
+  std::memset(data_, 0, page_size_);
+}
+
+std::size_t PageWriter::FreeBytes() const {
+  const std::uint32_t num_records = LoadU32(data_);
+  const std::uint32_t data_bytes = LoadU32(data_ + 4);
+  const std::size_t used = sizeof(PageHeader) + data_bytes +
+                           static_cast<std::size_t>(num_records) * kSlotBytes;
+  return page_size_ - used;
+}
+
+std::size_t PageWriter::RecordBytes(std::size_t count) {
+  return kRecordHeaderBytes + count * sizeof(VertexId) + kSlotBytes;
+}
+
+std::size_t PageWriter::MaxNeighborsPerPage(std::size_t page_size) {
+  const std::size_t avail =
+      page_size - sizeof(PageHeader) - kRecordHeaderBytes - kSlotBytes;
+  return avail / sizeof(VertexId);
+}
+
+bool PageWriter::Append(VertexId vertex, std::uint32_t total_degree,
+                        std::uint32_t sublist_offset,
+                        std::span<const VertexId> chunk) {
+  const std::size_t needed = RecordBytes(chunk.size());
+  if (needed > FreeBytes()) return false;
+
+  const std::uint32_t num_records = LoadU32(data_);
+  const std::uint32_t data_bytes = LoadU32(data_ + 4);
+  const std::uint32_t rec_offset =
+      static_cast<std::uint32_t>(sizeof(PageHeader)) + data_bytes;
+
+  std::byte* rec = data_ + rec_offset;
+  StoreU32(rec, vertex);
+  StoreU32(rec + 4, total_degree);
+  StoreU32(rec + 8, sublist_offset);
+  StoreU32(rec + 12, static_cast<std::uint32_t>(chunk.size()));
+  if (!chunk.empty()) {
+    std::memcpy(rec + 16, chunk.data(), chunk.size() * sizeof(VertexId));
+  }
+
+  std::byte* slot_ptr =
+      data_ + page_size_ -
+      (static_cast<std::size_t>(num_records) + 1) * kSlotBytes;
+  StoreU32(slot_ptr, rec_offset);
+
+  StoreU32(data_, num_records + 1);
+  StoreU32(data_ + 4,
+           data_bytes + static_cast<std::uint32_t>(kRecordHeaderBytes +
+                                                   chunk.size() *
+                                                       sizeof(VertexId)));
+  return true;
+}
+
+std::uint32_t PageWriter::NumRecords() const { return LoadU32(data_); }
+
+}  // namespace dualsim

@@ -1,0 +1,96 @@
+#ifndef DUALSIM_STORAGE_PAGE_H_
+#define DUALSIM_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace dualsim {
+
+/// Identifier of an on-disk page. Pages are numbered 0..n-1 in file order;
+/// because the database is written in ≺ order, page ids are monotone in the
+/// vertex order (Lemma 1 of the paper).
+using PageId = std::uint32_t;
+
+/// Invalid page sentinel.
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Slotted-page layout (paper §2: "we use the slotted page format, which is
+/// widely used in database systems"):
+///
+///   [PageHeader][record 0][record 1]...        ...[slot n-1]...[slot 0]
+///
+/// Each record holds one adjacency sublist:
+///   vid (u32) | total_degree (u32) | sublist_offset (u32) | count (u32)
+///   | count * neighbor (u32)
+///
+/// When adj(v) is larger than a page, it is broken into sublists stored in
+/// consecutive pages (paper §2); `sublist_offset` is the index of the first
+/// neighbor of this sublist within the full adjacency list.
+struct PageHeader {
+  std::uint32_t num_records;
+  std::uint32_t data_bytes;  // bytes used by records (excluding slots)
+};
+
+/// One adjacency-sublist record decoded from a page.
+struct VertexRecord {
+  VertexId vertex;
+  std::uint32_t total_degree;
+  std::uint32_t sublist_offset;
+  std::span<const VertexId> neighbors;
+
+  /// True when this record holds the entire adjacency list.
+  bool IsComplete() const {
+    return sublist_offset == 0 && neighbors.size() == total_degree;
+  }
+};
+
+/// Read-only view over a raw page buffer.
+class PageView {
+ public:
+  PageView(const std::byte* data, std::size_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  std::uint32_t NumRecords() const;
+  VertexRecord GetRecord(std::uint32_t slot) const;
+
+  /// First/last vertex id stored in the page (pages are written in vertex
+  /// order, so records are sorted by vid).
+  VertexId FirstVertex() const { return GetRecord(0).vertex; }
+  VertexId LastVertex() const { return GetRecord(NumRecords() - 1).vertex; }
+
+ private:
+  const std::byte* data_;
+  std::size_t page_size_;
+};
+
+/// Incremental writer for one page buffer.
+class PageWriter {
+ public:
+  PageWriter(std::byte* data, std::size_t page_size);
+
+  /// Bytes still available for a new record (slot included).
+  std::size_t FreeBytes() const;
+
+  /// Space one record with `count` neighbors needs (record + slot).
+  static std::size_t RecordBytes(std::size_t count);
+
+  /// Largest neighbor count that still fits in an empty page of given size.
+  static std::size_t MaxNeighborsPerPage(std::size_t page_size);
+
+  /// Appends a record; returns false when it does not fit.
+  bool Append(VertexId vertex, std::uint32_t total_degree,
+              std::uint32_t sublist_offset, std::span<const VertexId> chunk);
+
+  std::uint32_t NumRecords() const;
+
+ private:
+  std::byte* data_;
+  std::size_t page_size_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_STORAGE_PAGE_H_

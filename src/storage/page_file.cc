@@ -1,0 +1,111 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dualsim {
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
+                                                     std::size_t page_size) {
+  if (page_size < 64 || page_size % 8 != 0) {
+    return Status::InvalidArgument("bad page size");
+  }
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) return Status::IOError(Errno("create", path));
+  return std::unique_ptr<PageFile>(
+      new PageFile(fd, path, page_size, /*num_pages=*/0,
+                   /*bypass_os_cache=*/false));
+}
+
+StatusOr<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
+                                                   std::size_t page_size,
+                                                   bool bypass_os_cache) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IOError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat", path));
+  }
+  if (st.st_size % static_cast<off_t>(page_size) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("file size not a multiple of page size: " +
+                                   path);
+  }
+  const PageId num_pages =
+      static_cast<PageId>(st.st_size / static_cast<off_t>(page_size));
+#ifdef POSIX_FADV_DONTNEED
+  if (bypass_os_cache) {
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  }
+#endif
+  return std::unique_ptr<PageFile>(
+      new PageFile(fd, path, page_size, num_pages, bypass_os_cache));
+}
+
+Status PageFile::ReadPage(PageId pid, std::byte* out) const {
+  if (pid >= num_pages_) return Status::InvalidArgument("page out of range");
+  const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+  std::size_t done = 0;
+  while (done < page_size_) {
+    const ssize_t n = ::pread(fd_, out + done, page_size_ - done,
+                              offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pread", path_));
+    }
+    if (n == 0) return Status::IOError("short read from " + path_);
+    done += static_cast<std::size_t>(n);
+  }
+#ifdef POSIX_FADV_DONTNEED
+  if (bypass_os_cache_) {
+    ::posix_fadvise(fd_, offset, static_cast<off_t>(page_size_),
+                    POSIX_FADV_DONTNEED);
+  }
+#endif
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId pid, const std::byte* data) {
+  const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+  std::size_t done = 0;
+  while (done < page_size_) {
+    const ssize_t n = ::pwrite(fd_, data + done, page_size_ - done,
+                               offset + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pwrite", path_));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (pid >= num_pages_) num_pages_ = pid + 1;
+  return Status::OK();
+}
+
+StatusOr<PageId> PageFile::AppendPage(const std::byte* data) {
+  const PageId pid = num_pages_;
+  DUALSIM_RETURN_IF_ERROR(WritePage(pid, data));
+  return pid;
+}
+
+Status PageFile::Sync() {
+  if (::fsync(fd_) != 0) return Status::IOError(Errno("fsync", path_));
+  return Status::OK();
+}
+
+}  // namespace dualsim

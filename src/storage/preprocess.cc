@@ -1,0 +1,92 @@
+#include "storage/preprocess.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "graph/reorder.h"
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+struct DirectedEdge {
+  VertexId src;
+  VertexId dst;
+  bool operator<(const DirectedEdge& other) const {
+    if (src != other.src) return src < other.src;
+    return dst < other.dst;
+  }
+};
+
+}  // namespace
+
+StatusOr<PreprocessResult> ExternalReorder(const Graph& g,
+                                           std::size_t memory_budget_bytes) {
+  // Pass 1 (in memory; degrees are O(|V|)): the ≺ permutation.
+  const std::vector<VertexId> perm = DegreeOrderPermutation(g);
+  std::vector<VertexId> new_id(perm.size());
+  for (std::size_t rank = 0; rank < perm.size(); ++rank) {
+    new_id[perm[rank]] = static_cast<VertexId>(rank);
+  }
+
+  // Pass 2: stream every directed edge through the external sorter with the
+  // new ids. This is the paper's "external sort of the original database
+  // ... at the last level we also update adjacency lists of all reordered
+  // vertices" — relabeling happens before the sort, so the merge output is
+  // exactly the new database order.
+  ExternalSorter<DirectedEdge> sorter(memory_budget_bytes);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      DUALSIM_RETURN_IF_ERROR(sorter.Add({new_id[v], new_id[w]}));
+    }
+  }
+  DUALSIM_RETURN_IF_ERROR(sorter.Finish());
+
+  // Pass 3: rebuild CSR from the sorted stream.
+  const std::uint32_t n = g.NumVertices();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(g.NumEdges() * 2);
+  DirectedEdge e;
+  while (sorter.Next(&e)) {
+    ++offsets[e.src + 1];
+    neighbors.push_back(e.dst);
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  PreprocessResult result{Graph(std::move(offsets), std::move(neighbors)),
+                          sorter.stats()};
+  return result;
+}
+
+Graph PartiallySortedGraph(const Graph& g, double sorted_fraction,
+                           std::uint64_t seed) {
+  const Graph ordered = ReorderByDegree(g);
+  const std::uint32_t n = ordered.NumVertices();
+  const auto keep_sorted =
+      static_cast<std::uint32_t>(static_cast<double>(n) * sorted_fraction);
+  // Pick the "appended" vertices at random, keep the rest in ≺ order, then
+  // append the picked ones (shuffled) at the end.
+  Random rng(seed);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Partial Fisher-Yates from the back: the last n-keep_sorted positions.
+  for (std::uint32_t i = n; i > keep_sorted; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.Uniform(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  std::sort(order.begin(), order.begin() + keep_sorted);
+
+  std::vector<VertexId> new_id(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) new_id[order[pos]] = pos;
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : ordered.Neighbors(v)) {
+      if (v < w) builder.AddEdge(new_id[v], new_id[w]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace dualsim

@@ -1,0 +1,35 @@
+#ifndef DUALSIM_STORAGE_PREPROCESS_H_
+#define DUALSIM_STORAGE_PREPROCESS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "storage/external_sort.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Result of the preprocessing step.
+struct PreprocessResult {
+  Graph reordered;  // graph with ids following ≺
+  ExternalSortStats sort_stats;
+};
+
+/// The paper's preprocessing (§6.2.1): relabel every vertex by the ≺ order
+/// (degree, then id) and rewrite all adjacency lists with the new ids,
+/// using an external merge sort with a bounded memory budget. The output
+/// graph is ready for BuildDiskGraph.
+StatusOr<PreprocessResult> ExternalReorder(const Graph& g,
+                                           std::size_t memory_budget_bytes);
+
+/// Simulates an evolving graph (paper §6.2.1, Table 3 discussion): keeps
+/// `sorted_fraction` of vertices in ≺ order and appends the rest at the end
+/// out of order (paper: 95% sorted, 5% appended, 14.7–15.9% slowdown).
+/// The result is a valid data graph, just with a partially broken ≺ order,
+/// so the engine's id-order pruning loses some effectiveness.
+Graph PartiallySortedGraph(const Graph& g, double sorted_fraction,
+                           std::uint64_t seed);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_STORAGE_PREPROCESS_H_

@@ -1,0 +1,60 @@
+#include "util/bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dualsim {
+
+void Bitmap::Resize(std::size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+void Bitmap::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitmap::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~0ULL);
+  // Clear the tail bits beyond num_bits_.
+  if (num_bits_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << (num_bits_ % 64)) - 1;
+  }
+}
+
+std::size_t Bitmap::Count() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : words_) count += __builtin_popcountll(w);
+  return count;
+}
+
+bool Bitmap::Empty() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+void Bitmap::Union(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::Intersect(const Bitmap& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+std::size_t Bitmap::FindNext(std::size_t from) const {
+  if (from >= num_bits_) return num_bits_;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (word != 0) {
+      std::size_t bit = w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
+      return bit < num_bits_ ? bit : num_bits_;
+    }
+    if (++w >= words_.size()) return num_bits_;
+    word = words_[w];
+  }
+}
+
+}  // namespace dualsim

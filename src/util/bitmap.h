@@ -1,0 +1,70 @@
+#ifndef DUALSIM_UTIL_BITMAP_H_
+#define DUALSIM_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dualsim {
+
+/// Dynamically sized bitset. Used to hold candidate-vertex sets per
+/// v-group-forest level: the paper bounds partial state by
+/// O(|V_R| * |V_g|) bits instead of exponential partial solutions.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t num_bits) { Resize(num_bits); }
+
+  /// Grows or shrinks to `num_bits`; newly added bits are zero.
+  void Resize(std::size_t num_bits);
+
+  std::size_t size() const { return num_bits_; }
+
+  void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Sets every bit to zero.
+  void ClearAll();
+  /// Sets every bit (within size()) to one.
+  void SetAll();
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True when no bit is set.
+  bool Empty() const;
+
+  /// this |= other. Sizes must match.
+  void Union(const Bitmap& other);
+  /// this &= other. Sizes must match.
+  void Intersect(const Bitmap& other);
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t FindNext(std::size_t from) const;
+
+  /// Calls fn(i) for each set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const Bitmap& other) const = default;
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_UTIL_BITMAP_H_

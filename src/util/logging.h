@@ -1,0 +1,76 @@
+#ifndef DUALSIM_UTIL_LOGGING_H_
+#define DUALSIM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dualsim {
+
+/// Severity levels in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Messages below this level are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define DS_LOG(severity)                                         \
+  ::dualsim::internal_logging::LogMessage(                       \
+      ::dualsim::LogLevel::k##severity, __FILE__, __LINE__)      \
+      .stream()
+
+/// Aborts with a message when `cond` is false, in all build modes.
+#define DS_CHECK(cond)                                                    \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::dualsim::internal_logging::FatalLogMessage(__FILE__, __LINE__,      \
+                                                 #cond)                   \
+        .stream()
+
+#define DS_CHECK_EQ(a, b) DS_CHECK((a) == (b))
+#define DS_CHECK_NE(a, b) DS_CHECK((a) != (b))
+#define DS_CHECK_LT(a, b) DS_CHECK((a) < (b))
+#define DS_CHECK_LE(a, b) DS_CHECK((a) <= (b))
+#define DS_CHECK_GT(a, b) DS_CHECK((a) > (b))
+#define DS_CHECK_GE(a, b) DS_CHECK((a) >= (b))
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_UTIL_LOGGING_H_

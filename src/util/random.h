@@ -1,0 +1,40 @@
+#ifndef DUALSIM_UTIL_RANDOM_H_
+#define DUALSIM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace dualsim {
+
+/// Small, fast, reproducible PRNG (splitmix64 core). Deterministic for a
+/// given seed on every platform; used by all graph generators so datasets
+/// are bit-identical across runs.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_UTIL_RANDOM_H_

@@ -1,0 +1,137 @@
+#ifndef DUALSIM_UTIL_STATUS_H_
+#define DUALSIM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dualsim {
+
+/// Error categories used across the library. Library code never throws;
+/// every fallible operation returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfMemory,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("OK", "IOError").
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus an optional
+/// message. The OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Accessing the value of a
+/// failed StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT: implicit
+    assert(!std::get<Status>(data_).ok() && "OK status requires a value");
+  }
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT: implicit
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define DUALSIM_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::dualsim::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// moves the value into `lhs`.
+#define DUALSIM_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DUALSIM_CONCAT_(_sor_, __LINE__) = (expr);     \
+  if (!DUALSIM_CONCAT_(_sor_, __LINE__).ok())         \
+    return DUALSIM_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(DUALSIM_CONCAT_(_sor_, __LINE__)).value()
+
+#define DUALSIM_CONCAT_(a, b) DUALSIM_CONCAT_IMPL_(a, b)
+#define DUALSIM_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_UTIL_STATUS_H_

@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dualsim {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(pool.Submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace dualsim

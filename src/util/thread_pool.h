@@ -1,0 +1,69 @@
+#ifndef DUALSIM_UTIL_THREAD_POOL_H_
+#define DUALSIM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dualsim {
+
+/// Fixed-size worker pool. Used both as the I/O completion pool of the
+/// buffer manager and as the CPU pool for internal/external enumeration.
+///
+/// Thread morphing (paper §5.3): internal and external enumeration submit
+/// work to the same pool, so when one side drains its tasks the workers
+/// naturally pick up the other side's remaining tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn`; returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Enqueues `fn` without a future (fire and forget).
+  void Enqueue(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  /// Tasks may enqueue further tasks; those are waited for too.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+/// `grain` items are processed per task to limit scheduling overhead.
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 1);
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_UTIL_THREAD_POOL_H_

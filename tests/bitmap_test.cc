@@ -1,0 +1,116 @@
+#include "util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.Empty());
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, SetAllRespectsSize) {
+  Bitmap b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ClearAll();
+  EXPECT_TRUE(b.Empty());
+}
+
+TEST(BitmapTest, UnionIntersect) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(3);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  Bitmap u = a;
+  u.Union(b);
+  EXPECT_EQ(u.Count(), 3u);
+  Bitmap i = a;
+  i.Intersect(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(50));
+}
+
+TEST(BitmapTest, FindNextWalksSetBits) {
+  Bitmap b(200);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindNext(0), 5u);
+  EXPECT_EQ(b.FindNext(5), 5u);
+  EXPECT_EQ(b.FindNext(6), 64u);
+  EXPECT_EQ(b.FindNext(65), 199u);
+  EXPECT_EQ(b.FindNext(200), 200u);  // past the end
+}
+
+TEST(BitmapTest, FindNextOnEmpty) {
+  Bitmap b(77);
+  EXPECT_EQ(b.FindNext(0), 77u);
+}
+
+TEST(BitmapTest, ForEachVisitsAscending) {
+  Bitmap b(150);
+  std::set<std::size_t> want = {0, 1, 63, 64, 65, 149};
+  for (std::size_t i : want) b.Set(i);
+  std::vector<std::size_t> got;
+  b.ForEach([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::size_t>(want.begin(), want.end()));
+}
+
+TEST(BitmapTest, RandomizedAgainstStdSet) {
+  Random rng(7);
+  Bitmap b(1000);
+  std::set<std::size_t> model;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t x = rng.Uniform(1000);
+    if (rng.Bernoulli(0.5)) {
+      b.Set(x);
+      model.insert(x);
+    } else {
+      b.Clear(x);
+      model.erase(x);
+    }
+  }
+  EXPECT_EQ(b.Count(), model.size());
+  for (std::size_t x = 0; x < 1000; ++x) {
+    EXPECT_EQ(b.Test(x), model.count(x) > 0) << x;
+  }
+  // FindNext agrees with the model's lower_bound.
+  for (std::size_t from = 0; from < 1000; from += 13) {
+    auto it = model.lower_bound(from);
+    const std::size_t want = it == model.end() ? 1000 : *it;
+    EXPECT_EQ(b.FindNext(from), want);
+  }
+}
+
+TEST(BitmapTest, ResizeClearsContents) {
+  Bitmap b(10);
+  b.Set(3);
+  b.Resize(20);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.size(), 20u);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,102 @@
+#include "baseline/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "query/queries.h"
+#include "query/symmetry_breaking.h"
+
+namespace dualsim {
+namespace {
+
+std::uint64_t Choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(BruteForceTest, TrianglesInCompleteGraph) {
+  // K_n contains C(n,3) triangles.
+  for (std::uint32_t n : {3u, 4u, 6u, 8u}) {
+    EXPECT_EQ(CountOccurrences(Complete(n), MakeCliqueQuery(3)),
+              Choose(n, 3))
+        << n;
+  }
+}
+
+TEST(BruteForceTest, CliquesInCompleteGraph) {
+  EXPECT_EQ(CountOccurrences(Complete(6), MakeCliqueQuery(4)), Choose(6, 4));
+  EXPECT_EQ(CountOccurrences(Complete(7), MakeCliqueQuery(5)), Choose(7, 5));
+}
+
+TEST(BruteForceTest, SquaresInCompleteGraph) {
+  // #4-cycles in K_n = 3 * C(n,4) (each 4-subset hosts 3 distinct cycles).
+  EXPECT_EQ(CountOccurrences(Complete(5), MakeCycleQuery(4)),
+            3 * Choose(5, 4));
+  EXPECT_EQ(CountOccurrences(Complete(6), MakeCycleQuery(4)),
+            3 * Choose(6, 4));
+}
+
+TEST(BruteForceTest, EdgesCountedOnce) {
+  Graph g = ErdosRenyi(50, 120, 1);
+  EXPECT_EQ(CountOccurrences(g, MakePathQuery(2)), g.NumEdges());
+}
+
+TEST(BruteForceTest, CycleHasNoTriangles) {
+  EXPECT_EQ(CountOccurrences(Cycle(10), MakeCliqueQuery(3)), 0u);
+}
+
+TEST(BruteForceTest, SquareInCycle) {
+  // C4 contains exactly one square; C5 none.
+  EXPECT_EQ(CountOccurrences(Cycle(4), MakeCycleQuery(4)), 1u);
+  EXPECT_EQ(CountOccurrences(Cycle(5), MakeCycleQuery(4)), 0u);
+}
+
+TEST(BruteForceTest, PathsInPathGraph) {
+  // P5 graph (5 vertices in a line) contains 3 copies of P3.
+  EXPECT_EQ(CountOccurrences(Path(5), MakePathQuery(3)), 3u);
+}
+
+TEST(BruteForceTest, StarsInStarGraph) {
+  // Star query with k leaves in a star graph with m leaves: C(m, k)
+  // placements (center forced; leaves interchangeable under symmetry).
+  EXPECT_EQ(CountOccurrences(Star(6), MakeStarQuery(3)), Choose(5, 3));
+}
+
+TEST(BruteForceTest, HouseInCompleteGraph) {
+  // K5: every 5-subset (just one) hosts 5!/|Aut(house)| = 120/2 = 60.
+  EXPECT_EQ(CountOccurrences(Complete(5), MakePaperQuery(PaperQuery::kQ5)),
+            60u);
+}
+
+TEST(BruteForceTest, VisitorSeesEveryEmbeddingOnce) {
+  Graph g = ErdosRenyi(30, 90, 3);
+  const QueryGraph q = MakeCliqueQuery(3);
+  auto orders = FindPartialOrders(q);
+  std::vector<Embedding> seen;
+  const std::uint64_t n = EnumerateBruteForce(
+      g, q, orders, [&](const Embedding& m) { seen.push_back(m); });
+  EXPECT_EQ(n, seen.size());
+  // All embeddings distinct, satisfy orders and edges.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const auto& m : seen) {
+    EXPECT_TRUE(SatisfiesPartialOrders(orders, m));
+    for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+      for (QueryVertex v = u + 1; v < q.NumVertices(); ++v) {
+        if (q.HasEdge(u, v)) EXPECT_TRUE(g.HasEdge(m[u], m[v]));
+      }
+    }
+  }
+}
+
+TEST(BruteForceTest, BipartiteHasNoOddStructures) {
+  Graph g = BipartitePowerLaw(40, 40, 200, 5);
+  EXPECT_EQ(CountOccurrences(g, MakeCliqueQuery(3)), 0u);
+  EXPECT_EQ(CountOccurrences(g, MakeCliqueQuery(4)), 0u);
+  EXPECT_EQ(CountOccurrences(g, MakePaperQuery(PaperQuery::kQ5)), 0u);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,61 @@
+#include "baseline/chiba_nishizeki.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(ChibaNishizekiTest, TrianglesMatchOracle) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = ReorderByDegree(RMat(8, 900, 0.58, 0.15, 0.15, seed));
+    EXPECT_EQ(ChibaNishizekiTriangles(g),
+              CountOccurrences(g, MakeCliqueQuery(3)))
+        << seed;
+  }
+}
+
+TEST(ChibaNishizekiTest, FourCliquesMatchOracle) {
+  for (std::uint64_t seed : {4u, 5u}) {
+    Graph g = ReorderByDegree(RMat(7, 700, 0.58, 0.15, 0.15, seed));
+    EXPECT_EQ(ChibaNishizekiFourCliques(g),
+              CountOccurrences(g, MakeCliqueQuery(4)))
+        << seed;
+  }
+}
+
+TEST(ChibaNishizekiTest, CompleteGraphClosedForms) {
+  Graph k8 = Complete(8);
+  EXPECT_EQ(ChibaNishizekiTriangles(k8), 56u);    // C(8,3)
+  EXPECT_EQ(ChibaNishizekiFourCliques(k8), 70u);  // C(8,4)
+}
+
+TEST(ChibaNishizekiTest, TriangleFreeGraphs) {
+  EXPECT_EQ(ChibaNishizekiTriangles(Cycle(20)), 0u);
+  EXPECT_EQ(ChibaNishizekiTriangles(BipartitePowerLaw(30, 30, 200, 9)), 0u);
+  EXPECT_EQ(ChibaNishizekiFourCliques(Cycle(20)), 0u);
+}
+
+TEST(ChibaNishizekiTest, VisitorEmitsSortedDistinctTriples) {
+  Graph g = ReorderByDegree(ErdosRenyi(60, 250, 7));
+  std::set<Embedding> seen;
+  const std::uint64_t count =
+      ChibaNishizekiTriangles(g, [&](const Embedding& m) {
+        EXPECT_LT(m[0], m[1]);
+        EXPECT_LT(m[1], m[2]);
+        EXPECT_TRUE(g.HasEdge(m[0], m[1]));
+        EXPECT_TRUE(g.HasEdge(m[1], m[2]));
+        EXPECT_TRUE(g.HasEdge(m[0], m[2]));
+        EXPECT_TRUE(seen.insert(m).second) << "duplicate triangle";
+      });
+  EXPECT_EQ(count, seen.size());
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,77 @@
+#include "distsim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+Graph TestGraph() { return RMat(9, 2200, 0.57, 0.19, 0.19, 51); }
+
+TEST(ClusterTest, FinalCountsMatchOracleWhenSuccessful) {
+  Graph g = ErdosRenyi(120, 480, 53);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+  const std::uint64_t want = CountOccurrences(g, q);
+  for (ClusterSystem sys :
+       {ClusterSystem::kTwinTwigHadoop, ClusterSystem::kTwinTwigSparkSql,
+        ClusterSystem::kPsgl}) {
+    auto result = RunOnCluster(sys, g, q);
+    ASSERT_TRUE(result.ok()) << ClusterSystemName(sys);
+    ASSERT_FALSE(result->failed) << result->failure_reason;
+    EXPECT_EQ(result->final_results, want) << ClusterSystemName(sys);
+  }
+}
+
+TEST(ClusterTest, MoreSlavesReduceModeledTime) {
+  Graph g = TestGraph();
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+  ClusterConfig few;
+  few.num_slaves = 8;
+  ClusterConfig many;
+  many.num_slaves = 50;
+  auto slow = RunOnCluster(ClusterSystem::kPsgl, g, q, few);
+  auto fast = RunOnCluster(ClusterSystem::kPsgl, g, q, many);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GE(slow->elapsed_seconds, fast->elapsed_seconds);
+}
+
+TEST(ClusterTest, PsglOomsWithTinyRam) {
+  Graph g = TestGraph();
+  ClusterConfig config;
+  config.memory_partials_per_slave = 4;
+  auto result =
+      RunOnCluster(ClusterSystem::kPsgl, g, MakePaperQuery(PaperQuery::kQ2),
+                   config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+}
+
+TEST(ClusterTest, SparkSqlBlockLimitTrips) {
+  Graph g = TestGraph();
+  ClusterConfig config;
+  config.sparksql_block_limit_tuples = 8;
+  auto spark = RunOnCluster(ClusterSystem::kTwinTwigSparkSql, g,
+                            MakePaperQuery(PaperQuery::kQ2), config);
+  ASSERT_TRUE(spark.ok());
+  EXPECT_TRUE(spark->failed);
+  // Hadoop survives the same workload by spilling.
+  auto hadoop = RunOnCluster(ClusterSystem::kTwinTwigHadoop, g,
+                             MakePaperQuery(PaperQuery::kQ2), config);
+  ASSERT_TRUE(hadoop.ok());
+  EXPECT_FALSE(hadoop->failed);
+}
+
+TEST(ClusterTest, SystemNames) {
+  EXPECT_STREQ(ClusterSystemName(ClusterSystem::kPsgl), "PSGL");
+  EXPECT_STREQ(ClusterSystemName(ClusterSystem::kTwinTwigHadoop),
+               "TwinTwig(Hadoop)");
+  EXPECT_STREQ(ClusterSystemName(ClusterSystem::kTwinTwigSparkSql),
+               "TTJ-SparkSQL");
+}
+
+}  // namespace
+}  // namespace dualsim

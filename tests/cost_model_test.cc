@@ -1,0 +1,100 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+namespace {
+
+TEST(CostModelTest, EquationOneShape) {
+  IoCostInputs inputs;
+  inputs.num_pages = 1000;
+  inputs.buffer_frames = 100;
+  inputs.red_vertices = 2;
+  inputs.reduction_factor = 1.0;
+  // L=2: P + (P/M)*P = 1000 + 10*1000.
+  EXPECT_DOUBLE_EQ(PredictPageReads(inputs), 11000.0);
+
+  inputs.red_vertices = 3;  // region = M/2 = 50
+  // P + (P/50)P + (P/50)^2 P = 1000 + 20k + 400k.
+  EXPECT_DOUBLE_EQ(PredictPageReads(inputs), 421000.0);
+}
+
+TEST(CostModelTest, ReductionFactorScales) {
+  IoCostInputs inputs;
+  inputs.num_pages = 100;
+  inputs.buffer_frames = 10;
+  inputs.red_vertices = 2;
+  inputs.reduction_factor = 0.5;
+  // 0.5*P + 0.25*(P/10)*P = 50 + 250.
+  EXPECT_DOUBLE_EQ(PredictPageReads(inputs), 300.0);
+}
+
+TEST(CostModelTest, DegenerateInputs) {
+  IoCostInputs inputs;
+  EXPECT_EQ(PredictPageReads(inputs), 0.0);
+  inputs.num_pages = 10;
+  EXPECT_EQ(PredictPageReads(inputs), 0.0);  // zero frames
+}
+
+TEST(CostModelTest, PredictionTracksMeasurementWithinFactor) {
+  // The model is asymptotic; verify the measured physical reads fall
+  // within an order of magnitude of the prediction for a mid-size buffer.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dualsim_cost_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  Graph g = ReorderByDegree(RMat(9, 3000, 0.55, 0.15, 0.15, 5));
+  const std::string path = (dir / "g.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+
+  EngineOptions options;
+  options.buffer_fraction = 0.15;
+  options.num_threads = 2;
+  DualSimEngine engine(disk->get(), options);
+  auto q1 = engine.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_TRUE(q1.ok());
+
+  auto plan = PreparePlan(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_TRUE(plan.ok());
+  const double predicted =
+      PredictPageReads(MakeCostInputs(**disk, *plan, q1->num_frames));
+  const double measured = static_cast<double>(q1->io.physical_reads);
+  ASSERT_GT(measured, 0.0);
+  const double ratio =
+      predicted > measured ? predicted / measured : measured / predicted;
+  EXPECT_LT(ratio, 10.0) << "predicted " << predicted << " measured "
+                         << measured;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExplainPlanTest, MentionsAllPlanParts) {
+  auto plan = PreparePlan(MakePaperQuery(PaperQuery::kQ5));
+  ASSERT_TRUE(plan.ok());
+  const std::string text = ExplainPlan(*plan);
+  EXPECT_NE(text.find("partial orders"), std::string::npos);
+  EXPECT_NE(text.find("rbi coloring"), std::string::npos);
+  EXPECT_NE(text.find("red graph"), std::string::npos);
+  EXPECT_NE(text.find("v-group sequences (3)"), std::string::npos);
+  EXPECT_NE(text.find("global matching order"), std::string::npos);
+  EXPECT_NE(text.find("cartesian products"), std::string::npos);
+  EXPECT_NE(text.find("ivory"), std::string::npos);
+}
+
+TEST(ExplainPlanTest, StarQueryShowsBlackVertices) {
+  auto plan = PreparePlan(MakeStarQuery(3));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(ExplainPlan(*plan).find("black"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,151 @@
+#include "storage/disk_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "graph/generators.h"
+#include "graph/reorder.h"
+
+namespace dualsim {
+namespace {
+
+class DiskGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_dg_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Reads back the whole database through PageViews and compares with g.
+  void VerifyContents(const Graph& g, DiskGraph& disk) {
+    std::vector<std::vector<VertexId>> adj(g.NumVertices());
+    std::vector<std::byte> buf(disk.page_size());
+    for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
+      ASSERT_TRUE(disk.file().ReadPage(pid, buf.data()).ok());
+      PageView view(buf.data(), disk.page_size());
+      for (std::uint32_t s = 0; s < view.NumRecords(); ++s) {
+        VertexRecord rec = view.GetRecord(s);
+        auto& list = adj[rec.vertex];
+        ASSERT_EQ(rec.sublist_offset, list.size())
+            << "sublists must arrive in order";
+        list.insert(list.end(), rec.neighbors.begin(), rec.neighbors.end());
+      }
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      auto want = g.Neighbors(v);
+      ASSERT_EQ(adj[v].size(), want.size()) << "vertex " << v;
+      EXPECT_TRUE(std::equal(want.begin(), want.end(), adj[v].begin()));
+    }
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskGraphTest, BuildAndOpenRoundTrip) {
+  Graph g = ReorderByDegree(ErdosRenyi(120, 400, 3));
+  const std::string path = PathFor("g.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->num_vertices(), g.NumVertices());
+  EXPECT_EQ((*disk)->num_edges(), g.NumEdges());
+  EXPECT_TRUE((*disk)->AllSinglePage());
+  VerifyContents(g, **disk);
+}
+
+TEST_F(DiskGraphTest, FirstPageMapIsMonotone) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 700, 5));
+  const std::string path = PathFor("mono.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 256).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  // Lemma 1: pages are assigned in vertex-id order.
+  for (VertexId v = 0; v + 1 < g.NumVertices(); ++v) {
+    EXPECT_LE((*disk)->FirstPageOf(v), (*disk)->FirstPageOf(v + 1));
+  }
+  // first_vertex is consistent with first_page.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const PageId p = (*disk)->FirstPageOf(v);
+    EXPECT_LE((*disk)->FirstVertexOf(p), v);
+  }
+}
+
+TEST_F(DiskGraphTest, LargeAdjacencySplitsIntoSublists) {
+  // A star whose hub exceeds one tiny page.
+  Graph g = Star(200);  // hub degree 199 >> capacity of a 128B page
+  const std::string path = PathFor("split.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 128).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_FALSE((*disk)->AllSinglePage());
+  VerifyContents(g, **disk);
+}
+
+TEST_F(DiskGraphTest, RequireSinglePageRejectsBigVertices) {
+  Graph g = Star(200);
+  EXPECT_EQ(BuildDiskGraph(g, PathFor("rej.db"), 128,
+                           /*require_single_page=*/true)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DiskGraphTest, MultiPageCatalogFields) {
+  Graph g = Star(200);  // hub spans several 128-byte pages
+  const std::string path = PathFor("cat.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 128).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_GT((*disk)->MaxVertexPages(), 1u);
+  // Exactly one vertex (the hub, which is the last id after degree order:
+  // here the raw star has hub id 0) spans pages.
+  std::uint32_t split_vertices = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_LE((*disk)->FirstPageOf(v), (*disk)->LastPageOf(v));
+    if ((*disk)->LastPageOf(v) > (*disk)->FirstPageOf(v)) ++split_vertices;
+  }
+  EXPECT_EQ(split_vertices, 1u);
+  // SpansBeyond is true exactly for the hub's non-final pages.
+  const VertexId hub = 0;
+  for (PageId p = (*disk)->FirstPageOf(hub); p < (*disk)->LastPageOf(hub);
+       ++p) {
+    EXPECT_TRUE((*disk)->SpansBeyond(p)) << p;
+  }
+  EXPECT_FALSE((*disk)->SpansBeyond((*disk)->LastPageOf(hub)));
+  EXPECT_EQ((*disk)->MaxVertexPages(),
+            (*disk)->LastPageOf(hub) - (*disk)->FirstPageOf(hub) + 1);
+}
+
+TEST_F(DiskGraphTest, SinglePageGraphHasTrivialSpans) {
+  Graph g = ReorderByDegree(ErdosRenyi(100, 300, 3));
+  const std::string path = PathFor("sp.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 4096).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->MaxVertexPages(), 1u);
+  for (PageId p = 0; p < (*disk)->num_pages(); ++p) {
+    EXPECT_FALSE((*disk)->SpansBeyond(p));
+  }
+}
+
+TEST_F(DiskGraphTest, OpenWithoutMetaFails) {
+  EXPECT_FALSE(DiskGraph::Open(PathFor("missing.db")).ok());
+}
+
+TEST_F(DiskGraphTest, TinyGraphRoundTrip) {
+  Graph g = Path(3);  // vertex degrees 1,2,1
+  const std::string path = PathFor("p3.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 256).ok());
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->num_vertices(), 3u);
+  VerifyContents(g, **disk);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,85 @@
+#include "graph/edge_list_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.h"
+
+namespace dualsim {
+namespace {
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EdgeListIoTest, TextRoundTrip) {
+  Graph g = ErdosRenyi(60, 150, 9);
+  const std::string path = PathFor("g.txt");
+  ASSERT_TRUE(WriteEdgeListText(g, path).ok());
+  auto back = ReadEdgeListText(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumVertices(), g.NumVertices());
+  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+  EXPECT_EQ(back->neighbors(), g.neighbors());
+}
+
+TEST_F(EdgeListIoTest, BinaryRoundTrip) {
+  Graph g = RMat(7, 300, 0.55, 0.15, 0.15, 4);
+  const std::string path = PathFor("g.bin");
+  ASSERT_TRUE(WriteEdgeListBinary(g, path).ok());
+  auto back = ReadEdgeListBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->neighbors(), g.neighbors());
+  EXPECT_EQ(back->offsets(), g.offsets());
+}
+
+TEST_F(EdgeListIoTest, TextIgnoresCommentsAndBlanks) {
+  const std::string path = PathFor("hand.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header\n\n0 1\n1 2\n# trailing\n2 0\n", f);
+  std::fclose(f);
+  auto g = ReadEdgeListText(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 3u);
+}
+
+TEST_F(EdgeListIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadEdgeListText(PathFor("absent.txt")).status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(ReadEdgeListBinary(PathFor("absent.bin")).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(EdgeListIoTest, BadMagicRejected) {
+  const std::string path = PathFor("junk.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = "this is not a dualsim binary edge list oh no...";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_EQ(ReadEdgeListBinary(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EdgeListIoTest, MalformedTextLineRejected) {
+  const std::string path = PathFor("bad.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\nnot numbers\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadEdgeListText(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dualsim

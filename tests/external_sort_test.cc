@@ -1,0 +1,86 @@
+#include "storage/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+TEST(ExternalSortTest, InMemoryOnly) {
+  ExternalSorter<int> sorter(1 << 20);
+  for (int x : {5, 3, 9, 1, 1, 7}) ASSERT_TRUE(sorter.Add(x).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::vector<int> out;
+  int v;
+  while (sorter.Next(&v)) out.push_back(v);
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 3, 5, 7, 9}));
+  EXPECT_EQ(sorter.stats().runs, 0u);
+}
+
+TEST(ExternalSortTest, SpillsAndMerges) {
+  // Budget of 16 ints forces many runs.
+  ExternalSorter<int> sorter(16 * sizeof(int));
+  Random rng(11);
+  std::vector<int> model;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = static_cast<int>(rng.Uniform(500));
+    model.push_back(x);
+    ASSERT_TRUE(sorter.Add(x).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::sort(model.begin(), model.end());
+  std::vector<int> out;
+  int v;
+  while (sorter.Next(&v)) out.push_back(v);
+  EXPECT_EQ(out, model);
+  EXPECT_GT(sorter.stats().runs, 10u);
+  EXPECT_EQ(sorter.stats().records, 1000u);
+  EXPECT_GT(sorter.stats().spilled_bytes, 0u);
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  ExternalSorter<int> sorter(1024);
+  ASSERT_TRUE(sorter.Finish().ok());
+  int v;
+  EXPECT_FALSE(sorter.Next(&v));
+}
+
+TEST(ExternalSortTest, CustomComparatorDescending) {
+  ExternalSorter<int, std::greater<int>> sorter(8 * sizeof(int));
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(sorter.Add(i * 37 % 100).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::vector<int> out;
+  int v;
+  while (sorter.Next(&v)) out.push_back(v);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(), std::greater<int>()));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+struct KeyValue {
+  std::uint32_t key;
+  std::uint32_t value;
+  bool operator<(const KeyValue& o) const { return key < o.key; }
+};
+
+TEST(ExternalSortTest, StructRecords) {
+  ExternalSorter<KeyValue> sorter(4 * sizeof(KeyValue));
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sorter.Add({(50 - i) % 7, i}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  KeyValue prev{0, 0};
+  KeyValue cur;
+  std::size_t n = 0;
+  while (sorter.Next(&cur)) {
+    if (n > 0) EXPECT_LE(prev.key, cur.key);
+    prev = cur;
+    ++n;
+  }
+  EXPECT_EQ(n, 50u);
+}
+
+}  // namespace
+}  // namespace dualsim

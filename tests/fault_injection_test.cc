@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <latch>
+#include <unistd.h>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "util/thread_pool.h"
+
+namespace dualsim {
+namespace {
+
+/// Failure-injection tests: storage-level faults must surface as Status
+/// errors (never crashes or hangs), and partially processed state must be
+/// released cleanly.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_fault_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FaultInjectionTest, TruncatedDatabaseSurfacesIOError) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 800, 3));
+  const std::string path = PathFor("g.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false);
+  ASSERT_TRUE(disk.ok());
+
+  // Chop off the second half of the database after opening: reads past the
+  // new EOF fail mid-run.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+
+  EngineOptions options;
+  options.buffer_fraction = 0.2;
+  options.num_threads = 2;
+  DualSimEngine engine(disk->get(), options);
+  auto result = engine.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+
+  // The engine must remain usable after restoring the file.
+  std::filesystem::resize_file(path, full_size);
+  auto retry = engine.Run(MakePaperQuery(PaperQuery::kQ1));
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, BufferPoolAsyncReadErrorReachesCallback) {
+  Graph g = ReorderByDegree(ErdosRenyi(50, 150, 5));
+  const std::string path = PathFor("b.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  std::filesystem::resize_file(path, 0);
+
+  ThreadPool io(2);
+  BufferPool pool(&(*disk)->file(), 4, &io);
+  std::latch done(1);
+  Status seen;
+  pool.PinAsync(0, [&](Status s, PageId, const std::byte*) {
+    seen = s;
+    done.count_down();
+  });
+  done.wait();
+  EXPECT_EQ(seen.code(), StatusCode::kIOError);
+  // A failed load must not leak the frame.
+  EXPECT_EQ(pool.AvailableFrames(), 4u);
+}
+
+TEST_F(FaultInjectionTest, MetaFileMissingAfterBuild) {
+  Graph g = ReorderByDegree(ErdosRenyi(50, 150, 7));
+  const std::string path = PathFor("c.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  std::filesystem::remove(path + ".meta");
+  EXPECT_FALSE(DiskGraph::Open(path).ok());
+}
+
+TEST_F(FaultInjectionTest, CorruptMetaRejected) {
+  Graph g = ReorderByDegree(ErdosRenyi(50, 150, 9));
+  const std::string path = PathFor("d.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  // Stomp the magic.
+  std::FILE* f = std::fopen((path + ".meta").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const char junk[8] = {0};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto opened = DiskGraph::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultInjectionTest, PageFileSizeMismatchRejected) {
+  Graph g = ReorderByDegree(ErdosRenyi(50, 150, 11));
+  const std::string path = PathFor("e.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  // Append garbage so the page count no longer matches the catalog.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  std::vector<char> junk(512, 'x');
+  std::fwrite(junk.data(), 1, junk.size(), f);
+  std::fclose(f);
+  auto opened = DiskGraph::Open(path);
+  ASSERT_FALSE(opened.ok());
+}
+
+}  // namespace
+}  // namespace dualsim

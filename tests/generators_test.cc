@@ -1,0 +1,168 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace dualsim {
+namespace {
+
+TEST(GeneratorsTest, CompleteGraph) {
+  Graph g = Complete(6);
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_EQ(g.NumEdges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+}
+
+TEST(GeneratorsTest, CycleAndPath) {
+  Graph c = Cycle(5);
+  EXPECT_EQ(c.NumEdges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(c.Degree(v), 2u);
+  Graph p = Path(5);
+  EXPECT_EQ(p.NumEdges(), 4u);
+  EXPECT_EQ(p.Degree(0), 1u);
+  EXPECT_EQ(p.Degree(2), 2u);
+}
+
+TEST(GeneratorsTest, Star) {
+  Graph s = Star(7);
+  EXPECT_EQ(s.NumEdges(), 6u);
+  EXPECT_EQ(s.Degree(0), 6u);
+  EXPECT_EQ(s.Degree(3), 1u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  Graph a = ErdosRenyi(100, 300, 42);
+  Graph b = ErdosRenyi(100, 300, 42);
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+  Graph c = ErdosRenyi(100, 300, 43);
+  EXPECT_NE(a.neighbors(), c.neighbors());
+}
+
+TEST(GeneratorsTest, ErdosRenyiApproximateEdgeCount) {
+  Graph g = ErdosRenyi(1000, 5000, 1);
+  // Collisions/self-loops remove a few edges, never add any.
+  EXPECT_LE(g.NumEdges(), 5000u);
+  EXPECT_GT(g.NumEdges(), 4800u);
+}
+
+TEST(GeneratorsTest, RMatIsSkewed) {
+  Graph g = RMat(10, 8000, 0.6, 0.15, 0.15, 7);
+  // A heavy-tailed graph: max degree much larger than average.
+  const double avg = 2.0 * static_cast<double>(g.NumEdges()) /
+                     static_cast<double>(g.NumVertices());
+  EXPECT_GT(g.MaxDegree(), 4 * avg);
+}
+
+TEST(GeneratorsTest, BipartiteHasNoOddCycles) {
+  Graph g = BipartitePowerLaw(50, 60, 400, 3);
+  // All edges cross the (0..49 | 50..109) cut.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      EXPECT_NE(v < 50, w < 50) << v << "-" << w;
+    }
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertHeavyTail) {
+  Graph g = BarabasiAlbert(2000, 4, 13);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  const double avg = 2.0 * static_cast<double>(g.NumEdges()) /
+                     static_cast<double>(g.NumVertices());
+  // Preferential attachment grows hubs far beyond the average degree.
+  EXPECT_GT(g.MaxDegree(), 8 * avg);
+  // Every non-seed vertex attached at least once.
+  for (VertexId v = 5; v < g.NumVertices(); ++v) {
+    EXPECT_GE(g.Degree(v), 1u) << v;
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDeterministic) {
+  Graph a = BarabasiAlbert(500, 3, 21);
+  Graph b = BarabasiAlbert(500, 3, 21);
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+}
+
+TEST(GeneratorsTest, WattsStrogatzLatticeAtBetaZero) {
+  Graph g = WattsStrogatz(100, 4, 0.0, 1);
+  // Pure ring lattice: every vertex keeps exactly k neighbors.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.Degree(v), 4u) << v;
+  }
+  // Ring lattices with k=4 are full of triangles.
+  std::uint64_t closed = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto adj = g.Neighbors(v);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        if (g.HasEdge(adj[i], adj[j])) ++closed;
+      }
+    }
+  }
+  EXPECT_GT(closed, 0u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiringReducesClustering) {
+  auto clustering = [](const Graph& g) {
+    double wedges = 0;
+    double closed = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      auto adj = g.Neighbors(v);
+      for (std::size_t i = 0; i < adj.size(); ++i) {
+        for (std::size_t j = i + 1; j < adj.size(); ++j) {
+          wedges += 1;
+          if (g.HasEdge(adj[i], adj[j])) closed += 1;
+        }
+      }
+    }
+    return wedges > 0 ? closed / wedges : 0.0;
+  };
+  const double ordered = clustering(WattsStrogatz(400, 6, 0.0, 2));
+  const double random = clustering(WattsStrogatz(400, 6, 1.0, 2));
+  EXPECT_GT(ordered, 0.4);          // lattice: C = 0.6 for k=6
+  EXPECT_LT(random, ordered / 2);   // rewiring destroys clustering
+}
+
+TEST(DatasetsTest, RegistryShapes) {
+  for (DatasetKey key : AllDatasets()) {
+    Graph g = MakeDataset(key, /*scale=*/0.05);
+    EXPECT_GT(g.NumVertices(), 0u) << DatasetCode(key);
+    EXPECT_GT(g.NumEdges(), 0u) << DatasetCode(key);
+  }
+}
+
+TEST(DatasetsTest, WikipediaIsBipartite) {
+  Graph g = MakeDataset(DatasetKey::kWikipedia, 0.1);
+  // 2-color via BFS; bipartite stand-in must admit a proper 2-coloring.
+  std::vector<int> color(g.NumVertices(), -1);
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    if (color[s] != -1 || g.Degree(s) == 0) continue;
+    color[s] = 0;
+    std::vector<VertexId> queue = {s};
+    while (!queue.empty()) {
+      VertexId v = queue.back();
+      queue.pop_back();
+      for (VertexId w : g.Neighbors(v)) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          queue.push_back(w);
+        } else {
+          ASSERT_NE(color[w], color[v]);
+        }
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, FriendsterSamplesGrowWithPercent) {
+  Graph s20 = MakeFriendsterSample(20, 0.1);
+  Graph s60 = MakeFriendsterSample(60, 0.1);
+  Graph s100 = MakeFriendsterSample(100, 0.1);
+  EXPECT_LT(s20.NumVertices(), s60.NumVertices());
+  EXPECT_LT(s60.NumVertices(), s100.NumVertices());
+  EXPECT_LT(s20.NumEdges(), s60.NumEdges());
+}
+
+}  // namespace
+}  // namespace dualsim

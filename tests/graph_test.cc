@@ -1,0 +1,93 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace dualsim {
+namespace {
+
+Graph SmallGraph() {
+  // 0-1, 0-2, 1-2, 2-3 (triangle with a tail).
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+TEST(GraphTest, BasicCounts) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g = SmallGraph();
+  auto adj = g.Neighbors(2);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0], 0u);
+  EXPECT_EQ(adj[1], 1u);
+  EXPECT_EQ(adj[2], 3u);
+}
+
+TEST(GraphTest, HasEdgeBothDirections) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(3, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));  // out of range
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder b;
+  b.AddEdge(1, 1);  // self-loop, dropped
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate (reversed)
+  b.AddEdge(0, 1);  // duplicate
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.NumVertices(), 2u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesViaHint) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_TRUE(g.Neighbors(4).empty());
+}
+
+TEST(InducedSubgraphTest, KeepsOnlyInternalEdges) {
+  Graph g = SmallGraph();
+  Graph sub = InducedSubgraph(g, {0, 1, 3});
+  EXPECT_EQ(sub.NumVertices(), 3u);
+  // Only edge 0-1 survives (2 was the hub to 3).
+  EXPECT_EQ(sub.NumEdges(), 1u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_FALSE(sub.HasEdge(0, 2));
+}
+
+TEST(InducedSubgraphTest, RelabelFollowsKeepOrder) {
+  Graph g = SmallGraph();
+  Graph sub = InducedSubgraph(g, {2, 3});
+  EXPECT_EQ(sub.NumVertices(), 2u);
+  EXPECT_TRUE(sub.HasEdge(0, 1));  // old 2-3 edge
+}
+
+}  // namespace
+}  // namespace dualsim

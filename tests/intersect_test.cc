@@ -1,0 +1,85 @@
+#include "core/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+TEST(IntersectTest, TwoWayBasics) {
+  std::vector<VertexId> a = {1, 3, 5, 7};
+  std::vector<VertexId> b = {2, 3, 5, 8};
+  std::vector<VertexId> out;
+  Intersect2(a, b, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{3, 5}));
+}
+
+TEST(IntersectTest, TwoWayDisjoint) {
+  std::vector<VertexId> a = {1, 2};
+  std::vector<VertexId> b = {3, 4};
+  std::vector<VertexId> out = {99};
+  Intersect2(a, b, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, ManyWithSingleListCopies) {
+  std::vector<VertexId> a = {4, 5, 6};
+  std::span<const VertexId> lists[] = {a};
+  std::vector<VertexId> out;
+  IntersectMany(lists, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(IntersectTest, ThreeWay) {
+  std::vector<VertexId> a = {1, 2, 3, 4, 5};
+  std::vector<VertexId> b = {2, 4, 6};
+  std::vector<VertexId> c = {0, 2, 4, 8};
+  std::span<const VertexId> lists[] = {a, b, c};
+  std::vector<VertexId> out;
+  IntersectMany(lists, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{2, 4}));
+}
+
+TEST(IntersectTest, EmptyInputs) {
+  std::vector<VertexId> out = {7};
+  IntersectMany({}, &out);
+  EXPECT_TRUE(out.empty());
+  std::vector<VertexId> a = {};
+  std::vector<VertexId> b = {1};
+  std::span<const VertexId> lists[] = {a, b};
+  IntersectMany(lists, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, RandomizedAgainstSets) {
+  Random rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<VertexId>> lists(2 + trial % 3);
+    std::vector<std::set<VertexId>> sets(lists.size());
+    for (std::size_t i = 0; i < lists.size(); ++i) {
+      const std::size_t n = rng.Uniform(40);
+      for (std::size_t j = 0; j < n; ++j) {
+        sets[i].insert(static_cast<VertexId>(rng.Uniform(60)));
+      }
+      lists[i].assign(sets[i].begin(), sets[i].end());
+    }
+    std::set<VertexId> expected = sets[0];
+    for (std::size_t i = 1; i < sets.size(); ++i) {
+      std::set<VertexId> next;
+      std::set_intersection(expected.begin(), expected.end(), sets[i].begin(),
+                            sets[i].end(), std::inserter(next, next.end()));
+      expected = next;
+    }
+    std::vector<std::span<const VertexId>> spans(lists.begin(), lists.end());
+    std::vector<VertexId> out;
+    IntersectMany(spans, &out);
+    EXPECT_EQ(out, std::vector<VertexId>(expected.begin(), expected.end()));
+  }
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,66 @@
+#include "query/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(AutomorphismTest, TriangleHasSixAutomorphisms) {
+  EXPECT_EQ(Automorphisms(MakeCliqueQuery(3)).size(), 6u);
+}
+
+TEST(AutomorphismTest, SquareHasDihedralEight) {
+  EXPECT_EQ(Automorphisms(MakeCycleQuery(4)).size(), 8u);
+}
+
+TEST(AutomorphismTest, K4Has24) {
+  EXPECT_EQ(Automorphisms(MakeCliqueQuery(4)).size(), 24u);
+}
+
+TEST(AutomorphismTest, ChordalSquareHasFour) {
+  // C4 + chord 0-2: symmetries are id, swap(1,3), swap(0,2), both.
+  EXPECT_EQ(Automorphisms(MakePaperQuery(PaperQuery::kQ3)).size(), 4u);
+}
+
+TEST(AutomorphismTest, HouseHasTwo) {
+  // Reflection swapping 0<->1, 2<->3, fixing 4.
+  EXPECT_EQ(Automorphisms(MakePaperQuery(PaperQuery::kQ5)).size(), 2u);
+}
+
+TEST(AutomorphismTest, PathHasTwo) {
+  EXPECT_EQ(Automorphisms(MakePathQuery(4)).size(), 2u);
+}
+
+TEST(AutomorphismTest, AsymmetricGraphHasOnlyIdentity) {
+  // Smallest asymmetric tree: a center with branches of lengths 1, 2, 3.
+  QueryGraph q(7);
+  q.AddEdge(0, 1);  // branch of length 1
+  q.AddEdge(0, 2);  // branch of length 2
+  q.AddEdge(2, 3);
+  q.AddEdge(0, 4);  // branch of length 3
+  q.AddEdge(4, 5);
+  q.AddEdge(5, 6);
+  auto autos = Automorphisms(q);
+  ASSERT_EQ(autos.size(), 1u);
+  for (QueryVertex v = 0; v < 7; ++v) EXPECT_EQ(autos[0][v], v);
+}
+
+TEST(AutomorphismTest, IdentityAlwaysPresent) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    auto autos = Automorphisms(MakePaperQuery(pq));
+    bool has_identity = false;
+    for (const auto& a : autos) {
+      bool id = true;
+      for (QueryVertex v = 0; v < MakePaperQuery(pq).NumVertices(); ++v) {
+        if (a[v] != v) id = false;
+      }
+      has_identity |= id;
+    }
+    EXPECT_TRUE(has_identity) << PaperQueryName(pq);
+  }
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,107 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <unistd.h>
+
+namespace dualsim {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_pf_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<std::byte> FilledPage(std::size_t size, std::uint8_t value) {
+  std::vector<std::byte> page(size);
+  std::memset(page.data(), value, size);
+  return page;
+}
+
+TEST_F(PageFileTest, WriteReadRoundTrip) {
+  const std::size_t kPage = 256;
+  auto file = PageFile::Create(PathFor("a.pages"), kPage);
+  ASSERT_TRUE(file.ok());
+  auto p0 = FilledPage(kPage, 0xAA);
+  auto p1 = FilledPage(kPage, 0xBB);
+  ASSERT_TRUE((*file)->WritePage(0, p0.data()).ok());
+  ASSERT_TRUE((*file)->WritePage(1, p1.data()).ok());
+  EXPECT_EQ((*file)->num_pages(), 2u);
+
+  std::vector<std::byte> out(kPage);
+  ASSERT_TRUE((*file)->ReadPage(1, out.data()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), p1.data(), kPage), 0);
+  ASSERT_TRUE((*file)->ReadPage(0, out.data()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), p0.data(), kPage), 0);
+}
+
+TEST_F(PageFileTest, AppendAssignsSequentialIds) {
+  auto file = PageFile::Create(PathFor("b.pages"), 128);
+  ASSERT_TRUE(file.ok());
+  auto page = FilledPage(128, 1);
+  auto id0 = (*file)->AppendPage(page.data());
+  auto id1 = (*file)->AppendPage(page.data());
+  ASSERT_TRUE(id0.ok());
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(*id0, 0u);
+  EXPECT_EQ(*id1, 1u);
+}
+
+TEST_F(PageFileTest, ReopenSeesPages) {
+  const std::string path = PathFor("c.pages");
+  {
+    auto file = PageFile::Create(path, 128);
+    ASSERT_TRUE(file.ok());
+    auto page = FilledPage(128, 7);
+    ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+    ASSERT_TRUE((*file)->WritePage(1, page.data()).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto reopened = PageFile::Open(path, 128);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_pages(), 2u);
+  std::vector<std::byte> out(128);
+  ASSERT_TRUE((*reopened)->ReadPage(1, out.data()).ok());
+  EXPECT_EQ(static_cast<std::uint8_t>(out[5]), 7u);
+}
+
+TEST_F(PageFileTest, ReadOutOfRangeFails) {
+  auto file = PageFile::Create(PathFor("d.pages"), 128);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> out(128);
+  EXPECT_FALSE((*file)->ReadPage(0, out.data()).ok());
+}
+
+TEST_F(PageFileTest, OpenMissingFileFails) {
+  EXPECT_EQ(PageFile::Open(PathFor("nope.pages"), 128).status().code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(PageFileTest, OpenRejectsMisalignedFile) {
+  const std::string path = PathFor("mis.pages");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char bytes[100] = {};
+  std::fwrite(bytes, 1, sizeof(bytes), f);
+  std::fclose(f);
+  EXPECT_EQ(PageFile::Open(path, 128).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PageFileTest, CreateRejectsBadPageSize) {
+  EXPECT_FALSE(PageFile::Create(PathFor("z.pages"), 10).ok());
+  EXPECT_FALSE(PageFile::Create(PathFor("z.pages"), 100).ok());  // not %8
+}
+
+}  // namespace
+}  // namespace dualsim

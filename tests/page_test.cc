@@ -1,0 +1,82 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dualsim {
+namespace {
+
+TEST(PageTest, AppendAndReadBack) {
+  std::vector<std::byte> buf(512);
+  PageWriter writer(buf.data(), buf.size());
+  const std::vector<VertexId> adj0 = {1, 2, 3};
+  const std::vector<VertexId> adj1 = {0, 5};
+  ASSERT_TRUE(writer.Append(0, 3, 0, adj0));
+  ASSERT_TRUE(writer.Append(1, 2, 0, adj1));
+  EXPECT_EQ(writer.NumRecords(), 2u);
+
+  PageView view(buf.data(), buf.size());
+  ASSERT_EQ(view.NumRecords(), 2u);
+  VertexRecord r0 = view.GetRecord(0);
+  EXPECT_EQ(r0.vertex, 0u);
+  EXPECT_EQ(r0.total_degree, 3u);
+  EXPECT_TRUE(r0.IsComplete());
+  EXPECT_EQ(std::vector<VertexId>(r0.neighbors.begin(), r0.neighbors.end()),
+            adj0);
+  VertexRecord r1 = view.GetRecord(1);
+  EXPECT_EQ(r1.vertex, 1u);
+  EXPECT_EQ(std::vector<VertexId>(r1.neighbors.begin(), r1.neighbors.end()),
+            adj1);
+  EXPECT_EQ(view.FirstVertex(), 0u);
+  EXPECT_EQ(view.LastVertex(), 1u);
+}
+
+TEST(PageTest, RejectsWhenFull) {
+  std::vector<std::byte> buf(128);
+  PageWriter writer(buf.data(), buf.size());
+  std::vector<VertexId> big(PageWriter::MaxNeighborsPerPage(128));
+  EXPECT_TRUE(writer.Append(0, static_cast<std::uint32_t>(big.size()), 0, big));
+  EXPECT_FALSE(writer.Append(1, 1, 0, std::vector<VertexId>{0}));
+}
+
+TEST(PageTest, SublistRecords) {
+  std::vector<std::byte> buf(256);
+  PageWriter writer(buf.data(), buf.size());
+  const std::vector<VertexId> chunk = {10, 11, 12};
+  ASSERT_TRUE(writer.Append(7, 100, 50, chunk));  // middle sublist
+  PageView view(buf.data(), buf.size());
+  VertexRecord r = view.GetRecord(0);
+  EXPECT_EQ(r.total_degree, 100u);
+  EXPECT_EQ(r.sublist_offset, 50u);
+  EXPECT_FALSE(r.IsComplete());
+}
+
+TEST(PageTest, EmptyAdjacencyRecord) {
+  std::vector<std::byte> buf(128);
+  PageWriter writer(buf.data(), buf.size());
+  ASSERT_TRUE(writer.Append(3, 0, 0, {}));
+  PageView view(buf.data(), buf.size());
+  VertexRecord r = view.GetRecord(0);
+  EXPECT_EQ(r.vertex, 3u);
+  EXPECT_TRUE(r.neighbors.empty());
+  EXPECT_TRUE(r.IsComplete());
+}
+
+TEST(PageTest, MaxNeighborsFitsExactly) {
+  const std::size_t page_size = 256;
+  const std::size_t max = PageWriter::MaxNeighborsPerPage(page_size);
+  std::vector<std::byte> buf(page_size);
+  PageWriter writer(buf.data(), buf.size());
+  std::vector<VertexId> adj(max, 1);
+  EXPECT_TRUE(writer.Append(0, static_cast<std::uint32_t>(max), 0, adj));
+  // One more neighbor must not fit in a fresh page.
+  std::vector<std::byte> buf2(page_size);
+  PageWriter writer2(buf2.data(), buf2.size());
+  std::vector<VertexId> adj2(max + 1, 1);
+  EXPECT_FALSE(
+      writer2.Append(0, static_cast<std::uint32_t>(max + 1), 0, adj2));
+}
+
+}  // namespace
+}  // namespace dualsim

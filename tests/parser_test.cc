@@ -1,0 +1,64 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(ParserTest, EdgeListForms) {
+  auto q = ParseQuery("0-1,1-2,2-0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVertices(), 3u);
+  EXPECT_EQ(q->NumEdges(), 3u);
+
+  auto spaces = ParseQuery("0-1 1-2 2-3 3-0");
+  ASSERT_TRUE(spaces.ok());
+  EXPECT_EQ(spaces->NumEdges(), 4u);
+
+  auto mixed = ParseQuery(" 0-1 , 1-2 ");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->NumEdges(), 2u);
+}
+
+TEST(ParserTest, NamedPaperQueries) {
+  for (const char* name : {"q1", "q2", "q3", "q4", "q5"}) {
+    auto q = ParseQuery(name);
+    ASSERT_TRUE(q.ok()) << name;
+  }
+  EXPECT_EQ(ParseQuery("triangle")->NumEdges(), 3u);
+  EXPECT_EQ(ParseQuery("square")->NumEdges(), 4u);
+  EXPECT_EQ(ParseQuery("chordal-square")->NumEdges(), 5u);
+  EXPECT_EQ(ParseQuery("4-clique")->NumEdges(), 6u);
+  EXPECT_EQ(ParseQuery("house")->NumEdges(), 6u);
+}
+
+TEST(ParserTest, ParameterizedShapes) {
+  EXPECT_EQ(ParseQuery("path4")->NumEdges(), 3u);
+  EXPECT_EQ(ParseQuery("star3")->NumEdges(), 3u);
+  EXPECT_EQ(ParseQuery("clique5")->NumEdges(), 10u);
+  EXPECT_EQ(ParseQuery("cycle6")->NumEdges(), 6u);
+}
+
+TEST(ParserTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("nonsense").ok());
+  EXPECT_FALSE(ParseQuery("0-0").ok());           // self loop
+  EXPECT_FALSE(ParseQuery("0-1,5-6").ok());       // disconnected
+  EXPECT_FALSE(ParseQuery("0-99").ok());          // vertex id too large
+  EXPECT_FALSE(ParseQuery("0-").ok());            // dangling edge
+  EXPECT_FALSE(ParseQuery("a-b").ok());           // not numbers
+  EXPECT_FALSE(ParseQuery("cycle2").ok());        // too small
+  EXPECT_FALSE(ParseQuery("clique99").ok());      // too large
+  EXPECT_FALSE(ParseQuery("path1").ok());
+}
+
+TEST(ParserTest, VertexCountFromMaxId) {
+  auto q = ParseQuery("0-3,3-1,1-2,2-0");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->NumVertices(), 4u);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,75 @@
+#include "distsim/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "distsim/cluster.h"
+#include "graph/generators.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(PartitionerTest, EdgesConserved) {
+  Graph g = ErdosRenyi(300, 1200, 3);
+  PartitionStats stats = HashPartition(g, 10);
+  EXPECT_EQ(stats.num_parts, 10);
+  const std::uint64_t total = std::accumulate(
+      stats.edges_per_part.begin(), stats.edges_per_part.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, g.NumEdges());
+}
+
+TEST(PartitionerTest, SinglePartHasNoCut) {
+  Graph g = ErdosRenyi(100, 400, 5);
+  PartitionStats stats = HashPartition(g, 1);
+  EXPECT_EQ(stats.cut_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.skew, 1.0);
+  EXPECT_EQ(stats.edges_per_part[0], g.NumEdges());
+}
+
+TEST(PartitionerTest, ManyPartsCutMostEdges) {
+  // With p parts and hash placement, an edge stays local with prob ~1/p.
+  Graph g = ErdosRenyi(500, 3000, 7);
+  PartitionStats stats = HashPartition(g, 50);
+  EXPECT_GT(stats.cut_fraction, 0.9);
+  EXPECT_LT(stats.cut_fraction, 1.0);
+}
+
+TEST(PartitionerTest, SkewAtLeastOneAndDeterministic) {
+  Graph g = RMat(9, 3000, 0.6, 0.15, 0.15, 11);
+  PartitionStats a = HashPartition(g, 16);
+  PartitionStats b = HashPartition(g, 16);
+  EXPECT_GE(a.skew, 1.0);
+  EXPECT_EQ(a.edges_per_part, b.edges_per_part);
+  // Skewed graphs partition unevenly: hubs concentrate edges.
+  EXPECT_GT(a.skew, 1.2);
+}
+
+TEST(PartitionerTest, SeedChangesPlacement) {
+  Graph g = ErdosRenyi(200, 900, 13);
+  PartitionStats a = HashPartition(g, 8, /*seed=*/1);
+  PartitionStats b = HashPartition(g, 8, /*seed=*/2);
+  EXPECT_NE(a.edges_per_part, b.edges_per_part);
+}
+
+TEST(PartitionerTest, MeasuredSkewFeedsClusterModel) {
+  Graph g = RMat(8, 1500, 0.6, 0.15, 0.15, 17);
+  ClusterConfig config;
+  config.partition_skew = -1.0;  // ask RunOnCluster to measure it
+  auto result = RunOnCluster(ClusterSystem::kPsgl, g,
+                             MakePaperQuery(PaperQuery::kQ1), config);
+  ASSERT_TRUE(result.ok());
+  // Same run with an absurd fixed skew must model a (weakly) longer time.
+  config.partition_skew = 50.0;
+  auto skewed = RunOnCluster(ClusterSystem::kPsgl, g,
+                             MakePaperQuery(PaperQuery::kQ1), config);
+  ASSERT_TRUE(skewed.ok());
+  if (!result->failed && !skewed->failed) {
+    EXPECT_GE(skewed->elapsed_seconds, result->elapsed_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,48 @@
+#include "storage/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/reorder.h"
+
+namespace dualsim {
+namespace {
+
+TEST(PreprocessTest, ExternalReorderMatchesInMemoryReorder) {
+  Graph g = RMat(8, 800, 0.6, 0.15, 0.15, 21);
+  Graph want = ReorderByDegree(g);
+  auto result = ExternalReorder(g, /*memory_budget_bytes=*/256);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reordered.offsets(), want.offsets());
+  EXPECT_EQ(result->reordered.neighbors(), want.neighbors());
+  // The tiny budget must have spilled runs.
+  EXPECT_GT(result->sort_stats.runs, 1u);
+  EXPECT_EQ(result->sort_stats.records, 2 * g.NumEdges());
+}
+
+TEST(PreprocessTest, ExternalReorderLargeBudgetNoSpill) {
+  Graph g = ErdosRenyi(100, 300, 17);
+  auto result = ExternalReorder(g, 64 << 20);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sort_stats.runs, 0u);
+  EXPECT_TRUE(IsDegreeOrdered(result->reordered));
+}
+
+TEST(PreprocessTest, PartiallySortedKeepsGraphIntact) {
+  Graph g = ErdosRenyi(300, 1200, 5);
+  Graph partial = PartiallySortedGraph(g, 0.95, 77);
+  EXPECT_EQ(partial.NumVertices(), g.NumVertices());
+  EXPECT_EQ(partial.NumEdges(), g.NumEdges());
+  // 95% sorted is *not* fully degree-ordered (with high probability the 5%
+  // appended tail breaks it).
+  EXPECT_FALSE(IsDegreeOrdered(partial));
+}
+
+TEST(PreprocessTest, PartiallySortedFullFractionIsOrdered) {
+  Graph g = ErdosRenyi(200, 800, 9);
+  Graph sorted = PartiallySortedGraph(g, 1.0, 3);
+  EXPECT_TRUE(IsDegreeOrdered(sorted));
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,76 @@
+#include "baseline/psgl.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(PsglTest, FinalCountMatchesOracle) {
+  Graph g = ErdosRenyi(120, 500, 29);
+  for (PaperQuery pq : AllPaperQueries()) {
+    QueryGraph q = MakePaperQuery(pq);
+    auto result = RunPsgl(g, q);
+    ASSERT_TRUE(result.ok()) << PaperQueryName(pq);
+    ASSERT_FALSE(result->failed) << result->failure_reason;
+    EXPECT_EQ(result->final_results, CountOccurrences(g, q))
+        << PaperQueryName(pq);
+  }
+}
+
+TEST(PsglTest, LevelSizesRecorded) {
+  Graph g = ErdosRenyi(100, 400, 31);
+  auto result = RunPsgl(g, MakePaperQuery(PaperQuery::kQ4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->level_sizes.size(), 4u);
+  EXPECT_EQ(result->level_sizes.back(), result->final_results);
+  std::uint64_t inter = 0;
+  for (std::size_t i = 0; i + 1 < result->level_sizes.size(); ++i) {
+    inter += result->level_sizes[i];
+  }
+  EXPECT_EQ(inter, result->intermediate_results);
+}
+
+TEST(PsglTest, PartialSolutionsGrowWithQuerySize) {
+  // The paper's core criticism: partial solutions grow (roughly
+  // exponentially) with the number of query vertices.
+  Graph g = RMat(9, 2500, 0.57, 0.19, 0.19, 33);
+  auto q1 = RunPsgl(g, MakePaperQuery(PaperQuery::kQ1));
+  auto q5 = RunPsgl(g, MakePaperQuery(PaperQuery::kQ5));
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q5.ok());
+  ASSERT_FALSE(q1->failed);
+  ASSERT_FALSE(q5->failed);
+  EXPECT_GT(q5->intermediate_results, q1->intermediate_results);
+}
+
+TEST(PsglTest, MemoryBudgetCausesOom) {
+  Graph g = RMat(9, 2500, 0.57, 0.19, 0.19, 33);
+  PsglOptions options;
+  options.memory_budget_partials = 50;
+  auto result = RunPsgl(g, MakePaperQuery(PaperQuery::kQ2), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+  EXPECT_NE(result->failure_reason.find("out of memory"), std::string::npos);
+}
+
+TEST(PsglTest, RejectsDisconnectedQuery) {
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(2, 3);
+  EXPECT_FALSE(RunPsgl(ErdosRenyi(10, 20, 1), q).ok());
+}
+
+TEST(PsglTest, NoMatchesOnBipartiteClique) {
+  Graph g = BipartitePowerLaw(50, 50, 300, 7);
+  auto result = RunPsgl(g, MakePaperQuery(PaperQuery::kQ4));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->failed);
+  EXPECT_EQ(result->final_results, 0u);
+}
+
+}  // namespace
+}  // namespace dualsim

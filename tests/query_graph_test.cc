@@ -1,0 +1,78 @@
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(QueryGraphTest, EdgesAndDegrees) {
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  EXPECT_EQ(q.NumVertices(), 4u);
+  EXPECT_EQ(q.NumEdges(), 3u);
+  EXPECT_TRUE(q.HasEdge(0, 1));
+  EXPECT_TRUE(q.HasEdge(1, 0));
+  EXPECT_FALSE(q.HasEdge(0, 2));
+  EXPECT_EQ(q.Degree(1), 2u);
+  EXPECT_EQ(q.Degree(3), 1u);
+}
+
+TEST(QueryGraphTest, DuplicateEdgeIgnored) {
+  QueryGraph q(2);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 0);
+  EXPECT_EQ(q.NumEdges(), 1u);
+}
+
+TEST(QueryGraphTest, Connectivity) {
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(2, 3);
+  EXPECT_FALSE(q.IsConnected());
+  q.AddEdge(1, 2);
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST(QueryGraphTest, ConnectedSubset) {
+  QueryGraph q = MakePaperQuery(PaperQuery::kQ5);  // house
+  EXPECT_TRUE(q.IsConnectedSubset(0b00111));       // 0,1,2 path
+  EXPECT_FALSE(q.IsConnectedSubset(0b10001));      // 0 and 4 not adjacent
+  EXPECT_FALSE(q.IsConnectedSubset(0));
+}
+
+TEST(QueryGraphTest, EdgesListSorted) {
+  QueryGraph q = MakePaperQuery(PaperQuery::kQ3);
+  auto edges = q.Edges();
+  EXPECT_EQ(edges.size(), 5u);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    EXPECT_LT(edges[i], edges[i + 1]);
+  }
+}
+
+TEST(PaperQueriesTest, Shapes) {
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ1).NumVertices(), 3u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ1).NumEdges(), 3u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ2).NumVertices(), 4u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ2).NumEdges(), 4u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ3).NumEdges(), 5u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ4).NumEdges(), 6u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ5).NumVertices(), 5u);
+  EXPECT_EQ(MakePaperQuery(PaperQuery::kQ5).NumEdges(), 6u);
+  for (PaperQuery pq : AllPaperQueries()) {
+    EXPECT_TRUE(MakePaperQuery(pq).IsConnected()) << PaperQueryName(pq);
+  }
+}
+
+TEST(PaperQueriesTest, HelperShapes) {
+  EXPECT_EQ(MakePathQuery(4).NumEdges(), 3u);
+  EXPECT_EQ(MakeStarQuery(3).NumEdges(), 3u);
+  EXPECT_EQ(MakeCliqueQuery(5).NumEdges(), 10u);
+  EXPECT_EQ(MakeCycleQuery(6).NumEdges(), 6u);
+}
+
+}  // namespace
+}  // namespace dualsim

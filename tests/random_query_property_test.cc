@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "baseline/bruteforce.h"
+#include "baseline/psgl.h"
+#include "baseline/twintwig.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "storage/disk_graph.h"
+#include "util/random.h"
+
+namespace dualsim {
+namespace {
+
+/// Property fuzz: for RANDOM connected query graphs (not just the paper's
+/// five), the disk engine, TwinTwigJoin and PSGL must all agree with the
+/// brute-force oracle. This exercises arbitrary RBI colorings, v-group
+/// structures and matching orders.
+QueryGraph RandomConnectedQuery(Random& rng, int num_vertices) {
+  while (true) {
+    QueryGraph q(static_cast<std::uint8_t>(num_vertices));
+    // Random spanning tree first (guarantees connectivity)...
+    for (int v = 1; v < num_vertices; ++v) {
+      q.AddEdge(static_cast<QueryVertex>(rng.Uniform(v)),
+                static_cast<QueryVertex>(v));
+    }
+    // ...then sprinkle extra edges.
+    const int extra = static_cast<int>(rng.Uniform(num_vertices));
+    for (int i = 0; i < extra; ++i) {
+      const auto a = static_cast<QueryVertex>(rng.Uniform(num_vertices));
+      const auto b = static_cast<QueryVertex>(rng.Uniform(num_vertices));
+      if (a != b) q.AddEdge(a, b);
+    }
+    if (q.IsConnected()) return q;
+  }
+}
+
+class RandomQueryPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_fuzz_" + std::to_string(::getpid()) + "_" +
+            std::to_string(GetParam()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_P(RandomQueryPropertyTest, AllEnginesAgreeWithOracle) {
+  const int seed = GetParam();
+  Random rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+
+  // Random data graph flavor per seed.
+  Graph raw;
+  switch (seed % 3) {
+    case 0:
+      raw = ErdosRenyi(80 + seed * 7, 300 + seed * 23, seed);
+      break;
+    case 1:
+      raw = RMat(7, 400 + seed * 17, 0.55, 0.16, 0.16, seed);
+      break;
+    default:
+      raw = BipartitePowerLaw(40 + seed, 50, 250 + seed * 11, seed);
+  }
+  Graph g = ReorderByDegree(raw);
+  const std::string path = (dir_ / "g.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+
+  EngineOptions options;
+  options.buffer_fraction = 0.15 + 0.05 * (seed % 3);
+  options.num_threads = 1 + seed % 4;
+  DualSimEngine engine(disk->get(), options);
+
+  const int num_vertices = 3 + seed % 3;  // 3..5 query vertices
+  for (int trial = 0; trial < 3; ++trial) {
+    QueryGraph q = RandomConnectedQuery(rng, num_vertices);
+    const std::uint64_t want = CountOccurrences(g, q);
+
+    auto dual = engine.Run(q);
+    ASSERT_TRUE(dual.ok()) << dual.status().ToString() << " " << q.ToString();
+    EXPECT_EQ(dual->embeddings, want) << q.ToString();
+
+    auto ttj = RunTwinTwigJoin(g, q);
+    ASSERT_TRUE(ttj.ok());
+    ASSERT_FALSE(ttj->failed);
+    EXPECT_EQ(ttj->final_results, want) << q.ToString();
+
+    auto psgl = RunPsgl(g, q);
+    ASSERT_TRUE(psgl.ok());
+    ASSERT_FALSE(psgl->failed);
+    EXPECT_EQ(psgl->final_results, want) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dualsim

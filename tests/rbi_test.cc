@@ -1,0 +1,118 @@
+#include "query/rbi.h"
+
+#include <gtest/gtest.h>
+
+#include "query/queries.h"
+#include "query/symmetry_breaking.h"
+#include "query/vertex_cover.h"
+
+namespace dualsim {
+namespace {
+
+RbiQueryGraph MakeRbi(const QueryGraph& q) {
+  return GenerateRbiQueryGraph(q, FindPartialOrders(q));
+}
+
+TEST(RbiTest, TriangleTwoRedOneIvory) {
+  RbiQueryGraph rbi = MakeRbi(MakeCliqueQuery(3));
+  EXPECT_EQ(rbi.red.size(), 2u);
+  int ivory = 0;
+  for (auto c : rbi.colors) {
+    if (c == VertexColor::kIvory) ++ivory;
+  }
+  EXPECT_EQ(ivory, 1);  // third vertex adjacent to both reds
+  EXPECT_EQ(rbi.red_graph.NumVertices(), 2u);
+  EXPECT_EQ(rbi.red_graph.NumEdges(), 1u);
+}
+
+TEST(RbiTest, SquareThreeRedOneIvory) {
+  RbiQueryGraph rbi = MakeRbi(MakeCycleQuery(4));
+  EXPECT_EQ(rbi.red.size(), 3u);
+  // The non-red corner has two red neighbors -> ivory.
+  for (QueryVertex u = 0; u < 4; ++u) {
+    if (!rbi.IsRed(u)) EXPECT_EQ(rbi.colors[u], VertexColor::kIvory);
+  }
+  // Red graph is a path (2 edges).
+  EXPECT_EQ(rbi.red_graph.NumEdges(), 2u);
+}
+
+TEST(RbiTest, HouseMatchesPaperFigure1) {
+  // The house is Figure 1's query: 3 red vertices whose red graph has two
+  // edges, and two ivory vertices each adjacent to two reds.
+  RbiQueryGraph rbi = MakeRbi(MakePaperQuery(PaperQuery::kQ5));
+  EXPECT_EQ(rbi.red.size(), 3u);
+  EXPECT_EQ(rbi.red_graph.NumEdges(), 2u);
+  int ivory = 0;
+  for (auto c : rbi.colors) {
+    if (c == VertexColor::kIvory) ++ivory;
+  }
+  EXPECT_EQ(ivory, 2);
+}
+
+TEST(RbiTest, PathHasBlackVertices) {
+  // P4 0-1-2-3: MCVC {1,2}; 0 and 3 are each adjacent to one red -> black.
+  RbiQueryGraph rbi = MakeRbi(MakePathQuery(4));
+  EXPECT_EQ(rbi.red.size(), 2u);
+  int black = 0;
+  for (auto c : rbi.colors) {
+    if (c == VertexColor::kBlack) ++black;
+  }
+  EXPECT_EQ(black, 2);
+}
+
+TEST(RbiTest, StarSingleRed) {
+  RbiQueryGraph rbi = MakeRbi(MakeStarQuery(4));
+  EXPECT_EQ(rbi.red.size(), 1u);
+  EXPECT_EQ(rbi.red[0], 0u);  // the center
+  for (QueryVertex u = 1; u <= 4; ++u) {
+    EXPECT_EQ(rbi.colors[u], VertexColor::kBlack);
+  }
+}
+
+TEST(RbiTest, RedSetIsAlwaysAVertexCover) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    QueryGraph q = MakePaperQuery(pq);
+    RbiQueryGraph rbi = MakeRbi(q);
+    std::uint32_t mask = 0;
+    for (QueryVertex r : rbi.red) mask |= 1u << r;
+    EXPECT_TRUE(IsVertexCover(q, mask)) << PaperQueryName(pq);
+    EXPECT_TRUE(q.IsConnectedSubset(mask)) << PaperQueryName(pq);
+  }
+}
+
+TEST(RbiTest, InternalOrdersAreRedLocal) {
+  RbiQueryGraph rbi = MakeRbi(MakeCliqueQuery(4));
+  const auto internal = rbi.InternalOrders();
+  // 3 red vertices in a clique: all 3 pairwise orders are internal.
+  EXPECT_EQ(internal.size(), 3u);
+  for (const auto& o : internal) {
+    EXPECT_LT(o.first, rbi.red.size());
+    EXPECT_LT(o.second, rbi.red.size());
+  }
+}
+
+TEST(RbiTest, MvcOptionUsesPlainCover) {
+  // Square with MVC option: red = 2 opposite corners (disconnected).
+  RbiOptions options;
+  options.use_connected_cover = false;
+  QueryGraph q = MakeCycleQuery(4);
+  RbiQueryGraph rbi = GenerateRbiQueryGraph(q, FindPartialOrders(q), options);
+  EXPECT_EQ(rbi.red.size(), 2u);
+  EXPECT_EQ(rbi.red_graph.NumEdges(), 0u);
+  // Both non-red corners see two reds -> ivory.
+  for (QueryVertex u = 0; u < 4; ++u) {
+    if (!rbi.IsRed(u)) EXPECT_EQ(rbi.colors[u], VertexColor::kIvory);
+  }
+}
+
+TEST(RbiTest, Rule1PrefersInternalOrders) {
+  // Triangle: MCVCs {0,1}, {0,2}, {1,2}; PO is the chain 0<1<2 so every
+  // pair contains exactly one internal order. Rule 2 ties as well (1 edge
+  // each), so the first cover {0,1} is chosen deterministically.
+  RbiQueryGraph rbi = MakeRbi(MakeCliqueQuery(3));
+  EXPECT_EQ(rbi.red[0], 0u);
+  EXPECT_EQ(rbi.red[1], 1u);
+}
+
+}  // namespace
+}  // namespace dualsim

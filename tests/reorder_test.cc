@@ -1,0 +1,63 @@
+#include "graph/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace dualsim {
+namespace {
+
+TEST(ReorderTest, DegreeIdLessMatchesPaperOrder) {
+  // Degrees: 0:1, 1:2, 2:1 — order should be 0 ≺ 2 ≺ 1.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  EXPECT_TRUE(DegreeIdLess(g, 0, 2));   // equal degree, smaller id
+  EXPECT_TRUE(DegreeIdLess(g, 2, 1));   // smaller degree
+  EXPECT_FALSE(DegreeIdLess(g, 1, 0));
+}
+
+TEST(ReorderTest, PermutationSortsByDegreeThenId) {
+  Graph g = Star(5);  // center 0 degree 4; leaves degree 1
+  auto perm = DegreeOrderPermutation(g);
+  ASSERT_EQ(perm.size(), 5u);
+  EXPECT_EQ(perm.back(), 0u);  // hub last
+  for (std::size_t i = 0; i + 2 < perm.size(); ++i) {
+    EXPECT_LT(perm[i], perm[i + 1]);  // leaves keep id order
+  }
+}
+
+TEST(ReorderTest, ReorderedGraphIsDegreeOrdered) {
+  Graph g = RMat(8, 600, 0.6, 0.15, 0.15, 11);
+  EXPECT_FALSE(IsDegreeOrdered(g));  // RMAT hubs are at low ids
+  Graph r = ReorderByDegree(g);
+  EXPECT_TRUE(IsDegreeOrdered(r));
+  EXPECT_EQ(r.NumVertices(), g.NumVertices());
+  EXPECT_EQ(r.NumEdges(), g.NumEdges());
+}
+
+TEST(ReorderTest, ReorderPreservesDegreeMultiset) {
+  Graph g = ErdosRenyi(200, 800, 5);
+  Graph r = ReorderByDegree(g);
+  std::vector<std::uint32_t> before;
+  std::vector<std::uint32_t> after;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    before.push_back(g.Degree(v));
+    after.push_back(r.Degree(v));
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(ReorderTest, IdempotentOnOrderedGraph) {
+  Graph r = ReorderByDegree(ErdosRenyi(100, 400, 2));
+  Graph r2 = ReorderByDegree(r);
+  EXPECT_EQ(r.offsets(), r2.offsets());
+  EXPECT_EQ(r.neighbors(), r2.neighbors());
+}
+
+}  // namespace
+}  // namespace dualsim

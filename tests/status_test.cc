@@ -1,0 +1,75 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dualsim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  DUALSIM_ASSIGN_OR_RETURN(int half, Half(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseMacros(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dualsim

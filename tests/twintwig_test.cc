@@ -1,0 +1,99 @@
+#include "baseline/twintwig.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+TEST(TwinTwigDecompositionTest, CoversAllEdgesExactlyOnce) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    QueryGraph q = MakePaperQuery(pq);
+    auto twigs = DecomposeTwinTwigs(q);
+    int covered = 0;
+    std::set<std::pair<QueryVertex, QueryVertex>> seen;
+    for (const TwinTwig& t : twigs) {
+      EXPECT_GE(t.num_leaves, 1);
+      EXPECT_LE(t.num_leaves, 2);
+      for (std::uint8_t j = 0; j < t.num_leaves; ++j) {
+        QueryVertex a = t.center;
+        QueryVertex b = t.leaves[j];
+        EXPECT_TRUE(q.HasEdge(a, b)) << PaperQueryName(pq);
+        if (a > b) std::swap(a, b);
+        EXPECT_TRUE(seen.emplace(a, b).second)
+            << "edge covered twice in " << PaperQueryName(pq);
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, q.NumEdges()) << PaperQueryName(pq);
+  }
+}
+
+TEST(TwinTwigDecompositionTest, TriangleNeedsTwoTwigs) {
+  auto twigs = DecomposeTwinTwigs(MakeCliqueQuery(3));
+  EXPECT_EQ(twigs.size(), 2u);  // a 2-edge twig + a 1-edge twig
+}
+
+TEST(TwinTwigJoinTest, FinalCountMatchesOracle) {
+  Graph g = ErdosRenyi(120, 500, 19);
+  for (PaperQuery pq : AllPaperQueries()) {
+    QueryGraph q = MakePaperQuery(pq);
+    auto result = RunTwinTwigJoin(g, q);
+    ASSERT_TRUE(result.ok()) << PaperQueryName(pq);
+    ASSERT_FALSE(result->failed) << result->failure_reason;
+    EXPECT_EQ(result->final_results, CountOccurrences(g, q))
+        << PaperQueryName(pq);
+  }
+}
+
+TEST(TwinTwigJoinTest, IntermediateResultsExplodeOnSparseCycles) {
+  // The motivating observation: on sparse graphs, cyclic queries force TTJ
+  // to materialize far more partial tuples (open 2-paths) than there are
+  // final results (closed squares).
+  Graph g = ErdosRenyi(600, 1800, 3);
+  auto square = RunTwinTwigJoin(g, MakePaperQuery(PaperQuery::kQ2));
+  ASSERT_TRUE(square.ok());
+  ASSERT_FALSE(square->failed);
+  EXPECT_GT(square->intermediate_results, 10u * square->final_results);
+  EXPECT_GT(square->intermediate_results, g.NumEdges());
+}
+
+TEST(TwinTwigJoinTest, FailBudgetTrips) {
+  Graph g = RMat(9, 2500, 0.57, 0.19, 0.19, 3);
+  TwinTwigOptions options;
+  options.fail_budget_tuples = 100;  // absurdly small
+  auto result = RunTwinTwigJoin(g, MakePaperQuery(PaperQuery::kQ2), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->failed);
+  EXPECT_NE(result->failure_reason.find("spill failure"), std::string::npos);
+}
+
+TEST(TwinTwigJoinTest, SpillAccounting) {
+  Graph g = ErdosRenyi(200, 1200, 23);
+  TwinTwigOptions options;
+  options.memory_budget_tuples = 10;  // force spilling
+  auto result = RunTwinTwigJoin(g, MakePaperQuery(PaperQuery::kQ1), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->failed);
+  EXPECT_GT(result->spilled_tuples, 0u);
+  EXPECT_GT(result->elapsed_seconds, result->cpu_seconds);
+}
+
+TEST(TwinTwigJoinTest, RejectsDisconnectedQuery) {
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(2, 3);
+  EXPECT_FALSE(RunTwinTwigJoin(ErdosRenyi(10, 20, 1), q).ok());
+}
+
+TEST(TwinTwigJoinTest, TriangleFreeGraphZeroResults) {
+  auto result = RunTwinTwigJoin(Cycle(20), MakeCliqueQuery(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->final_results, 0u);
+}
+
+}  // namespace
+}  // namespace dualsim

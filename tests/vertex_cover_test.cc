@@ -1,0 +1,93 @@
+#include "query/vertex_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+int Popcount(std::uint32_t x) { return __builtin_popcount(x); }
+
+TEST(VertexCoverTest, IsVertexCoverBasics) {
+  QueryGraph q = MakeCycleQuery(4);
+  EXPECT_TRUE(IsVertexCover(q, 0b0101));   // opposite corners 0,2
+  EXPECT_TRUE(IsVertexCover(q, 0b1010));   // 1,3
+  EXPECT_FALSE(IsVertexCover(q, 0b0011));  // adjacent pair misses edge 2-3
+  EXPECT_TRUE(IsVertexCover(q, 0b1111));
+}
+
+TEST(VertexCoverTest, SquareMvcIsOppositeCorners) {
+  auto mvcs = MinimumVertexCovers(MakeCycleQuery(4));
+  ASSERT_EQ(mvcs.size(), 2u);
+  for (auto m : mvcs) EXPECT_EQ(Popcount(m), 2);
+}
+
+TEST(VertexCoverTest, SquareMcvcIsThreeVertices) {
+  // The MVCs {0,2}/{1,3} are disconnected, so the MCVC needs 3 vertices.
+  auto mcvcs = MinimumConnectedVertexCovers(MakeCycleQuery(4));
+  ASSERT_EQ(mcvcs.size(), 4u);  // any path of 3 consecutive corners
+  for (auto m : mcvcs) EXPECT_EQ(Popcount(m), 3);
+}
+
+TEST(VertexCoverTest, TriangleCovers) {
+  auto mvcs = MinimumVertexCovers(MakeCliqueQuery(3));
+  EXPECT_EQ(mvcs.size(), 3u);  // any pair
+  auto mcvcs = MinimumConnectedVertexCovers(MakeCliqueQuery(3));
+  EXPECT_EQ(mcvcs.size(), 3u);  // pairs are adjacent in a triangle
+  for (auto m : mcvcs) EXPECT_EQ(Popcount(m), 2);
+}
+
+TEST(VertexCoverTest, PaperFigure2Example) {
+  // Figure 2's query: the paper lists MVCs {u1,u4} and {u2,u3} and an MCVC
+  // {u1,u2,u3}. Reconstruct a graph consistent with that: vertices 0..3
+  // (u1..u4); edges chosen so {0,3} and {1,2} are MVCs and {0,1,2} is a
+  // connected 3-cover: 0-1, 0-2, 1-3, 2-3.
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 3);
+  q.AddEdge(2, 3);
+  auto mvcs = MinimumVertexCovers(q);
+  ASSERT_EQ(mvcs.size(), 2u);
+  EXPECT_EQ(mvcs[0], 0b0110u);  // {u2,u3}
+  EXPECT_EQ(mvcs[1], 0b1001u);  // {u1,u4}
+  auto mcvcs = MinimumConnectedVertexCovers(q);
+  for (auto m : mcvcs) EXPECT_EQ(Popcount(m), 3);
+}
+
+TEST(VertexCoverTest, HouseMcvc) {
+  auto mcvcs = MinimumConnectedVertexCovers(MakePaperQuery(PaperQuery::kQ5));
+  // {0,2,3} and {1,2,3}.
+  ASSERT_EQ(mcvcs.size(), 2u);
+  EXPECT_EQ(mcvcs[0], 0b01101u);
+  EXPECT_EQ(mcvcs[1], 0b01110u);
+}
+
+TEST(VertexCoverTest, StarCenterIsCover) {
+  auto mvcs = MinimumVertexCovers(MakeStarQuery(5));
+  ASSERT_EQ(mvcs.size(), 1u);
+  EXPECT_EQ(mvcs[0], 1u);  // just the center
+  auto mcvcs = MinimumConnectedVertexCovers(MakeStarQuery(5));
+  ASSERT_EQ(mcvcs.size(), 1u);
+  EXPECT_EQ(mcvcs[0], 1u);  // single vertex is trivially connected
+}
+
+TEST(VertexCoverTest, K4NeedsThree) {
+  auto mcvcs = MinimumConnectedVertexCovers(MakeCliqueQuery(4));
+  EXPECT_EQ(mcvcs.size(), 4u);
+  for (auto m : mcvcs) EXPECT_EQ(Popcount(m), 3);
+}
+
+TEST(VertexCoverTest, EveryMcvcIsACover) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    QueryGraph q = MakePaperQuery(pq);
+    for (auto m : MinimumConnectedVertexCovers(q)) {
+      EXPECT_TRUE(IsVertexCover(q, m)) << PaperQueryName(pq);
+      EXPECT_TRUE(q.IsConnectedSubset(m)) << PaperQueryName(pq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,94 @@
+#include "core/vgroup_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequences.h"
+#include "query/queries.h"
+
+namespace dualsim {
+namespace {
+
+std::vector<VGroupSequence> SquareGroups() {
+  // Red graph of the square: path 0-1-2, internal orders 0<1, 0<2.
+  QueryGraph path(3);
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  return GroupSequencesByTopology(
+      path, EnumerateFullOrderSequences(path, {{0, 1}, {0, 2}}));
+}
+
+TEST(VGroupForestTest, ChainTopologyHasNoCartesian) {
+  auto groups = SquareGroups();
+  ASSERT_EQ(groups.size(), 2u);
+  // Find the group whose topology is the positional chain 0-1-2 (member
+  // [0,1,2]).
+  const VGroupSequence* chain = nullptr;
+  for (const auto& g : groups) {
+    if (g.PositionsAdjacent(0, 1) && g.PositionsAdjacent(1, 2)) chain = &g;
+  }
+  ASSERT_NE(chain, nullptr);
+  MatchingOrder identity = {0, 1, 2};
+  VGroupForest f = BuildVGroupForest(*chain, identity);
+  EXPECT_EQ(f.parent_level[0], -1);
+  EXPECT_EQ(f.parent_level[1], 0);
+  EXPECT_EQ(f.parent_level[2], 1);
+  EXPECT_EQ(f.NumCartesianProducts(), 0);
+}
+
+TEST(VGroupForestTest, DisconnectedPositionIsCartesian) {
+  auto groups = SquareGroups();
+  // The other group has positional adjacency {0-2, 1-2}: under identity
+  // order, level 1 (position 1) is not adjacent to position 0 -> root.
+  const VGroupSequence* forked = nullptr;
+  for (const auto& g : groups) {
+    if (!g.PositionsAdjacent(0, 1)) forked = &g;
+  }
+  ASSERT_NE(forked, nullptr);
+  MatchingOrder identity = {0, 1, 2};
+  VGroupForest f = BuildVGroupForest(*forked, identity);
+  EXPECT_EQ(f.parent_level[1], -1);
+  EXPECT_EQ(f.NumCartesianProducts(), 1);
+}
+
+TEST(VGroupForestTest, GlobalOrderEliminatesCartesians) {
+  // Paper Figure 4(b): ordering the shared position first removes all
+  // Cartesian products for the square's two v-groups.
+  auto groups = SquareGroups();
+  MatchingOrder best = FindGlobalMatchingOrder(groups, 3);
+  EXPECT_EQ(CountCartesianProducts(groups, best), 0);
+}
+
+TEST(VGroupForestTest, ParentIsDeepestAdjacent) {
+  // Clique topology: every position adjacent; parent should be the deepest
+  // previous level (a chain), mirroring "farthest from its root".
+  QueryGraph k4 = MakeCliqueQuery(4);
+  auto groups =
+      GroupSequencesByTopology(k4, EnumerateFullOrderSequences(k4, {}));
+  ASSERT_EQ(groups.size(), 1u);
+  MatchingOrder identity = {0, 1, 2, 3};
+  VGroupForest f = BuildVGroupForest(groups[0], identity);
+  EXPECT_EQ(f.parent_level[1], 0);
+  EXPECT_EQ(f.parent_level[2], 1);
+  EXPECT_EQ(f.parent_level[3], 2);
+}
+
+TEST(VGroupForestTest, SingleLevelForest) {
+  QueryGraph k1(1);
+  VGroupSequence group;
+  group.members.push_back({0});
+  MatchingOrder mo = {0};
+  VGroupForest f = BuildVGroupForest(group, mo);
+  EXPECT_EQ(f.parent_level.size(), 1u);
+  EXPECT_EQ(f.parent_level[0], -1);
+  EXPECT_EQ(f.NumCartesianProducts(), 0);
+}
+
+TEST(VGroupForestTest, FindGlobalMatchingOrderDeterministic) {
+  auto groups = SquareGroups();
+  MatchingOrder a = FindGlobalMatchingOrder(groups, 3);
+  MatchingOrder b = FindGlobalMatchingOrder(groups, 3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,72 @@
+#include "core/window_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/page.h"
+
+namespace dualsim {
+namespace {
+
+std::vector<std::byte> MakePage(
+    std::size_t page_size,
+    const std::vector<std::pair<VertexId, std::vector<VertexId>>>& records) {
+  std::vector<std::byte> page(page_size);
+  PageWriter writer(page.data(), page_size);
+  for (const auto& [v, adj] : records) {
+    EXPECT_TRUE(writer.Append(v, static_cast<std::uint32_t>(adj.size()), 0,
+                              adj));
+  }
+  return page;
+}
+
+TEST(WindowIndexTest, FindResidentVertices) {
+  auto page = MakePage(512, {{3, {1, 2}}, {5, {0}}, {9, {}}});
+  WindowIndex index;
+  index.AddPage(page.data(), 512);
+  EXPECT_EQ(index.NumVertices(), 3u);
+  bool found = false;
+  auto adj = index.Find(5, &found);
+  EXPECT_TRUE(found);
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_EQ(adj[0], 0u);
+  index.Find(4, &found);
+  EXPECT_FALSE(found);
+  EXPECT_TRUE(index.Contains(9));
+  EXPECT_FALSE(index.Contains(10));
+}
+
+TEST(WindowIndexTest, MultiplePagesStaySorted) {
+  auto page1 = MakePage(512, {{10, {1}}, {11, {2}}});
+  auto page2 = MakePage(512, {{2, {7}}, {3, {8}}});
+  WindowIndex index;
+  index.AddPage(page1.data(), 512);
+  index.AddPage(page2.data(), 512);  // out-of-order arrival
+  const auto& entries = index.entries();
+  ASSERT_EQ(entries.size(), 4u);
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    EXPECT_LT(entries[i].vertex, entries[i + 1].vertex);
+  }
+  EXPECT_TRUE(index.Contains(2));
+  EXPECT_TRUE(index.Contains(11));
+}
+
+TEST(WindowIndexTest, ClearEmptiesIndex) {
+  auto page = MakePage(256, {{1, {2}}});
+  WindowIndex index;
+  index.AddPage(page.data(), 256);
+  index.Clear();
+  EXPECT_EQ(index.NumVertices(), 0u);
+  EXPECT_FALSE(index.Contains(1));
+}
+
+TEST(WindowIndexTest, EmptyIndexFindsNothing) {
+  WindowIndex index;
+  bool found = true;
+  index.Find(0, &found);
+  EXPECT_FALSE(found);
+}
+
+}  // namespace
+}  // namespace dualsim
