@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the runtime layer (DUALSIM_SANITIZE CMake option):
+#   1. AddressSanitizer build running the full test suite.
+#   2. ThreadSanitizer build running the concurrency-sensitive suites
+#      (engine, buffer pool, thread pool, runtime, concurrency).
+# Each sanitizer gets its own build tree so switching is incremental.
+#
+# Usage: scripts/check_sanitizers.sh [address|thread|undefined ...]
+#   (no arguments = address followed by thread)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+[ ${#SANITIZERS[@]} -eq 0 ] && SANITIZERS=(address thread)
+
+# TSan over the whole suite is slow; restrict it to the suites that
+# exercise cross-thread engine/runtime/pool state.
+TSAN_FILTER='Engine|BufferPool|ThreadPool|TaskGroup|Runtime|Concurrency'
+
+for san in "${SANITIZERS[@]}"; do
+  case "$san" in
+    address|thread|undefined) ;;
+    *)
+      echo "usage: $0 [address|thread|undefined ...]" >&2
+      exit 2
+      ;;
+  esac
+  build="build-${san}san"
+  echo "=== ${san} sanitizer (${build}) ==="
+  cmake -B "$build" -DDUALSIM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  if [ "$san" = thread ]; then
+    TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$build" --output-on-failure -R "$TSAN_FILTER"
+  else
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+  fi
+  echo "=== ${san}: clean ==="
+done

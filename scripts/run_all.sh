@@ -2,13 +2,40 @@
 # Builds everything, runs the full test suite, then regenerates every table
 # and figure of the paper (bench_output.txt) — the repository's one-button
 # reproduction script.
+#
+# Usage: scripts/run_all.sh [--skip-bench]
+#   --skip-bench  build + test only; skip the (slow) benchmark sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SKIP_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-bench) SKIP_BENCH=1 ;;
+    *)
+      echo "usage: $0 [--skip-bench]" >&2
+      exit 2
+      ;;
+  esac
+done
+
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+if [ "$SKIP_BENCH" -eq 1 ]; then
+  echo "Benchmarks skipped (--skip-bench)."
+  exit 0
+fi
+
+# Run benches one by one and fail fast: a crashing bench must fail the
+# script instead of leaving a silently truncated bench_output.txt.
+: > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
-  "$b"
-done 2>&1 | tee bench_output.txt
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    echo "BENCH FAILED: $b" >&2
+    exit 1
+  fi
+done

@@ -2,10 +2,10 @@
 #define DUALSIM_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include <memory>
-
+#include "core/engine_stats.h"
 #include "core/extension.h"
 #include "core/plan.h"
 #include "graph/graph.h"
@@ -13,14 +13,19 @@
 #include "storage/buffer_pool.h"
 #include "storage/disk_graph.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace dualsim {
+
+class Runtime;
+class QuerySession;
 
 /// Engine configuration. Defaults mirror the paper's experimental setup
 /// (buffer = 15% of the data graph, paper buffer allocation strategy).
 struct EngineOptions {
   /// Buffer frames. 0 = derive from `buffer_fraction` of the page count.
+  /// An explicit value too small for a query's plan (its level count plus
+  /// the 2 x num_threads last-level reserve) makes Run() return
+  /// InvalidArgument; a derived value is grown to the minimum instead.
   std::size_t num_frames = 0;
   /// Fraction of the data-graph size kept in the buffer (Table 2: buf).
   double buffer_fraction = 0.15;
@@ -39,38 +44,21 @@ struct EngineOptions {
   PlanOptions plan;
 };
 
-/// Per-level traversal counters.
-struct LevelStats {
-  std::uint64_t windows = 0;         // current windows formed
-  std::uint64_t owned_pages = 0;     // pages charged to this level's budget
-  std::uint64_t borrowed_pages = 0;  // pages shared with ancestor windows
-};
-
-/// Counters of one engine run.
-struct EngineStats {
-  std::uint64_t embeddings = 0;           // total solutions
-  std::uint64_t internal_embeddings = 0;  // found by the internal pass
-  std::uint64_t external_embeddings = 0;  // found by the external pass
-  std::uint64_t red_assignments = 0;      // vertex-level red matches
-  IoStats io;                             // buffer-pool counters
-  double elapsed_seconds = 0.0;           // execution step only
-  double prepare_millis = 0.0;            // preparation step (Table 6)
-  std::size_t num_frames = 0;             // frames actually used
-  std::vector<std::size_t> frames_per_level;
-  std::vector<LevelStats> level_stats;    // one per v-group-forest level
-};
-
 /// DUALSIM (Algorithm 1): disk-based, parallel subgraph enumeration on a
-/// single machine via the dual approach. One engine instance can run many
-/// queries against the same on-disk graph; the buffer pool and worker
-/// pools persist across runs, so a repeated query runs hot (the paper's
-/// Appendix B.1 "preload the whole graph in memory" setup is simply a
-/// buffer_fraction of 1.0 plus a warm-up run).
+/// single machine via the dual approach.
 ///
-/// The data graph must be degree-ordered (preprocessing) and built with
-/// single-page adjacency records (DiskGraph::AllSinglePage); Run() checks
-/// both preconditions. Run() is not re-entrant: callers serialize runs on
-/// one engine (the enumeration itself is parallel internally).
+/// This class is a thin facade over the runtime layer: it owns a private
+/// Runtime (CPU pool, I/O pool, buffer pool, plan cache — see
+/// runtime/runtime.h) plus one QuerySession, and delegates Run() to the
+/// session. One engine instance can run many queries against the same
+/// on-disk graph; pools persist across runs, so a repeated query runs hot
+/// and skips preparation via the plan cache. Callers needing *concurrent*
+/// queries share one Runtime across several QuerySessions instead of
+/// using this facade (runtime/query_session.h); runs on a single engine
+/// are still serialized by the caller as before.
+///
+/// The data graph must be degree-ordered (preprocessing). Multi-page
+/// adjacency lists are supported (§5.2 large-degree handling).
 class DualSimEngine {
  public:
   explicit DualSimEngine(DiskGraph* disk, EngineOptions options = {});
@@ -87,8 +75,13 @@ class DualSimEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// The runtime backing this engine (created on the first Run). Exposed
+  /// so callers can attach additional sessions or read aggregated stats.
+  Runtime* runtime() { return runtime_.get(); }
+
   /// Per-level frame budgets the current options yield for a plan with
   /// `levels` levels and `total` frames (exposed for tests/benches).
+  /// Delegates to WindowScheduler::ComputeFrameBudgets.
   static std::vector<std::size_t> ComputeFrameBudgets(std::uint8_t levels,
                                                       std::size_t total,
                                                       int num_threads,
@@ -97,12 +90,10 @@ class DualSimEngine {
  private:
   DiskGraph* disk_;
   EngineOptions options_;
-  // Lazily created on the first Run() and reused afterwards. Destruction
-  // order matters: the buffer pool must drain before the I/O pool dies.
-  std::unique_ptr<ThreadPool> cpu_pool_;
-  std::unique_ptr<ThreadPool> io_pool_;
-  std::unique_ptr<BufferPool> buffer_pool_;
-  std::size_t pool_frames_ = 0;
+  // Lazily created on the first Run() and reused afterwards, preserving
+  // the historical behaviour of not spawning threads at construction.
+  std::shared_ptr<Runtime> runtime_;
+  std::unique_ptr<QuerySession> session_;
 };
 
 }  // namespace dualsim

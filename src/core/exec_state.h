@@ -1,0 +1,83 @@
+#ifndef DUALSIM_CORE_EXEC_STATE_H_
+#define DUALSIM_CORE_EXEC_STATE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/engine_stats.h"
+#include "core/extension.h"
+#include "core/plan.h"
+#include "core/window_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "util/bitmap.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dualsim {
+
+/// Per-(v-group, level) candidate state.
+struct GroupLevelState {
+  bool is_root = false;
+  Bitmap cvs;  // candidate vertices (unused for roots)
+  Bitmap cps;  // candidate pages (all-ones for roots)
+};
+
+/// Per-level window state.
+struct LevelState {
+  std::size_t budget = 0;
+  Bitmap window_pages;               // pages of the current window
+  std::vector<PageId> pinned_pages;  // to unpin when the window retires
+  WindowIndex index;
+  PageId min_page = 0;
+  PageId max_page = 0;
+  bool has_window = false;
+  std::vector<GroupLevelState> per_group;
+};
+
+/// State shared by the WindowScheduler (window formation and candidate
+/// maintenance) and the MatchPass (internal/external enumeration) of one
+/// query execution. Owned by the caller (QuerySession::Run); both
+/// components hold a pointer for the duration of the run.
+///
+/// The CPU pool and buffer pool may be shared with concurrent executions;
+/// everything else here is private to one run. Tasks are joined through
+/// `tasks` (a per-run TaskGroup), never via ThreadPool::WaitIdle(), so
+/// concurrent sessions cannot block on each other's work.
+struct ExecContext {
+  DiskGraph* disk = nullptr;
+  const QueryPlan* plan = nullptr;
+  const FullEmbeddingFn* visitor = nullptr;
+  ThreadPool* cpu_pool = nullptr;
+  BufferPool* pool = nullptr;
+  TaskGroup* tasks = nullptr;
+  std::uint8_t levels = 0;
+  std::size_t num_groups = 0;
+
+  std::vector<LevelState> level;        // indexed by level
+  std::vector<LevelStats> level_stats;  // indexed by level
+
+  bool HasError() {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return !first_error_.ok();
+  }
+
+  void SetError(const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_.ok()) first_error_ = status;
+  }
+
+  Status first_error() {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    return first_error_;
+  }
+
+ private:
+  std::mutex error_mutex_;
+  Status first_error_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_EXEC_STATE_H_

@@ -1,0 +1,180 @@
+#include "core/match_pass.h"
+
+#include <algorithm>
+#include <array>
+#include <latch>
+#include <memory>
+
+#include "core/enumerator.h"
+
+namespace dualsim {
+namespace {
+
+/// Accumulates solutions from one enumeration task, then flushes into the
+/// execution-wide atomics (one atomic op per task, not per embedding).
+struct TaskCounters {
+  std::uint64_t embeddings = 0;
+  std::uint64_t red_assignments = 0;
+};
+
+/// RedEmitter that maps every member full-order sequence of the v-group to
+/// the emitted data sequence and extends it over the non-red vertices.
+class ExtendingEmitter : public RedEmitter {
+ public:
+  ExtendingEmitter(const QueryPlan& plan, const VGroupSequence& group,
+                   const FullEmbeddingFn* visitor, TaskCounters* counters)
+      : plan_(plan), group_(group), visitor_(visitor), counters_(counters) {
+    mapping_.fill(kNoVertex);
+  }
+
+  void Emit(std::span<const VertexId> vertex_by_position,
+            std::span<const std::span<const VertexId>> adjacency_by_position)
+      override {
+    ++counters_->red_assignments;
+    const std::uint8_t num_q = plan_.rbi.query.NumVertices();
+    for (const FullOrderSequence& qs : group_.members) {
+      // Position k of qs maps red-graph vertex qs[k] to the k-th data
+      // vertex; translate to original query-vertex indexing.
+      for (std::uint8_t k = 0; k < qs.size(); ++k) {
+        const QueryVertex u = plan_.rbi.red[qs[k]];
+        mapping_[u] = vertex_by_position[k];
+        red_adjacency_[u] = adjacency_by_position[k];
+      }
+      counters_->embeddings += ExtendNonRed(
+          plan_.rbi, plan_.nonred_order, {mapping_.data(), num_q},
+          {red_adjacency_.data(), num_q}, visitor_);
+      for (std::uint8_t k = 0; k < qs.size(); ++k) {
+        mapping_[plan_.rbi.red[qs[k]]] = kNoVertex;
+      }
+    }
+  }
+
+ private:
+  const QueryPlan& plan_;
+  const VGroupSequence& group_;
+  const FullEmbeddingFn* visitor_;
+  TaskCounters* counters_;
+  std::array<VertexId, kMaxQueryVertices> mapping_;
+  std::array<std::span<const VertexId>, kMaxQueryVertices> red_adjacency_;
+};
+
+}  // namespace
+
+void MatchPass::LaunchInternalTasks() {
+  const LevelState& st = ctx_.level[0];
+  const std::vector<WindowIndex::Entry>& entries = st.index.entries();
+  if (entries.empty()) return;
+  const std::size_t chunk = std::max<std::size_t>(
+      1, entries.size() / (ctx_.cpu_pool->num_threads() * 4));
+  for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+    for (std::size_t begin = 0; begin < entries.size(); begin += chunk) {
+      const std::size_t end = std::min(entries.size(), begin + chunk);
+      ctx_.tasks->Run(
+          [this, g, begin, end] { RunInternalChunk(g, begin, end); });
+    }
+  }
+}
+
+void MatchPass::RunInternalChunk(std::size_t g, std::size_t begin,
+                                 std::size_t end) {
+  const LevelState& st = ctx_.level[0];
+  const QueryPlan& plan = *ctx_.plan;
+  TaskCounters counters;
+  std::array<LevelDomain, kMaxQueryVertices> domains;
+  for (std::uint8_t j = 0; j < ctx_.levels; ++j) {
+    domains[j].index = &st.index;
+    domains[j].candidates = nullptr;
+  }
+  GroupMatchInput input;
+  input.group = &plan.groups[g];
+  input.matching_order = &plan.matching_order;
+  input.domains = {domains.data(), ctx_.levels};
+  input.level_order = plan.internal_level_order[g];
+  input.seeds = {st.index.entries().data() + begin, end - begin};
+  ExtendingEmitter emitter(plan, plan.groups[g], ctx_.visitor, &counters);
+  MatchGroup(input, emitter);
+  internal_embeddings_.fetch_add(counters.embeddings);
+  red_assignments_.fetch_add(counters.red_assignments);
+}
+
+void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
+                                       const std::vector<PageId>& pages) {
+  // Split the (ascending) window page list into runs.
+  struct Run {
+    std::vector<PageId> pages;
+    std::vector<const std::byte*> data;
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::vector<std::unique_ptr<Run>> runs;
+  for (std::size_t i = 0; i < pages.size();) {
+    auto run = std::make_unique<Run>();
+    run->pages.push_back(pages[i]);
+    while (i + 1 < pages.size() && pages[i + 1] == pages[i] + 1 &&
+           ctx_.disk->SpansBeyond(pages[i])) {
+      run->pages.push_back(pages[++i]);
+    }
+    ++i;
+    run->data.resize(run->pages.size());
+    run->remaining.store(run->pages.size());
+    runs.push_back(std::move(run));
+  }
+
+  std::latch done(static_cast<std::ptrdiff_t>(runs.size()));
+  for (auto& run_ptr : runs) {
+    Run* run = run_ptr.get();
+    for (std::size_t k = 0; k < run->pages.size(); ++k) {
+      ctx_.pool->PinAsync(run->pages[k], [this, l, run, k, &done](
+                                             Status s, PageId p,
+                                             const std::byte* data) {
+        (void)p;
+        if (!s.ok()) {
+          ctx_.SetError(s);  // failed pins hold no frame; nothing to unpin
+        } else {
+          run->data[k] = data;
+        }
+        if (run->remaining.fetch_sub(1) == 1) {
+          ctx_.tasks->Run([this, l, run, &done] {
+            if (!ctx_.HasError()) EnumerateLastLevelRun(l, run->data);
+            for (std::size_t j = 0; j < run->pages.size(); ++j) {
+              if (run->data[j] != nullptr) ctx_.pool->Unpin(run->pages[j]);
+            }
+            done.count_down();
+          });
+        }
+      });
+    }
+  }
+  done.wait();
+}
+
+void MatchPass::EnumerateLastLevelRun(
+    std::uint8_t l, const std::vector<const std::byte*>& run_data) {
+  const QueryPlan& plan = *ctx_.plan;
+  WindowIndex page_index;
+  for (const std::byte* data : run_data) {
+    page_index.AddPage(data, ctx_.disk->page_size());
+  }
+  TaskCounters counters;
+  for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+    std::array<LevelDomain, kMaxQueryVertices> domains;
+    for (std::uint8_t j = 0; j < ctx_.levels; ++j) {
+      domains[j].index = j == l ? &page_index : &ctx_.level[j].index;
+      const GroupLevelState& gl = ctx_.level[j].per_group[g];
+      domains[j].candidates = gl.is_root ? nullptr : &gl.cvs;
+    }
+    GroupMatchInput input;
+    input.group = &plan.groups[g];
+    input.matching_order = &plan.matching_order;
+    input.domains = {domains.data(), ctx_.levels};
+    input.level_order = plan.external_level_order[g];
+    input.seeds = page_index.entries();
+    input.first_page = ctx_.disk->FirstPageMap();
+    input.skip_if_all_pages_in = &ctx_.level[0].window_pages;
+    ExtendingEmitter emitter(plan, plan.groups[g], ctx_.visitor, &counters);
+    MatchGroup(input, emitter);
+  }
+  external_embeddings_.fetch_add(counters.embeddings);
+  red_assignments_.fetch_add(counters.red_assignments);
+}
+
+}  // namespace dualsim

@@ -1,0 +1,58 @@
+#ifndef DUALSIM_CORE_MATCH_PASS_H_
+#define DUALSIM_CORE_MATCH_PASS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/exec_state.h"
+
+namespace dualsim {
+
+/// The enumeration half of one query execution: vertex-level red matching
+/// plus non-red extension, run as tasks on the shared CPU pool. Internal
+/// enumeration (over the level-0 window) and external enumeration (over
+/// last-level runs) submit to the same pool through the run's TaskGroup,
+/// so when one side drains its tasks the workers pick up the other side's
+/// remaining work — the paper's thread morphing (§5.3).
+///
+/// The WindowScheduler drives it: LaunchInternalTasks() whenever a fresh
+/// level-0 window is indexed, ProcessLastLevelWindow() for each last-level
+/// window. Thread-safe counters accumulate across all tasks of the run.
+class MatchPass {
+ public:
+  explicit MatchPass(ExecContext* ctx) : ctx_(*ctx) {}
+
+  /// Internal pass over the current level-0 window, split into per-chunk
+  /// tasks sharing the CPU pool with external enumeration.
+  void LaunchInternalTasks();
+
+  /// Last level: pages are dispatched to enumeration the moment they
+  /// arrive, overlapping CPU with the remaining reads (ExtVertexMapping).
+  /// Consecutive pages carrying one spilling vertex form a "run" that is
+  /// dispatched as a unit once all its pages are resident. Blocks until
+  /// every run of this window has been enumerated and unpinned.
+  void ProcessLastLevelWindow(std::uint8_t l, const std::vector<PageId>& pages);
+
+  std::uint64_t internal_embeddings() const {
+    return internal_embeddings_.load();
+  }
+  std::uint64_t external_embeddings() const {
+    return external_embeddings_.load();
+  }
+  std::uint64_t red_assignments() const { return red_assignments_.load(); }
+
+ private:
+  void RunInternalChunk(std::size_t g, std::size_t begin, std::size_t end);
+  void EnumerateLastLevelRun(std::uint8_t l,
+                             const std::vector<const std::byte*>& run_data);
+
+  ExecContext& ctx_;
+  std::atomic<std::uint64_t> internal_embeddings_{0};
+  std::atomic<std::uint64_t> external_embeddings_{0};
+  std::atomic<std::uint64_t> red_assignments_{0};
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_MATCH_PASS_H_

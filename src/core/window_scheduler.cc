@@ -1,0 +1,298 @@
+#include "core/window_scheduler.h"
+
+#include <algorithm>
+#include <latch>
+
+#include "util/logging.h"
+
+namespace dualsim {
+
+WindowScheduler::WindowScheduler(ExecContext* ctx, MatchPass* match,
+                                 std::size_t total_frames,
+                                 bool paper_allocation)
+    : ctx_(*ctx),
+      match_(*match),
+      total_frames_(total_frames),
+      paper_allocation_(paper_allocation) {}
+
+Status WindowScheduler::Execute() {
+  const PageId num_pages = ctx_.disk->num_pages();
+  const std::uint32_t num_vertices = ctx_.disk->num_vertices();
+
+  // Frame budgets per level (buffer allocation strategy).
+  budgets_ = ComputeFrameBudgets(ctx_.levels, total_frames_,
+                                 static_cast<int>(ctx_.cpu_pool->num_threads()),
+                                 paper_allocation_);
+  frames_needed_ = 0;
+  for (std::size_t b : budgets_) frames_needed_ += b;
+  DS_CHECK_LE(frames_needed_, total_frames_);
+
+  // Level / group state.
+  ctx_.level.resize(ctx_.levels);
+  for (std::uint8_t l = 0; l < ctx_.levels; ++l) {
+    LevelState& st = ctx_.level[l];
+    st.budget = budgets_[l];
+    st.window_pages.Resize(num_pages);
+    st.per_group.resize(ctx_.num_groups);
+    for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+      GroupLevelState& gl = st.per_group[g];
+      gl.is_root = ctx_.plan->forests[g].parent_level[l] < 0;
+      gl.cps.Resize(num_pages);
+      if (gl.is_root) {
+        gl.cps.SetAll();  // InitializeCandidateSequences for roots
+      } else {
+        gl.cvs.Resize(num_vertices);
+      }
+    }
+  }
+  ctx_.level_stats.assign(ctx_.levels, LevelStats{});
+
+  ProcessLevel(0);
+  ctx_.tasks->Wait();
+  return ctx_.first_error();
+}
+
+bool WindowScheduler::PinnedByAncestor(PageId pid, std::uint8_t l) const {
+  for (std::uint8_t a = 0; a < l; ++a) {
+    if (ctx_.level[a].has_window && ctx_.level[a].window_pages.Test(pid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void WindowScheduler::ProcessLevel(std::uint8_t l) {
+  LevelState& st = ctx_.level[l];
+  const PageId num_pages = ctx_.disk->num_pages();
+
+  // Merged candidate page sequence for this level across all v-groups.
+  Bitmap merged(num_pages);
+  for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+    merged.Union(st.per_group[g].cps);
+  }
+
+  // Total-order page pruning against ancestor windows: position order
+  // implies non-decreasing page order (Lemma 1).
+  std::size_t lo = 0;
+  std::size_t hi = num_pages == 0 ? 0 : num_pages - 1;
+  const std::uint8_t pos_l = ctx_.plan->matching_order[l];
+  for (std::uint8_t a = 0; a < l; ++a) {
+    const std::uint8_t pos_a = ctx_.plan->matching_order[a];
+    if (pos_l < pos_a) {
+      hi = std::min<std::size_t>(hi, ctx_.level[a].max_page);
+    } else {
+      lo = std::max<std::size_t>(lo, ctx_.level[a].min_page);
+    }
+  }
+
+  std::size_t next = merged.FindNext(lo);
+  while (next <= hi && next < merged.size() && !ctx_.HasError()) {
+    // Form one window: up to `budget` non-borrowed pages plus any pages
+    // pinned by ancestor windows (they cost no frame — the paper's
+    // variably-sized disjoint windows). A vertex whose adjacency spans
+    // several pages is never split across windows: its continuation
+    // pages are pulled in with its head page (§5.2 large-degree case),
+    // overshooting the budget by at most MaxVertexPages()-1 frames,
+    // which the pool reserves as slack.
+    st.window_pages.ClearAll();
+    st.pinned_pages.clear();
+    std::vector<PageId> window_list;
+    std::size_t owned = 0;
+    bool first = true;
+    auto add_page = [&](PageId pid, bool borrowed) {
+      st.window_pages.Set(pid);
+      window_list.push_back(pid);
+      if (borrowed) {
+        ++ctx_.level_stats[l].borrowed_pages;
+      } else {
+        ++owned;
+        ++ctx_.level_stats[l].owned_pages;
+      }
+      if (first) {
+        st.min_page = pid;
+        first = false;
+      }
+      st.max_page = pid;
+    };
+    while (next <= hi && next < merged.size()) {
+      const PageId pid = static_cast<PageId>(next);
+      if (!st.window_pages.Test(pid)) {
+        const bool borrowed = PinnedByAncestor(pid, l);
+        if (!borrowed && owned >= st.budget) break;
+        add_page(pid, borrowed);
+        for (PageId cont = pid; ctx_.disk->SpansBeyond(cont);) {
+          ++cont;
+          if (!st.window_pages.Test(cont)) {
+            add_page(cont, PinnedByAncestor(cont, l));
+          }
+        }
+      }
+      next = merged.FindNext(next + 1);
+    }
+    if (window_list.empty()) break;
+    ++ctx_.level_stats[l].windows;
+    st.has_window = true;
+
+    if (l + 1 == ctx_.levels && ctx_.levels > 1) {
+      match_.ProcessLastLevelWindow(l, window_list);
+    } else {
+      ProcessInnerWindow(l, window_list);
+    }
+    st.has_window = false;
+  }
+}
+
+void WindowScheduler::ProcessInnerWindow(std::uint8_t l,
+                                         const std::vector<PageId>& pages) {
+  LevelState& st = ctx_.level[l];
+
+  // Pin everything (async; borrowed pages are hits) and build the index.
+  struct Arrival {
+    PageId pid;
+    const std::byte* data = nullptr;
+  };
+  std::vector<Arrival> arrivals(pages.size());
+  std::latch arrived(static_cast<std::ptrdiff_t>(pages.size()));
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    arrivals[i].pid = pages[i];
+    ctx_.pool->PinAsync(pages[i],
+                        [this, &arrivals, &arrived, i](
+                            Status s, PageId, const std::byte* data) {
+                          if (!s.ok()) {
+                            ctx_.SetError(s);
+                          } else {
+                            arrivals[i].data = data;
+                          }
+                          arrived.count_down();
+                        });
+  }
+  arrived.wait();
+  if (ctx_.HasError()) {
+    for (const Arrival& a : arrivals) {
+      if (a.data != nullptr) ctx_.pool->Unpin(a.pid);
+    }
+    return;
+  }
+  st.index.Clear();
+  for (const Arrival& a : arrivals) {
+    st.pinned_pages.push_back(a.pid);
+    st.index.AddPage(a.data, ctx_.disk->page_size());
+  }
+
+  // ComputeCandidateSequences: recompute cvs/cps of every child level
+  // from this window's current vertex windows.
+  for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+    ComputeChildCandidates(l, g);
+  }
+
+  if (l == 0) {
+    match_.LaunchInternalTasks();
+    if (ctx_.levels > 1) ProcessLevel(1);
+    ctx_.tasks->Wait();  // join internal (and any external) tasks
+  } else {
+    ProcessLevel(static_cast<std::uint8_t>(l + 1));
+  }
+
+  // ClearCandidateSequences for children + release the window.
+  for (std::size_t g = 0; g < ctx_.num_groups; ++g) {
+    ClearChildCandidates(l, g);
+  }
+  for (PageId pid : st.pinned_pages) ctx_.pool->Unpin(pid);
+  st.pinned_pages.clear();
+}
+
+void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
+  const VGroupForest& forest = ctx_.plan->forests[g];
+  const GroupLevelState& parent_state = ctx_.level[l].per_group[g];
+  std::vector<std::uint8_t> children;
+  for (std::uint8_t c = static_cast<std::uint8_t>(l + 1); c < ctx_.levels;
+       ++c) {
+    if (forest.parent_level[c] == static_cast<int>(l)) children.push_back(c);
+  }
+  if (children.empty()) return;
+  for (std::uint8_t c : children) {
+    GroupLevelState& child = ctx_.level[c].per_group[g];
+    child.cvs.ClearAll();
+    child.cps.ClearAll();
+  }
+  const std::uint8_t pos_parent = ctx_.plan->matching_order[l];
+  const std::span<const PageId> first_page = ctx_.disk->FirstPageMap();
+  for (const WindowIndex::Entry& e : ctx_.level[l].index.entries()) {
+    // Current vertex window: resident vertices passing the level's cvs.
+    if (!parent_state.is_root &&
+        (e.vertex >= parent_state.cvs.size() ||
+         !parent_state.cvs.Test(e.vertex))) {
+      continue;
+    }
+    for (std::uint8_t c : children) {
+      GroupLevelState& child = ctx_.level[c].per_group[g];
+      const bool child_larger = ctx_.plan->matching_order[c] > pos_parent;
+      for (VertexId w : e.adjacency) {
+        if (child_larger ? (w > e.vertex) : (w < e.vertex)) {
+          child.cvs.Set(w);
+          child.cps.Set(first_page[w]);
+        }
+      }
+    }
+  }
+}
+
+void WindowScheduler::ClearChildCandidates(std::uint8_t l, std::size_t g) {
+  const VGroupForest& forest = ctx_.plan->forests[g];
+  for (std::uint8_t c = static_cast<std::uint8_t>(l + 1); c < ctx_.levels;
+       ++c) {
+    if (forest.parent_level[c] != static_cast<int>(l)) continue;
+    GroupLevelState& child = ctx_.level[c].per_group[g];
+    child.cvs.ClearAll();
+    child.cps.ClearAll();
+  }
+}
+
+std::vector<std::size_t> WindowScheduler::ComputeFrameBudgets(
+    std::uint8_t levels, std::size_t total, int num_threads,
+    bool paper_allocation) {
+  DS_CHECK_GE(levels, 1);
+  std::vector<std::size_t> budgets(levels, 1);
+  if (levels == 1) {
+    budgets[0] = std::max<std::size_t>(1, total);
+    return budgets;
+  }
+  if (!paper_allocation) {
+    const std::size_t each = std::max<std::size_t>(1, total / levels);
+    std::fill(budgets.begin(), budgets.end(), each);
+    return budgets;
+  }
+  // Paper strategy: last level gets 2 frames per thread (one being read,
+  // one in flight); level 0 gets two thirds of the rest; middle levels
+  // split the final third equally.
+  std::size_t last = std::min<std::size_t>(
+      std::max<std::size_t>(2, 2 * static_cast<std::size_t>(num_threads)),
+      total / 2);
+  last = std::max<std::size_t>(last, 1);
+  const std::size_t rest = total > last ? total - last : 1;
+  budgets[levels - 1] = last;
+  if (levels == 2) {
+    budgets[0] = std::max<std::size_t>(1, rest);
+    return budgets;
+  }
+  const std::size_t first = std::max<std::size_t>(1, rest * 2 / 3);
+  const std::size_t middle_total = rest > first ? rest - first : 0;
+  const std::size_t num_middle = static_cast<std::size_t>(levels) - 2;
+  const std::size_t each_middle =
+      std::max<std::size_t>(1, middle_total / num_middle);
+  budgets[0] = first;
+  for (std::uint8_t l = 1; l + 1 < levels; ++l) budgets[l] = each_middle;
+  // Rounding may have pushed the sum past `total` (middle floors of 1);
+  // shave the largest budgets until the split fits.
+  std::size_t sum = 0;
+  for (std::size_t b : budgets) sum += b;
+  while (sum > total) {
+    auto it = std::max_element(budgets.begin(), budgets.end());
+    DS_CHECK_GT(*it, 1u);
+    --*it;
+    --sum;
+  }
+  return budgets;
+}
+
+}  // namespace dualsim

@@ -1,0 +1,67 @@
+#ifndef DUALSIM_CORE_WINDOW_SCHEDULER_H_
+#define DUALSIM_CORE_WINDOW_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/exec_state.h"
+#include "core/match_pass.h"
+
+namespace dualsim {
+
+/// The window half of one query execution: per-level frame budgets, the
+/// level-wise window loop (Algorithm 1 lines 7-17 / Algorithm 2),
+/// total-order page pruning against ancestor windows (Lemma 1), candidate
+/// vertex/page sequence maintenance (Algorithm 3), and asynchronous window
+/// loading. Hands finished windows to the MatchPass for enumeration.
+class WindowScheduler {
+ public:
+  /// `total_frames` is this run's frame quota minus the multi-page slack;
+  /// the per-level budgets are carved out of it.
+  WindowScheduler(ExecContext* ctx, MatchPass* match, std::size_t total_frames,
+                  bool paper_allocation);
+
+  /// Sets up level/group state and runs the full window loop. Joins all
+  /// enumeration tasks before returning. Returns the first error raised by
+  /// any task (Status::OK on success).
+  Status Execute();
+
+  const std::vector<std::size_t>& budgets() const { return budgets_; }
+
+  /// Sum of the per-level budgets — the frames this run actually uses.
+  std::size_t frames_needed() const { return frames_needed_; }
+
+  /// Per-level frame budgets for a plan with `levels` levels and `total`
+  /// frames (the paper's §5 allocation strategy, or the OPT equal split).
+  static std::vector<std::size_t> ComputeFrameBudgets(std::uint8_t levels,
+                                                      std::size_t total,
+                                                      int num_threads,
+                                                      bool paper_allocation);
+
+ private:
+  /// True when `pid` is pinned by the current window of a level above `l`.
+  bool PinnedByAncestor(PageId pid, std::uint8_t l) const;
+
+  /// The window loop for level `l`.
+  void ProcessLevel(std::uint8_t l);
+
+  /// Loads a non-last-level window, computes child candidate sequences,
+  /// recurses (and, at level 0, runs the internal pass concurrently).
+  void ProcessInnerWindow(std::uint8_t l, const std::vector<PageId>& pages);
+
+  /// Recomputes cvs/cps for every child of level `l` in group `g` from the
+  /// group's current vertex window at `l` (Algorithm 3).
+  void ComputeChildCandidates(std::uint8_t l, std::size_t g);
+  void ClearChildCandidates(std::uint8_t l, std::size_t g);
+
+  ExecContext& ctx_;
+  MatchPass& match_;
+  const std::size_t total_frames_;
+  const bool paper_allocation_;
+  std::vector<std::size_t> budgets_;
+  std::size_t frames_needed_ = 0;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_CORE_WINDOW_SCHEDULER_H_

@@ -26,4 +26,73 @@ std::vector<QueryPermutation> Automorphisms(const QueryGraph& q) {
   return autos;
 }
 
+namespace {
+
+/// Adjacency masks of `q` relabeled by `perm` (perm[u] = new label of u).
+std::array<std::uint32_t, kMaxQueryVertices> RelabeledMasks(
+    const QueryGraph& q, const std::vector<QueryVertex>& perm) {
+  std::array<std::uint32_t, kMaxQueryVertices> masks{};
+  const std::uint8_t n = q.NumVertices();
+  for (QueryVertex u = 0; u < n; ++u) {
+    for (QueryVertex v = 0; v < n; ++v) {
+      if (q.HasEdge(u, v)) masks[perm[u]] |= 1u << perm[v];
+    }
+  }
+  return masks;
+}
+
+}  // namespace
+
+CanonicalQuery CanonicalizeQuery(const QueryGraph& q) {
+  const std::uint8_t n = q.NumVertices();
+  CanonicalQuery out;
+  out.graph = q;
+  std::iota(out.to_canonical.begin(), out.to_canonical.end(), 0);
+  if (n > kMaxCanonicalVertices) {
+    out.exact = false;
+    return out;
+  }
+
+  std::vector<QueryVertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto best = RelabeledMasks(q, perm);
+  std::vector<QueryVertex> best_perm = perm;
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    const auto masks = RelabeledMasks(q, perm);
+    if (masks < best) {
+      best = masks;
+      best_perm = perm;
+    }
+  }
+
+  out.identity = true;
+  for (QueryVertex u = 0; u < n; ++u) {
+    out.to_canonical[u] = best_perm[u];
+    if (best_perm[u] != u) out.identity = false;
+  }
+  if (!out.identity) {
+    QueryGraph relabeled(n);
+    for (const auto& [u, v] : q.Edges()) {
+      relabeled.AddEdge(out.to_canonical[u], out.to_canonical[v]);
+    }
+    out.graph = relabeled;
+  }
+  return out;
+}
+
+std::string CanonicalQueryKey(const CanonicalQuery& canonical) {
+  const QueryGraph& g = canonical.graph;
+  const std::uint8_t n = g.NumVertices();
+  std::string key;
+  key.reserve(2 + n * 2u);
+  key.push_back(canonical.exact ? 'c' : 'x');
+  key.push_back(static_cast<char>(n));
+  for (QueryVertex u = 0; u < n; ++u) {
+    const std::uint32_t mask = g.NeighborMask(u);
+    key.push_back(static_cast<char>(mask & 0xFF));
+    key.push_back(static_cast<char>((mask >> 8) & 0xFF));
+  }
+  return key;
+}
+
 }  // namespace dualsim

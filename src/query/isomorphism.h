@@ -2,6 +2,7 @@
 #define DUALSIM_QUERY_ISOMORPHISM_H_
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "query/query_graph.h"
@@ -15,6 +16,36 @@ using QueryPermutation = std::array<QueryVertex, kMaxQueryVertices>;
 /// brute force over permutations — fine for |V_q| <= kMaxQueryVertices.
 /// The identity is always included.
 std::vector<QueryPermutation> Automorphisms(const QueryGraph& q);
+
+/// A canonical relabeling of a query graph: isomorphic graphs map to the
+/// same `graph` (and therefore the same CanonicalQueryKey), so a plan
+/// prepared for the canonical form serves every labeling of the query.
+struct CanonicalQuery {
+  QueryGraph graph;               // the relabeled query
+  QueryPermutation to_canonical;  // to_canonical[original u] = canonical u
+  /// True when a true canonical form was computed. For large queries
+  /// (|V_q| > kMaxCanonicalVertices) the search is skipped and the graph
+  /// is returned unchanged — still a usable cache key, but isomorphic
+  /// relabelings no longer collide.
+  bool exact = true;
+  /// True when to_canonical is the identity (no remapping needed).
+  bool identity = true;
+};
+
+/// Largest query size for which the exhaustive canonical-labeling search
+/// runs (|V_q|! permutations; 8! = 40320 is instantaneous).
+inline constexpr std::uint8_t kMaxCanonicalVertices = 8;
+
+/// Computes the canonical form of `q` by exhaustive search over vertex
+/// permutations, picking the labeling with the lexicographically smallest
+/// adjacency encoding. A graph already in canonical form yields the
+/// identity permutation.
+CanonicalQuery CanonicalizeQuery(const QueryGraph& q);
+
+/// Byte string uniquely identifying `q`'s structure (vertex count plus
+/// adjacency masks); equal for equal graphs, and — via CanonicalizeQuery —
+/// equal for isomorphic graphs. Used as the plan-cache key.
+std::string CanonicalQueryKey(const CanonicalQuery& canonical);
 
 }  // namespace dualsim
 

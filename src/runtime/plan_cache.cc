@@ -1,0 +1,79 @@
+#include "runtime/plan_cache.h"
+
+#include <algorithm>
+
+namespace dualsim {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::string PlanCache::MakeKey(const CanonicalQuery& canonical,
+                               const PlanOptions& options) {
+  // One byte of option bits: plans are only reusable under identical
+  // preparation knobs (different sessions may share one cache).
+  char bits = 0;
+  if (options.use_vgroups) bits |= 1;
+  if (options.best_matching_order) bits |= 2;
+  if (options.rbi.use_connected_cover) bits |= 4;
+  if (options.rbi.apply_rules) bits |= 8;
+  std::string key;
+  key.push_back(bits);
+  key += CanonicalQueryKey(canonical);
+  return key;
+}
+
+StatusOr<std::shared_ptr<const QueryPlan>> PlanCache::GetOrPrepare(
+    const CanonicalQuery& canonical, const PlanOptions& options, bool* hit) {
+  const std::string key = MakeKey(canonical, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++hits_;
+      if (hit != nullptr) *hit = true;
+      return it->second->second;
+    }
+    ++misses_;
+  }
+  if (hit != nullptr) *hit = false;
+
+  // Prepare outside the lock; a concurrent miss on the same key does the
+  // work twice and the second insert simply refreshes the entry.
+  DUALSIM_ASSIGN_OR_RETURN(QueryPlan plan,
+                           PreparePlan(canonical.graph, options));
+  auto shared = std::make_shared<const QueryPlan>(std::move(plan));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = shared;
+    return shared;
+  }
+  lru_.emplace_front(key, shared);
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return shared;
+}
+
+PlanCache::CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.entries = lru_.size();
+  out.capacity = capacity_;
+  return out;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace dualsim

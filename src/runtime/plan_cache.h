@@ -1,0 +1,70 @@
+#ifndef DUALSIM_RUNTIME_PLAN_CACHE_H_
+#define DUALSIM_RUNTIME_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/plan.h"
+#include "query/isomorphism.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Thread-safe LRU cache of prepared query plans, keyed by the canonical
+/// query graph (query/isomorphism) plus the plan options, so a repeated
+/// query — under any isomorphic relabeling — skips the preparation step
+/// entirely. Plans are handed out as shared_ptr<const QueryPlan>: they are
+/// immutable after preparation and may be executed by several concurrent
+/// sessions while the cache evicts the entry.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = kDefaultCapacity);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// Returns the cached plan for (`canonical`, `options`), preparing and
+  /// inserting it on a miss. `*hit` (optional) reports whether the lookup
+  /// was served from the cache. Preparation runs outside the cache lock,
+  /// so concurrent misses on different queries do not serialize.
+  StatusOr<std::shared_ptr<const QueryPlan>> GetOrPrepare(
+      const CanonicalQuery& canonical, const PlanOptions& options,
+      bool* hit = nullptr);
+
+  /// Cache key for (`canonical`, `options`): the canonical graph encoding
+  /// prefixed with the plan-option bits (plans depend on both).
+  static std::string MakeKey(const CanonicalQuery& canonical,
+                             const PlanOptions& options);
+
+  CacheStats stats() const;
+  void Clear();
+
+ private:
+  using LruList = std::list<std::pair<std::string,  // key
+                                      std::shared_ptr<const QueryPlan>>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_RUNTIME_PLAN_CACHE_H_

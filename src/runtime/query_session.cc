@@ -1,0 +1,127 @@
+#include "runtime/query_session.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/match_pass.h"
+#include "core/window_scheduler.h"
+#include "query/isomorphism.h"
+#include "util/timer.h"
+
+namespace dualsim {
+
+QuerySession::QuerySession(Runtime* runtime, SessionOptions options)
+    : runtime_(runtime), options_(std::move(options)) {}
+
+StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q) {
+  return Run(q, FullEmbeddingFn{});
+}
+
+StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
+                                        const FullEmbeddingFn& visitor) {
+  // Preparation step — or a plan-cache hit skipping it entirely.
+  WallTimer lookup_timer;
+  const CanonicalQuery canonical = CanonicalizeQuery(q);
+  bool cache_hit = false;
+  DUALSIM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const QueryPlan> plan,
+      runtime_->plan_cache().GetOrPrepare(canonical, options_.plan,
+                                          &cache_hit));
+  const double lookup_millis = lookup_timer.ElapsedMillis();
+
+  DiskGraph* disk = runtime_->disk();
+  const std::uint8_t levels = plan->NumLevels();
+
+  // Large-degree vertices (adjacency lists spanning MaxVertexPages pages)
+  // are kept whole within a window, overshooting the per-level budget by
+  // up to mvp-1 frames; the quota reserves that slack per level.
+  const std::size_t slack =
+      static_cast<std::size_t>(disk->MaxVertexPages() - 1) *
+      static_cast<std::size_t>(levels);
+  const std::size_t min_frames =
+      static_cast<std::size_t>(levels) * 2 +
+      static_cast<std::size_t>(
+          std::max(1, runtime_->options().io_threads)) +
+      2 + slack;
+
+  // EngineOptions validation: an explicit frame budget (runtime num_frames
+  // or session max_frames) below the plan's minimum — its level count plus
+  // the last level's 2 x num_threads read-ahead reserve — is rejected here
+  // instead of misbehaving deep inside the window loop. Derived budgets
+  // (buffer_fraction) are grown to the minimum by admission instead.
+  if (options_.max_frames != 0 && options_.max_frames < min_frames) {
+    return Status::InvalidArgument(
+        "SessionOptions::max_frames=" + std::to_string(options_.max_frames) +
+        " is below the " + std::to_string(min_frames) +
+        " frames a " + std::to_string(levels) +
+        "-level plan requires (2 per level + io_threads + 2 + multi-page "
+        "slack; the last level also wants 2 x num_threads frames)");
+  }
+
+  DUALSIM_ASSIGN_OR_RETURN(
+      Runtime::FrameLease lease,
+      runtime_->Admit(min_frames, options_.max_frames));
+
+  // Undo the canonical relabeling before the caller's visitor sees a
+  // mapping: the plan enumerates the canonical graph, whose vertex u is
+  // the caller's to_canonical^-1(u).
+  const FullEmbeddingFn* vis = visitor ? &visitor : nullptr;
+  FullEmbeddingFn remapped;
+  if (vis != nullptr && !canonical.identity) {
+    const std::uint8_t n = q.NumVertices();
+    const QueryPermutation to_canonical = canonical.to_canonical;
+    remapped = [&visitor, to_canonical, n](std::span<const VertexId> m) {
+      std::array<VertexId, kMaxQueryVertices> original;
+      for (QueryVertex u = 0; u < n; ++u) {
+        original[u] = m[to_canonical[u]];
+      }
+      visitor({original.data(), n});
+    };
+    vis = &remapped;
+  }
+
+  ExecContext ctx;
+  ctx.disk = disk;
+  ctx.plan = plan.get();
+  ctx.visitor = vis;
+  ctx.cpu_pool = &runtime_->cpu_pool();
+  ctx.pool = lease.pool();
+  ctx.levels = levels;
+  ctx.num_groups = plan->groups.size();
+  TaskGroup tasks(ctx.cpu_pool);
+  ctx.tasks = &tasks;
+
+  // Per-run I/O counters: delta over the shared pool (the pool persists
+  // across runs and sessions; under concurrency the delta attributes
+  // overlapping sessions' reads approximately — exact totals live in
+  // RuntimeStats).
+  const IoStats io_before = ctx.pool->stats();
+
+  WallTimer timer;
+  MatchPass match(&ctx);
+  WindowScheduler scheduler(&ctx, &match, lease.frames() - slack,
+                            options_.paper_buffer_allocation);
+  DUALSIM_RETURN_IF_ERROR(scheduler.Execute());
+
+  EngineStats stats;
+  stats.internal_embeddings = match.internal_embeddings();
+  stats.external_embeddings = match.external_embeddings();
+  stats.embeddings = stats.internal_embeddings + stats.external_embeddings;
+  stats.red_assignments = match.red_assignments();
+  stats.io = ctx.pool->stats() - io_before;
+  stats.elapsed_seconds = timer.ElapsedSeconds();
+  stats.prepare_millis = cache_hit ? lookup_millis : plan->prepare_millis;
+  stats.num_frames = scheduler.frames_needed();
+  stats.frames_per_level = scheduler.budgets();
+  stats.level_stats = ctx.level_stats;
+  const PlanCache::CacheStats cache_stats = runtime_->plan_cache().stats();
+  stats.plan_cache_hits = cache_stats.hits;
+  stats.plan_cache_misses = cache_stats.misses;
+  stats.plan_cached = cache_hit;
+  return stats;
+}
+
+}  // namespace dualsim

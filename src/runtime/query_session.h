@@ -1,0 +1,61 @@
+#ifndef DUALSIM_RUNTIME_QUERY_SESSION_H_
+#define DUALSIM_RUNTIME_QUERY_SESSION_H_
+
+#include <cstdint>
+
+#include "core/engine_stats.h"
+#include "core/extension.h"
+#include "core/plan.h"
+#include "query/query_graph.h"
+#include "runtime/runtime.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// Per-session (per-query-stream) knobs; resource knobs live in
+/// RuntimeOptions.
+struct SessionOptions {
+  /// Paper's buffer allocation strategy (§5); false = equal split
+  /// (the OPT [17] strategy; ablation + Figure 17).
+  bool paper_buffer_allocation = true;
+  /// Cap on this session's frame quota. 0 = take every frame that is not
+  /// reserved by another session at admission time. Sessions meant to run
+  /// concurrently should set a cap so they fit side by side; a cap below
+  /// a plan's minimum is an InvalidArgument.
+  std::size_t max_frames = 0;
+  /// Preparation-step options (RBI choice, v-grouping, matching order).
+  PlanOptions plan;
+};
+
+/// One query stream against a shared Runtime. Each Run() canonicalizes
+/// the query, fetches its plan from the runtime's plan cache (preparing on
+/// a miss), is admitted with a frame quota, and executes the window loop
+/// with a private TaskGroup on the shared CPU pool — so Run() calls on
+/// *different* sessions of one runtime may be issued concurrently from
+/// different threads. A single session is still one stream: serialize
+/// Run() calls on the same session.
+class QuerySession {
+ public:
+  explicit QuerySession(Runtime* runtime, SessionOptions options = {});
+
+  /// Enumerates all embeddings of `q` (counting only).
+  StatusOr<EngineStats> Run(const QueryGraph& q);
+
+  /// Enumerates all embeddings, invoking `visitor` per embedding with the
+  /// mapping indexed by query vertex (of `q` as given — canonical
+  /// relabeling is undone before the visitor sees a mapping). The visitor
+  /// is called concurrently from worker threads and must be thread-safe.
+  StatusOr<EngineStats> Run(const QueryGraph& q,
+                            const FullEmbeddingFn& visitor);
+
+  const SessionOptions& options() const { return options_; }
+  Runtime* runtime() { return runtime_; }
+
+ private:
+  Runtime* runtime_;
+  SessionOptions options_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_RUNTIME_QUERY_SESSION_H_

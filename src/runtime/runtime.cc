@@ -1,0 +1,130 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace dualsim {
+
+Runtime::Runtime(DiskGraph* disk, RuntimeOptions options)
+    : disk_(disk),
+      options_(options),
+      plan_cache_(options.plan_cache_capacity) {
+  cpu_pool_ = std::make_unique<ThreadPool>(
+      options_.num_threads > 0
+          ? static_cast<std::size_t>(options_.num_threads)
+          : std::max(1u, std::thread::hardware_concurrency()));
+  io_pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(std::max(1, options_.io_threads)));
+
+  base_frames_ = options_.num_frames;
+  if (base_frames_ == 0) {
+    base_frames_ = static_cast<std::size_t>(
+        static_cast<double>(disk_->num_pages()) * options_.buffer_fraction);
+  }
+  base_frames_ = std::max<std::size_t>(base_frames_, 1);
+  pool_frames_ = base_frames_;
+  buffer_pool_ = std::make_unique<BufferPool>(
+      &disk_->file(), pool_frames_, io_pool_.get(),
+      BufferPoolOptions{options_.read_latency_us});
+}
+
+Runtime::~Runtime() {
+  // The buffer pool drains its in-flight reads before the I/O pool dies.
+  buffer_pool_.reset();
+  io_pool_.reset();
+  cpu_pool_.reset();
+}
+
+std::size_t Runtime::num_frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_frames_;
+}
+
+Runtime::FrameLease& Runtime::FrameLease::operator=(
+    FrameLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    runtime_ = other.runtime_;
+    pool_ = other.pool_;
+    frames_ = other.frames_;
+    other.runtime_ = nullptr;
+    other.pool_ = nullptr;
+    other.frames_ = 0;
+  }
+  return *this;
+}
+
+void Runtime::FrameLease::Release() {
+  if (runtime_ != nullptr) {
+    runtime_->Release(frames_);
+    runtime_ = nullptr;
+    pool_ = nullptr;
+    frames_ = 0;
+  }
+}
+
+void Runtime::GrowPoolLocked(std::size_t min_frames) {
+  retired_io_ += buffer_pool_->stats();
+  buffer_pool_.reset();  // drain before replacing
+  pool_frames_ = std::max(base_frames_, min_frames);
+  buffer_pool_ = std::make_unique<BufferPool>(
+      &disk_->file(), pool_frames_, io_pool_.get(),
+      BufferPoolOptions{options_.read_latency_us});
+}
+
+StatusOr<Runtime::FrameLease> Runtime::Admit(std::size_t min_frames,
+                                             std::size_t max_frames) {
+  min_frames = std::max<std::size_t>(1, min_frames);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.num_frames != 0 && min_frames > options_.num_frames) {
+    return Status::InvalidArgument(
+        "num_frames=" + std::to_string(options_.num_frames) +
+        " is below the " + std::to_string(min_frames) +
+        " frames this query's plan requires");
+  }
+  for (;;) {
+    if (pool_frames_ < min_frames) {
+      // Growing replaces the pool, which invalidates other sessions'
+      // pins — wait until the runtime is idle.
+      if (active_sessions_ == 0) {
+        GrowPoolLocked(min_frames);
+        continue;
+      }
+    } else if (reserved_ + min_frames <= pool_frames_) {
+      break;
+    }
+    admission_cv_.wait(lock);
+  }
+  std::size_t grant = pool_frames_ - reserved_;
+  if (max_frames != 0) {
+    grant = std::min(grant, std::max(max_frames, min_frames));
+  }
+  reserved_ += grant;
+  ++active_sessions_;
+  return FrameLease(this, buffer_pool_.get(), grant);
+}
+
+void Runtime::Release(std::size_t frames) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reserved_ -= frames;
+    --active_sessions_;
+    ++sessions_completed_;
+  }
+  admission_cv_.notify_all();
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.io = retired_io_;
+    out.io += buffer_pool_->stats();
+    out.sessions_completed = sessions_completed_;
+    out.num_frames = pool_frames_;
+  }
+  out.plan_cache = plan_cache_.stats();
+  return out;
+}
+
+}  // namespace dualsim

@@ -1,6 +1,7 @@
 #ifndef DUALSIM_STORAGE_BUFFER_POOL_H_
 #define DUALSIM_STORAGE_BUFFER_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -25,7 +26,26 @@ struct IoStats {
   std::uint64_t logical_hits = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bytes_read = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    physical_reads += other.physical_reads;
+    logical_hits += other.logical_hits;
+    evictions += other.evictions;
+    bytes_read += other.bytes_read;
+    return *this;
+  }
 };
+
+/// Counter delta `a - b` (for per-run stats over a shared, persistent
+/// pool: snapshot before, subtract after). Saturates at zero per field so
+/// a concurrent ResetStats cannot underflow the delta.
+inline IoStats operator-(IoStats a, const IoStats& b) {
+  a.physical_reads -= std::min(a.physical_reads, b.physical_reads);
+  a.logical_hits -= std::min(a.logical_hits, b.logical_hits);
+  a.evictions -= std::min(a.evictions, b.evictions);
+  a.bytes_read -= std::min(a.bytes_read, b.bytes_read);
+  return a;
+}
 
 /// Options controlling simulated device behaviour. The paper evaluates on
 /// HDD and SSD; injecting a fixed per-read latency on top of real pread()

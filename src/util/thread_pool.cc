@@ -55,6 +55,26 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  pool_->Enqueue([this, fn = std::move(fn)] {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --outstanding_;
+      if (outstanding_ == 0) all_done_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain) {

@@ -64,6 +64,32 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn,
                  std::size_t grain = 1);
 
+/// Tracks a set of tasks submitted to a (possibly shared) pool so one
+/// client can join *its own* tasks without waiting for the whole pool to
+/// drain. Query sessions sharing the runtime's CPU pool each own a
+/// TaskGroup: ThreadPool::WaitIdle() would block on other sessions' work.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` on the pool and counts it as outstanding until it
+  /// returns. Tasks may themselves call Run(); Wait() covers those too.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task submitted through this group has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable all_done_;
+  std::size_t outstanding_ = 0;
+};
+
 }  // namespace dualsim
 
 #endif  // DUALSIM_UTIL_THREAD_POOL_H_

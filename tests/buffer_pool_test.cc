@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <latch>
+#include <thread>
 #include <unistd.h>
 
 #include "util/thread_pool.h"
@@ -152,6 +153,48 @@ TEST_F(BufferPoolTest, StatsResetWorks) {
   EXPECT_GT(pool.stats().physical_reads, 0u);
   pool.ResetStats();
   EXPECT_EQ(pool.stats().physical_reads, 0u);
+}
+
+TEST_F(BufferPoolTest, AsyncStressWithConcurrentResets) {
+  // Hammer PinAsync/Unpin from many threads while another thread calls
+  // ResetStats — the counters may be clobbered mid-run but the pool must
+  // stay consistent (correct bytes, no lost callbacks). TSan target.
+  BufferPool pool(file_.get(), 8, io_.get());
+  ThreadPool workers(6);
+  constexpr int kRounds = 400;
+  std::atomic<int> errors{0};
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      pool.ResetStats();
+      (void)pool.stats();
+      std::this_thread::yield();
+    }
+  });
+  ParallelFor(workers, kRounds, [&](std::size_t i) {
+    const PageId pid = static_cast<PageId>((i * 7) % 16);
+    std::latch done(1);
+    std::atomic<bool> pinned{false};
+    pool.PinAsync(pid, [&](Status s, PageId got, const std::byte* data) {
+      if (s.ok()) {
+        if (got != pid || static_cast<std::uint8_t>(data[0]) != pid + 1) {
+          errors.fetch_add(1);
+        }
+        pinned.store(true, std::memory_order_release);
+      } else if (s.code() != StatusCode::kResourceExhausted) {
+        // Transient exhaustion is legal with 6 pinners on 8 frames.
+        errors.fetch_add(1);
+      }
+      done.count_down();
+    });
+    done.wait();
+    if (pinned.load(std::memory_order_acquire)) pool.Unpin(pid);
+  });
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+  EXPECT_EQ(errors.load(), 0);
+  // Every frame must be unpinned again: the whole pool is evictable.
+  EXPECT_EQ(pool.AvailableFrames(), 8u);
 }
 
 TEST_F(BufferPoolTest, AvailableFramesTracksPins) {

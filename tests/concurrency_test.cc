@@ -1,0 +1,209 @@
+/// Concurrent query sessions on one shared Runtime, cross-checked against
+/// the in-memory bruteforce oracle. Built to run clean under
+/// -fsanitize=thread (scripts/check_sanitizers.sh).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "runtime/query_session.h"
+#include "runtime/runtime.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+namespace {
+
+class ConcurrencyTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_concurrency_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<DiskGraph> BuildDisk(const Graph& ordered,
+                                       std::size_t page_size = 512) {
+    const std::string path = (dir_ / "g.db").string();
+    Status s = BuildDiskGraph(ordered, path, page_size);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false);
+    EXPECT_TRUE(disk.ok()) << disk.status().ToString();
+    return std::move(*disk);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ConcurrencyTestBase, TwoSessionsDifferentQueriesMatchOracle) {
+  Graph g = ReorderByDegree(ErdosRenyi(300, 1500, 7));
+  auto disk = BuildDisk(g);
+  RuntimeOptions options;
+  options.num_frames = 64;
+  options.num_threads = 4;
+  Runtime runtime(disk.get(), options);
+
+  const QueryGraph q1 = MakePaperQuery(PaperQuery::kQ1);
+  const QueryGraph q4 = MakePaperQuery(PaperQuery::kQ4);
+  const std::uint64_t expect1 = CountOccurrences(g, q1);
+  const std::uint64_t expect4 = CountOccurrences(g, q4);
+  constexpr int kIterations = 4;
+
+  // Capped quotas so both sessions fit in the pool side by side.
+  SessionOptions capped;
+  capped.max_frames = 24;
+
+  auto run_loop = [&](const QueryGraph& q, std::uint64_t expect,
+                      Status* failure) {
+    QuerySession session(&runtime, capped);
+    for (int i = 0; i < kIterations; ++i) {
+      auto result = session.Run(q);
+      if (!result.ok()) {
+        *failure = result.status();
+        return;
+      }
+      if (result->embeddings != expect) {
+        *failure = Status::Internal(
+            "count mismatch: got " + std::to_string(result->embeddings) +
+            " want " + std::to_string(expect));
+        return;
+      }
+    }
+  };
+
+  Status failure1, failure4;
+  std::thread t1(run_loop, std::cref(q1), expect1, &failure1);
+  std::thread t4(run_loop, std::cref(q4), expect4, &failure4);
+  t1.join();
+  t4.join();
+  EXPECT_TRUE(failure1.ok()) << failure1.ToString();
+  EXPECT_TRUE(failure4.ok()) << failure4.ToString();
+
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.sessions_completed, 2u * kIterations);
+  // Each query prepared once; every later run hit the shared plan cache.
+  EXPECT_EQ(stats.plan_cache.misses, 2u);
+  EXPECT_EQ(stats.plan_cache.hits, 2u * (kIterations - 1));
+}
+
+TEST_F(ConcurrencyTestBase, ManySessionsHammerOneRuntime) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 900, 13));
+  auto disk = BuildDisk(g);
+  RuntimeOptions options;
+  options.num_frames = 96;
+  options.num_threads = 4;
+  Runtime runtime(disk.get(), options);
+
+  const std::vector<PaperQuery> queries = {
+      PaperQuery::kQ1, PaperQuery::kQ2, PaperQuery::kQ3, PaperQuery::kQ1};
+  std::vector<std::uint64_t> expect;
+  for (PaperQuery pq : queries) {
+    expect.push_back(CountOccurrences(g, MakePaperQuery(pq)));
+  }
+
+  // More sessions than can be admitted at once: later ones must queue on
+  // the frame quota and still finish with correct counts.
+  SessionOptions capped;
+  capped.max_frames = 32;
+  std::vector<Status> failures(queries.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    threads.emplace_back([&, i] {
+      QuerySession session(&runtime, capped);
+      for (int iter = 0; iter < 3; ++iter) {
+        auto result = session.Run(MakePaperQuery(queries[i]));
+        if (!result.ok()) {
+          failures[i] = result.status();
+          return;
+        }
+        if (result->embeddings != expect[i]) {
+          failures[i] = Status::Internal(
+              "count mismatch: got " + std::to_string(result->embeddings) +
+              " want " + std::to_string(expect[i]));
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    EXPECT_TRUE(failures[i].ok()) << "session " << i << ": "
+                                  << failures[i].ToString();
+  }
+  EXPECT_EQ(runtime.stats().sessions_completed, queries.size() * 3);
+}
+
+TEST_F(ConcurrencyTestBase, ConcurrentVisitorsSeeOnlyTheirOwnQuery) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 700, 21));
+  auto disk = BuildDisk(g);
+  RuntimeOptions options;
+  options.num_frames = 64;
+  options.num_threads = 4;
+  Runtime runtime(disk.get(), options);
+
+  const QueryGraph wedge = MakeStarQuery(2);
+  const QueryGraph triangle = MakePaperQuery(PaperQuery::kQ1);
+
+  auto run_with_visitor = [&](const QueryGraph& q, std::uint64_t* count,
+                              Status* failure) {
+    SessionOptions capped;
+    capped.max_frames = 24;
+    QuerySession session(&runtime, capped);
+    std::atomic<std::uint64_t> bad{0};
+    std::atomic<std::uint64_t> seen{0};
+    auto result = session.Run(q, [&](std::span<const VertexId> m) {
+      seen.fetch_add(1, std::memory_order_relaxed);
+      if (m.size() != q.NumVertices()) {
+        bad.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+        for (QueryVertex v = static_cast<QueryVertex>(u + 1);
+             v < q.NumVertices(); ++v) {
+          if (q.HasEdge(u, v) && !g.HasEdge(m[u], m[v])) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+    if (!result.ok()) {
+      *failure = result.status();
+      return;
+    }
+    if (bad.load() != 0) {
+      *failure = Status::Internal(std::to_string(bad.load()) +
+                                  " invalid embeddings delivered");
+      return;
+    }
+    if (seen.load() != result->embeddings) {
+      *failure = Status::Internal("visitor count != stats count");
+      return;
+    }
+    *count = result->embeddings;
+  };
+
+  std::uint64_t wedge_count = 0, triangle_count = 0;
+  Status wedge_failure, triangle_failure;
+  std::thread tw(run_with_visitor, std::cref(wedge), &wedge_count,
+                 &wedge_failure);
+  std::thread tt(run_with_visitor, std::cref(triangle), &triangle_count,
+                 &triangle_failure);
+  tw.join();
+  tt.join();
+  ASSERT_TRUE(wedge_failure.ok()) << wedge_failure.ToString();
+  ASSERT_TRUE(triangle_failure.ok()) << triangle_failure.ToString();
+  EXPECT_EQ(wedge_count, CountOccurrences(g, wedge));
+  EXPECT_EQ(triangle_count, CountOccurrences(g, triangle));
+}
+
+}  // namespace
+}  // namespace dualsim

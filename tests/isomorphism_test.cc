@@ -62,5 +62,61 @@ TEST(AutomorphismTest, IdentityAlwaysPresent) {
   }
 }
 
+TEST(CanonicalizeTest, PermutationPreservesEdges) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    const QueryGraph q = MakePaperQuery(pq);
+    const CanonicalQuery canonical = CanonicalizeQuery(q);
+    ASSERT_EQ(canonical.graph.NumVertices(), q.NumVertices());
+    EXPECT_EQ(canonical.graph.NumEdges(), q.NumEdges());
+    for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+      for (QueryVertex v = 0; v < q.NumVertices(); ++v) {
+        EXPECT_EQ(q.HasEdge(u, v),
+                  canonical.graph.HasEdge(canonical.to_canonical[u],
+                                          canonical.to_canonical[v]))
+            << PaperQueryName(pq);
+      }
+    }
+  }
+}
+
+TEST(CanonicalizeTest, CanonicalFormIsAFixpoint) {
+  for (PaperQuery pq : AllPaperQueries()) {
+    const CanonicalQuery first = CanonicalizeQuery(MakePaperQuery(pq));
+    const CanonicalQuery second = CanonicalizeQuery(first.graph);
+    EXPECT_TRUE(second.identity) << PaperQueryName(pq);
+    EXPECT_EQ(CanonicalQueryKey(first), CanonicalQueryKey(second));
+  }
+}
+
+TEST(CanonicalizeTest, IsomorphicRelabelingsShareAKey) {
+  // The same path on 3 vertices, centered at vertex 1 vs vertex 2.
+  QueryGraph a(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  QueryGraph b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  EXPECT_EQ(CanonicalQueryKey(CanonicalizeQuery(a)),
+            CanonicalQueryKey(CanonicalizeQuery(b)));
+
+  QueryGraph triangle(3);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  EXPECT_NE(CanonicalQueryKey(CanonicalizeQuery(a)),
+            CanonicalQueryKey(CanonicalizeQuery(triangle)));
+}
+
+TEST(CanonicalizeTest, LargeQueriesFallBackToIdentity) {
+  QueryGraph big(static_cast<std::uint8_t>(kMaxCanonicalVertices + 1));
+  for (QueryVertex v = 1; v < big.NumVertices(); ++v) big.AddEdge(0, v);
+  const CanonicalQuery canonical = CanonicalizeQuery(big);
+  EXPECT_FALSE(canonical.exact);
+  EXPECT_TRUE(canonical.identity);
+  // Identical graphs still share a key even on the fallback path.
+  EXPECT_EQ(CanonicalQueryKey(canonical),
+            CanonicalQueryKey(CanonicalizeQuery(big)));
+}
+
 }  // namespace
 }  // namespace dualsim

@@ -1,0 +1,208 @@
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "baseline/bruteforce.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "runtime/query_session.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+namespace {
+
+/// Same fixture shape as engine_test: build the disk database for a
+/// degree-reordered graph in a per-test temp dir.
+class RuntimeTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_runtime_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<DiskGraph> BuildDisk(const Graph& ordered,
+                                       std::size_t page_size = 512) {
+    const std::string path = (dir_ / "g.db").string();
+    Status s = BuildDiskGraph(ordered, path, page_size);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false);
+    EXPECT_TRUE(disk.ok()) << disk.status().ToString();
+    return std::move(*disk);
+  }
+
+  std::filesystem::path dir_;
+};
+
+RuntimeOptions SmallRuntimeOptions() {
+  RuntimeOptions options;
+  options.buffer_fraction = 0.3;
+  options.num_threads = 4;
+  return options;
+}
+
+TEST_F(RuntimeTestBase, SecondRunOfSameQueryHitsPlanCache) {
+  Graph g = ReorderByDegree(ErdosRenyi(300, 1500, 7));
+  auto disk = BuildDisk(g);
+  EngineOptions options;
+  options.buffer_fraction = 0.3;
+  options.num_threads = 4;
+  DualSimEngine engine(disk.get(), options);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+
+  auto cold = engine.Run(q);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->plan_cached);
+  EXPECT_GE(cold->plan_cache_misses, 1u);
+
+  auto warm = engine.Run(q);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->plan_cached);
+  EXPECT_GE(warm->plan_cache_hits, 1u);
+  // A cache hit reports the lookup time, not a fresh preparation step.
+  EXPECT_LT(warm->prepare_millis, 1.0);
+  EXPECT_EQ(warm->embeddings, cold->embeddings);
+  EXPECT_EQ(warm->embeddings, CountOccurrences(g, q));
+}
+
+TEST_F(RuntimeTestBase, IsomorphicQueryHitsCacheWithRemappedVisitor) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 700, 11));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  QuerySession session(&runtime);
+
+  // Two labelings of the wedge (path on 3): centered at vertex 1 vs 2.
+  QueryGraph a(3);
+  a.AddEdge(0, 1);
+  a.AddEdge(1, 2);
+  QueryGraph b(3);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+
+  auto first = session.Run(a);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->plan_cached);
+
+  std::mutex mu;
+  std::vector<std::vector<VertexId>> seen;
+  auto second = session.Run(b, [&](std::span<const VertexId> m) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.emplace_back(m.begin(), m.end());
+  });
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->plan_cached) << "isomorphic query should share a plan";
+  EXPECT_EQ(second->embeddings, first->embeddings);
+  EXPECT_EQ(second->embeddings, CountOccurrences(g, b));
+  EXPECT_EQ(second->embeddings, seen.size());
+
+  // The visitor must see mappings indexed by b's own vertices even though
+  // the cached plan enumerates the canonical relabeling.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end())
+      << "duplicate embeddings";
+  for (const auto& m : seen) {
+    for (QueryVertex u = 0; u < b.NumVertices(); ++u) {
+      for (QueryVertex v = static_cast<QueryVertex>(u + 1);
+           v < b.NumVertices(); ++v) {
+        if (b.HasEdge(u, v)) {
+          EXPECT_TRUE(g.HasEdge(m[u], m[v]))
+              << "non-edge mapped for query edge (" << int(u) << "," << int(v)
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(RuntimeTestBase, ExplicitFrameBudgetTooSmallIsInvalidArgument) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 3));
+  auto disk = BuildDisk(g);
+  EngineOptions options;
+  options.num_frames = 4;  // below any plan's minimum
+  options.num_threads = 4;
+  DualSimEngine engine(disk.get(), options);
+  auto result = engine.Run(MakePaperQuery(PaperQuery::kQ4));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+}
+
+TEST_F(RuntimeTestBase, SessionFrameCapTooSmallIsInvalidArgument) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 3));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  SessionOptions session_options;
+  session_options.max_frames = 4;
+  QuerySession session(&runtime, session_options);
+  auto result = session.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+}
+
+TEST_F(RuntimeTestBase, AdmitReservesAndReleasesFrameQuotas) {
+  Graph g = ReorderByDegree(ErdosRenyi(100, 400, 5));
+  auto disk = BuildDisk(g);
+  RuntimeOptions options = SmallRuntimeOptions();
+  options.num_frames = 64;
+  Runtime runtime(disk.get(), options);
+  EXPECT_EQ(runtime.num_frames(), 64u);
+
+  {
+    auto a = runtime.Admit(/*min_frames=*/10, /*max_frames=*/16);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_EQ(a->frames(), 16u);
+    // A second session fits beside the first; with no cap it takes the rest.
+    auto b = runtime.Admit(/*min_frames=*/10, /*max_frames=*/0);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(b->frames(), 48u);
+    EXPECT_EQ(a->pool(), b->pool());
+  }
+  // Leases released: the full pool is available again.
+  auto c = runtime.Admit(/*min_frames=*/10, /*max_frames=*/0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->frames(), 64u);
+
+  // An explicit pool size is a hard budget.
+  auto too_big = runtime.Admit(/*min_frames=*/100, /*max_frames=*/0);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RuntimeTestBase, StatsAggregateAcrossSessions) {
+  Graph g = ReorderByDegree(ErdosRenyi(300, 1500, 7));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  QuerySession s1(&runtime);
+  QuerySession s2(&runtime);
+
+  auto r1 = s1.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = s2.Run(MakePaperQuery(PaperQuery::kQ2));
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  auto r3 = s1.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.sessions_completed, 3u);
+  EXPECT_GT(stats.num_frames, 0u);
+  EXPECT_GE(stats.io.physical_reads,
+            r1->io.physical_reads + r2->io.physical_reads +
+                r3->io.physical_reads);
+  EXPECT_EQ(stats.plan_cache.misses, 2u);  // Q1 prepared once, Q2 once
+  EXPECT_EQ(stats.plan_cache.hits, 1u);    // second Q1 run
+  EXPECT_EQ(stats.plan_cache.entries, 2u);
+}
+
+}  // namespace
+}  // namespace dualsim

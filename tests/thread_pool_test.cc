@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 
 namespace dualsim {
 namespace {
@@ -60,6 +61,38 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool touched = false;
   ParallelFor(pool, 0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+TEST(TaskGroupTest, WaitCoversNestedRuns) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  group.Run([&] {
+    count.fetch_add(1);
+    group.Run([&] {
+      count.fetch_add(1);
+      group.Run([&] { count.fetch_add(1); });
+    });
+  });
+  group.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TaskGroupTest, WaitIgnoresOtherGroupsOnTheSamePool) {
+  ThreadPool pool(4);
+  TaskGroup slow(&pool);
+  TaskGroup fast(&pool);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  // Two tasks of `slow` park on the gate; `fast` must still complete and
+  // its Wait() must return without joining them.
+  for (int i = 0; i < 2; ++i) slow.Run([gate] { gate.wait(); });
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) fast.Run([&] { count.fetch_add(1); });
+  fast.Wait();
+  EXPECT_EQ(count.load(), 100);
+  release.set_value();
+  slow.Wait();
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
