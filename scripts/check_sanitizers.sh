@@ -7,6 +7,8 @@
 #
 # Usage: scripts/check_sanitizers.sh [address|thread|undefined ...]
 #   (no arguments = address followed by thread)
+#
+# Exit codes: 0 clean, 2 usage, 3 build failed, 4 tests failed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,7 +17,7 @@ SANITIZERS=("$@")
 
 # TSan over the whole suite is slow; restrict it to the suites that
 # exercise cross-thread engine/runtime/pool state.
-TSAN_FILTER='Engine|BufferPool|ThreadPool|TaskGroup|Runtime|Concurrency'
+TSAN_FILTER='Engine|BufferPool|ThreadPool|TaskGroup|Runtime|Concurrency|Fault|DifferentialFuzz'
 
 for san in "${SANITIZERS[@]}"; do
   case "$san" in
@@ -27,13 +29,23 @@ for san in "${SANITIZERS[@]}"; do
   esac
   build="build-${san}san"
   echo "=== ${san} sanitizer (${build}) ==="
-  cmake -B "$build" -DDUALSIM_SANITIZE="$san" -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$build" -j "$(nproc)"
+  if ! cmake -B "$build" -DDUALSIM_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo ||
+     ! cmake --build "$build" -j "$(nproc)"; then
+    echo "BUILD FAILED (${san})" >&2
+    exit 3
+  fi
   if [ "$san" = thread ]; then
-    TSAN_OPTIONS="halt_on_error=1" \
-      ctest --test-dir "$build" --output-on-failure -R "$TSAN_FILTER"
+    if ! TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir "$build" --output-on-failure -R "$TSAN_FILTER"; then
+      echo "TESTS FAILED (${san})" >&2
+      exit 4
+    fi
   else
-    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+    if ! ctest --test-dir "$build" --output-on-failure -j "$(nproc)"; then
+      echo "TESTS FAILED (${san})" >&2
+      exit 4
+    fi
   fi
   echo "=== ${san}: clean ==="
 done

@@ -35,6 +35,11 @@ struct EngineOptions {
   int io_threads = 2;
   /// Injected latency per physical read (device simulation; 0 = none).
   std::uint32_t read_latency_us = 0;
+  /// Extra read attempts after a transient IOError before the failure is
+  /// surfaced to the query (0 = fail fast).
+  int max_read_retries = 2;
+  /// Backoff before the first read retry, doubled per further attempt.
+  std::uint32_t retry_backoff_us = 100;
   /// Paper's buffer allocation strategy (§5: 2 frames x #threads for the
   /// last level, 2/3 of the rest for level 1, remainder split over middle
   /// levels). When false, frames are split equally per level (the OPT [17]

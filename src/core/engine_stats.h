@@ -13,6 +13,7 @@ struct LevelStats {
   std::uint64_t windows = 0;         // current windows formed
   std::uint64_t owned_pages = 0;     // pages charged to this level's budget
   std::uint64_t borrowed_pages = 0;  // pages shared with ancestor windows
+  std::uint64_t degraded_windows = 0;  // windows split under frame pressure
 };
 
 /// Counters of one engine run.

@@ -1,6 +1,7 @@
 #ifndef DUALSIM_CORE_EXEC_STATE_H_
 #define DUALSIM_CORE_EXEC_STATE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -54,9 +55,21 @@ struct ExecContext {
   TaskGroup* tasks = nullptr;
   std::uint8_t levels = 0;
   std::size_t num_groups = 0;
+  /// Session-owned cancellation flag (may be set from any thread while the
+  /// run is in flight); nullptr when the run is not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
 
   std::vector<LevelState> level;        // indexed by level
   std::vector<LevelStats> level_stats;  // indexed by level
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// True when the run should wind down: a fatal error was recorded or the
+  /// session was cancelled. Checked at window boundaries and between
+  /// enumeration chunks, so stopping never leaves pinned frames behind.
+  bool ShouldStop() { return Cancelled() || HasError(); }
 
   bool HasError() {
     std::lock_guard<std::mutex> lock(error_mutex_);

@@ -98,12 +98,15 @@ void MatchPass::RunInternalChunk(std::size_t g, std::size_t begin,
 }
 
 void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
-                                       const std::vector<PageId>& pages) {
+                                       const std::vector<PageId>& pages,
+                                       std::vector<PageId>* starved) {
   // Split the (ascending) window page list into runs.
   struct Run {
     std::vector<PageId> pages;
     std::vector<const std::byte*> data;
     std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> starved{false};
+    std::atomic<bool> fatal{false};
   };
   std::vector<std::unique_ptr<Run>> runs;
   for (std::size_t i = 0; i < pages.size();) {
@@ -128,13 +131,24 @@ void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
                                              const std::byte* data) {
         (void)p;
         if (!s.ok()) {
-          ctx_.SetError(s);  // failed pins hold no frame; nothing to unpin
+          // Failed pins hold no frame; nothing to unpin. Starvation is
+          // recoverable (the scheduler re-dispatches the run in a smaller
+          // window); anything else is fatal for the whole run.
+          if (s.code() == StatusCode::kResourceExhausted) {
+            run->starved.store(true, std::memory_order_relaxed);
+          } else {
+            run->fatal.store(true, std::memory_order_relaxed);
+            ctx_.SetError(s);
+          }
         } else {
           run->data[k] = data;
         }
         if (run->remaining.fetch_sub(1) == 1) {
           ctx_.tasks->Run([this, l, run, &done] {
-            if (!ctx_.HasError()) EnumerateLastLevelRun(l, run->data);
+            const bool skip = run->starved.load(std::memory_order_relaxed) ||
+                              run->fatal.load(std::memory_order_relaxed) ||
+                              ctx_.ShouldStop();
+            if (!skip) EnumerateLastLevelRun(l, run->data);
             for (std::size_t j = 0; j < run->pages.size(); ++j) {
               if (run->data[j] != nullptr) ctx_.pool->Unpin(run->pages[j]);
             }
@@ -145,6 +159,14 @@ void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
     }
   }
   done.wait();
+  if (starved != nullptr) {
+    for (const auto& run : runs) {
+      if (run->starved.load(std::memory_order_relaxed) &&
+          !run->fatal.load(std::memory_order_relaxed)) {
+        starved->insert(starved->end(), run->pages.begin(), run->pages.end());
+      }
+    }
+  }
 }
 
 void MatchPass::EnumerateLastLevelRun(

@@ -32,7 +32,14 @@ class MatchPass {
   /// Consecutive pages carrying one spilling vertex form a "run" that is
   /// dispatched as a unit once all its pages are resident. Blocks until
   /// every run of this window has been enumerated and unpinned.
-  void ProcessLastLevelWindow(std::uint8_t l, const std::vector<PageId>& pages);
+  ///
+  /// A run whose pins failed with ResourceExhausted (frame starvation) is
+  /// not enumerated; its pages are appended to `*starved` so the window
+  /// scheduler can re-dispatch them in smaller windows. Runs that did
+  /// enumerate are never re-dispatched, so degradation cannot double
+  /// count. Fatal pin failures are recorded in the ExecContext.
+  void ProcessLastLevelWindow(std::uint8_t l, const std::vector<PageId>& pages,
+                              std::vector<PageId>* starved);
 
   std::uint64_t internal_embeddings() const {
     return internal_embeddings_.load();

@@ -1,7 +1,9 @@
 #include "core/window_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
+#include <thread>
 
 #include "util/logging.h"
 
@@ -49,7 +51,11 @@ Status WindowScheduler::Execute() {
 
   ProcessLevel(0);
   ctx_.tasks->Wait();
-  return ctx_.first_error();
+  Status result = ctx_.first_error();
+  if (result.ok() && ctx_.Cancelled()) {
+    return Status::Cancelled("query session cancelled");
+  }
+  return result;
 }
 
 bool WindowScheduler::PinnedByAncestor(PageId pid, std::uint8_t l) const {
@@ -86,7 +92,7 @@ void WindowScheduler::ProcessLevel(std::uint8_t l) {
   }
 
   std::size_t next = merged.FindNext(lo);
-  while (next <= hi && next < merged.size() && !ctx_.HasError()) {
+  while (next <= hi && next < merged.size() && !ctx_.ShouldStop()) {
     // Form one window: up to `budget` non-borrowed pages plus any pages
     // pinned by ancestor windows (they cost no frame — the paper's
     // variably-sized disjoint windows). A vertex whose adjacency spans
@@ -94,11 +100,10 @@ void WindowScheduler::ProcessLevel(std::uint8_t l) {
     // pages are pulled in with its head page (§5.2 large-degree case),
     // overshooting the budget by at most MaxVertexPages()-1 frames,
     // which the pool reserves as slack.
-    st.window_pages.ClearAll();
+    st.window_pages.ClearAll();  // scratch for dedupe during formation
     st.pinned_pages.clear();
     std::vector<PageId> window_list;
     std::size_t owned = 0;
-    bool first = true;
     auto add_page = [&](PageId pid, bool borrowed) {
       st.window_pages.Set(pid);
       window_list.push_back(pid);
@@ -108,11 +113,6 @@ void WindowScheduler::ProcessLevel(std::uint8_t l) {
         ++owned;
         ++ctx_.level_stats[l].owned_pages;
       }
-      if (first) {
-        st.min_page = pid;
-        first = false;
-      }
-      st.max_page = pid;
     };
     while (next <= hi && next < merged.size()) {
       const PageId pid = static_cast<PageId>(next);
@@ -130,25 +130,94 @@ void WindowScheduler::ProcessLevel(std::uint8_t l) {
       next = merged.FindNext(next + 1);
     }
     if (window_list.empty()) break;
-    ++ctx_.level_stats[l].windows;
-    st.has_window = true;
-
-    if (l + 1 == ctx_.levels && ctx_.levels > 1) {
-      match_.ProcessLastLevelWindow(l, window_list);
-    } else {
-      ProcessInnerWindow(l, window_list);
-    }
-    st.has_window = false;
+    DispatchWindow(l, window_list, /*attempt=*/0);
   }
 }
 
-void WindowScheduler::ProcessInnerWindow(std::uint8_t l,
-                                         const std::vector<PageId>& pages) {
+void WindowScheduler::DispatchWindow(std::uint8_t l,
+                                     const std::vector<PageId>& pages,
+                                     int attempt) {
+  if (pages.empty() || ctx_.ShouldStop()) return;
+  LevelState& st = ctx_.level[l];
+  st.window_pages.ClearAll();
+  for (PageId pid : pages) st.window_pages.Set(pid);
+  st.min_page = pages.front();
+  st.max_page = pages.back();
+  ++ctx_.level_stats[l].windows;
+  st.has_window = true;
+
+  if (l + 1 == ctx_.levels && ctx_.levels > 1) {
+    std::vector<PageId> starved;
+    match_.ProcessLastLevelWindow(l, pages, &starved);
+    st.has_window = false;
+    if (!starved.empty()) DegradeAndRetry(l, starved, attempt);
+    return;
+  }
+  const Status result = ProcessInnerWindow(l, pages);
+  st.has_window = false;
+  if (result.code() == StatusCode::kResourceExhausted) {
+    DegradeAndRetry(l, pages, attempt);
+  }
+  // Fatal statuses were already recorded in the ExecContext; the level
+  // loops unwind via ShouldStop().
+}
+
+void WindowScheduler::DegradeAndRetry(std::uint8_t l,
+                                      const std::vector<PageId>& pages,
+                                      int attempt) {
+  if (ctx_.ShouldStop()) return;
+  ++ctx_.level_stats[l].degraded_windows;
+  const std::size_t split = SplitPoint(pages);
+  if (split == 0) {
+    // Cannot shrink any further (a single page or one unbreakable
+    // multi-page adjacency chain). Back off — sibling sessions may be
+    // about to release frames — and retry a bounded number of times.
+    if (attempt >= kMaxStarvedAttempts) {
+      ctx_.SetError(Status::ResourceExhausted(
+          "level " + std::to_string(l) + " window of " +
+          std::to_string(pages.size()) +
+          " page(s) could not be pinned after " +
+          std::to_string(kMaxStarvedAttempts) + " degraded attempts"));
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    DispatchWindow(l, pages, attempt + 1);
+    return;
+  }
+  // Shrink the window and continue: each half is a valid (smaller)
+  // disjoint window over the same candidate pages.
+  std::vector<PageId> first(pages.begin(),
+                            pages.begin() + static_cast<std::ptrdiff_t>(split));
+  std::vector<PageId> second(pages.begin() + static_cast<std::ptrdiff_t>(split),
+                             pages.end());
+  DispatchWindow(l, first, attempt);
+  DispatchWindow(l, second, attempt);
+}
+
+std::size_t WindowScheduler::SplitPoint(
+    const std::vector<PageId>& pages) const {
+  if (pages.size() < 2) return 0;
+  // pages[i-1] chains into pages[i] when one vertex's adjacency continues
+  // across the page boundary; such chains must stay in one window.
+  auto chained = [&](std::size_t i) {
+    return pages[i] == pages[i - 1] + 1 && ctx_.disk->SpansBeyond(pages[i - 1]);
+  };
+  std::size_t split = pages.size() / 2;
+  while (split < pages.size() && chained(split)) ++split;
+  if (split < pages.size()) return split;
+  split = pages.size() / 2;
+  while (split > 0 && chained(split)) --split;
+  return split;
+}
+
+Status WindowScheduler::ProcessInnerWindow(std::uint8_t l,
+                                           const std::vector<PageId>& pages) {
   LevelState& st = ctx_.level[l];
 
   // Pin everything (async; borrowed pages are hits) and build the index.
   struct Arrival {
     PageId pid;
+    Status status;
     const std::byte* data = nullptr;
   };
   std::vector<Arrival> arrivals(pages.size());
@@ -156,22 +225,35 @@ void WindowScheduler::ProcessInnerWindow(std::uint8_t l,
   for (std::size_t i = 0; i < pages.size(); ++i) {
     arrivals[i].pid = pages[i];
     ctx_.pool->PinAsync(pages[i],
-                        [this, &arrivals, &arrived, i](
-                            Status s, PageId, const std::byte* data) {
-                          if (!s.ok()) {
-                            ctx_.SetError(s);
-                          } else {
-                            arrivals[i].data = data;
-                          }
+                        [&arrivals, &arrived, i](Status s, PageId,
+                                                 const std::byte* data) {
+                          arrivals[i].status = std::move(s);
+                          arrivals[i].data = data;
                           arrived.count_down();
                         });
   }
   arrived.wait();
-  if (ctx_.HasError()) {
+  Status fatal;
+  Status starved;
+  for (const Arrival& a : arrivals) {
+    if (a.status.ok()) continue;
+    if (a.status.code() == StatusCode::kResourceExhausted) {
+      if (starved.ok()) starved = a.status;
+    } else if (fatal.ok()) {
+      fatal = a.status;
+    }
+  }
+  if (!fatal.ok() || !starved.ok() || ctx_.ShouldStop()) {
+    // Release whatever arrived; nothing was enumerated, so a starved
+    // window can be re-dispatched (smaller) without double counting.
     for (const Arrival& a : arrivals) {
       if (a.data != nullptr) ctx_.pool->Unpin(a.pid);
     }
-    return;
+    if (!fatal.ok()) {
+      ctx_.SetError(fatal);
+      return fatal;
+    }
+    return starved;  // OK when we are merely stopping
   }
   st.index.Clear();
   for (const Arrival& a : arrivals) {
@@ -199,6 +281,7 @@ void WindowScheduler::ProcessInnerWindow(std::uint8_t l,
   }
   for (PageId pid : st.pinned_pages) ctx_.pool->Unpin(pid);
   st.pinned_pages.clear();
+  return Status::OK();
 }
 
 void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {

@@ -14,6 +14,15 @@ namespace dualsim {
 /// total-order page pruning against ancestor windows (Lemma 1), candidate
 /// vertex/page sequence maintenance (Algorithm 3), and asynchronous window
 /// loading. Hands finished windows to the MatchPass for enumeration.
+///
+/// Graceful degradation: when pinning a window fails with
+/// ResourceExhausted (frame starvation — e.g. concurrent sessions hold
+/// the pool's unpinned frames while latency injection keeps reads in
+/// flight), the scheduler shrinks the window instead of aborting the run:
+/// the page list is split at a span-safe point (multi-page adjacency
+/// chains stay whole) and each half is dispatched as its own window.
+/// Disjoint windows over the same candidate pages enumerate the same
+/// embeddings, so degradation affects only performance, never answers.
 class WindowScheduler {
  public:
   /// `total_frames` is this run's frame quota minus the multi-page slack;
@@ -38,6 +47,10 @@ class WindowScheduler {
                                                       int num_threads,
                                                       bool paper_allocation);
 
+  /// Bounded blocking retries for a window that cannot shrink any further
+  /// before the run gives up with ResourceExhausted.
+  static constexpr int kMaxStarvedAttempts = 3;
+
  private:
   /// True when `pid` is pinned by the current window of a level above `l`.
   bool PinnedByAncestor(PageId pid, std::uint8_t l) const;
@@ -45,9 +58,27 @@ class WindowScheduler {
   /// The window loop for level `l`.
   void ProcessLevel(std::uint8_t l);
 
+  /// Installs `pages` as level `l`'s current window (bitmap, min/max) and
+  /// runs it; on frame starvation, degrades via DegradeAndRetry.
+  void DispatchWindow(std::uint8_t l, const std::vector<PageId>& pages,
+                      int attempt);
+
+  /// Shrink-and-continue: splits a starved window span-safely and
+  /// re-dispatches the halves; an unsplittable window is retried with
+  /// backoff up to kMaxStarvedAttempts before failing the run.
+  void DegradeAndRetry(std::uint8_t l, const std::vector<PageId>& pages,
+                       int attempt);
+
+  /// Span-safe split index for an ascending window page list (never inside
+  /// a multi-page adjacency chain). 0 = cannot split.
+  std::size_t SplitPoint(const std::vector<PageId>& pages) const;
+
   /// Loads a non-last-level window, computes child candidate sequences,
   /// recurses (and, at level 0, runs the internal pass concurrently).
-  void ProcessInnerWindow(std::uint8_t l, const std::vector<PageId>& pages);
+  /// Returns ResourceExhausted — with no pins held and nothing enumerated
+  /// — when frame starvation prevented loading the window; other failures
+  /// are recorded in the ExecContext and returned.
+  Status ProcessInnerWindow(std::uint8_t l, const std::vector<PageId>& pages);
 
   /// Recomputes cvs/cps for every child of level `l` in group `g` from the
   /// group's current vertex window at `l` (Algorithm 3).

@@ -86,6 +86,7 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   ExecContext ctx;
   ctx.disk = disk;
   ctx.plan = plan.get();
+  ctx.cancel = cancel_.get();
   ctx.visitor = vis;
   ctx.cpu_pool = &runtime_->cpu_pool();
   ctx.pool = lease.pool();
@@ -104,7 +105,14 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   MatchPass match(&ctx);
   WindowScheduler scheduler(&ctx, &match, lease.frames() - slack,
                             options_.paper_buffer_allocation);
-  DUALSIM_RETURN_IF_ERROR(scheduler.Execute());
+  Status exec_status = scheduler.Execute();
+  if (!exec_status.ok()) {
+    if (exec_status.code() == StatusCode::kCancelled) {
+      // Consume the request: the session stays usable for later runs.
+      cancel_->store(false, std::memory_order_relaxed);
+    }
+    return exec_status;
+  }
 
   EngineStats stats;
   stats.internal_embeddings = match.internal_embeddings();

@@ -1,7 +1,9 @@
 #ifndef DUALSIM_RUNTIME_QUERY_SESSION_H_
 #define DUALSIM_RUNTIME_QUERY_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "core/engine_stats.h"
 #include "core/extension.h"
@@ -48,12 +50,28 @@ class QuerySession {
   StatusOr<EngineStats> Run(const QueryGraph& q,
                             const FullEmbeddingFn& visitor);
 
+  /// Requests cancellation of this session's in-flight Run() — or, when
+  /// none is in flight, of the next one. Safe to call from any thread.
+  /// The run stops at the next window boundary, joins its tasks, releases
+  /// every pinned frame, and returns Status with code kCancelled; sibling
+  /// sessions of the same runtime are unaffected. A cancelled Run() clears
+  /// the request on return, so the session stays usable.
+  void Cancel() { cancel_->store(true, std::memory_order_relaxed); }
+
+  /// True while a cancellation request is pending.
+  bool cancel_requested() const {
+    return cancel_->load(std::memory_order_relaxed);
+  }
+
   const SessionOptions& options() const { return options_; }
   Runtime* runtime() { return runtime_; }
 
  private:
   Runtime* runtime_;
   SessionOptions options_;
+  // Heap-allocated so worker tasks may outlive a moved-from session safely.
+  std::shared_ptr<std::atomic<bool>> cancel_ =
+      std::make_shared<std::atomic<bool>>(false);
 };
 
 }  // namespace dualsim

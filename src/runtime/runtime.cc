@@ -25,7 +25,8 @@ Runtime::Runtime(DiskGraph* disk, RuntimeOptions options)
   pool_frames_ = base_frames_;
   buffer_pool_ = std::make_unique<BufferPool>(
       &disk_->file(), pool_frames_, io_pool_.get(),
-      BufferPoolOptions{options_.read_latency_us});
+      BufferPoolOptions{options_.read_latency_us, options_.max_read_retries,
+                        options_.retry_backoff_us});
 }
 
 Runtime::~Runtime() {
@@ -69,7 +70,8 @@ void Runtime::GrowPoolLocked(std::size_t min_frames) {
   pool_frames_ = std::max(base_frames_, min_frames);
   buffer_pool_ = std::make_unique<BufferPool>(
       &disk_->file(), pool_frames_, io_pool_.get(),
-      BufferPoolOptions{options_.read_latency_us});
+      BufferPoolOptions{options_.read_latency_us, options_.max_read_retries,
+                        options_.retry_backoff_us});
 }
 
 StatusOr<Runtime::FrameLease> Runtime::Admit(std::size_t min_frames,

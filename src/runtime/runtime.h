@@ -29,6 +29,11 @@ struct RuntimeOptions {
   int io_threads = 2;
   /// Injected latency per physical read (device simulation; 0 = none).
   std::uint32_t read_latency_us = 0;
+  /// Extra read attempts after a transient IOError before the failure is
+  /// surfaced to the query (0 = fail fast).
+  int max_read_retries = 2;
+  /// Backoff before the first read retry, doubled per further attempt.
+  std::uint32_t retry_backoff_us = 100;
   /// Plan-cache capacity (distinct canonical queries kept hot).
   std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };

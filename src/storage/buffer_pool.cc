@@ -48,12 +48,31 @@ std::uint32_t BufferPool::AllocateFrameLocked() {
   return static_cast<std::uint32_t>(frames_.size());
 }
 
-void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
-  const Status status = file_->ReadPage(pid, FrameData(frame_id));
+Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
+                                 std::uint64_t* retries) {
+  *retries = 0;
+  Status status = file_->ReadPage(pid, out);
+  std::uint32_t backoff = options_.retry_backoff_us;
+  for (int attempt = 0; attempt < options_.max_read_retries &&
+                        status.code() == StatusCode::kIOError;
+       ++attempt) {
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff *= 2;
+    }
+    ++*retries;
+    status = file_->ReadPage(pid, out);
+  }
   if (options_.read_latency_us > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.read_latency_us));
   }
+  return status;
+}
+
+void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
+  std::uint64_t retries = 0;
+  const Status status = ReadWithRetry(pid, FrameData(frame_id), &retries);
 
   std::vector<PinCallback> callbacks;
   {
@@ -61,6 +80,8 @@ void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
     Frame& f = frames_[frame_id];
     ++stats_.physical_reads;
     stats_.bytes_read += page_size();
+    stats_.read_retries += retries;
+    if (!status.ok()) ++stats_.failed_reads;
     if (status.ok()) {
       f.state = FrameState::kReady;
     } else {
@@ -112,15 +133,14 @@ Status BufferPool::Pin(PageId pid, const std::byte** data) {
     page_table_.emplace(pid, frame_id);
     lock.unlock();
 
-    const Status status = file_->ReadPage(pid, FrameData(frame_id));
-    if (options_.read_latency_us > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.read_latency_us));
-    }
+    std::uint64_t retries = 0;
+    const Status status = ReadWithRetry(pid, FrameData(frame_id), &retries);
 
     lock.lock();
     ++stats_.physical_reads;
     stats_.bytes_read += page_size();
+    stats_.read_retries += retries;
+    if (!status.ok()) ++stats_.failed_reads;
     std::vector<PinCallback> callbacks;
     callbacks.swap(f.waiters);
     if (!status.ok()) {

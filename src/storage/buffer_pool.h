@@ -26,12 +26,16 @@ struct IoStats {
   std::uint64_t logical_hits = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bytes_read = 0;
+  std::uint64_t read_retries = 0;   // extra attempts after a failed read
+  std::uint64_t failed_reads = 0;   // reads that failed after all retries
 
   IoStats& operator+=(const IoStats& other) {
     physical_reads += other.physical_reads;
     logical_hits += other.logical_hits;
     evictions += other.evictions;
     bytes_read += other.bytes_read;
+    read_retries += other.read_retries;
+    failed_reads += other.failed_reads;
     return *this;
   }
 };
@@ -44,6 +48,8 @@ inline IoStats operator-(IoStats a, const IoStats& b) {
   a.logical_hits -= std::min(a.logical_hits, b.logical_hits);
   a.evictions -= std::min(a.evictions, b.evictions);
   a.bytes_read -= std::min(a.bytes_read, b.bytes_read);
+  a.read_retries -= std::min(a.read_retries, b.read_retries);
+  a.failed_reads -= std::min(a.failed_reads, b.failed_reads);
   return a;
 }
 
@@ -53,6 +59,12 @@ inline IoStats operator-(IoStats a, const IoStats& b) {
 struct BufferPoolOptions {
   /// Extra microseconds added to each physical page read (0 = none).
   std::uint32_t read_latency_us = 0;
+  /// Extra read attempts after an IOError before the failure is surfaced
+  /// (0 = fail fast). Transient device errors — and injected transient
+  /// faults — are absorbed here instead of killing the query.
+  int max_read_retries = 2;
+  /// Backoff before the first retry, doubled per further attempt.
+  std::uint32_t retry_backoff_us = 100;
 };
 
 /// Frame-based buffer pool over one PageFile, with synchronous and
@@ -122,6 +134,11 @@ class BufferPool {
   /// Finds a frame for a new page: a free frame or an LRU victim.
   /// Returns frames_.size() when everything is pinned. Requires lock held.
   std::uint32_t AllocateFrameLocked();
+
+  /// One physical read with bounded retry-with-backoff on IOError (other
+  /// codes fail fast) plus the simulated device latency. `*retries`
+  /// reports the extra attempts for the caller to fold into stats_.
+  Status ReadWithRetry(PageId pid, std::byte* out, std::uint64_t* retries);
 
   /// Performs the physical read for `frame_id` (lock NOT held), then marks
   /// the frame ready and dispatches callbacks.

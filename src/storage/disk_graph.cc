@@ -26,9 +26,11 @@ std::string MetaPath(const std::string& path) { return path + ".meta"; }
 }  // namespace
 
 Status BuildDiskGraph(const Graph& g, const std::string& path,
-                      std::size_t page_size, bool require_single_page) {
-  DUALSIM_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file,
-                           PageFile::Create(path, page_size));
+                      std::size_t page_size, bool require_single_page,
+                      std::shared_ptr<FaultInjector> injector) {
+  DUALSIM_ASSIGN_OR_RETURN(
+      std::unique_ptr<PageFile> file,
+      PageFile::Create(path, page_size, std::move(injector)));
 
   const std::size_t max_chunk = PageWriter::MaxNeighborsPerPage(page_size);
   if (max_chunk == 0) return Status::InvalidArgument("page size too small");
@@ -124,8 +126,9 @@ Status BuildDiskGraph(const Graph& g, const std::string& path,
   return Status::OK();
 }
 
-StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(const std::string& path,
-                                                     bool bypass_os_cache) {
+StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
+    const std::string& path, bool bypass_os_cache,
+    std::shared_ptr<FaultInjector> injector) {
   std::FILE* meta = std::fopen(MetaPath(path).c_str(), "rb");
   if (meta == nullptr) return Status::IOError("cannot open " + MetaPath(path));
   MetaHeader header;
@@ -154,7 +157,8 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(const std::string& path,
 
   DUALSIM_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> file,
-      PageFile::Open(path, header.page_size, bypass_os_cache));
+      PageFile::Open(path, header.page_size, bypass_os_cache,
+                     std::move(injector)));
   if (file->num_pages() != header.num_pages) {
     return Status::InvalidArgument("meta/page-file mismatch for " + path);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "util/status.h"
@@ -21,15 +22,20 @@ namespace dualsim {
 /// small-degree case; see DESIGN.md).
 Status BuildDiskGraph(const Graph& g, const std::string& path,
                       std::size_t page_size,
-                      bool require_single_page = false);
+                      bool require_single_page = false,
+                      std::shared_ptr<FaultInjector> injector = nullptr);
 
 /// Read-side handle: the page file plus the in-memory catalog (vertex →
 /// first page, page → first record's vertex). The adjacency data itself
 /// stays on disk and is only reachable through a BufferPool.
 class DiskGraph {
  public:
+  /// Opens a database. An optional `injector` is attached to the page
+  /// file, so every physical read the buffer pool issues consults the
+  /// fault plan (see storage/fault_injection.h).
   static StatusOr<std::unique_ptr<DiskGraph>> Open(
-      const std::string& path, bool bypass_os_cache = true);
+      const std::string& path, bool bypass_os_cache = true,
+      std::shared_ptr<FaultInjector> injector = nullptr);
 
   const PageFile& file() const { return *file_; }
   PageFile& file() { return *file_; }

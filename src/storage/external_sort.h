@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "storage/fault_injection.h"
 #include "util/status.h"
 
 namespace dualsim {
@@ -22,8 +23,15 @@ struct ExternalSortStats {
 /// the database is reordered by ≺ via "an external sort of the original
 /// database" with cost O(n_p log n_p).
 ///
-/// Usage: Add() all records, call Finish(), then drain with Next().
+/// Usage: Add() all records, call Finish(), then drain with Next() and
+/// check error() once drained — a run file failing mid-merge ends the
+/// stream early with the failure recorded there, never silently.
 /// Run files are anonymous tmpfile()s, deleted automatically.
+///
+/// An optional FaultInjector covers the spill path: run-file writes
+/// consult OnWrite(run index) and run-file reads OnRead(run index), so the
+/// sort's error handling is testable with the same programmable fault
+/// plans as the page store.
 template <typename Record, typename Less = std::less<Record>>
 class ExternalSorter {
  public:
@@ -63,8 +71,10 @@ class ExternalSorter {
     return Status::OK();
   }
 
-  /// Pops the next record in sorted order; false when drained.
+  /// Pops the next record in sorted order; false when drained *or* when a
+  /// run read failed (check error() after the stream ends).
   bool Next(Record* out) {
+    if (!error_.ok()) return false;
     // Merge the in-memory tail with the spilled runs.
     const bool buffer_has = buffer_pos_ < buffer_.size();
     if (heap_.empty()) {
@@ -79,9 +89,22 @@ class ExternalSorter {
     }
     *out = runs_[top].current;
     heap_.pop();
-    if (FillRun(top).ok() && runs_[top].valid) heap_.push(top);
+    const Status refill = FillRun(top);
+    if (!refill.ok()) {
+      error_ = refill;
+      return false;
+    }
+    if (runs_[top].valid) heap_.push(top);
     return true;
   }
+
+  /// First run-file I/O error hit while merging (OK when none). A drained
+  /// stream is only complete if this is OK.
+  const Status& error() const { return error_; }
+
+  /// Routes run-file I/O through `injector` (page id = run index). The
+  /// injector must outlive the sorter; nullptr detaches.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   const ExternalSortStats& stats() const { return stats_; }
 
@@ -104,6 +127,11 @@ class ExternalSorter {
 
   Status SpillRun() {
     std::sort(buffer_.begin(), buffer_.end(), less_);
+    if (injector_ != nullptr) {
+      const FaultDecision fault =
+          injector_->OnWrite(static_cast<PageId>(runs_.size()));
+      if (!fault.status.ok()) return fault.status;
+    }
     std::FILE* f = std::tmpfile();
     if (f == nullptr) return Status::IOError("tmpfile() failed");
     if (std::fwrite(buffer_.data(), sizeof(Record), buffer_.size(), f) !=
@@ -121,7 +149,17 @@ class ExternalSorter {
 
   Status FillRun(std::size_t i) {
     RunReader& r = runs_[i];
+    if (injector_ != nullptr) {
+      const FaultDecision fault = injector_->OnRead(static_cast<PageId>(i));
+      if (!fault.status.ok()) {
+        r.valid = false;
+        return fault.status;
+      }
+    }
     r.valid = std::fread(&r.current, sizeof(Record), 1, r.file) == 1;
+    if (!r.valid && std::ferror(r.file) != 0) {
+      return Status::IOError("read error on run file " + std::to_string(i));
+    }
     return Status::OK();
   }
 
@@ -133,6 +171,8 @@ class ExternalSorter {
   std::priority_queue<std::size_t, std::vector<std::size_t>, HeapLess> heap_{
       HeapLess(this)};
   ExternalSortStats stats_;
+  Status error_;
+  FaultInjector* injector_ = nullptr;
   bool finished_ = false;
 };
 

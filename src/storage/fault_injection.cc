@@ -1,0 +1,147 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dualsim {
+
+void FaultInjector::FailRead(PageId page, int nth, int count,
+                             StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_rules_.push_back(Rule{page, nth, count, code,
+                             FaultDecision::kNoTruncation});
+}
+
+void FaultInjector::ShortRead(PageId page, int nth, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_rules_.push_back(Rule{page, nth, 1, StatusCode::kIOError, bytes});
+}
+
+void FaultInjector::FailWrite(PageId page, int nth, int count,
+                              StatusCode code) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_rules_.push_back(Rule{page, nth, count, code,
+                              /*truncate_to=*/0});
+}
+
+void FaultInjector::TornWrite(PageId page, int nth, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_rules_.push_back(Rule{page, nth, 1, StatusCode::kIOError, bytes});
+}
+
+void FaultInjector::DelayReads(PageId page, std::uint32_t latency_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_rules_.emplace_back(page, latency_us);
+}
+
+void FaultInjector::SetRandomReadFaults(double probability, int max_faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  random_read_probability_ = probability;
+  random_faults_left_ = max_faults;
+}
+
+bool FaultInjector::RuleFires(const Rule& rule, std::uint64_t n) {
+  if (n < static_cast<std::uint64_t>(rule.nth)) return false;
+  if (rule.count == kForever) return true;
+  return n < static_cast<std::uint64_t>(rule.nth) +
+                 static_cast<std::uint64_t>(rule.count);
+}
+
+std::string FaultInjector::FaultMessage(const char* what, PageId page) const {
+  std::string msg = "injected ";
+  msg += what;
+  msg += page == kAnyPage ? " (any page)" : " on page " + std::to_string(page);
+  return msg;
+}
+
+FaultDecision FaultInjector::DecideLocked(
+    PageId page, std::vector<Rule>& rules,
+    std::unordered_map<PageId, std::uint64_t>& counts,
+    std::uint64_t global_count, bool is_read) {
+  FaultDecision decision;
+  const std::uint64_t page_count = counts[page];
+  for (const Rule& rule : rules) {
+    if (rule.page != kAnyPage && rule.page != page) continue;
+    const std::uint64_t n = rule.page == kAnyPage ? global_count : page_count;
+    if (!RuleFires(rule, n)) continue;
+    decision.status =
+        Status(rule.code, FaultMessage(is_read ? "read fault" : "write fault",
+                                       rule.page));
+    decision.truncate_to = rule.truncate_to;
+    return decision;
+  }
+  return decision;
+}
+
+FaultDecision FaultInjector::OnRead(PageId page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.reads_seen;
+  ++global_reads_;
+  ++read_counts_[page];
+
+  FaultDecision decision =
+      DecideLocked(page, read_rules_, read_counts_, global_reads_,
+                   /*is_read=*/true);
+  for (const auto& [rule_page, latency] : latency_rules_) {
+    if (rule_page == kAnyPage || rule_page == page) {
+      decision.latency_us += latency;
+    }
+  }
+  if (decision.latency_us > 0) ++stats_.delayed_accesses;
+
+  if (decision.status.ok() && random_read_probability_ > 0.0 &&
+      random_faults_left_ != 0) {
+    bool& spared = spare_next_read_[page];
+    if (spared) {
+      spared = false;  // the retry after a random fault always succeeds
+    } else if (rng_.Bernoulli(random_read_probability_)) {
+      spared = true;
+      if (random_faults_left_ > 0) --random_faults_left_;
+      decision.status =
+          Status(StatusCode::kIOError, FaultMessage("random read fault", page));
+    }
+  }
+
+  if (!decision.status.ok()) {
+    ++stats_.read_faults;
+    if (decision.truncate_to != FaultDecision::kNoTruncation) {
+      ++stats_.short_reads;
+    }
+  }
+  return decision;
+}
+
+FaultDecision FaultInjector::OnWrite(PageId page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes_seen;
+  ++global_writes_;
+  ++write_counts_[page];
+  FaultDecision decision =
+      DecideLocked(page, write_rules_, write_counts_, global_writes_,
+                   /*is_read=*/false);
+  if (!decision.status.ok()) {
+    ++stats_.write_faults;
+    if (decision.truncate_to != FaultDecision::kNoTruncation &&
+        decision.truncate_to > 0) {
+      ++stats_.torn_writes;
+    }
+  }
+  return decision;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FaultInjector::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_rules_.clear();
+  write_rules_.clear();
+  latency_rules_.clear();
+  random_read_probability_ = 0.0;
+  random_faults_left_ = 0;
+  spare_next_read_.clear();
+}
+
+}  // namespace dualsim

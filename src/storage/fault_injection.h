@@ -1,0 +1,158 @@
+#ifndef DUALSIM_STORAGE_FAULT_INJECTION_H_
+#define DUALSIM_STORAGE_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dualsim {
+
+/// What the injector tells the I/O layer to do for one page access. The
+/// default-constructed decision means "perform the operation normally".
+struct FaultDecision {
+  /// Non-OK: the operation must fail with this status (after transferring
+  /// `truncate_to` bytes, if truncated).
+  Status status;
+  /// Bytes actually transferred before the fault. kNoTruncation = all of
+  /// them; anything smaller models a short read or a torn write.
+  std::size_t truncate_to = kNoTruncation;
+  /// Extra delay imposed on the access (device-latency injection).
+  std::uint32_t latency_us = 0;
+
+  static constexpr std::size_t kNoTruncation =
+      std::numeric_limits<std::size_t>::max();
+};
+
+/// Programmable, deterministic fault injector for the disk path. A
+/// PageFile (and everything stacked on it: DiskGraph, BufferPool, the
+/// window scheduler) can be opened with one; every ReadPage/WritePage then
+/// consults OnRead/OnWrite before touching the device.
+///
+/// Two fault sources compose:
+///  - *Scheduled rules* fire on the Nth matching access of a page
+///    (1-based, counted per page, or globally for kAnyPage rules):
+///    transient read errors that succeed on retry, permanent errors,
+///    short reads, injected latency, and torn writes.
+///  - *Seeded random faults* fail each read with a fixed probability.
+///    A page whose previous read failed randomly is spared once, so every
+///    random fault is transient: one retry is guaranteed to get past it.
+///
+/// Thread-safe: all state is guarded by one mutex. With a fixed seed the
+/// random stream is deterministic; under concurrent readers the
+/// *assignment* of faults to pages follows the thread interleaving, which
+/// is the point of differential fuzzing — any successful run must still
+/// produce the oracle answer.
+class FaultInjector {
+ public:
+  /// Matches every page (for rules) — counted against the global access
+  /// counter rather than a per-page one.
+  static constexpr PageId kAnyPage = kInvalidPage;
+  /// Rule repeat count meaning "never stop failing".
+  static constexpr int kForever = -1;
+
+  explicit FaultInjector(std::uint64_t seed = 0) : rng_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Scheduled fault plan -------------------------------------------
+
+  /// Fails reads number `nth` .. `nth`+`count`-1 of `page` with `code`;
+  /// later reads succeed (a transient error under retry). count=kForever
+  /// makes the error permanent from the nth read on.
+  void FailRead(PageId page, int nth = 1, int count = 1,
+                StatusCode code = StatusCode::kIOError);
+
+  /// Every read of `page` fails, forever.
+  void FailReadForever(PageId page) { FailRead(page, 1, kForever); }
+
+  /// The nth read of `page` transfers only `bytes` bytes, then fails.
+  void ShortRead(PageId page, int nth, std::size_t bytes);
+
+  /// Fails writes `nth` .. `nth`+`count`-1 of `page` (nothing is written).
+  void FailWrite(PageId page, int nth = 1, int count = 1,
+                 StatusCode code = StatusCode::kIOError);
+
+  /// Torn write: the nth write of `page` persists only the first `bytes`
+  /// bytes, then fails — models a crash mid-write during BuildDiskGraph.
+  void TornWrite(PageId page, int nth, std::size_t bytes);
+
+  /// Adds `latency_us` to every read of `page` (kAnyPage = all reads).
+  /// Latency stacks with (and is applied before) error rules.
+  void DelayReads(PageId page, std::uint32_t latency_us);
+
+  // --- Seeded random faults (differential fuzzing) --------------------
+
+  /// Each read fails with probability `probability`, drawn from the seeded
+  /// stream, up to `max_faults` total (kForever = unbounded). Faults are
+  /// transient: a page is never failed twice in a row, so a single retry
+  /// always recovers.
+  void SetRandomReadFaults(double probability, int max_faults = kForever);
+
+  // --- Hooks (called by the I/O layer) --------------------------------
+
+  FaultDecision OnRead(PageId page);
+  FaultDecision OnWrite(PageId page);
+
+  // --- Introspection ---------------------------------------------------
+
+  struct Stats {
+    std::uint64_t reads_seen = 0;
+    std::uint64_t writes_seen = 0;
+    std::uint64_t read_faults = 0;   // failed reads (scheduled + random)
+    std::uint64_t write_faults = 0;  // failed writes (incl. torn)
+    std::uint64_t short_reads = 0;
+    std::uint64_t torn_writes = 0;
+    std::uint64_t delayed_accesses = 0;
+  };
+  Stats stats() const;
+
+  /// Removes every rule and disables random faults; access counters and
+  /// stats keep running so "heal the device, retry the query" scenarios
+  /// stay observable.
+  void ClearFaults();
+
+ private:
+  struct Rule {
+    PageId page = kAnyPage;
+    int nth = 1;              // 1-based index of the first failing access
+    int count = 1;            // kForever = permanent
+    StatusCode code = StatusCode::kIOError;
+    std::size_t truncate_to = FaultDecision::kNoTruncation;
+  };
+
+  /// True when an access with ordinal `n` (1-based) trips `rule`.
+  static bool RuleFires(const Rule& rule, std::uint64_t n);
+
+  /// Shared read/write hook body. Requires lock held.
+  FaultDecision DecideLocked(PageId page, std::vector<Rule>& rules,
+                             std::unordered_map<PageId, std::uint64_t>& counts,
+                             std::uint64_t global_count, bool is_read);
+
+  std::string FaultMessage(const char* what, PageId page) const;
+
+  mutable std::mutex mutex_;
+  Random rng_;
+  std::vector<Rule> read_rules_;
+  std::vector<Rule> write_rules_;
+  std::vector<std::pair<PageId, std::uint32_t>> latency_rules_;
+  std::unordered_map<PageId, std::uint64_t> read_counts_;
+  std::unordered_map<PageId, std::uint64_t> write_counts_;
+  std::uint64_t global_reads_ = 0;
+  std::uint64_t global_writes_ = 0;
+  double random_read_probability_ = 0.0;
+  int random_faults_left_ = 0;
+  std::unordered_map<PageId, bool> spare_next_read_;  // transience guarantee
+  Stats stats_;
+};
+
+}  // namespace dualsim
+
+#endif  // DUALSIM_STORAGE_FAULT_INJECTION_H_

@@ -5,7 +5,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace dualsim {
 namespace {
@@ -20,21 +22,24 @@ PageFile::~PageFile() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-StatusOr<std::unique_ptr<PageFile>> PageFile::Create(const std::string& path,
-                                                     std::size_t page_size) {
+StatusOr<std::unique_ptr<PageFile>> PageFile::Create(
+    const std::string& path, std::size_t page_size,
+    std::shared_ptr<FaultInjector> injector) {
   if (page_size < 64 || page_size % 8 != 0) {
     return Status::InvalidArgument("bad page size");
   }
   int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
   if (fd < 0) return Status::IOError(Errno("create", path));
-  return std::unique_ptr<PageFile>(
+  auto file = std::unique_ptr<PageFile>(
       new PageFile(fd, path, page_size, /*num_pages=*/0,
                    /*bypass_os_cache=*/false));
+  file->SetFaultInjector(std::move(injector));
+  return file;
 }
 
-StatusOr<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
-                                                   std::size_t page_size,
-                                                   bool bypass_os_cache) {
+StatusOr<std::unique_ptr<PageFile>> PageFile::Open(
+    const std::string& path, std::size_t page_size, bool bypass_os_cache,
+    std::shared_ptr<FaultInjector> injector) {
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) return Status::IOError(Errno("open", path));
   struct stat st;
@@ -54,13 +59,28 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(const std::string& path,
     ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
   }
 #endif
-  return std::unique_ptr<PageFile>(
+  auto file = std::unique_ptr<PageFile>(
       new PageFile(fd, path, page_size, num_pages, bypass_os_cache));
+  file->SetFaultInjector(std::move(injector));
+  return file;
 }
 
 Status PageFile::ReadPage(PageId pid, std::byte* out) const {
   if (pid >= num_pages_) return Status::InvalidArgument("page out of range");
   const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+  if (injector_ != nullptr) {
+    FaultDecision fault = injector_->OnRead(pid);
+    if (fault.latency_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.latency_us));
+    }
+    if (!fault.status.ok()) {
+      // Short read: transfer the prefix the "device" managed, then fail.
+      if (fault.truncate_to < page_size_ && fault.truncate_to > 0) {
+        (void)::pread(fd_, out, fault.truncate_to, offset);
+      }
+      return fault.status;
+    }
+  }
   std::size_t done = 0;
   while (done < page_size_) {
     const ssize_t n = ::pread(fd_, out + done, page_size_ - done,
@@ -83,6 +103,23 @@ Status PageFile::ReadPage(PageId pid, std::byte* out) const {
 
 Status PageFile::WritePage(PageId pid, const std::byte* data) {
   const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+  if (injector_ != nullptr) {
+    FaultDecision fault = injector_->OnWrite(pid);
+    if (fault.latency_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.latency_us));
+    }
+    if (!fault.status.ok()) {
+      // Torn write: persist the prefix, then fail — the on-disk page is
+      // left partially written, as after a crash mid-write.
+      if (fault.truncate_to < page_size_ && fault.truncate_to > 0) {
+        if (::pwrite(fd_, data, fault.truncate_to, offset) >= 0 &&
+            pid >= num_pages_) {
+          num_pages_ = pid + 1;  // the file did grow (by a torn page)
+        }
+      }
+      return fault.status;
+    }
+  }
   std::size_t done = 0;
   while (done < page_size_) {
     const ssize_t n = ::pwrite(fd_, data + done, page_size_ - done,

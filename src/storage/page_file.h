@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "util/status.h"
 
@@ -23,14 +24,19 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  /// Creates (truncates) a page file.
-  static StatusOr<std::unique_ptr<PageFile>> Create(const std::string& path,
-                                                    std::size_t page_size);
+  /// Creates (truncates) a page file. An optional `injector` makes every
+  /// page write consult the fault plan (torn writes during builds).
+  static StatusOr<std::unique_ptr<PageFile>> Create(
+      const std::string& path, std::size_t page_size,
+      std::shared_ptr<FaultInjector> injector = nullptr);
 
   /// Opens an existing page file; the size must be a multiple of page_size.
-  static StatusOr<std::unique_ptr<PageFile>> Open(const std::string& path,
-                                                  std::size_t page_size,
-                                                  bool bypass_os_cache = true);
+  /// An optional `injector` makes every page access consult the fault plan
+  /// before touching the device (see storage/fault_injection.h).
+  static StatusOr<std::unique_ptr<PageFile>> Open(
+      const std::string& path, std::size_t page_size,
+      bool bypass_os_cache = true,
+      std::shared_ptr<FaultInjector> injector = nullptr);
 
   std::size_t page_size() const { return page_size_; }
   PageId num_pages() const { return num_pages_; }
@@ -48,6 +54,12 @@ class PageFile {
   /// Flushes to stable storage.
   Status Sync();
 
+  /// Attaches (or detaches, with nullptr) a fault injector after opening.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
  private:
   PageFile(int fd, std::string path, std::size_t page_size, PageId num_pages,
            bool bypass_os_cache)
@@ -62,6 +74,7 @@ class PageFile {
   std::size_t page_size_;
   PageId num_pages_;
   bool bypass_os_cache_;
+  std::shared_ptr<FaultInjector> injector_;
 };
 
 }  // namespace dualsim

@@ -53,6 +53,7 @@ StatusOr<PreprocessResult> ExternalReorder(const Graph& g,
     ++offsets[e.src + 1];
     neighbors.push_back(e.dst);
   }
+  DUALSIM_RETURN_IF_ERROR(sorter.error());
   for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
 
   PreprocessResult result{Graph(std::move(offsets), std::move(neighbors)),

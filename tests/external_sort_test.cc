@@ -65,6 +65,49 @@ struct KeyValue {
   bool operator<(const KeyValue& o) const { return key < o.key; }
 };
 
+TEST(ExternalSortTest, ReadFaultDuringFinishPropagates) {
+  FaultInjector injector;
+  injector.FailRead(/*page=*/0, /*nth=*/1);  // first read of run 0
+  ExternalSorter<int> sorter(4 * sizeof(int));
+  sorter.SetFaultInjector(&injector);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(sorter.Add(i % 13).ok());
+  const Status finish = sorter.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), StatusCode::kIOError);
+}
+
+TEST(ExternalSortTest, ReadFaultMidMergeEndsStreamWithError) {
+  FaultInjector injector;
+  // Finish() primes every run (read #1 per run); the first *refill* of run
+  // 0 during the merge is its second read.
+  injector.FailRead(/*page=*/0, /*nth=*/2);
+  ExternalSorter<int> sorter(4 * sizeof(int));
+  sorter.SetFaultInjector(&injector);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(sorter.Add(i % 13).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::vector<int> out;
+  int v;
+  while (sorter.Next(&v)) out.push_back(v);
+  // The stream ended early and the failure is recorded, never silent.
+  ASSERT_FALSE(sorter.error().ok());
+  EXPECT_EQ(sorter.error().code(), StatusCode::kIOError);
+  EXPECT_LT(out.size(), 40u);
+  // A failed stream stays failed.
+  EXPECT_FALSE(sorter.Next(&v));
+}
+
+TEST(ExternalSortTest, WriteFaultDuringSpillPropagates) {
+  FaultInjector injector;
+  injector.FailWrite(/*page=*/2, /*nth=*/1);  // third spilled run
+  ExternalSorter<int> sorter(4 * sizeof(int));
+  sorter.SetFaultInjector(&injector);
+  Status status = Status::OK();
+  for (int i = 0; i < 40 && status.ok(); ++i) status = sorter.Add(i);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(sorter.stats().runs, 2u);
+}
+
 TEST(ExternalSortTest, StructRecords) {
   ExternalSorter<KeyValue> sorter(4 * sizeof(KeyValue));
   for (std::uint32_t i = 0; i < 50; ++i) {

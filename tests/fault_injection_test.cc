@@ -1,15 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <latch>
+#include <memory>
+#include <thread>
 #include <unistd.h>
 
+#include "baseline/bruteforce.h"
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
 #include "query/queries.h"
+#include "runtime/query_session.h"
+#include "runtime/runtime.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_graph.h"
+#include "storage/fault_injection.h"
+#include "storage/page_file.h"
 #include "util/thread_pool.h"
 
 namespace dualsim {
@@ -114,6 +122,235 @@ TEST_F(FaultInjectionTest, PageFileSizeMismatchRejected) {
   std::fclose(f);
   auto opened = DiskGraph::Open(path);
   ASSERT_FALSE(opened.ok());
+}
+
+TEST_F(FaultInjectionTest, ScheduledTransientReadFailsThenRecovers) {
+  const std::string path = PathFor("inj.db");
+  auto injector = std::make_shared<FaultInjector>();
+  injector->FailRead(/*page=*/1, /*nth=*/1, /*count=*/2);
+  auto file = PageFile::Create(path, 256, injector);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> page(256, std::byte{0x5a});
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+  ASSERT_TRUE((*file)->WritePage(1, page.data()).ok());
+
+  std::vector<std::byte> out(256);
+  // Reads 1 and 2 of page 1 fail; read 3 succeeds — a transient error.
+  EXPECT_EQ((*file)->ReadPage(1, out.data()).code(), StatusCode::kIOError);
+  EXPECT_EQ((*file)->ReadPage(1, out.data()).code(), StatusCode::kIOError);
+  EXPECT_TRUE((*file)->ReadPage(1, out.data()).ok());
+  EXPECT_EQ(out, page);
+  // Page 0 was never targeted.
+  EXPECT_TRUE((*file)->ReadPage(0, out.data()).ok());
+  EXPECT_EQ(injector->stats().read_faults, 2u);
+  EXPECT_EQ(injector->stats().reads_seen, 4u);
+}
+
+TEST_F(FaultInjectionTest, ShortReadSurfacesAsIOError) {
+  const std::string path = PathFor("short.db");
+  auto injector = std::make_shared<FaultInjector>();
+  injector->ShortRead(/*page=*/0, /*nth=*/1, /*bytes=*/100);
+  auto file = PageFile::Create(path, 256, injector);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> page(256, std::byte{0x7f});
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+
+  std::vector<std::byte> out(256, std::byte{0});
+  const Status short_read = (*file)->ReadPage(0, out.data());
+  EXPECT_EQ(short_read.code(), StatusCode::kIOError);
+  // The prefix was transferred before the fault, the tail was not.
+  EXPECT_EQ(out[99], std::byte{0x7f});
+  EXPECT_EQ(out[100], std::byte{0});
+  EXPECT_EQ(injector->stats().short_reads, 1u);
+  // The next read is whole again.
+  EXPECT_TRUE((*file)->ReadPage(0, out.data()).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST_F(FaultInjectionTest, InjectedLatencyIsObservable) {
+  const std::string path = PathFor("lat.db");
+  auto injector = std::make_shared<FaultInjector>();
+  injector->DelayReads(FaultInjector::kAnyPage, /*latency_us=*/2000);
+  auto file = PageFile::Create(path, 256, injector);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> page(256, std::byte{1});
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::byte> out(256);
+  ASSERT_TRUE((*file)->ReadPage(0, out.data()).ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            2000);
+  EXPECT_EQ(injector->stats().delayed_accesses, 1u);
+}
+
+TEST_F(FaultInjectionTest, BufferPoolRetryAbsorbsTransientFaults) {
+  Graph g = ReorderByDegree(ErdosRenyi(100, 400, 21));
+  const std::string path = PathFor("retry.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto injector = std::make_shared<FaultInjector>();
+  // First read of every page fails once; the retry path must absorb it.
+  injector->FailRead(FaultInjector::kAnyPage, /*nth=*/1, /*count=*/1);
+  auto disk = DiskGraph::Open(path, false, injector);
+  ASSERT_TRUE(disk.ok());
+
+  ThreadPool io(2);
+  BufferPool pool(&(*disk)->file(), 8, &io);
+  const std::byte* data = nullptr;
+  const Status pinned = pool.Pin(0, &data);
+  ASSERT_TRUE(pinned.ok()) << pinned.ToString();
+  pool.Unpin(0);
+  EXPECT_EQ(pool.stats().read_retries, 1u);
+  EXPECT_EQ(pool.stats().failed_reads, 0u);
+
+  // With retries disabled the same fault is fatal. (Counters survive
+  // ClearFaults, so schedule against page 1's own first read rather than
+  // the already-advanced global ordinal.)
+  injector->ClearFaults();
+  injector->FailRead(/*page=*/1, /*nth=*/1, /*count=*/1);
+  BufferPoolOptions no_retry;
+  no_retry.max_read_retries = 0;
+  BufferPool strict(&(*disk)->file(), 8, &io, no_retry);
+  const Status failed = strict.Pin(1, &data);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  EXPECT_EQ(strict.stats().failed_reads, 1u);
+  EXPECT_EQ(strict.AvailableFrames(), 8u) << "failed pin leaked a frame";
+}
+
+TEST_F(FaultInjectionTest, CancelBeforeRunIsDeterministic) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 600, 23));
+  const std::string path = PathFor("cancel.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  Runtime runtime(disk->get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+
+  session.Cancel();
+  auto cancelled = session.Run(q);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled)
+      << cancelled.status().ToString();
+
+  // No frames leaked by the aborted run.
+  {
+    auto lease = runtime.Admit(1, 0);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(lease->pool()->AvailableFrames(), runtime.num_frames());
+  }
+
+  // The request was consumed: the session is usable again.
+  EXPECT_FALSE(session.cancel_requested());
+  auto rerun = session.Run(q);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->embeddings, CountOccurrences(g, q));
+}
+
+TEST_F(FaultInjectionTest, CancelMidRunDoesNotDisturbSibling) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 900, 29));
+  const std::string path = PathFor("cancel2.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto injector = std::make_shared<FaultInjector>();
+  // Slow every read down so the cancelled run is still in flight when the
+  // request lands.
+  injector->DelayReads(FaultInjector::kAnyPage, /*latency_us=*/1000);
+  auto disk = DiskGraph::Open(path, false, injector);
+  ASSERT_TRUE(disk.ok());
+
+  RuntimeOptions ropts;
+  ropts.num_threads = 2;
+  Runtime runtime(disk->get(), ropts);
+  SessionOptions sopts;
+  sopts.max_frames = 64;  // both sessions fit side by side
+  QuerySession victim(&runtime, sopts);
+  QuerySession sibling(&runtime, sopts);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+  const std::uint64_t want = CountOccurrences(g, q);
+
+  StatusOr<EngineStats> victim_result = Status::Internal("not run");
+  StatusOr<EngineStats> sibling_result = Status::Internal("not run");
+  std::thread tv([&] { victim_result = victim.Run(q); });
+  std::thread ts([&] { sibling_result = sibling.Run(q); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  victim.Cancel();
+  tv.join();
+  ts.join();
+
+  // The sibling is never affected by the victim's cancellation.
+  ASSERT_TRUE(sibling_result.ok()) << sibling_result.status().ToString();
+  EXPECT_EQ(sibling_result->embeddings, want);
+
+  // The victim either finished before the request landed (then it must be
+  // exact) or stopped cleanly with kCancelled.
+  if (victim_result.ok()) {
+    EXPECT_EQ(victim_result->embeddings, want);
+  } else {
+    EXPECT_EQ(victim_result.status().code(), StatusCode::kCancelled)
+        << victim_result.status().ToString();
+  }
+
+  // Whatever happened, no frames are leaked and the victim runs again.
+  {
+    auto lease = runtime.Admit(1, 0);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(lease->pool()->AvailableFrames(), runtime.num_frames());
+  }
+  injector->ClearFaults();
+  auto rerun = victim.Run(q);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_EQ(rerun->embeddings, want);
+}
+
+TEST_F(FaultInjectionTest, PermanentFaultDoesNotHangConcurrentSiblings) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 600, 31));
+  const std::string path = PathFor("perm.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto injector = std::make_shared<FaultInjector>();
+  auto disk = DiskGraph::Open(path, false, injector);
+  ASSERT_TRUE(disk.ok());
+
+  RuntimeOptions ropts;
+  ropts.num_threads = 2;
+  Runtime runtime(disk->get(), ropts);
+  SessionOptions sopts;
+  sopts.max_frames = 64;
+  QuerySession s1(&runtime, sopts);
+  QuerySession s2(&runtime, sopts);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+  const std::uint64_t want = CountOccurrences(g, q);
+
+  // Warm nothing: the fault plan starts dead so both sessions race into
+  // I/O, then every read fails permanently.
+  injector->FailReadForever(FaultInjector::kAnyPage);
+  StatusOr<EngineStats> r1 = Status::Internal("not run");
+  StatusOr<EngineStats> r2 = Status::Internal("not run");
+  std::thread t1([&] { r1 = s1.Run(q); });
+  std::thread t2([&] { r2 = s2.Run(q); });
+  t1.join();
+  t2.join();
+  // Both terminate (no hang) with a clean error.
+  ASSERT_FALSE(r1.ok());
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r2.status().code(), StatusCode::kIOError);
+
+  // No leaked frames; the runtime serves both sessions after healing.
+  {
+    auto lease = runtime.Admit(1, 0);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(lease->pool()->AvailableFrames(), runtime.num_frames());
+  }
+  injector->ClearFaults();
+  auto h1 = s1.Run(q);
+  auto h2 = s2.Run(q);
+  ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+  ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+  EXPECT_EQ(h1->embeddings, want);
+  EXPECT_EQ(h2->embeddings, want);
 }
 
 }  // namespace

@@ -7,37 +7,26 @@
 #include "baseline/psgl.h"
 #include "baseline/twintwig.h"
 #include "core/engine.h"
-#include "graph/generators.h"
-#include "graph/reorder.h"
+#include "runtime/query_session.h"
+#include "runtime/runtime.h"
 #include "storage/disk_graph.h"
-#include "util/random.h"
+#include "testkit/fuzz_util.h"
 
 namespace dualsim {
 namespace {
 
+using testkit::FuzzConfig;
+using testkit::FuzzConfigFromEnv;
+using testkit::RandomConnectedQuery;
+using testkit::RandomDataGraph;
+using testkit::RelabelQuery;
+using testkit::ReproHint;
+
 /// Property fuzz: for RANDOM connected query graphs (not just the paper's
 /// five), the disk engine, TwinTwigJoin and PSGL must all agree with the
 /// brute-force oracle. This exercises arbitrary RBI colorings, v-group
-/// structures and matching orders.
-QueryGraph RandomConnectedQuery(Random& rng, int num_vertices) {
-  while (true) {
-    QueryGraph q(static_cast<std::uint8_t>(num_vertices));
-    // Random spanning tree first (guarantees connectivity)...
-    for (int v = 1; v < num_vertices; ++v) {
-      q.AddEdge(static_cast<QueryVertex>(rng.Uniform(v)),
-                static_cast<QueryVertex>(v));
-    }
-    // ...then sprinkle extra edges.
-    const int extra = static_cast<int>(rng.Uniform(num_vertices));
-    for (int i = 0; i < extra; ++i) {
-      const auto a = static_cast<QueryVertex>(rng.Uniform(num_vertices));
-      const auto b = static_cast<QueryVertex>(rng.Uniform(num_vertices));
-      if (a != b) q.AddEdge(a, b);
-    }
-    if (q.IsConnected()) return q;
-  }
-}
-
+/// structures and matching orders. DUALSIM_FUZZ_SEED / DUALSIM_FUZZ_ITERS
+/// override the per-seed trial count for soak runs.
 class RandomQueryPropertyTest : public ::testing::TestWithParam<int> {
  protected:
   void SetUp() override {
@@ -51,50 +40,91 @@ class RandomQueryPropertyTest : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(RandomQueryPropertyTest, AllEnginesAgreeWithOracle) {
-  const int seed = GetParam();
-  Random rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const int param = GetParam();
+  const FuzzConfig cfg = FuzzConfigFromEnv(0, 3);
+  const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(param);
+  Random rng(seed * 7919 + 13);
 
-  // Random data graph flavor per seed.
-  Graph raw;
-  switch (seed % 3) {
-    case 0:
-      raw = ErdosRenyi(80 + seed * 7, 300 + seed * 23, seed);
-      break;
-    case 1:
-      raw = RMat(7, 400 + seed * 17, 0.55, 0.16, 0.16, seed);
-      break;
-    default:
-      raw = BipartitePowerLaw(40 + seed, 50, 250 + seed * 11, seed);
-  }
-  Graph g = ReorderByDegree(raw);
+  Graph g = RandomDataGraph(seed, param, param);
   const std::string path = (dir_ / "g.db").string();
   ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
   auto disk = DiskGraph::Open(path, false);
   ASSERT_TRUE(disk.ok());
 
   EngineOptions options;
-  options.buffer_fraction = 0.15 + 0.05 * (seed % 3);
-  options.num_threads = 1 + seed % 4;
+  options.buffer_fraction = 0.15 + 0.05 * (param % 3);
+  options.num_threads = 1 + param % 4;
   DualSimEngine engine(disk->get(), options);
 
-  const int num_vertices = 3 + seed % 3;  // 3..5 query vertices
-  for (int trial = 0; trial < 3; ++trial) {
+  const int num_vertices = 3 + param % 3;  // 3..5 query vertices
+  for (int trial = 0; trial < cfg.iters; ++trial) {
     QueryGraph q = RandomConnectedQuery(rng, num_vertices);
     const std::uint64_t want = CountOccurrences(g, q);
 
     auto dual = engine.Run(q);
-    ASSERT_TRUE(dual.ok()) << dual.status().ToString() << " " << q.ToString();
-    EXPECT_EQ(dual->embeddings, want) << q.ToString();
+    ASSERT_TRUE(dual.ok()) << dual.status().ToString() << " " << q.ToString()
+                           << "\n" << ReproHint(seed);
+    EXPECT_EQ(dual->embeddings, want) << q.ToString() << "\n"
+                                      << ReproHint(seed);
 
     auto ttj = RunTwinTwigJoin(g, q);
     ASSERT_TRUE(ttj.ok());
     ASSERT_FALSE(ttj->failed);
-    EXPECT_EQ(ttj->final_results, want) << q.ToString();
+    EXPECT_EQ(ttj->final_results, want) << q.ToString() << "\n"
+                                        << ReproHint(seed);
 
     auto psgl = RunPsgl(g, q);
     ASSERT_TRUE(psgl.ok());
     ASSERT_FALSE(psgl->failed);
-    EXPECT_EQ(psgl->final_results, want) << q.ToString();
+    EXPECT_EQ(psgl->final_results, want) << q.ToString() << "\n"
+                                         << ReproHint(seed);
+  }
+}
+
+/// Plan-cache warm path: running a query twice through one Runtime must
+/// hit the cache the second time and still return the identical count —
+/// and so must an isomorphic relabeling of the query, which shares the
+/// canonical form and therefore the cached plan.
+TEST_P(RandomQueryPropertyTest, PlanCacheWarmPathMatchesColdPath) {
+  const int param = GetParam();
+  const FuzzConfig cfg = FuzzConfigFromEnv(100, 3);
+  const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(param);
+  Random rng(seed * 104729 + 7);
+
+  Graph g = RandomDataGraph(seed, param + 1, param);
+  const std::string path = (dir_ / "warm.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+
+  Runtime runtime(disk->get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+
+  for (int trial = 0; trial < cfg.iters; ++trial) {
+    const QueryGraph q = RandomConnectedQuery(rng, 3 + param % 3);
+    const std::uint64_t want = CountOccurrences(g, q);
+
+    auto cold = session.Run(q);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString() << "\n"
+                           << ReproHint(seed);
+    EXPECT_EQ(cold->embeddings, want) << q.ToString() << "\n"
+                                      << ReproHint(seed);
+
+    auto warm = session.Run(q);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_TRUE(warm->plan_cached) << q.ToString();
+    EXPECT_GT(warm->plan_cache_hits, cold->plan_cache_hits);
+    EXPECT_EQ(warm->embeddings, want) << q.ToString() << "\n"
+                                      << ReproHint(seed);
+
+    const QueryGraph relabeled = RelabelQuery(q, rng);
+    auto iso = session.Run(relabeled);
+    ASSERT_TRUE(iso.ok()) << iso.status().ToString();
+    EXPECT_TRUE(iso->plan_cached)
+        << q.ToString() << " vs " << relabeled.ToString();
+    EXPECT_EQ(iso->embeddings, want)
+        << q.ToString() << " vs " << relabeled.ToString() << "\n"
+        << ReproHint(seed);
   }
 }
 

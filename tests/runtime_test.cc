@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <filesystem>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/bruteforce.h"
@@ -177,6 +179,126 @@ TEST_F(RuntimeTestBase, AdmitReservesAndReleasesFrameQuotas) {
   auto too_big = runtime.Admit(/*min_frames=*/100, /*max_frames=*/0);
   ASSERT_FALSE(too_big.ok());
   EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Sweeps explicit frame budgets from absurdly small upward. Every budget
+/// must either be rejected up front (InvalidArgument, before any I/O) or
+/// produce the exact oracle count — in particular at the exactly-minimum
+/// budget, where the window scheduler has no slack at all. Once a budget
+/// works, every larger one must too.
+TEST_F(RuntimeTestBase, ExactMinimumFrameBudgetStillAnswersExactly) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 700, 13));
+  auto disk = BuildDisk(g);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+  const std::uint64_t want = CountOccurrences(g, q);
+
+  std::size_t first_success = 0;
+  for (std::size_t frames = 1; frames <= 64; ++frames) {
+    RuntimeOptions options;
+    options.num_frames = frames;
+    options.num_threads = 2;
+    Runtime runtime(disk.get(), options);
+    QuerySession session(&runtime);
+    auto result = session.Run(q);
+    if (result.ok()) {
+      if (first_success == 0) first_success = frames;
+      EXPECT_EQ(result->embeddings, want) << "num_frames=" << frames;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+          << "num_frames=" << frames << ": " << result.status().ToString();
+      EXPECT_EQ(first_success, 0u)
+          << "budget " << frames << " rejected after " << first_success
+          << " succeeded";
+    }
+  }
+  ASSERT_GT(first_success, 0u) << "no budget up to 64 frames admitted Q1";
+  EXPECT_GT(first_success, 1u) << "a 1-frame budget cannot be enough";
+}
+
+/// Plan-cache eviction under concurrent sessions: six pairwise
+/// non-isomorphic queries churn through a capacity-2 cache from four
+/// threads. Every run must still return its oracle count, and the cache
+/// must never exceed its capacity.
+TEST_F(RuntimeTestBase, PlanCacheEvictionUnderConcurrentSessions) {
+  Graph g = ReorderByDegree(ErdosRenyi(120, 500, 17));
+  auto disk = BuildDisk(g);
+  RuntimeOptions options = SmallRuntimeOptions();
+  options.plan_cache_capacity = 2;
+  Runtime runtime(disk.get(), options);
+
+  std::vector<QueryGraph> queries;
+  {
+    QueryGraph path3(3);
+    path3.AddEdge(0, 1);
+    path3.AddEdge(1, 2);
+    QueryGraph triangle(3);
+    triangle.AddEdge(0, 1);
+    triangle.AddEdge(1, 2);
+    triangle.AddEdge(0, 2);
+    QueryGraph star4(4);
+    star4.AddEdge(0, 1);
+    star4.AddEdge(0, 2);
+    star4.AddEdge(0, 3);
+    QueryGraph path4(4);
+    path4.AddEdge(0, 1);
+    path4.AddEdge(1, 2);
+    path4.AddEdge(2, 3);
+    QueryGraph cycle4(4);
+    cycle4.AddEdge(0, 1);
+    cycle4.AddEdge(1, 2);
+    cycle4.AddEdge(2, 3);
+    cycle4.AddEdge(0, 3);
+    QueryGraph diamond(4);
+    diamond.AddEdge(0, 1);
+    diamond.AddEdge(1, 2);
+    diamond.AddEdge(2, 3);
+    diamond.AddEdge(0, 3);
+    diamond.AddEdge(0, 2);
+    queries = {path3, triangle, star4, path4, cycle4, diamond};
+  }
+  std::vector<std::uint64_t> want;
+  want.reserve(queries.size());
+  for (const QueryGraph& q : queries) want.push_back(CountOccurrences(g, q));
+
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 6;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SessionOptions sopts;
+      sopts.max_frames = 48;  // leave room for the other sessions
+      QuerySession session(&runtime, sopts);
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        const std::size_t qi = static_cast<std::size_t>(t + i) % queries.size();
+        auto result = session.Run(queries[qi]);
+        if (!result.ok()) {
+          failures[t] = result.status().ToString();
+          return;
+        }
+        if (result->embeddings != want[qi]) {
+          failures[t] = "query " + std::to_string(qi) + ": got " +
+                        std::to_string(result->embeddings) + " want " +
+                        std::to_string(want[qi]);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_LE(stats.plan_cache.entries, 2u);
+  EXPECT_EQ(stats.plan_cache.capacity, 2u);
+  // Six distinct canonical queries through a 2-entry cache: evictions
+  // force re-preparation, so misses exceed the distinct-query count.
+  EXPECT_GT(stats.plan_cache.misses, queries.size());
+  EXPECT_EQ(stats.sessions_completed,
+            static_cast<std::uint64_t>(kThreads * kRunsPerThread));
 }
 
 TEST_F(RuntimeTestBase, StatsAggregateAcrossSessions) {

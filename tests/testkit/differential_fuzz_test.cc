@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+#include "baseline/bruteforce.h"
+#include "runtime/query_session.h"
+#include "runtime/runtime.h"
+#include "storage/disk_graph.h"
+#include "storage/fault_injection.h"
+#include "testkit/fuzz_util.h"
+
+namespace dualsim {
+namespace {
+
+using testkit::FuzzConfig;
+using testkit::FuzzConfigFromEnv;
+using testkit::RandomConnectedQuery;
+using testkit::RandomDataGraph;
+using testkit::ReproHint;
+
+/// Differential fuzzing of the fault-injecting stack: seeded random data
+/// graphs x random connected queries, run through PageFile + BufferPool +
+/// window scheduler with faults injected underneath. The invariant under
+/// test: a fault may delay a query or fail it with a clean Status, but a
+/// run that reports success must return exactly the brute-force oracle
+/// count. Override DUALSIM_FUZZ_SEED / DUALSIM_FUZZ_ITERS to reproduce or
+/// extend a run.
+class DifferentialFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_diff_fuzz_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Builds the iteration's data graph on disk and opens it with a fresh
+  /// injector seeded from `seed`.
+  struct Fixture {
+    Graph g;
+    std::shared_ptr<FaultInjector> injector;
+    std::unique_ptr<DiskGraph> disk;
+  };
+  Fixture MakeFixture(std::uint64_t seed, int flavor) {
+    Fixture f;
+    f.g = RandomDataGraph(seed, flavor, flavor);
+    const std::string path =
+        (dir_ / ("g" + std::to_string(seed) + ".db")).string();
+    EXPECT_TRUE(BuildDiskGraph(f.g, path, 512).ok()) << ReproHint(seed);
+    f.injector = std::make_shared<FaultInjector>(seed);
+    auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false, f.injector);
+    EXPECT_TRUE(disk.ok()) << ReproHint(seed);
+    f.disk = std::move(disk).value();
+    return f;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// All random faults are transient (the injector never fails a page twice
+/// in a row), so the buffer pool's bounded retry must absorb every one of
+/// them: each run succeeds and matches the oracle exactly.
+TEST_F(DifferentialFuzzTest, TransientRandomFaultsPreserveAnswers) {
+  const FuzzConfig cfg = FuzzConfigFromEnv(20260806, 6);
+  std::uint64_t total_faults = 0;
+  std::uint64_t total_retries = 0;
+  for (int iter = 0; iter < cfg.iters; ++iter) {
+    const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(iter);
+    Fixture f = MakeFixture(seed, iter);
+    f.injector->SetRandomReadFaults(0.10);
+    if (iter % 2 == 0) f.injector->DelayReads(FaultInjector::kAnyPage, 20);
+
+    RuntimeOptions ropts;
+    ropts.num_threads = 1 + iter % 4;
+    Runtime runtime(f.disk.get(), ropts);
+    QuerySession session(&runtime);
+
+    Random rng(seed * 7919 + 13);
+    for (int trial = 0; trial < 3; ++trial) {
+      const QueryGraph q = RandomConnectedQuery(rng, 3 + iter % 3);
+      const std::uint64_t want = CountOccurrences(f.g, q);
+      auto got = session.Run(q);
+      ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n"
+                            << q.ToString() << "\n"
+                            << ReproHint(seed);
+      EXPECT_EQ(got->embeddings, want) << q.ToString() << "\n"
+                                       << ReproHint(seed);
+    }
+    total_faults += f.injector->stats().read_faults;
+    total_retries += runtime.stats().io.read_retries;
+  }
+  // The fault plan actually fired, and every fault was absorbed by a retry.
+  EXPECT_GT(total_faults, 0u) << ReproHint(cfg.seed);
+  EXPECT_GE(total_retries, total_faults) << ReproHint(cfg.seed);
+}
+
+/// Acceptance scenario: a scheduled transient read error (first read of
+/// whichever page the engine touches first) is retried and the query still
+/// returns the exact oracle count — deterministically, not just with high
+/// probability.
+TEST_F(DifferentialFuzzTest, ScheduledTransientFaultRetriesToOracle) {
+  const FuzzConfig cfg = FuzzConfigFromEnv(777, 1);
+  Fixture f = MakeFixture(cfg.seed, 0);
+  // Reads 1..3 globally fail once each; retry succeeds (per-page ordinal 2).
+  f.injector->FailRead(FaultInjector::kAnyPage, /*nth=*/1, /*count=*/3);
+
+  Runtime runtime(f.disk.get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+  Random rng(cfg.seed);
+  const QueryGraph q = RandomConnectedQuery(rng, 4);
+  const std::uint64_t want = CountOccurrences(f.g, q);
+
+  auto got = session.Run(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString() << ReproHint(cfg.seed);
+  EXPECT_EQ(got->embeddings, want) << ReproHint(cfg.seed);
+  EXPECT_GT(got->io.read_retries, 0u);
+  EXPECT_GT(f.injector->stats().read_faults, 0u);
+}
+
+/// Acceptance scenario: under a permanent fault the session fails with a
+/// clean non-OK status, leaks no pinned frames, and — once the "device" is
+/// healed — the same session answers the query exactly.
+TEST_F(DifferentialFuzzTest, PermanentFaultFailsCleanlyAndHealsAfterClear) {
+  const FuzzConfig cfg = FuzzConfigFromEnv(4242, 1);
+  Fixture f = MakeFixture(cfg.seed, 1);
+  f.injector->FailReadForever(FaultInjector::kAnyPage);
+
+  Runtime runtime(f.disk.get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+  Random rng(cfg.seed);
+  const QueryGraph q = RandomConnectedQuery(rng, 4);
+  const std::uint64_t want = CountOccurrences(f.g, q);
+
+  auto got = session.Run(q);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError)
+      << got.status().ToString();
+
+  // Zero leaked pinned frames: admitting a fresh lease sees every frame of
+  // the pool available again.
+  {
+    auto lease = runtime.Admit(1, 0);
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(lease->pool()->AvailableFrames(), runtime.num_frames());
+  }
+
+  f.injector->ClearFaults();
+  auto healed = session.Run(q);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString() << ReproHint(cfg.seed);
+  EXPECT_EQ(healed->embeddings, want) << ReproHint(cfg.seed);
+  // The injector kept counting after ClearFaults, but stopped faulting.
+  EXPECT_GT(f.injector->stats().reads_seen, 0u);
+}
+
+/// Concurrent sessions of one runtime under latency + transient faults:
+/// both streams must complete with their own oracle counts (no cross-talk,
+/// no starvation deadlock).
+TEST_F(DifferentialFuzzTest, ConcurrentSessionsUnderTransientFaults) {
+  const FuzzConfig cfg = FuzzConfigFromEnv(9001, 3);
+  for (int iter = 0; iter < cfg.iters; ++iter) {
+    const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(iter);
+    Fixture f = MakeFixture(seed, 2);
+    f.injector->SetRandomReadFaults(0.05);
+    f.injector->DelayReads(FaultInjector::kAnyPage, 50);
+
+    RuntimeOptions ropts;
+    ropts.num_threads = 2;
+    Runtime runtime(f.disk.get(), ropts);
+
+    Random rng(seed ^ 0xabcdef);
+    const QueryGraph q1 = RandomConnectedQuery(rng, 3);
+    const QueryGraph q2 = RandomConnectedQuery(rng, 4);
+    const std::uint64_t want1 = CountOccurrences(f.g, q1);
+    const std::uint64_t want2 = CountOccurrences(f.g, q2);
+
+    SessionOptions sopts;
+    sopts.max_frames = 64;  // leave room for the sibling
+    QuerySession s1(&runtime, sopts);
+    QuerySession s2(&runtime, sopts);
+    StatusOr<EngineStats> r1 = Status::Internal("not run");
+    StatusOr<EngineStats> r2 = Status::Internal("not run");
+    std::thread t1([&] { r1 = s1.Run(q1); });
+    std::thread t2([&] { r2 = s2.Run(q2); });
+    t1.join();
+    t2.join();
+
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString() << ReproHint(seed);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString() << ReproHint(seed);
+    EXPECT_EQ(r1->embeddings, want1) << q1.ToString() << ReproHint(seed);
+    EXPECT_EQ(r2->embeddings, want2) << q2.ToString() << ReproHint(seed);
+  }
+}
+
+/// Torn-write injection during BuildDiskGraph: the build must fail with a
+/// clean status (not a crash), and a rebuild without the fault must produce
+/// a database that answers queries exactly.
+TEST_F(DifferentialFuzzTest, TornWriteDuringBuildFailsCleanly) {
+  const FuzzConfig cfg = FuzzConfigFromEnv(31337, 1);
+  Graph g = RandomDataGraph(cfg.seed, 0, 3);
+  const std::string path = (dir_ / "torn.db").string();
+
+  auto injector = std::make_shared<FaultInjector>(cfg.seed);
+  injector->TornWrite(FaultInjector::kAnyPage, /*nth=*/2, /*bytes=*/100);
+  Status torn = BuildDiskGraph(g, path, 512, false, injector);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.code(), StatusCode::kIOError) << torn.ToString();
+  EXPECT_GT(injector->stats().torn_writes, 0u);
+
+  // Rebuild on a healthy "device" and cross-check a query.
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".meta");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  Runtime runtime(disk->get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+  Random rng(cfg.seed);
+  const QueryGraph q = RandomConnectedQuery(rng, 3);
+  auto got = session.Run(q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->embeddings, CountOccurrences(g, q)) << ReproHint(cfg.seed);
+}
+
+}  // namespace
+}  // namespace dualsim

@@ -1,0 +1,80 @@
+#include "testkit/fuzz_util.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/reorder.h"
+
+namespace dualsim::testkit {
+
+FuzzConfig FuzzConfigFromEnv(std::uint64_t default_seed, int default_iters) {
+  FuzzConfig cfg{default_seed, default_iters};
+  if (const char* s = std::getenv("DUALSIM_FUZZ_SEED")) {
+    cfg.seed = std::strtoull(s, nullptr, 0);
+  }
+  if (const char* s = std::getenv("DUALSIM_FUZZ_ITERS")) {
+    const long v = std::strtol(s, nullptr, 0);
+    if (v > 0) cfg.iters = static_cast<int>(v);
+  }
+  return cfg;
+}
+
+std::string ReproHint(std::uint64_t seed) {
+  return "repro: DUALSIM_FUZZ_SEED=" + std::to_string(seed) +
+         " DUALSIM_FUZZ_ITERS=1 <this test binary>";
+}
+
+QueryGraph RandomConnectedQuery(Random& rng, int num_vertices) {
+  while (true) {
+    QueryGraph q(static_cast<std::uint8_t>(num_vertices));
+    // Random spanning tree first (guarantees connectivity)...
+    for (int v = 1; v < num_vertices; ++v) {
+      q.AddEdge(static_cast<QueryVertex>(rng.Uniform(v)),
+                static_cast<QueryVertex>(v));
+    }
+    // ...then sprinkle extra edges.
+    const int extra = static_cast<int>(rng.Uniform(num_vertices));
+    for (int i = 0; i < extra; ++i) {
+      const auto a = static_cast<QueryVertex>(rng.Uniform(num_vertices));
+      const auto b = static_cast<QueryVertex>(rng.Uniform(num_vertices));
+      if (a != b) q.AddEdge(a, b);
+    }
+    if (q.IsConnected()) return q;
+  }
+}
+
+QueryGraph RelabelQuery(const QueryGraph& q, Random& rng) {
+  const std::uint8_t n = q.NumVertices();
+  std::array<QueryVertex, kMaxQueryVertices> perm;
+  std::iota(perm.begin(), perm.begin() + n, static_cast<QueryVertex>(0));
+  // Fisher-Yates with the deterministic PRNG.
+  for (std::uint8_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+  }
+  QueryGraph out(n);
+  for (const auto& [u, v] : q.Edges()) {
+    out.AddEdge(perm[u], perm[v]);
+  }
+  return out;
+}
+
+Graph RandomDataGraph(std::uint64_t seed, int flavor, int scale) {
+  const std::uint32_t s = static_cast<std::uint32_t>(scale % 16);
+  Graph raw;
+  switch (((flavor % 3) + 3) % 3) {
+    case 0:
+      raw = ErdosRenyi(80 + s * 7, 300 + s * 23, seed);
+      break;
+    case 1:
+      raw = RMat(7, 400 + s * 17, 0.55, 0.16, 0.16, seed);
+      break;
+    default:
+      raw = BipartitePowerLaw(40 + s, 50, 250 + s * 11, seed);
+  }
+  return ReorderByDegree(raw);
+}
+
+}  // namespace dualsim::testkit

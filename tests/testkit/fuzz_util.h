@@ -1,0 +1,49 @@
+#ifndef DUALSIM_TESTS_TESTKIT_FUZZ_UTIL_H_
+#define DUALSIM_TESTS_TESTKIT_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "query/query_graph.h"
+#include "util/random.h"
+
+namespace dualsim::testkit {
+
+/// Reproducibility knobs shared by every fuzz-style test. Defaults come
+/// from the test; the environment overrides them:
+///   DUALSIM_FUZZ_SEED   base seed (decimal or 0x-hex)
+///   DUALSIM_FUZZ_ITERS  iteration count (raise for soak runs, lower for CI)
+struct FuzzConfig {
+  std::uint64_t seed = 0;
+  int iters = 0;
+};
+
+/// Resolves the effective fuzz configuration from defaults + environment.
+FuzzConfig FuzzConfigFromEnv(std::uint64_t default_seed, int default_iters);
+
+/// One-line repro recipe for failure messages, e.g.
+/// "repro: DUALSIM_FUZZ_SEED=42 DUALSIM_FUZZ_ITERS=1 ./the_test".
+std::string ReproHint(std::uint64_t seed);
+
+/// Random connected query graph on `num_vertices` vertices: a random
+/// spanning tree (guaranteeing connectivity) plus a sprinkle of extra
+/// edges, exercising arbitrary RBI colorings, v-group structures and
+/// matching orders.
+QueryGraph RandomConnectedQuery(Random& rng, int num_vertices);
+
+/// `q` with its vertices relabeled by a random permutation. The result is
+/// isomorphic to `q`: it must enumerate the same number of embeddings and,
+/// because plans are keyed by canonical form, hit the same plan-cache
+/// entry.
+QueryGraph RelabelQuery(const QueryGraph& q, Random& rng);
+
+/// Random degree-reordered data graph ready for BuildDiskGraph.
+/// `flavor % 3` selects the generator family (Erdos-Renyi, R-MAT,
+/// bipartite power-law); `scale >= 0` nudges vertex/edge counts so
+/// consecutive iterations do not all share one shape.
+Graph RandomDataGraph(std::uint64_t seed, int flavor, int scale);
+
+}  // namespace dualsim::testkit
+
+#endif  // DUALSIM_TESTS_TESTKIT_FUZZ_UTIL_H_
