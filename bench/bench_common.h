@@ -2,6 +2,7 @@
 #define DUALSIM_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "distsim/cluster.h"
 #include "graph/datasets.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "storage/disk_graph.h"
 #include "util/logging.h"
 
@@ -117,6 +119,23 @@ inline std::string FormatSeconds(double s) {
     std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
   }
   return buf;
+}
+
+/// Dumps the process-wide MetricsSnapshot as a JSON sidecar next to the
+/// benchmark's table output. The default path (conventionally
+/// "<bench_name>.metrics.json" in the working directory) can be overridden
+/// with the DUALSIM_METRICS_OUT env var; setting it to the empty string
+/// suppresses the sidecar. Under DUALSIM_NO_METRICS the file is still
+/// written but carries "metrics_enabled": false and empty sections.
+inline void WriteMetricsSidecar(const std::string& default_path) {
+  const char* env = std::getenv("DUALSIM_METRICS_OUT");
+  const std::string path = env != nullptr ? env : default_path;
+  if (path.empty()) return;
+  if (obs::WriteMetricsJsonFile(path)) {
+    std::printf("metrics sidecar: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics sidecar %s\n", path.c_str());
+  }
 }
 
 inline void PrintRule(int width = 78) {

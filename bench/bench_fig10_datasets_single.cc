@@ -58,5 +58,6 @@ int main() {
       "expected shape: DualSim faster on every dataset (paper: up to\n"
       "318.34x); TTJ fails on YH (its intermediate results exceed the\n"
       "machine).\n");
+  WriteMetricsSidecar("bench_fig10_datasets_single.metrics.json");
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
       "expected shape: DualSim ahead on every (dataset, query); the gap\n"
       "largest where solutions are plentiful (paper: 866x on WT-q2); TTJ\n"
       "cannot run q5 and spills/fails on LJ's cyclic queries.\n");
+  WriteMetricsSidecar("bench_fig11_queries_single.metrics.json");
   return 0;
 }

@@ -49,5 +49,6 @@ int main() {
       "expected shape on a multi-core host: near-linear speed-up (paper:\n"
       "5.46x for q1 and 5.53x for q4 at 6 threads). On a single-core host\n"
       "the curve is flat by construction.\n");
+  WriteMetricsSidecar("bench_fig16_threads.metrics.json");
   return 0;
 }

@@ -55,5 +55,6 @@ int main() {
   std::printf(
       "expected shape: q1 flat (~1x) everywhere; q4 degrades only at the\n"
       "smallest buffer (paper: 2.2-2.6x at 5%%).\n");
+  WriteMetricsSidecar("bench_fig9_buffer_size.metrics.json");
   return 0;
 }

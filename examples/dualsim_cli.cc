@@ -12,8 +12,10 @@
 ///       Show the prepared plan (RBI coloring, v-groups, matching order).
 ///
 ///   dualsim_cli query <db_path> <query> [buffer_fraction] [max_print]
+///                     [metrics.json]
 ///       Enumerate the query; print up to max_print embeddings (default 0:
-///       count only).
+///       count only). When a metrics path is given (or DUALSIM_METRICS_OUT
+///       is set) the process-wide MetricsSnapshot is written there as JSON.
 ///
 /// <query> is "q1".."q5", a named shape ("triangle", "cycle5", ...), or an
 /// edge list like "0-1,1-2,2-0".
@@ -26,6 +28,7 @@
 #include "core/cost_model.h"
 #include "core/engine.h"
 #include "graph/edge_list_io.h"
+#include "obs/metrics.h"
 #include "query/isomorphism.h"
 #include "query/parser.h"
 #include "runtime/plan_cache.h"
@@ -133,7 +136,7 @@ int CmdQuery(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: query <db_path> <query> [buffer_fraction] "
-                 "[max_print]\n");
+                 "[max_print] [metrics.json]\n");
     return 2;
   }
   auto disk = DiskGraph::Open(argv[2]);
@@ -179,6 +182,18 @@ int CmdQuery(int argc, char** argv) {
               result->plan_cached ? "hit" : "miss",
               static_cast<unsigned long long>(result->plan_cache_hits),
               static_cast<unsigned long long>(result->plan_cache_misses));
+
+  const char* env = std::getenv("DUALSIM_METRICS_OUT");
+  const std::string metrics_path =
+      argc > 6 ? argv[6] : (env != nullptr ? env : "");
+  if (!metrics_path.empty()) {
+    if (!obs::WriteMetricsJsonFile(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics:       %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

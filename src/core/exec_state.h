@@ -10,6 +10,7 @@
 #include "core/extension.h"
 #include "core/plan.h"
 #include "core/window_index.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_graph.h"
 #include "util/bitmap.h"
@@ -58,6 +59,8 @@ struct ExecContext {
   /// Session-owned cancellation flag (may be set from any thread while the
   /// run is in flight); nullptr when the run is not cancellable.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional per-run trace sink; nullptr disables span recording.
+  obs::TraceContext* trace = nullptr;
 
   std::vector<LevelState> level;        // indexed by level
   std::vector<LevelStats> level_stats;  // indexed by level

@@ -30,9 +30,15 @@ void IntersectMany(std::span<const std::span<const VertexId>> lists,
     out->assign(lists[0].begin(), lists[0].end());
     return;
   }
+  if (lists.size() == 2) {
+    Intersect2(lists[0], lists[1], out);
+    return;
+  }
   // Drive from the smallest list; binary-search membership in the rest.
+  // An empty input makes the intersection empty — bail before scanning.
   std::size_t smallest = 0;
-  for (std::size_t i = 1; i < lists.size(); ++i) {
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (lists[i].empty()) return;
     if (lists[i].size() < lists[smallest].size()) smallest = i;
   }
   for (VertexId v : lists[smallest]) {

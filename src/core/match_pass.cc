@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/enumerator.h"
+#include "obs/metrics.h"
 
 namespace dualsim {
 namespace {
@@ -15,7 +16,39 @@ namespace {
 struct TaskCounters {
   std::uint64_t embeddings = 0;
   std::uint64_t red_assignments = 0;
+  std::uint64_t vgroup_expansions = 0;
 };
+
+struct MatchMetrics {
+  obs::Counter* embeddings_internal;
+  obs::Counter* embeddings_external;
+  obs::Counter* red_assignments;
+  obs::Counter* vgroup_expansions;
+};
+
+MatchMetrics& Metrics() {
+  static MatchMetrics m{
+      obs::Metrics().GetCounter("match.embeddings_internal"),
+      obs::Metrics().GetCounter("match.embeddings_external"),
+      obs::Metrics().GetCounter("match.red_assignments"),
+      obs::Metrics().GetCounter("match.vgroup_expansions"),
+  };
+  return m;
+}
+
+/// Flushes one task's locally accumulated counters into the obs registry
+/// (a few relaxed adds per task, never per embedding).
+void FlushTaskMetrics(const TaskCounters& c, bool internal) {
+  obs::Counter* embeddings =
+      internal ? Metrics().embeddings_internal : Metrics().embeddings_external;
+  if (c.embeddings > 0) embeddings->Increment(c.embeddings);
+  if (c.red_assignments > 0) {
+    Metrics().red_assignments->Increment(c.red_assignments);
+  }
+  if (c.vgroup_expansions > 0) {
+    Metrics().vgroup_expansions->Increment(c.vgroup_expansions);
+  }
+}
 
 /// RedEmitter that maps every member full-order sequence of the v-group to
 /// the emitted data sequence and extends it over the non-red vertices.
@@ -31,6 +64,7 @@ class ExtendingEmitter : public RedEmitter {
             std::span<const std::span<const VertexId>> adjacency_by_position)
       override {
     ++counters_->red_assignments;
+    counters_->vgroup_expansions += group_.members.size();
     const std::uint8_t num_q = plan_.rbi.query.NumVertices();
     for (const FullOrderSequence& qs : group_.members) {
       // Position k of qs maps red-graph vertex qs[k] to the k-th data
@@ -95,6 +129,7 @@ void MatchPass::RunInternalChunk(std::size_t g, std::size_t begin,
   MatchGroup(input, emitter);
   internal_embeddings_.fetch_add(counters.embeddings);
   red_assignments_.fetch_add(counters.red_assignments);
+  FlushTaskMetrics(counters, /*internal=*/true);
 }
 
 void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
@@ -197,6 +232,7 @@ void MatchPass::EnumerateLastLevelRun(
   }
   external_embeddings_.fetch_add(counters.embeddings);
   red_assignments_.fetch_add(counters.red_assignments);
+  FlushTaskMetrics(counters, /*internal=*/false);
 }
 
 }  // namespace dualsim

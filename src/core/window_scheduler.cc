@@ -5,9 +5,33 @@
 #include <latch>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dualsim {
+namespace {
+
+struct SchedulerMetrics {
+  obs::Counter* windows;
+  obs::Counter* windows_degraded;
+  obs::Counter* windows_split;
+  obs::Counter* candidate_vertices;
+  obs::Histogram* window_pages;
+};
+
+SchedulerMetrics& Metrics() {
+  static SchedulerMetrics m{
+      obs::Metrics().GetCounter("scheduler.windows"),
+      obs::Metrics().GetCounter("scheduler.windows_degraded"),
+      obs::Metrics().GetCounter("scheduler.windows_split"),
+      obs::Metrics().GetCounter("scheduler.candidate_vertices"),
+      obs::Metrics().GetHistogram("scheduler.window_pages"),
+  };
+  return m;
+}
+
+}  // namespace
 
 WindowScheduler::WindowScheduler(ExecContext* ctx, MatchPass* match,
                                  std::size_t total_frames,
@@ -18,6 +42,7 @@ WindowScheduler::WindowScheduler(ExecContext* ctx, MatchPass* match,
       paper_allocation_(paper_allocation) {}
 
 Status WindowScheduler::Execute() {
+  obs::TraceSpan span(ctx_.trace, "scheduler.execute");
   const PageId num_pages = ctx_.disk->num_pages();
   const std::uint32_t num_vertices = ctx_.disk->num_vertices();
 
@@ -144,6 +169,8 @@ void WindowScheduler::DispatchWindow(std::uint8_t l,
   st.min_page = pages.front();
   st.max_page = pages.back();
   ++ctx_.level_stats[l].windows;
+  Metrics().windows->Increment();
+  Metrics().window_pages->Record(pages.size());
   st.has_window = true;
 
   if (l + 1 == ctx_.levels && ctx_.levels > 1) {
@@ -167,6 +194,7 @@ void WindowScheduler::DegradeAndRetry(std::uint8_t l,
                                       int attempt) {
   if (ctx_.ShouldStop()) return;
   ++ctx_.level_stats[l].degraded_windows;
+  Metrics().windows_degraded->Increment();
   const std::size_t split = SplitPoint(pages);
   if (split == 0) {
     // Cannot shrink any further (a single page or one unbreakable
@@ -186,6 +214,7 @@ void WindowScheduler::DegradeAndRetry(std::uint8_t l,
   }
   // Shrink the window and continue: each half is a valid (smaller)
   // disjoint window over the same candidate pages.
+  Metrics().windows_split->Increment();
   std::vector<PageId> first(pages.begin(),
                             pages.begin() + static_cast<std::ptrdiff_t>(split));
   std::vector<PageId> second(pages.begin() + static_cast<std::ptrdiff_t>(split),
@@ -300,6 +329,7 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
   }
   const std::uint8_t pos_parent = ctx_.plan->matching_order[l];
   const std::span<const PageId> first_page = ctx_.disk->FirstPageMap();
+  std::uint64_t candidates = 0;
   for (const WindowIndex::Entry& e : ctx_.level[l].index.entries()) {
     // Current vertex window: resident vertices passing the level's cvs.
     if (!parent_state.is_root &&
@@ -314,10 +344,12 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
         if (child_larger ? (w > e.vertex) : (w < e.vertex)) {
           child.cvs.Set(w);
           child.cps.Set(first_page[w]);
+          ++candidates;
         }
       }
     }
   }
+  if (candidates > 0) Metrics().candidate_vertices->Increment(candidates);
 }
 
 void WindowScheduler::ClearChildCandidates(std::uint8_t l, std::size_t g) {

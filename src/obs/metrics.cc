@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dualsim::obs {
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot::HistogramValue MetricsSnapshot::histogram(
+    std::string_view name) const {
+  auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? HistogramValue{} : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics_enabled\": ";
+  out += kMetricsEnabled ? "true" : "false";
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [bucket, count] : h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "[" + std::to_string(bucket) + ", " + std::to_string(count) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+#ifndef DUALSIM_NO_METRICS
+
+MetricsSnapshot::HistogramValue Histogram::value() const {
+  MetricsSnapshot::HistogramValue out;
+  std::array<std::uint64_t, kNumBuckets> totals{};
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      totals[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+  }
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (totals[b] == 0) continue;
+    out.count += totals[b];
+    out.buckets.emplace_back(static_cast<int>(b), totals[b]);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented code may run during static
+  // destruction (thread pools draining at exit).
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace(name, histogram->value());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+#else
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+#endif  // DUALSIM_NO_METRICS
+
+MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+
+bool WriteMetricsJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = Metrics().Snapshot().ToJson();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace dualsim::obs

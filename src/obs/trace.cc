@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#ifndef DUALSIM_NO_METRICS
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace dualsim::obs {
+
+TraceContext::TraceContext(std::string name, std::size_t capacity)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  spans_.reserve(std::min<std::size_t>(capacity_, 256));
+}
+
+std::uint64_t TraceContext::NowMicros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint32_t TraceContext::ThreadOrdinalLocked() {
+  const std::uint64_t id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (std::size_t i = 0; i < thread_ids_.size(); ++i) {
+    if (thread_ids_[i] == id) return static_cast<std::uint32_t>(i);
+  }
+  thread_ids_.push_back(id);
+  return static_cast<std::uint32_t>(thread_ids_.size() - 1);
+}
+
+void TraceContext::Record(const char* span_name, std::uint64_t start_us,
+                          std::uint64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Span{span_name, start_us, duration_us,
+                        ThreadOrdinalLocked()});
+}
+
+std::vector<TraceContext::Span> TraceContext::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::uint64_t TraceContext::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string TraceContext::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"name\": \"" + name_ +
+                    "\", \"dropped\": " + std::to_string(dropped_) +
+                    ", \"spans\": [";
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"";
+    out += s.name;
+    out += "\", \"start_us\": " + std::to_string(s.start_us) +
+           ", \"duration_us\": " + std::to_string(s.duration_us) +
+           ", \"thread\": " + std::to_string(s.thread) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dualsim::obs
+
+#endif  // DUALSIM_NO_METRICS

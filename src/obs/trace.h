@@ -1,0 +1,131 @@
+#ifndef DUALSIM_OBS_TRACE_H_
+#define DUALSIM_OBS_TRACE_H_
+
+/// Lightweight trace spans with a session/run-scoped context.
+///
+/// A TraceContext is owned by whoever wants a timeline of one query run
+/// (CLI, bench, test); the session and the engine components record RAII
+/// TraceSpans into it when — and only when — a context was attached
+/// (SessionOptions::trace). A null context makes every span a no-op, so
+/// untraced runs pay one pointer test per span site. Span names must be
+/// string literals (the context stores the pointer, not a copy).
+///
+/// The buffer is bounded: once `capacity` spans are recorded, further
+/// spans are counted in dropped() instead of growing the timeline — a
+/// heavy run degrades to a truncated trace, never to unbounded memory.
+///
+/// Compiled out (no storage, no clock reads) under -DDUALSIM_NO_METRICS.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef DUALSIM_NO_METRICS
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace dualsim::obs {
+
+#ifndef DUALSIM_NO_METRICS
+
+class TraceContext {
+ public:
+  struct Span {
+    const char* name;           // string literal
+    std::uint64_t start_us;     // relative to the context's creation
+    std::uint64_t duration_us;
+    std::uint32_t thread;       // small per-context thread ordinal
+  };
+
+  explicit TraceContext(std::string name = "run",
+                        std::size_t capacity = 4096);
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void Record(const char* span_name, std::uint64_t start_us,
+              std::uint64_t duration_us);
+
+  std::vector<Span> spans() const;
+  std::uint64_t dropped() const;
+
+  /// Microseconds since the context was created (span timestamps base).
+  std::uint64_t NowMicros() const;
+
+  /// {"name": ..., "dropped": N, "spans": [{"name", "start_us",
+  /// "duration_us", "thread"}, ...]} — spans in recording order.
+  std::string ToJson() const;
+
+ private:
+  std::uint32_t ThreadOrdinalLocked();
+
+  const std::string name_;
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::vector<std::uint64_t> thread_ids_;  // hashed ids, index = ordinal
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into the context.
+class TraceSpan {
+ public:
+  TraceSpan(TraceContext* ctx, const char* name)
+      : ctx_(ctx), name_(name), start_us_(ctx ? ctx->NowMicros() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (ctx_ != nullptr) {
+      ctx_->Record(name_, start_us_, ctx_->NowMicros() - start_us_);
+    }
+  }
+
+ private:
+  TraceContext* ctx_;
+  const char* name_;
+  std::uint64_t start_us_;
+};
+
+#else  // DUALSIM_NO_METRICS
+
+class TraceContext {
+ public:
+  struct Span {
+    const char* name;
+    std::uint64_t start_us;
+    std::uint64_t duration_us;
+    std::uint32_t thread;
+  };
+
+  explicit TraceContext(std::string name = "run", std::size_t = 0)
+      : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }
+  void Record(const char*, std::uint64_t, std::uint64_t) {}
+  std::vector<Span> spans() const { return {}; }
+  std::uint64_t dropped() const { return 0; }
+  std::uint64_t NowMicros() const { return 0; }
+  std::string ToJson() const {
+    return "{\"name\": \"" + name_ + "\", \"dropped\": 0, \"spans\": []}";
+  }
+
+ private:
+  std::string name_;
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(TraceContext*, const char*) {}
+};
+
+#endif  // DUALSIM_NO_METRICS
+
+}  // namespace dualsim::obs
+
+#endif  // DUALSIM_OBS_TRACE_H_

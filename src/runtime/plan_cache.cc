@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dualsim {
 
 PlanCache::PlanCache(std::size_t capacity)
@@ -31,10 +33,16 @@ StatusOr<std::shared_ptr<const QueryPlan>> PlanCache::GetOrPrepare(
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // touch
       ++hits_;
+      static obs::Counter* const cache_hits =
+          obs::Metrics().GetCounter("plancache.hits");
+      cache_hits->Increment();
       if (hit != nullptr) *hit = true;
       return it->second->second;
     }
     ++misses_;
+    static obs::Counter* const cache_misses =
+        obs::Metrics().GetCounter("plancache.misses");
+    cache_misses->Increment();
   }
   if (hit != nullptr) *hit = false;
 

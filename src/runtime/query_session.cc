@@ -8,10 +8,31 @@
 
 #include "core/match_pass.h"
 #include "core/window_scheduler.h"
+#include "obs/metrics.h"
 #include "query/isomorphism.h"
 #include "util/timer.h"
 
 namespace dualsim {
+namespace {
+
+struct SessionMetrics {
+  obs::Counter* runs;
+  obs::Counter* runs_failed;
+  obs::Counter* cancellations;
+  obs::Histogram* run_millis;
+};
+
+SessionMetrics& Metrics() {
+  static SessionMetrics m{
+      obs::Metrics().GetCounter("session.runs"),
+      obs::Metrics().GetCounter("session.runs_failed"),
+      obs::Metrics().GetCounter("session.cancellations"),
+      obs::Metrics().GetHistogram("session.run_millis"),
+  };
+  return m;
+}
+
+}  // namespace
 
 QuerySession::QuerySession(Runtime* runtime, SessionOptions options)
     : runtime_(runtime), options_(std::move(options)) {}
@@ -22,14 +43,25 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q) {
 
 StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
                                         const FullEmbeddingFn& visitor) {
+  Metrics().runs->Increment();
+  obs::TraceSpan run_span(options_.trace, "session.run");
+  WallTimer run_timer;
+
   // Preparation step — or a plan-cache hit skipping it entirely.
   WallTimer lookup_timer;
   const CanonicalQuery canonical = CanonicalizeQuery(q);
+  std::shared_ptr<const QueryPlan> plan;
   bool cache_hit = false;
-  DUALSIM_ASSIGN_OR_RETURN(
-      std::shared_ptr<const QueryPlan> plan,
-      runtime_->plan_cache().GetOrPrepare(canonical, options_.plan,
-                                          &cache_hit));
+  {
+    obs::TraceSpan prepare_span(options_.trace, "session.prepare");
+    auto plan_or = runtime_->plan_cache().GetOrPrepare(canonical, options_.plan,
+                                                       &cache_hit);
+    if (!plan_or.ok()) {
+      Metrics().runs_failed->Increment();
+      return plan_or.status();
+    }
+    plan = std::move(plan_or).value();
+  }
   const double lookup_millis = lookup_timer.ElapsedMillis();
 
   DiskGraph* disk = runtime_->disk();
@@ -53,6 +85,7 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   // instead of misbehaving deep inside the window loop. Derived budgets
   // (buffer_fraction) are grown to the minimum by admission instead.
   if (options_.max_frames != 0 && options_.max_frames < min_frames) {
+    Metrics().runs_failed->Increment();
     return Status::InvalidArgument(
         "SessionOptions::max_frames=" + std::to_string(options_.max_frames) +
         " is below the " + std::to_string(min_frames) +
@@ -61,9 +94,15 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
         "slack; the last level also wants 2 x num_threads frames)");
   }
 
-  DUALSIM_ASSIGN_OR_RETURN(
-      Runtime::FrameLease lease,
-      runtime_->Admit(min_frames, options_.max_frames));
+  auto lease_or = [&] {
+    obs::TraceSpan admit_span(options_.trace, "session.admit");
+    return runtime_->Admit(min_frames, options_.max_frames);
+  }();
+  if (!lease_or.ok()) {
+    Metrics().runs_failed->Increment();
+    return lease_or.status();
+  }
+  Runtime::FrameLease lease = std::move(lease_or).value();
 
   // Undo the canonical relabeling before the caller's visitor sees a
   // mapping: the plan enumerates the canonical graph, whose vertex u is
@@ -87,6 +126,7 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   ctx.disk = disk;
   ctx.plan = plan.get();
   ctx.cancel = cancel_.get();
+  ctx.trace = options_.trace;
   ctx.visitor = vis;
   ctx.cpu_pool = &runtime_->cpu_pool();
   ctx.pool = lease.pool();
@@ -110,6 +150,9 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
     if (exec_status.code() == StatusCode::kCancelled) {
       // Consume the request: the session stays usable for later runs.
       cancel_->store(false, std::memory_order_relaxed);
+      Metrics().cancellations->Increment();
+    } else {
+      Metrics().runs_failed->Increment();
     }
     return exec_status;
   }
@@ -129,6 +172,8 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   stats.plan_cache_hits = cache_stats.hits;
   stats.plan_cache_misses = cache_stats.misses;
   stats.plan_cached = cache_hit;
+  Metrics().run_millis->Record(
+      static_cast<std::uint64_t>(stats.elapsed_seconds * 1e3));
   return stats;
 }
 

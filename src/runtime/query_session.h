@@ -8,6 +8,7 @@
 #include "core/engine_stats.h"
 #include "core/extension.h"
 #include "core/plan.h"
+#include "obs/trace.h"
 #include "query/query_graph.h"
 #include "runtime/runtime.h"
 #include "util/status.h"
@@ -27,6 +28,10 @@ struct SessionOptions {
   std::size_t max_frames = 0;
   /// Preparation-step options (RBI choice, v-grouping, matching order).
   PlanOptions plan;
+  /// Optional trace sink: each Run() records spans (prepare, admit,
+  /// execute) into it. Must outlive the session's runs; nullptr disables
+  /// tracing. No-op under DUALSIM_NO_METRICS.
+  obs::TraceContext* trace = nullptr;
 };
 
 /// One query stream against a shared Runtime. Each Run() canonicalizes

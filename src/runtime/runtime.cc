@@ -1,9 +1,34 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace dualsim {
+namespace {
+
+struct RuntimeMetrics {
+  obs::Counter* admissions;
+  obs::Counter* admission_waits;
+  obs::Counter* pool_growths;
+  obs::Counter* sessions_completed;
+  obs::Histogram* admission_wait_us;
+};
+
+RuntimeMetrics& Metrics() {
+  static RuntimeMetrics m{
+      obs::Metrics().GetCounter("runtime.admissions"),
+      obs::Metrics().GetCounter("runtime.admission_waits"),
+      obs::Metrics().GetCounter("runtime.pool_growths"),
+      obs::Metrics().GetCounter("runtime.sessions_completed"),
+      obs::Metrics().GetHistogram("runtime.admission_wait_us"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Runtime::Runtime(DiskGraph* disk, RuntimeOptions options)
     : disk_(disk),
@@ -65,6 +90,7 @@ void Runtime::FrameLease::Release() {
 }
 
 void Runtime::GrowPoolLocked(std::size_t min_frames) {
+  Metrics().pool_growths->Increment();
   retired_io_ += buffer_pool_->stats();
   buffer_pool_.reset();  // drain before replacing
   pool_frames_ = std::max(base_frames_, min_frames);
@@ -84,6 +110,8 @@ StatusOr<Runtime::FrameLease> Runtime::Admit(std::size_t min_frames,
         " is below the " + std::to_string(min_frames) +
         " frames this query's plan requires");
   }
+  const auto wait_start = std::chrono::steady_clock::now();
+  bool waited = false;
   for (;;) {
     if (pool_frames_ < min_frames) {
       // Growing replaces the pool, which invalidates other sessions'
@@ -95,7 +123,16 @@ StatusOr<Runtime::FrameLease> Runtime::Admit(std::size_t min_frames,
     } else if (reserved_ + min_frames <= pool_frames_) {
       break;
     }
+    waited = true;
     admission_cv_.wait(lock);
+  }
+  Metrics().admissions->Increment();
+  if (waited) {
+    Metrics().admission_waits->Increment();
+    Metrics().admission_wait_us->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
   }
   std::size_t grant = pool_frames_ - reserved_;
   if (max_frames != 0) {
@@ -112,6 +149,7 @@ void Runtime::Release(std::size_t frames) {
     reserved_ -= frames;
     --active_sessions_;
     ++sessions_completed_;
+    Metrics().sessions_completed->Increment();
   }
   admission_cv_.notify_all();
 }

@@ -3,9 +3,42 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace dualsim {
+namespace {
+
+/// obs counters, resolved once per process. Invariant kept by every pin
+/// path: lookups == hits + misses + starved (each Pin/PinAsync call is
+/// classified exactly once; a waiter piggybacking on an in-flight read
+/// counts as a hit because it triggers no new physical read).
+struct PoolMetrics {
+  obs::Counter* lookups;
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* starved;
+  obs::Counter* evictions;
+  obs::Counter* retries;
+  obs::Histogram* read_latency_us;
+  obs::Histogram* retry_latency_us;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m{
+      obs::Metrics().GetCounter("bufferpool.lookups"),
+      obs::Metrics().GetCounter("bufferpool.hits"),
+      obs::Metrics().GetCounter("bufferpool.misses"),
+      obs::Metrics().GetCounter("bufferpool.starved"),
+      obs::Metrics().GetCounter("bufferpool.evictions"),
+      obs::Metrics().GetCounter("bufferpool.retries"),
+      obs::Metrics().GetHistogram("bufferpool.read_latency_us"),
+      obs::Metrics().GetHistogram("bufferpool.retry_latency_us"),
+  };
+  return m;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(PageFile* file, std::size_t num_frames,
                        ThreadPool* io_pool, BufferPoolOptions options)
@@ -43,6 +76,7 @@ std::uint32_t BufferPool::AllocateFrameLocked() {
     f.state = FrameState::kEmpty;
     f.in_lru = false;
     ++stats_.evictions;
+    Metrics().evictions->Increment();
     return victim;
   }
   return static_cast<std::uint32_t>(frames_.size());
@@ -50,6 +84,7 @@ std::uint32_t BufferPool::AllocateFrameLocked() {
 
 Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
                                  std::uint64_t* retries) {
+  const auto start = std::chrono::steady_clock::now();
   *retries = 0;
   Status status = file_->ReadPage(pid, out);
   std::uint32_t backoff = options_.retry_backoff_us;
@@ -66,6 +101,15 @@ Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
   if (options_.read_latency_us > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.read_latency_us));
+  }
+  const auto elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  Metrics().read_latency_us->Record(elapsed_us);
+  if (*retries > 0) {
+    Metrics().retries->Increment(*retries);
+    Metrics().retry_latency_us->Record(elapsed_us);
   }
   return status;
 }
@@ -103,6 +147,7 @@ void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
 }
 
 Status BufferPool::Pin(PageId pid, const std::byte** data) {
+  Metrics().lookups->Increment();
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     auto it = page_table_.find(pid);
@@ -119,11 +164,13 @@ Status BufferPool::Pin(PageId pid, const std::byte** data) {
       }
       ++f.pins;
       ++stats_.logical_hits;
+      Metrics().hits->Increment();
       *data = FrameData(it->second);
       return Status::OK();
     }
     const std::uint32_t frame_id = AllocateFrameLocked();
     if (frame_id == frames_.size()) {
+      Metrics().starved->Increment();
       return Status::ResourceExhausted("all buffer frames pinned");
     }
     Frame& f = frames_[frame_id];
@@ -131,6 +178,7 @@ Status BufferPool::Pin(PageId pid, const std::byte** data) {
     f.state = FrameState::kLoading;
     f.pins = 1;
     page_table_.emplace(pid, frame_id);
+    Metrics().misses->Increment();
     lock.unlock();
 
     std::uint64_t retries = 0;
@@ -164,6 +212,7 @@ Status BufferPool::Pin(PageId pid, const std::byte** data) {
 }
 
 void BufferPool::PinAsync(PageId pid, PinCallback callback) {
+  Metrics().lookups->Increment();
   std::unique_lock<std::mutex> lock(mutex_);
   auto it = page_table_.find(pid);
   if (it != page_table_.end()) {
@@ -171,6 +220,7 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
     if (f.state == FrameState::kLoading) {
       ++f.pins;  // credited now; LoadAndDispatch hands the pin to callback
       f.waiters.push_back(std::move(callback));
+      Metrics().hits->Increment();
       return;
     }
     if (f.pins == 0 && f.in_lru) {
@@ -179,6 +229,7 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
     }
     ++f.pins;
     ++stats_.logical_hits;
+    Metrics().hits->Increment();
     const std::byte* data = FrameData(it->second);
     lock.unlock();
     callback(Status::OK(), pid, data);
@@ -186,6 +237,7 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
   }
   const std::uint32_t frame_id = AllocateFrameLocked();
   if (frame_id == frames_.size()) {
+    Metrics().starved->Increment();
     lock.unlock();
     callback(Status::ResourceExhausted("all buffer frames pinned"), pid,
              nullptr);
@@ -197,6 +249,7 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
   f.pins = 1;
   f.waiters.push_back(std::move(callback));
   page_table_.emplace(pid, frame_id);
+  Metrics().misses->Increment();
   ++inflight_;
   lock.unlock();
   io_pool_->Enqueue([this, frame_id, pid] { LoadAndDispatch(frame_id, pid); });

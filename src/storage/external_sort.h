@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/fault_injection.h"
 #include "util/status.h"
 
@@ -54,6 +55,9 @@ class ExternalSorter {
 
   Status Add(const Record& record) {
     ++stats_.records;
+    static obs::Counter* const records =
+        obs::Metrics().GetCounter("extsort.records");
+    records->Increment();
     buffer_.push_back(record);
     if (buffer_.size() >= capacity_) return SpillRun();
     return Status::OK();
@@ -143,21 +147,34 @@ class ExternalSorter {
     runs_.push_back(RunReader{f, Record{}, false});
     ++stats_.runs;
     stats_.spilled_bytes += buffer_.size() * sizeof(Record);
+    static obs::Counter* const spills =
+        obs::Metrics().GetCounter("extsort.spills");
+    static obs::Counter* const spilled_bytes =
+        obs::Metrics().GetCounter("extsort.spilled_bytes");
+    spills->Increment();
+    spilled_bytes->Increment(buffer_.size() * sizeof(Record));
     buffer_.clear();
     return Status::OK();
   }
 
   Status FillRun(std::size_t i) {
+    static obs::Counter* const run_reads =
+        obs::Metrics().GetCounter("extsort.run_reads");
+    static obs::Counter* const run_read_faults =
+        obs::Metrics().GetCounter("extsort.run_read_faults");
+    run_reads->Increment();
     RunReader& r = runs_[i];
     if (injector_ != nullptr) {
       const FaultDecision fault = injector_->OnRead(static_cast<PageId>(i));
       if (!fault.status.ok()) {
         r.valid = false;
+        run_read_faults->Increment();
         return fault.status;
       }
     }
     r.valid = std::fread(&r.current, sizeof(Record), 1, r.file) == 1;
     if (!r.valid && std::ferror(r.file) != 0) {
+      run_read_faults->Increment();
       return Status::IOError("read error on run file " + std::to_string(i));
     }
     return Status::OK();

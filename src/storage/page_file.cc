@@ -9,11 +9,36 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace dualsim {
 namespace {
 
 std::string Errno(const std::string& what, const std::string& path) {
   return what + " " + path + ": " + std::strerror(errno);
+}
+
+struct FileMetrics {
+  obs::Counter* reads;
+  obs::Counter* bytes_read;
+  obs::Counter* read_faults;
+  obs::Counter* writes;
+  obs::Counter* bytes_written;
+  obs::Counter* write_faults;
+  obs::Histogram* read_latency_us;
+};
+
+FileMetrics& Metrics() {
+  static FileMetrics m{
+      obs::Metrics().GetCounter("pagefile.reads"),
+      obs::Metrics().GetCounter("pagefile.bytes_read"),
+      obs::Metrics().GetCounter("pagefile.read_faults"),
+      obs::Metrics().GetCounter("pagefile.writes"),
+      obs::Metrics().GetCounter("pagefile.bytes_written"),
+      obs::Metrics().GetCounter("pagefile.write_faults"),
+      obs::Metrics().GetHistogram("pagefile.read_latency_us"),
+  };
+  return m;
 }
 
 }  // namespace
@@ -67,6 +92,8 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(
 
 Status PageFile::ReadPage(PageId pid, std::byte* out) const {
   if (pid >= num_pages_) return Status::InvalidArgument("page out of range");
+  const auto start = std::chrono::steady_clock::now();
+  Metrics().reads->Increment();
   const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
   if (injector_ != nullptr) {
     FaultDecision fault = injector_->OnRead(pid);
@@ -78,6 +105,7 @@ Status PageFile::ReadPage(PageId pid, std::byte* out) const {
       if (fault.truncate_to < page_size_ && fault.truncate_to > 0) {
         (void)::pread(fd_, out, fault.truncate_to, offset);
       }
+      Metrics().read_faults->Increment();
       return fault.status;
     }
   }
@@ -87,11 +115,20 @@ Status PageFile::ReadPage(PageId pid, std::byte* out) const {
                               offset + static_cast<off_t>(done));
     if (n < 0) {
       if (errno == EINTR) continue;
+      Metrics().read_faults->Increment();
       return Status::IOError(Errno("pread", path_));
     }
-    if (n == 0) return Status::IOError("short read from " + path_);
+    if (n == 0) {
+      Metrics().read_faults->Increment();
+      return Status::IOError("short read from " + path_);
+    }
     done += static_cast<std::size_t>(n);
   }
+  Metrics().bytes_read->Increment(page_size_);
+  Metrics().read_latency_us->Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
 #ifdef POSIX_FADV_DONTNEED
   if (bypass_os_cache_) {
     ::posix_fadvise(fd_, offset, static_cast<off_t>(page_size_),
@@ -102,6 +139,7 @@ Status PageFile::ReadPage(PageId pid, std::byte* out) const {
 }
 
 Status PageFile::WritePage(PageId pid, const std::byte* data) {
+  Metrics().writes->Increment();
   const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
   if (injector_ != nullptr) {
     FaultDecision fault = injector_->OnWrite(pid);
@@ -117,6 +155,7 @@ Status PageFile::WritePage(PageId pid, const std::byte* data) {
           num_pages_ = pid + 1;  // the file did grow (by a torn page)
         }
       }
+      Metrics().write_faults->Increment();
       return fault.status;
     }
   }
@@ -126,10 +165,12 @@ Status PageFile::WritePage(PageId pid, const std::byte* data) {
                                offset + static_cast<off_t>(done));
     if (n < 0) {
       if (errno == EINTR) continue;
+      Metrics().write_faults->Increment();
       return Status::IOError(Errno("pwrite", path_));
     }
     done += static_cast<std::size_t>(n);
   }
+  Metrics().bytes_written->Increment(page_size_);
   if (pid >= num_pages_) num_pages_ = pid + 1;
   return Status::OK();
 }

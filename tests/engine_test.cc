@@ -10,9 +10,11 @@
 #include "baseline/bruteforce.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "obs/metrics.h"
 #include "query/queries.h"
 #include "query/symmetry_breaking.h"
 #include "storage/disk_graph.h"
+#include "testkit/metrics_util.h"
 
 namespace dualsim {
 namespace {
@@ -386,6 +388,52 @@ TEST_F(EngineTestBase, LevelStatsAreConsistent) {
   EXPECT_LE(result->io.physical_reads,
             owned + result->level_stats[1].borrowed_pages +
                 result->level_stats[2].borrowed_pages);
+}
+
+// ---------------------------------------------------------------------------
+// Metric invariants: the observability counters must agree with the
+// engine's own accounting, not merely move in the right direction.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTestBase, BufferMetricsClassifyEveryLookup) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 19));
+  auto disk = BuildDisk(g);
+  DualSimEngine engine(disk.get(), SmallOptions());
+  testkit::MetricsProbe probe;
+  auto result = engine.Run(MakePaperQuery(PaperQuery::kQ2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const std::uint64_t lookups = probe.Delta("bufferpool.lookups");
+  const std::uint64_t hits = probe.Delta("bufferpool.hits");
+  const std::uint64_t misses = probe.Delta("bufferpool.misses");
+  const std::uint64_t starved = probe.Delta("bufferpool.starved");
+  EXPECT_GT(lookups, 0u);
+  EXPECT_GT(misses, 0u);
+  // Every Pin/PinAsync is classified exactly once.
+  EXPECT_EQ(lookups, hits + misses + starved);
+  // Every miss initiates at least one page-file read (retries add more).
+  EXPECT_GE(probe.Delta("pagefile.reads"), misses);
+}
+
+TEST_F(EngineTestBase, EmbeddingMetricsMatchReturnedCounts) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 3));
+  auto disk = BuildDisk(g);
+  DualSimEngine engine(disk.get(), SmallOptions());
+  testkit::MetricsProbe probe;
+  auto result = engine.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  EXPECT_EQ(probe.Delta("match.embeddings_internal"),
+            result->internal_embeddings);
+  EXPECT_EQ(probe.Delta("match.embeddings_external"),
+            result->external_embeddings);
+  EXPECT_EQ(probe.Delta("match.embeddings_internal") +
+                probe.Delta("match.embeddings_external"),
+            result->embeddings);
+  // Window accounting agrees with the per-level stats the engine returns.
+  std::uint64_t windows = 0;
+  for (const LevelStats& ls : result->level_stats) windows += ls.windows;
+  EXPECT_EQ(probe.Delta("scheduler.windows"), windows);
 }
 
 TEST_F(EngineTestBase, RepeatedRunsAreDeterministic) {

@@ -55,6 +55,70 @@ TEST(IntersectTest, EmptyInputs) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(IntersectTest, ManyWithTwoListsMatchesIntersect2) {
+  std::vector<VertexId> a = {1, 3, 5, 7, 9};
+  std::vector<VertexId> b = {2, 3, 7, 10};
+  std::span<const VertexId> lists[] = {a, b};
+  std::vector<VertexId> many;
+  std::vector<VertexId> two;
+  IntersectMany(lists, &many);
+  Intersect2(a, b, &two);
+  EXPECT_EQ(many, two);
+  EXPECT_EQ(many, (std::vector<VertexId>{3, 7}));
+}
+
+TEST(IntersectTest, ManyEmptyListShortCircuits) {
+  // Any empty input empties the intersection, wherever it sits — including
+  // when a *later* list is empty and an earlier one is large.
+  std::vector<VertexId> big(1000);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<VertexId>(i);
+  }
+  std::vector<VertexId> empty;
+  std::span<const VertexId> lists[] = {big, big, empty};
+  std::vector<VertexId> out = {42};
+  IntersectMany(lists, &out);
+  EXPECT_TRUE(out.empty());
+
+  std::span<const VertexId> lists_front[] = {empty, big, big};
+  out = {42};
+  IntersectMany(lists_front, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, ManyAllEmpty) {
+  std::vector<VertexId> empty;
+  std::span<const VertexId> lists[] = {empty, empty, empty};
+  std::vector<VertexId> out = {1};
+  IntersectMany(lists, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IntersectTest, ManyDuplicateLists) {
+  // The same list repeated intersects to itself.
+  std::vector<VertexId> a = {2, 4, 6, 8};
+  std::span<const VertexId> lists[] = {a, a, a, a};
+  std::vector<VertexId> out;
+  IntersectMany(lists, &out);
+  EXPECT_EQ(out, a);
+}
+
+TEST(IntersectTest, ManyAdversarialSizeSkew) {
+  // One tiny list against several huge ones: the tiny list must drive the
+  // scan, and the result is exactly its members present in all others.
+  std::vector<VertexId> huge1;
+  std::vector<VertexId> huge2;
+  for (VertexId v = 0; v < 5000; ++v) {
+    if (v % 2 == 0) huge1.push_back(v);
+    if (v % 3 == 0) huge2.push_back(v);
+  }
+  std::vector<VertexId> tiny = {6, 7, 12, 4998};
+  std::span<const VertexId> lists[] = {huge1, tiny, huge2};
+  std::vector<VertexId> out;
+  IntersectMany(lists, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{6, 12, 4998}));
+}
+
 TEST(IntersectTest, RandomizedAgainstSets) {
   Random rng(99);
   for (int trial = 0; trial < 50; ++trial) {

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "testkit/metrics_util.h"
+
+namespace dualsim {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsSnapshot;
+using testkit::ExpectMetricDelta;
+using testkit::MetricsProbe;
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Counter* c = obs::Metrics().GetCounter("test.counter_basic");
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  obs::Counter* a = obs::Metrics().GetCounter("test.stable");
+  obs::Counter* b = obs::Metrics().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  obs::Histogram* h1 = obs::Metrics().GetHistogram("test.stable_hist");
+  obs::Histogram* h2 = obs::Metrics().GetHistogram("test.stable_hist");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsTest, CounterExactUnderConcurrentWriters) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Counter* c = obs::Metrics().GetCounter("test.counter_mt");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds zeros; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+TEST(MetricsTest, HistogramRecordsCountSumMax) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::Histogram* h = obs::Metrics().GetHistogram("test.hist_basic");
+  h->Reset();
+  h->Record(0);
+  h->Record(1);
+  h->Record(100);
+  h->Record(100);
+  const MetricsSnapshot::HistogramValue v = h->value();
+  EXPECT_EQ(v.count, 4u);
+  EXPECT_EQ(v.sum, 201u);
+  EXPECT_EQ(v.max, 100u);
+  // Sparse buckets: zeros bucket, bucket of 1, bucket of 100.
+  std::uint64_t from_buckets = 0;
+  for (const auto& [bucket, count] : v.buckets) from_buckets += count;
+  EXPECT_EQ(from_buckets, 4u);
+}
+
+TEST(MetricsTest, SnapshotLookupAndJson) {
+  obs::Metrics().GetCounter("test.snapshot_counter")->Increment(7);
+  obs::Metrics().GetHistogram("test.snapshot_hist")->Record(5);
+  const MetricsSnapshot snap = obs::Metrics().Snapshot();
+  const std::string json = snap.ToJson();
+  if (!obs::kMetricsEnabled) {
+    EXPECT_NE(json.find("\"metrics_enabled\": false"), std::string::npos);
+    EXPECT_EQ(snap.counter("test.snapshot_counter"), 0u);
+    return;
+  }
+  EXPECT_GE(snap.counter("test.snapshot_counter"), 7u);
+  EXPECT_EQ(snap.counter("test.absent"), 0u);
+  EXPECT_GE(snap.histogram("test.snapshot_hist").count, 1u);
+  EXPECT_NE(json.find("\"metrics_enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"test.snapshot_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsTest, ExpectMetricDeltaHelper) {
+  MetricsProbe probe;
+  obs::Metrics().GetCounter("test.delta_helper")->Increment(3);
+  ExpectMetricDelta(probe, "test.delta_helper", obs::kMetricsEnabled ? 3 : 0);
+}
+
+TEST(TraceTest, SpansRecordInOrder) {
+  obs::TraceContext ctx("unit");
+  {
+    obs::TraceSpan outer(&ctx, "outer");
+    obs::TraceSpan inner(&ctx, "inner");
+  }
+  if (!obs::kMetricsEnabled) {
+    EXPECT_TRUE(ctx.spans().empty());
+    return;
+  }
+  const auto spans = ctx.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Destruction order: inner closes (and records) first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(ctx.dropped(), 0u);
+  const std::string json = ctx.ToJson();
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+}
+
+TEST(TraceTest, NullContextIsNoOp) {
+  obs::TraceSpan span(nullptr, "nothing");  // must not crash
+}
+
+TEST(TraceTest, BoundedBufferCountsDrops) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  obs::TraceContext ctx("bounded", /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    obs::TraceSpan span(&ctx, "s");
+  }
+  EXPECT_EQ(ctx.spans().size(), 4u);
+  EXPECT_EQ(ctx.dropped(), 6u);
+}
+
+}  // namespace
+}  // namespace dualsim

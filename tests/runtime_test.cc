@@ -14,12 +14,18 @@
 #include "core/engine.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/queries.h"
 #include "runtime/query_session.h"
 #include "storage/disk_graph.h"
+#include "testkit/metrics_util.h"
 
 namespace dualsim {
 namespace {
+
+using testkit::ExpectMetricDelta;
+using testkit::MetricsProbe;
 
 /// Same fixture shape as engine_test: build the disk database for a
 /// degree-reordered graph in a per-test temp dir.
@@ -324,6 +330,79 @@ TEST_F(RuntimeTestBase, StatsAggregateAcrossSessions) {
   EXPECT_EQ(stats.plan_cache.misses, 2u);  // Q1 prepared once, Q2 once
   EXPECT_EQ(stats.plan_cache.hits, 1u);    // second Q1 run
   EXPECT_EQ(stats.plan_cache.entries, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Metric invariants: runtime-layer counters must agree with the runtime's
+// own stats and with what each Run() reports.
+// ---------------------------------------------------------------------------
+
+TEST_F(RuntimeTestBase, PlanCacheAndSessionMetricsTrackRuns) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 600, 23));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  QuerySession session(&runtime);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+
+  MetricsProbe probe;
+  ASSERT_TRUE(session.Run(q).ok());
+  ASSERT_TRUE(session.Run(q).ok());
+  ExpectMetricDelta(probe, "plancache.misses", 1);  // first run prepares
+  ExpectMetricDelta(probe, "plancache.hits", 1);    // second run reuses
+  ExpectMetricDelta(probe, "session.runs", 2);
+  ExpectMetricDelta(probe, "session.runs_failed", 0);
+  ExpectMetricDelta(probe, "runtime.admissions", 2);
+  ExpectMetricDelta(probe, "runtime.sessions_completed", 2);
+}
+
+TEST_F(RuntimeTestBase, CancelledRunEmitsCancellationAndSchedulesNothing) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 600, 29));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  QuerySession session(&runtime);
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+
+  MetricsProbe probe;
+  session.Cancel();
+  auto result = session.Run(q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+      << result.status().ToString();
+  ExpectMetricDelta(probe, "session.cancellations", 1);
+  // The cancel was observed before any window was dispatched.
+  ExpectMetricDelta(probe, "scheduler.windows", 0);
+  ExpectMetricDelta(probe, "session.runs_failed", 0);  // cancel != failure
+
+  // A cancelled Run() clears the request; the session stays usable.
+  EXPECT_FALSE(session.cancel_requested());
+  auto again = session.Run(q);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->embeddings, CountOccurrences(g, q));
+}
+
+TEST_F(RuntimeTestBase, SessionTraceRecordsRunPhases) {
+  Graph g = ReorderByDegree(ErdosRenyi(150, 600, 31));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  obs::TraceContext trace("runtime_test");
+  SessionOptions sopts;
+  sopts.trace = &trace;
+  QuerySession session(&runtime, sopts);
+  ASSERT_TRUE(session.Run(MakePaperQuery(PaperQuery::kQ1)).ok());
+  if (!obs::kMetricsEnabled) {
+    EXPECT_TRUE(trace.spans().empty());
+    return;
+  }
+  std::vector<std::string> names;
+  for (const auto& span : trace.spans()) names.emplace_back(span.name);
+  for (const char* expected :
+       {"session.prepare", "session.admit", "scheduler.execute",
+        "session.run"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing span " << expected;
+  }
+  // session.run is the outermost span: it closes last.
+  EXPECT_EQ(names.back(), "session.run");
 }
 
 }  // namespace

@@ -20,6 +20,7 @@ using testkit::FuzzConfigFromEnv;
 using testkit::RandomConnectedQuery;
 using testkit::RandomDataGraph;
 using testkit::ReproHint;
+using testkit::ReproHintWithMetrics;
 
 /// Differential fuzzing of the fault-injecting stack: seeded random data
 /// graphs x random connected queries, run through PageFile + BufferPool +
@@ -87,7 +88,7 @@ TEST_F(DifferentialFuzzTest, TransientRandomFaultsPreserveAnswers) {
                             << q.ToString() << "\n"
                             << ReproHint(seed);
       EXPECT_EQ(got->embeddings, want) << q.ToString() << "\n"
-                                       << ReproHint(seed);
+                                       << ReproHintWithMetrics(seed);
     }
     total_faults += f.injector->stats().read_faults;
     total_retries += runtime.stats().io.read_retries;
@@ -115,7 +116,7 @@ TEST_F(DifferentialFuzzTest, ScheduledTransientFaultRetriesToOracle) {
 
   auto got = session.Run(q);
   ASSERT_TRUE(got.ok()) << got.status().ToString() << ReproHint(cfg.seed);
-  EXPECT_EQ(got->embeddings, want) << ReproHint(cfg.seed);
+  EXPECT_EQ(got->embeddings, want) << ReproHintWithMetrics(cfg.seed);
   EXPECT_GT(got->io.read_retries, 0u);
   EXPECT_GT(f.injector->stats().read_faults, 0u);
 }
@@ -150,7 +151,7 @@ TEST_F(DifferentialFuzzTest, PermanentFaultFailsCleanlyAndHealsAfterClear) {
   f.injector->ClearFaults();
   auto healed = session.Run(q);
   ASSERT_TRUE(healed.ok()) << healed.status().ToString() << ReproHint(cfg.seed);
-  EXPECT_EQ(healed->embeddings, want) << ReproHint(cfg.seed);
+  EXPECT_EQ(healed->embeddings, want) << ReproHintWithMetrics(cfg.seed);
   // The injector kept counting after ClearFaults, but stopped faulting.
   EXPECT_GT(f.injector->stats().reads_seen, 0u);
 }
@@ -189,8 +190,10 @@ TEST_F(DifferentialFuzzTest, ConcurrentSessionsUnderTransientFaults) {
 
     ASSERT_TRUE(r1.ok()) << r1.status().ToString() << ReproHint(seed);
     ASSERT_TRUE(r2.ok()) << r2.status().ToString() << ReproHint(seed);
-    EXPECT_EQ(r1->embeddings, want1) << q1.ToString() << ReproHint(seed);
-    EXPECT_EQ(r2->embeddings, want2) << q2.ToString() << ReproHint(seed);
+    EXPECT_EQ(r1->embeddings, want1) << q1.ToString()
+                                     << ReproHintWithMetrics(seed);
+    EXPECT_EQ(r2->embeddings, want2) << q2.ToString()
+                                     << ReproHintWithMetrics(seed);
   }
 }
 
@@ -221,7 +224,8 @@ TEST_F(DifferentialFuzzTest, TornWriteDuringBuildFailsCleanly) {
   const QueryGraph q = RandomConnectedQuery(rng, 3);
   auto got = session.Run(q);
   ASSERT_TRUE(got.ok()) << got.status().ToString();
-  EXPECT_EQ(got->embeddings, CountOccurrences(g, q)) << ReproHint(cfg.seed);
+  EXPECT_EQ(got->embeddings, CountOccurrences(g, q))
+      << ReproHintWithMetrics(cfg.seed);
 }
 
 }  // namespace

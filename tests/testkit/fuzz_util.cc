@@ -7,6 +7,7 @@
 
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "obs/metrics.h"
 
 namespace dualsim::testkit {
 
@@ -25,6 +26,11 @@ FuzzConfig FuzzConfigFromEnv(std::uint64_t default_seed, int default_iters) {
 std::string ReproHint(std::uint64_t seed) {
   return "repro: DUALSIM_FUZZ_SEED=" + std::to_string(seed) +
          " DUALSIM_FUZZ_ITERS=1 <this test binary>";
+}
+
+std::string ReproHintWithMetrics(std::uint64_t seed) {
+  return ReproHint(seed) + "\nmetrics: " +
+         obs::Metrics().Snapshot().ToJson();
 }
 
 QueryGraph RandomConnectedQuery(Random& rng, int num_vertices) {

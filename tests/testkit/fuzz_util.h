@@ -26,6 +26,13 @@ FuzzConfig FuzzConfigFromEnv(std::uint64_t default_seed, int default_iters);
 /// "repro: DUALSIM_FUZZ_SEED=42 DUALSIM_FUZZ_ITERS=1 ./the_test".
 std::string ReproHint(std::uint64_t seed);
 
+/// ReproHint plus the full MetricsSnapshot JSON, for oracle-mismatch
+/// failures: a wrong count is far easier to localize when the failure
+/// message shows which layer's counters diverged (windows scheduled,
+/// pages faulted, embeddings per pass, ...). The JSON line is
+/// "metrics: {}" when metrics are compiled out.
+std::string ReproHintWithMetrics(std::uint64_t seed);
+
 /// Random connected query graph on `num_vertices` vertices: a random
 /// spanning tree (guaranteeing connectivity) plus a sprinkle of extra
 /// edges, exercising arbitrary RBI colorings, v-group structures and

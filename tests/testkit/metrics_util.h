@@ -1,0 +1,46 @@
+#ifndef DUALSIM_TESTS_TESTKIT_METRICS_UTIL_H_
+#define DUALSIM_TESTS_TESTKIT_METRICS_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace dualsim::testkit {
+
+/// Point-in-time counter values captured before the code under test runs;
+/// Delta() reads the live registry again and subtracts. Use deltas, not
+/// absolute values: the registry is process-wide and earlier tests in the
+/// same binary leave their counts behind.
+class MetricsProbe {
+ public:
+  MetricsProbe() : before_(obs::Metrics().Snapshot()) {}
+
+  std::uint64_t Delta(std::string_view name) const {
+    const obs::MetricsSnapshot now = obs::Metrics().Snapshot();
+    return now.counter(name) - before_.counter(name);
+  }
+
+  const obs::MetricsSnapshot& before() const { return before_; }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
+
+/// Asserts that counter `name` advanced by exactly `expected` since `probe`
+/// was constructed. A no-op GTEST_SKIP-free pass when the metrics layer is
+/// compiled out (DUALSIM_NO_METRICS), so the same test binary runs in both
+/// configurations.
+inline void ExpectMetricDelta(const MetricsProbe& probe, std::string_view name,
+                              std::uint64_t expected) {
+  if (!obs::kMetricsEnabled) return;
+  EXPECT_EQ(probe.Delta(name), expected)
+      << "counter " << name << " delta mismatch";
+}
+
+}  // namespace dualsim::testkit
+
+#endif  // DUALSIM_TESTS_TESTKIT_METRICS_UTIL_H_
