@@ -1,0 +1,164 @@
+/// Query service throughput: QPS and p50/p95/p99 request latency versus
+/// concurrent client count, measured over loopback TCP against a
+/// deterministic ER generator graph. Each client runs a fixed batch of
+/// triangle queries (q1) through the full stack — framing, admission
+/// queue, plan cache, QuerySession — so the numbers include protocol and
+/// scheduling overhead, not just enumeration. Emits a JSON results file
+/// alongside the usual metrics sidecar.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "runtime/runtime.h"
+#include "service/client.h"
+#include "service/query_service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double PercentileUs(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min(sorted_us.size() - 1.0, p * (sorted_us.size() - 1.0) + 0.5));
+  return sorted_us[idx];
+}
+
+struct Row {
+  int clients = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dualsim;
+  using namespace dualsim::bench;
+
+  PrintHeader("Query service throughput vs. concurrent clients",
+              "serving layer on the DUALSIM (SIGMOD'16) engine");
+
+  const double scale = BenchScale();
+  const int vertices = std::max(50, static_cast<int>(200 * scale));
+  const int edges = std::max(200, static_cast<int>(1000 * scale));
+  Graph g = ReorderByDegree(ErdosRenyi(vertices, edges, 42));
+  std::printf("graph: ER(n=%d, m=%d, seed=42), degree-reordered; query: q1\n",
+              vertices, edges);
+
+  ScopedDbDir dir;
+  auto disk = BuildDb(g, dir, "service.db");
+
+  RuntimeOptions ropt;
+  ropt.num_frames = 256;
+  ropt.num_threads = 4;
+  ropt.io_threads = 2;
+  Runtime runtime(disk.get(), ropt);
+
+  service::ServiceOptions sopt;
+  sopt.num_workers = 4;
+  sopt.max_queue_depth = 256;  // headroom: measure latency, not shedding
+  sopt.session_max_frames = 48;
+  service::QueryService svc(&runtime, sopt);
+  Status started = svc.Start();
+  DS_CHECK(started.ok()) << started.ToString();
+
+  const int kRequestsPerClient =
+      std::max(5, static_cast<int>(30 * std::min(scale, 1.0)));
+  std::printf("service: %d workers, queue depth %zu; %d requests/client\n\n",
+              sopt.num_workers, sopt.max_queue_depth, kRequestsPerClient);
+  std::printf("%8s %9s %7s %10s %10s %10s %10s\n", "clients", "requests",
+              "errors", "QPS", "p50", "p95", "p99");
+
+  std::vector<Row> rows;
+  for (int clients : {1, 2, 4, 8, 16}) {
+    std::vector<std::vector<double>> latencies_us(clients);
+    std::atomic<std::uint64_t> errors{0};
+    const auto wall_start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        service::QueryClient client;
+        if (!client.Connect("127.0.0.1", svc.port()).ok()) {
+          errors += kRequestsPerClient;
+          return;
+        }
+        latencies_us[c].reserve(kRequestsPerClient);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const auto t0 = Clock::now();
+          auto result = client.Run({.query = "q1"});
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count();
+          if (result.ok() && result->code == service::WireCode::kOk) {
+            latencies_us[c].push_back(us);
+          } else {
+            ++errors;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+    std::vector<double> all_us;
+    for (auto& v : latencies_us) all_us.insert(all_us.end(), v.begin(), v.end());
+    std::sort(all_us.begin(), all_us.end());
+
+    Row row;
+    row.clients = clients;
+    row.requests = all_us.size();
+    row.errors = errors.load();
+    row.qps = wall_s > 0 ? all_us.size() / wall_s : 0;
+    row.p50_ms = PercentileUs(all_us, 0.50) / 1e3;
+    row.p95_ms = PercentileUs(all_us, 0.95) / 1e3;
+    row.p99_ms = PercentileUs(all_us, 0.99) / 1e3;
+    rows.push_back(row);
+    std::printf("%8d %9llu %7llu %10.1f %8.2fms %8.2fms %8.2fms\n",
+                row.clients, static_cast<unsigned long long>(row.requests),
+                static_cast<unsigned long long>(row.errors), row.qps,
+                row.p50_ms, row.p95_ms, row.p99_ms);
+  }
+
+  svc.Stop();
+  PrintRule();
+  std::printf(
+      "expected shape: QPS rises with clients until the %d workers saturate,\n"
+      "then tail latency grows with queueing while QPS plateaus.\n",
+      sopt.num_workers);
+
+  // JSON results file (same shape every run; consumed by tooling).
+  const std::string json_path = "bench_service_throughput.json";
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"service_throughput\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"clients\": %d, \"requests\": %llu, \"errors\": "
+                   "%llu, \"qps\": %.2f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+                   "\"p99_ms\": %.3f}%s\n",
+                   r.clients, static_cast<unsigned long long>(r.requests),
+                   static_cast<unsigned long long>(r.errors), r.qps, r.p50_ms,
+                   r.p95_ms, r.p99_ms, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("results json: %s\n", json_path.c_str());
+  }
+  WriteMetricsSidecar("bench_service_throughput.metrics.json");
+  return 0;
+}

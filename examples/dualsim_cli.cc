@@ -32,6 +32,7 @@
 #include "query/isomorphism.h"
 #include "query/parser.h"
 #include "runtime/plan_cache.h"
+#include "service/query_service.h"
 #include "storage/disk_graph.h"
 #include "storage/preprocess.h"
 #include "util/timer.h"
@@ -45,13 +46,20 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// A missing/unreadable graph database gets a clear message and its own
+/// exit code (3) so scripts can tell "bad path" from a query failure.
+int FailGraphLoad(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return service::kGraphLoadExitCode;
+}
+
 int CmdBuild(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr, "usage: build <edge_list.txt> <db_path> [page_size]\n");
     return 2;
   }
   auto loaded = ReadEdgeListText(argv[2]);
-  if (!loaded.ok()) return Fail(loaded.status());
+  if (!loaded.ok()) return FailGraphLoad(loaded.status());
   std::printf("loaded %u vertices, %llu edges\n", loaded->NumVertices(),
               static_cast<unsigned long long>(loaded->NumEdges()));
 
@@ -87,8 +95,8 @@ int CmdStats(int argc, char** argv) {
     std::fprintf(stderr, "usage: stats <db_path>\n");
     return 2;
   }
-  auto disk = DiskGraph::Open(argv[2]);
-  if (!disk.ok()) return Fail(disk.status());
+  auto disk = service::OpenServedGraph(argv[2]);
+  if (!disk.ok()) return FailGraphLoad(disk.status());
   std::printf("vertices:          %u\n", (*disk)->num_vertices());
   std::printf("edges:             %llu\n",
               static_cast<unsigned long long>((*disk)->num_edges()));
@@ -139,8 +147,8 @@ int CmdQuery(int argc, char** argv) {
                  "[max_print] [metrics.json]\n");
     return 2;
   }
-  auto disk = DiskGraph::Open(argv[2]);
-  if (!disk.ok()) return Fail(disk.status());
+  auto disk = service::OpenServedGraph(argv[2]);
+  if (!disk.ok()) return FailGraphLoad(disk.status());
   auto q = ParseQuery(argv[3]);
   if (!q.ok()) return Fail(q.status());
 

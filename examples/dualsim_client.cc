@@ -1,0 +1,133 @@
+/// Command-line client for dualsim_serve:
+///
+///   dualsim_client <port> query <query> [--deadline-ms N] [--stream]
+///                  [--max-embeddings N]
+///       Submit one query and print its streamed progress and result.
+///
+///   dualsim_client <port> status
+///       Print the service's admission ledger.
+///
+///   dualsim_client <port> shutdown
+///       Ask the service to drain and exit.
+///
+/// Connects to 127.0.0.1 (the serve binary binds loopback). Exit codes:
+/// 0 success, 1 failure (including a non-OK query result), 2 usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/client.h"
+
+namespace {
+
+using namespace dualsim;
+using namespace dualsim::service;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dualsim_client <port> query <query> [--deadline-ms N] "
+               "[--stream] [--max-embeddings N]\n"
+               "       dualsim_client <port> status\n"
+               "       dualsim_client <port> shutdown\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdQuery(QueryClient& client, int argc, char** argv) {
+  if (argc < 4) return Usage();
+  ClientRequest req;
+  req.query = argv[3];
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--stream") {
+      req.stream_embeddings = true;
+    } else if (flag == "--deadline-ms" && i + 1 < argc) {
+      req.deadline_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (flag == "--max-embeddings" && i + 1 < argc) {
+      req.max_embeddings = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+
+  if (Status s = client.Submit(req); !s.ok()) return Fail(s);
+  auto result = client.Await(
+      [](std::uint64_t embeddings) {
+        std::printf("progress: %llu embeddings\n",
+                    static_cast<unsigned long long>(embeddings));
+      },
+      req.stream_embeddings
+          ? [](const std::vector<VertexId>& m) {
+              std::printf("match: {");
+              for (std::size_t i = 0; i < m.size(); ++i) {
+                std::printf("%su%zu->%u", i ? ", " : "", i, m[i]);
+              }
+              std::printf("}\n");
+            }
+          : std::function<void(const std::vector<VertexId>&)>{});
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("result:        %s%s%s\n", WireCodeName(result->code),
+              result->message.empty() ? "" : " — ",
+              result->message.c_str());
+  std::printf("embeddings:    %llu\n",
+              static_cast<unsigned long long>(result->embeddings));
+  if (result->streamed_embeddings > 0) {
+    std::printf("streamed:      %llu embeddings in batches\n",
+                static_cast<unsigned long long>(result->streamed_embeddings));
+  }
+  std::printf("page reads:    %llu physical, %llu hits\n",
+              static_cast<unsigned long long>(result->physical_reads),
+              static_cast<unsigned long long>(result->logical_hits));
+  std::printf("elapsed:       %.3fms (plan %s)\n",
+              static_cast<double>(result->elapsed_us) / 1e3,
+              result->plan_cached ? "cached" : "prepared");
+  return result->code == WireCode::kOk ? 0 : 1;
+}
+
+int CmdStatus(QueryClient& client) {
+  auto info = client.GetStatus();
+  if (!info.ok()) return Fail(info.status());
+  std::printf("received:          %llu\n",
+              static_cast<unsigned long long>(info->received));
+  std::printf("admitted:          %llu\n",
+              static_cast<unsigned long long>(info->admitted));
+  std::printf("rejected:          %llu overload, %llu draining, %llu invalid\n",
+              static_cast<unsigned long long>(info->rejected_overload),
+              static_cast<unsigned long long>(info->rejected_draining),
+              static_cast<unsigned long long>(info->rejected_invalid));
+  std::printf("finished:          %llu ok, %llu failed, %llu cancelled, "
+              "%llu deadline-expired\n",
+              static_cast<unsigned long long>(info->completed),
+              static_cast<unsigned long long>(info->failed),
+              static_cast<unsigned long long>(info->cancelled),
+              static_cast<unsigned long long>(info->deadline_expired));
+  std::printf("queue/active:      %u / %u%s\n", info->queue_depth,
+              info->active_requests, info->draining ? " (draining)" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  const std::string command = argv[2];
+
+  QueryClient client;
+  if (Status s = client.Connect("127.0.0.1", port); !s.ok()) return Fail(s);
+
+  if (command == "query") return CmdQuery(client, argc, argv);
+  if (command == "status") return CmdStatus(client);
+  if (command == "shutdown") {
+    if (Status s = client.Shutdown(); !s.ok()) return Fail(s);
+    std::printf("service drained and shut down\n");
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,93 @@
+/// TCP query server over a slotted-page graph database:
+///
+///   dualsim_serve <db_path> [--port N] [--workers N] [--queue-depth N]
+///                 [--buffer-fraction F] [--metrics metrics.json]
+///
+/// Binds 127.0.0.1:<port> (an ephemeral port when 0 or omitted; the bound
+/// port is printed either way), serves SUBMIT/CANCEL/STATUS/SHUTDOWN
+/// frames (see src/service/protocol.h), and exits after a client sends
+/// SHUTDOWN — draining in-flight queries and flushing metrics first.
+///
+/// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage,
+/// 3 missing/unreadable graph database.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/runtime.h"
+#include "service/client.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace dualsim;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dualsim_serve <db_path> [--port N] [--workers N] "
+               "[--queue-depth N] [--buffer-fraction F] "
+               "[--metrics metrics.json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string db_path = argv[1];
+
+  service::ServiceOptions sopt;
+  RuntimeOptions ropt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return Usage();
+    const char* value = argv[++i];
+    if (flag == "--port") {
+      sopt.port = static_cast<std::uint16_t>(std::atoi(value));
+    } else if (flag == "--workers") {
+      sopt.num_workers = std::atoi(value);
+    } else if (flag == "--queue-depth") {
+      sopt.max_queue_depth = static_cast<std::size_t>(std::atoi(value));
+    } else if (flag == "--buffer-fraction") {
+      ropt.buffer_fraction = std::atof(value);
+    } else if (flag == "--metrics") {
+      sopt.metrics_path = value;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (Status s = ValidateRuntimeOptions(ropt); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  auto disk = service::OpenServedGraph(db_path);
+  if (!disk.ok()) {
+    std::fprintf(stderr, "error: %s\n", disk.status().ToString().c_str());
+    return service::kGraphLoadExitCode;
+  }
+  std::printf("serving %s: %u vertices, %llu edges, %u pages\n",
+              db_path.c_str(), (*disk)->num_vertices(),
+              static_cast<unsigned long long>((*disk)->num_edges()),
+              (*disk)->num_pages());
+
+  Runtime runtime(disk->get(), ropt);
+  service::QueryService svc(&runtime, sopt);
+  if (Status s = svc.Start(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u (%d workers, queue depth %zu)\n",
+              svc.port(), sopt.num_workers, sopt.max_queue_depth);
+  std::fflush(stdout);
+
+  // Serve until a client's SHUTDOWN frame completes its drain.
+  while (!svc.WaitForShutdown(/*timeout_ms=*/60'000)) {
+  }
+  svc.Stop();
+  std::printf("shutdown complete\n");
+  return 0;
+}

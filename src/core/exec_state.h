@@ -61,6 +61,9 @@ struct ExecContext {
   const std::atomic<bool>* cancel = nullptr;
   /// Optional per-run trace sink; nullptr disables span recording.
   obs::TraceContext* trace = nullptr;
+  /// Optional progress sink, invoked by the scheduler as windows retire
+  /// with the running embedding count; nullptr disables progress.
+  const ProgressFn* progress = nullptr;
 
   std::vector<LevelState> level;        // indexed by level
   std::vector<LevelStats> level_stats;  // indexed by level

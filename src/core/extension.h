@@ -18,6 +18,11 @@ inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
 using FullEmbeddingFn =
     std::function<void(std::span<const VertexId> mapping)>;
 
+/// Called from the window scheduler as enumeration windows retire, with
+/// the monotonically non-decreasing count of embeddings found so far.
+/// Invoked serially from the scheduling thread (never concurrently).
+using ProgressFn = std::function<void(std::uint64_t embeddings)>;
+
 /// NonRedVertexMatching (Algorithm 5, line 13): extends a complete red
 /// mapping to the black and ivory vertices. Candidates for an ivory vertex
 /// are the m-way intersection of its red neighbors' adjacency lists; a

@@ -177,11 +177,13 @@ void WindowScheduler::DispatchWindow(std::uint8_t l,
     std::vector<PageId> starved;
     match_.ProcessLastLevelWindow(l, pages, &starved);
     st.has_window = false;
+    NotifyProgress();
     if (!starved.empty()) DegradeAndRetry(l, starved, attempt);
     return;
   }
   const Status result = ProcessInnerWindow(l, pages);
   st.has_window = false;
+  if (result.ok()) NotifyProgress();
   if (result.code() == StatusCode::kResourceExhausted) {
     DegradeAndRetry(l, pages, attempt);
   }
@@ -350,6 +352,14 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
     }
   }
   if (candidates > 0) Metrics().candidate_vertices->Increment(candidates);
+}
+
+void WindowScheduler::NotifyProgress() {
+  if (ctx_.progress == nullptr) return;
+  // Both counters are monotone and this thread reads them serially, so
+  // successive reports never decrease (in-flight tasks may make a report
+  // stale, never wrong).
+  (*ctx_.progress)(match_.internal_embeddings() + match_.external_embeddings());
 }
 
 void WindowScheduler::ClearChildCandidates(std::uint8_t l, std::size_t g) {

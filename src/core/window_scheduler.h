@@ -85,6 +85,10 @@ class WindowScheduler {
   void ComputeChildCandidates(std::uint8_t l, std::size_t g);
   void ClearChildCandidates(std::uint8_t l, std::size_t g);
 
+  /// Reports the running embedding count to ctx_.progress (if set). Called
+  /// from the scheduling thread as windows retire, so calls are serial.
+  void NotifyProgress();
+
   ExecContext& ctx_;
   MatchPass& match_;
   const std::size_t total_frames_;

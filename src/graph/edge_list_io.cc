@@ -1,5 +1,6 @@
 #include "graph/edge_list_io.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -49,7 +50,10 @@ Status WriteEdgeListText(const Graph& g, const std::string& path) {
 
 StatusOr<Graph> ReadEdgeListText(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no edge list at " + path);
+    return Status::IOError("cannot open " + path);
+  }
   FileCloser closer(f);
   GraphBuilder builder;
   char line[256];
@@ -89,7 +93,10 @@ Status WriteEdgeListBinary(const Graph& g, const std::string& path) {
 
 StatusOr<Graph> ReadEdgeListBinary(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no edge list at " + path);
+    return Status::IOError("cannot open " + path);
+  }
   FileCloser closer(f);
   BinaryHeader header;
   if (std::fread(&header, sizeof(header), 1, f) != 1) {

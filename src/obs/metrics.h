@@ -16,7 +16,7 @@
 /// Tests that assert on metric values must skip when `kMetricsEnabled`
 /// is false (see tests/testkit/metrics_util.h).
 ///
-/// Naming scheme (DESIGN.md §9): dot-separated `component.metric`, all
+/// Naming scheme (DESIGN.md §8): dot-separated `component.metric`, all
 /// lowercase, e.g. "bufferpool.hits", "scheduler.windows",
 /// "runtime.admission_wait_us" (histograms carry their unit as a suffix).
 

@@ -127,6 +127,7 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   ctx.plan = plan.get();
   ctx.cancel = cancel_.get();
   ctx.trace = options_.trace;
+  ctx.progress = options_.progress ? &options_.progress : nullptr;
   ctx.visitor = vis;
   ctx.cpu_pool = &runtime_->cpu_pool();
   ctx.pool = lease.pool();

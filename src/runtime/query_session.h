@@ -32,6 +32,10 @@ struct SessionOptions {
   /// execute) into it. Must outlive the session's runs; nullptr disables
   /// tracing. No-op under DUALSIM_NO_METRICS.
   obs::TraceContext* trace = nullptr;
+  /// Optional progress sink: invoked serially from the scheduling thread
+  /// as enumeration windows retire, with the monotone running embedding
+  /// count. Empty disables progress reporting.
+  ProgressFn progress;
 };
 
 /// One query stream against a shared Runtime. Each Run() canonicalizes

@@ -30,9 +30,35 @@ RuntimeMetrics& Metrics() {
 
 }  // namespace
 
+Status ValidateRuntimeOptions(const RuntimeOptions& options) {
+  if (options.io_threads < 1) {
+    return Status::InvalidArgument(
+        "RuntimeOptions::io_threads=" + std::to_string(options.io_threads) +
+        " (need >= 1: asynchronous page reads require an I/O thread)");
+  }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument(
+        "RuntimeOptions::num_threads=" + std::to_string(options.num_threads) +
+        " (need >= 0; 0 means hardware concurrency)");
+  }
+  if (options.num_frames == 0 && options.buffer_fraction <= 0.0) {
+    return Status::InvalidArgument(
+        "RuntimeOptions::buffer_fraction=" +
+        std::to_string(options.buffer_fraction) +
+        " (need > 0 when num_frames is derived from it)");
+  }
+  if (options.max_read_retries < 0) {
+    return Status::InvalidArgument(
+        "RuntimeOptions::max_read_retries=" +
+        std::to_string(options.max_read_retries) + " (need >= 0)");
+  }
+  return Status::OK();
+}
+
 Runtime::Runtime(DiskGraph* disk, RuntimeOptions options)
     : disk_(disk),
       options_(options),
+      init_status_(ValidateRuntimeOptions(options)),
       plan_cache_(options.plan_cache_capacity) {
   cpu_pool_ = std::make_unique<ThreadPool>(
       options_.num_threads > 0
@@ -103,6 +129,9 @@ void Runtime::GrowPoolLocked(std::size_t min_frames) {
 StatusOr<Runtime::FrameLease> Runtime::Admit(std::size_t min_frames,
                                              std::size_t max_frames) {
   min_frames = std::max<std::size_t>(1, min_frames);
+  // A runtime built from invalid options never admits work; the pools
+  // were clamped to safe minimums only so destruction stays orderly.
+  DUALSIM_RETURN_IF_ERROR(init_status_);
   std::unique_lock<std::mutex> lock(mutex_);
   if (options_.num_frames != 0 && min_frames > options_.num_frames) {
     return Status::InvalidArgument(

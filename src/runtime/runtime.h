@@ -38,6 +38,15 @@ struct RuntimeOptions {
   std::size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
 };
 
+/// Checks a RuntimeOptions for degenerate values (io_threads < 1,
+/// num_threads < 0, a non-positive buffer_fraction with no explicit
+/// num_frames, negative max_read_retries), returning InvalidArgument with
+/// a description of the first offending knob. Front ends call this before
+/// constructing a Runtime; the constructor also records the result (see
+/// init_status()) so a misconfigured runtime fails admission instead of
+/// building a degenerate pool.
+Status ValidateRuntimeOptions(const RuntimeOptions& options);
+
 /// Aggregated counters across every session the runtime has served.
 struct RuntimeStats {
   IoStats io;  // buffer-pool totals (survives pool growth)
@@ -70,6 +79,12 @@ class Runtime {
 
   DiskGraph* disk() { return disk_; }
   const RuntimeOptions& options() const { return options_; }
+
+  /// ValidateRuntimeOptions verdict recorded at construction. A runtime
+  /// built from invalid options clamps its pools to safe minimums (the
+  /// constructor cannot fail) but refuses every Admit() with this status —
+  /// check it up front to surface the configuration error early.
+  const Status& init_status() const { return init_status_; }
   ThreadPool& cpu_pool() { return *cpu_pool_; }
   ThreadPool& io_pool() { return *io_pool_; }
   PlanCache& plan_cache() { return plan_cache_; }
@@ -123,6 +138,7 @@ class Runtime {
 
   DiskGraph* disk_;
   RuntimeOptions options_;
+  Status init_status_;
   std::unique_ptr<ThreadPool> cpu_pool_;
   std::unique_ptr<ThreadPool> io_pool_;
   PlanCache plan_cache_;

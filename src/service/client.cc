@@ -1,0 +1,212 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dualsim::service {
+namespace {
+
+Status StatusForReject(const RejectFrame& reject) {
+  const std::string msg =
+      std::string(WireCodeName(reject.code)) + ": " + reject.message;
+  switch (reject.code) {
+    case WireCode::kOverloaded:
+      return Status::ResourceExhausted(msg);
+    case WireCode::kShuttingDown:
+      return Status::FailedPrecondition(msg);
+    case WireCode::kInvalidQuery:
+      return Status::InvalidArgument(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+}  // namespace
+
+Status QueryClient::Connect(const std::string& host, std::uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::IOError("connect " + host + ":" + std::to_string(port) +
+                               ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inflight_id_ = 0;
+}
+
+Status QueryClient::Send(FrameType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  return WriteFrame(fd_, type, payload);
+}
+
+Status QueryClient::Submit(const ClientRequest& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is already in flight");
+  }
+  SubmitRequest submit;
+  submit.request_id = next_request_id_++;
+  submit.deadline_ms = req.deadline_ms;
+  submit.max_embeddings = req.max_embeddings;
+  submit.stream_embeddings = req.stream_embeddings;
+  submit.query = req.query;
+  DUALSIM_RETURN_IF_ERROR(Send(FrameType::kSubmit, EncodeSubmit(submit)));
+
+  DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  switch (frame.type) {
+    case FrameType::kAccepted: {
+      std::uint64_t id = 0;
+      DUALSIM_RETURN_IF_ERROR(DecodeAccepted(frame.payload, &id));
+      if (id != submit.request_id) {
+        return Status::Internal("ACCEPTED for unexpected request id " +
+                                std::to_string(id));
+      }
+      inflight_id_ = id;
+      return Status::OK();
+    }
+    case FrameType::kRejected:
+    case FrameType::kError: {
+      RejectFrame reject;
+      DUALSIM_RETURN_IF_ERROR(DecodeReject(frame.payload, &reject));
+      return StatusForReject(reject);
+    }
+    default:
+      return Status::Internal(std::string("unexpected frame ") +
+                              FrameTypeName(frame.type) +
+                              " awaiting admission");
+  }
+}
+
+StatusOr<ClientResult> QueryClient::Await(
+    const std::function<void(std::uint64_t)>& on_progress,
+    const std::function<void(const std::vector<VertexId>&)>& on_embedding) {
+  if (inflight_id_ == 0) {
+    return Status::FailedPrecondition("no request in flight");
+  }
+  ClientResult result;
+  std::vector<VertexId> mapping;
+  for (;;) {
+    DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kProgress: {
+        ProgressFrame progress;
+        DUALSIM_RETURN_IF_ERROR(DecodeProgress(frame.payload, &progress));
+        ++result.progress_frames;
+        if (on_progress) on_progress(progress.embeddings);
+        break;
+      }
+      case FrameType::kEmbeddings: {
+        EmbeddingBatch batch;
+        DUALSIM_RETURN_IF_ERROR(DecodeEmbeddings(frame.payload, &batch));
+        if (batch.arity == 0) {
+          return Status::Internal("EMBEDDINGS batch with arity 0");
+        }
+        result.streamed_embeddings += batch.vertices.size() / batch.arity;
+        if (on_embedding) {
+          for (std::size_t i = 0; i + batch.arity <= batch.vertices.size();
+               i += batch.arity) {
+            mapping.assign(batch.vertices.begin() + static_cast<long>(i),
+                           batch.vertices.begin() +
+                               static_cast<long>(i + batch.arity));
+            on_embedding(mapping);
+          }
+        }
+        break;
+      }
+      case FrameType::kResult: {
+        ResultFrame res;
+        DUALSIM_RETURN_IF_ERROR(DecodeResult(frame.payload, &res));
+        if (res.request_id != inflight_id_) {
+          return Status::Internal("RESULT for unexpected request id " +
+                                  std::to_string(res.request_id));
+        }
+        inflight_id_ = 0;
+        result.code = res.code;
+        result.message = res.message;
+        result.embeddings = res.embeddings;
+        result.physical_reads = res.physical_reads;
+        result.logical_hits = res.logical_hits;
+        result.elapsed_us = res.elapsed_us;
+        result.plan_cached = res.plan_cached;
+        return result;
+      }
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(frame.type) +
+                                " awaiting result");
+    }
+  }
+}
+
+StatusOr<ClientResult> QueryClient::Run(const ClientRequest& req) {
+  DUALSIM_RETURN_IF_ERROR(Submit(req));
+  return Await();
+}
+
+Status QueryClient::Cancel() {
+  const std::uint64_t id = inflight_id_;
+  if (id == 0) return Status::FailedPrecondition("no request in flight");
+  return Send(FrameType::kCancel, EncodeCancel(id));
+}
+
+StatusOr<StatusInfo> QueryClient::GetStatus() {
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is in flight");
+  }
+  DUALSIM_RETURN_IF_ERROR(Send(FrameType::kStatus, {}));
+  DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  if (frame.type != FrameType::kStatusInfo) {
+    return Status::Internal(std::string("unexpected frame ") +
+                            FrameTypeName(frame.type) + " awaiting STATUS");
+  }
+  StatusInfo info;
+  DUALSIM_RETURN_IF_ERROR(DecodeStatusInfo(frame.payload, &info));
+  return info;
+}
+
+Status QueryClient::Shutdown() {
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is in flight");
+  }
+  DUALSIM_RETURN_IF_ERROR(Send(FrameType::kShutdown, {}));
+  DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  if (frame.type != FrameType::kShutdownAck) {
+    return Status::Internal(std::string("unexpected frame ") +
+                            FrameTypeName(frame.type) +
+                            " awaiting SHUTDOWN_ACK");
+  }
+  return Status::OK();
+}
+
+}  // namespace dualsim::service

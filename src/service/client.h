@@ -1,0 +1,104 @@
+#ifndef DUALSIM_SERVICE_CLIENT_H_
+#define DUALSIM_SERVICE_CLIENT_H_
+
+/// Synchronous client for the query service (DESIGN.md §9). One client is
+/// one connection carrying one request at a time: Submit() blocks through
+/// the admission decision (ACCEPTED/REJECTED), Await() reads streamed
+/// PROGRESS / EMBEDDINGS frames until the RESULT arrives. Cancel() may be
+/// called from another thread while Await() blocks (the socket is
+/// full-duplex; writes are serialized internally).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace dualsim::service {
+
+/// One query to submit.
+struct ClientRequest {
+  std::string query;                 // query/parser.h text form
+  std::uint32_t deadline_ms = 0;     // 0 = no deadline
+  bool stream_embeddings = false;    // also receive EMBEDDINGS batches
+  std::uint32_t max_embeddings = 0;  // cap on streamed embeddings (0 = all)
+};
+
+/// Terminal outcome of one admitted request (a decoded RESULT frame plus
+/// client-side stream accounting).
+struct ClientResult {
+  WireCode code = WireCode::kInternalError;
+  std::string message;
+  std::uint64_t embeddings = 0;
+  std::uint64_t physical_reads = 0;
+  std::uint64_t logical_hits = 0;
+  std::uint64_t elapsed_us = 0;
+  bool plan_cached = false;
+  /// Client-side tallies of the streamed frames seen before the RESULT.
+  std::uint64_t progress_frames = 0;
+  std::uint64_t streamed_embeddings = 0;
+};
+
+class QueryClient {
+ public:
+  QueryClient() = default;
+  ~QueryClient() { Close(); }
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connects to a serving endpoint (IPv4 dotted quad, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Submits `req` and blocks through the admission decision. A REJECTED
+  /// frame becomes a typed error: kOverloaded -> ResourceExhausted,
+  /// kShuttingDown -> FailedPrecondition, kInvalidQuery -> InvalidArgument.
+  /// On success the request is admitted; follow with Await().
+  Status Submit(const ClientRequest& req);
+
+  /// Reads streamed frames until the RESULT for the in-flight request.
+  /// `on_progress` (optional) sees each PROGRESS count; `on_embedding`
+  /// (optional) sees each streamed embedding as a span of `arity` vertex
+  /// ids. The RESULT itself is returned whatever its WireCode — a
+  /// cancelled or deadline-expired request is a successful Await() whose
+  /// result carries the typed code.
+  StatusOr<ClientResult> Await(
+      const std::function<void(std::uint64_t embeddings)>& on_progress = {},
+      const std::function<void(const std::vector<VertexId>& mapping)>&
+          on_embedding = {});
+
+  /// Submit() + Await() for the common blocking call.
+  StatusOr<ClientResult> Run(const ClientRequest& req);
+
+  /// Requests cancellation of the in-flight request. Thread-safe against
+  /// a concurrent Await(); the result still arrives through Await() with
+  /// code kCancelled (or kOk if the run won the race).
+  Status Cancel();
+
+  /// Fetches the service's admission ledger. Only between requests (the
+  /// connection carries one conversation at a time).
+  StatusOr<StatusInfo> GetStatus();
+
+  /// Asks the service to drain and shut down; blocks until the
+  /// SHUTDOWN_ACK confirming the drain completed.
+  Status Shutdown();
+
+ private:
+  Status Send(FrameType type, std::string_view payload);
+
+  int fd_ = -1;
+  std::mutex write_mu_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t inflight_id_ = 0;  // 0 = no request in flight
+};
+
+}  // namespace dualsim::service
+
+#endif  // DUALSIM_SERVICE_CLIENT_H_

@@ -1,0 +1,175 @@
+#ifndef DUALSIM_SERVICE_PROTOCOL_H_
+#define DUALSIM_SERVICE_PROTOCOL_H_
+
+/// Wire protocol of the query service (DESIGN.md §9).
+///
+/// Every message is one *frame*: a 5-byte header — u32 little-endian
+/// payload length followed by a u8 frame type — and then the payload.
+/// All integers are little-endian fixed width; strings are a u32 length
+/// prefix plus raw bytes. A frame whose declared length exceeds
+/// kMaxFramePayload is a protocol violation and closes the connection.
+///
+/// Client -> server: SUBMIT, CANCEL, STATUS, SHUTDOWN.
+/// Server -> client: ACCEPTED, REJECTED, PROGRESS, EMBEDDINGS, RESULT,
+/// STATUS_INFO, SHUTDOWN_ACK, ERROR.
+///
+/// One SUBMIT produces exactly one terminal frame for its request id —
+/// REJECTED (never admitted) or RESULT (admitted; carries a WireCode) —
+/// with any number of PROGRESS / EMBEDDINGS frames in between. Request
+/// ids are chosen by the client and scoped to its connection.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dualsim::service {
+
+/// Upper bound on a frame's payload; larger headers poison the connection.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  // Client -> server.
+  kSubmit = 0x01,
+  kCancel = 0x02,
+  kStatus = 0x03,
+  kShutdown = 0x04,
+  // Server -> client.
+  kAccepted = 0x81,
+  kRejected = 0x82,
+  kProgress = 0x83,
+  kEmbeddings = 0x84,
+  kResult = 0x85,
+  kStatusInfo = 0x86,
+  kShutdownAck = 0x87,
+  kError = 0x88,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// Typed outcome carried by REJECTED / RESULT / ERROR frames.
+enum class WireCode : std::uint8_t {
+  kOk = 0,
+  kInvalidQuery = 1,      // query text failed to parse / plan
+  kOverloaded = 2,        // admission queue full; resubmit later
+  kShuttingDown = 3,      // service is draining; no new work
+  kDeadlineExceeded = 4,  // per-request deadline expired
+  kCancelled = 5,         // client CANCEL frame took effect
+  kInternalError = 6,     // engine failure (I/O, resources, ...)
+  kProtocolError = 7,     // malformed or unexpected frame
+};
+
+const char* WireCodeName(WireCode code);
+
+/// Maps an engine Status to the WireCode a RESULT frame carries.
+/// kCancelled is context-dependent (client cancel vs deadline vs drain)
+/// and is resolved by the service, not here.
+WireCode WireCodeFor(const Status& status);
+
+/// SUBMIT payload.
+struct SubmitRequest {
+  std::uint64_t request_id = 0;
+  std::uint32_t deadline_ms = 0;     // 0 = no deadline
+  std::uint32_t max_embeddings = 0;  // cap on streamed embeddings (0 = all)
+  bool stream_embeddings = false;    // also stream EMBEDDINGS batches
+  std::string query;                 // query/parser.h text form
+};
+
+/// REJECTED and ERROR payload (ERROR uses request_id 0 when unknown).
+struct RejectFrame {
+  std::uint64_t request_id = 0;
+  WireCode code = WireCode::kProtocolError;
+  std::string message;
+};
+
+/// PROGRESS payload: monotonic embedding count, sent as enumeration
+/// windows complete.
+struct ProgressFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t embeddings = 0;
+};
+
+/// EMBEDDINGS payload: `vertices.size() / arity` embeddings, each `arity`
+/// vertex ids in query-vertex order.
+struct EmbeddingBatch {
+  std::uint64_t request_id = 0;
+  std::uint8_t arity = 0;
+  std::vector<VertexId> vertices;
+};
+
+/// RESULT payload: the terminal status of an admitted request.
+struct ResultFrame {
+  std::uint64_t request_id = 0;
+  WireCode code = WireCode::kInternalError;
+  std::string message;  // empty on kOk
+  std::uint64_t embeddings = 0;
+  std::uint64_t physical_reads = 0;
+  std::uint64_t logical_hits = 0;
+  std::uint64_t elapsed_us = 0;
+  bool plan_cached = false;
+};
+
+/// STATUS_INFO payload: the service's admission ledger. Invariant (also
+/// asserted by the loopback tests): received == admitted +
+/// rejected_overload + rejected_draining + rejected_invalid, and once
+/// drained admitted == completed + failed + cancelled + deadline_expired.
+struct StatusInfo {
+  std::uint64_t received = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t active_requests = 0;
+  bool draining = false;
+};
+
+std::string EncodeSubmit(const SubmitRequest& req);
+Status DecodeSubmit(std::string_view payload, SubmitRequest* out);
+
+std::string EncodeCancel(std::uint64_t request_id);
+Status DecodeCancel(std::string_view payload, std::uint64_t* request_id);
+
+std::string EncodeAccepted(std::uint64_t request_id);
+Status DecodeAccepted(std::string_view payload, std::uint64_t* request_id);
+
+std::string EncodeReject(const RejectFrame& frame);
+Status DecodeReject(std::string_view payload, RejectFrame* out);
+
+std::string EncodeProgress(const ProgressFrame& frame);
+Status DecodeProgress(std::string_view payload, ProgressFrame* out);
+
+std::string EncodeEmbeddings(const EmbeddingBatch& batch);
+Status DecodeEmbeddings(std::string_view payload, EmbeddingBatch* out);
+
+std::string EncodeResult(const ResultFrame& frame);
+Status DecodeResult(std::string_view payload, ResultFrame* out);
+
+std::string EncodeStatusInfo(const StatusInfo& info);
+Status DecodeStatusInfo(std::string_view payload, StatusInfo* out);
+
+/// One decoded frame off the wire.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Writes one frame to `fd`, looping over partial writes (EINTR-safe,
+/// SIGPIPE-suppressed). IOError once the peer is gone.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from `fd`. NotFound on a clean peer close at a frame
+/// boundary (the reader's normal exit), IOError on a mid-frame close or
+/// socket error, InvalidArgument on an oversized length header.
+StatusOr<Frame> ReadFrame(int fd);
+
+}  // namespace dualsim::service
+
+#endif  // DUALSIM_SERVICE_PROTOCOL_H_

@@ -1,0 +1,738 @@
+#include "service/query_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "runtime/query_session.h"
+
+namespace dualsim::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServiceMetrics {
+  obs::Counter* received;
+  obs::Counter* admitted;
+  obs::Counter* rejected_overload;
+  obs::Counter* rejected_draining;
+  obs::Counter* rejected_invalid;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* deadline_expired;
+  obs::Counter* connections;
+  obs::Counter* progress_frames;
+  obs::Counter* embeddings_streamed;
+  obs::Counter* drains;
+  obs::Gauge* queue_depth;
+  obs::Gauge* active_requests;
+  obs::Histogram* request_latency_us;
+  obs::Histogram* queue_wait_us;
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics m{
+      obs::Metrics().GetCounter("service.requests_received"),
+      obs::Metrics().GetCounter("service.requests_admitted"),
+      obs::Metrics().GetCounter("service.requests_rejected_overload"),
+      obs::Metrics().GetCounter("service.requests_rejected_draining"),
+      obs::Metrics().GetCounter("service.requests_rejected_invalid"),
+      obs::Metrics().GetCounter("service.requests_completed"),
+      obs::Metrics().GetCounter("service.requests_failed"),
+      obs::Metrics().GetCounter("service.requests_cancelled"),
+      obs::Metrics().GetCounter("service.requests_deadline_expired"),
+      obs::Metrics().GetCounter("service.connections"),
+      obs::Metrics().GetCounter("service.progress_frames"),
+      obs::Metrics().GetCounter("service.embeddings_streamed"),
+      obs::Metrics().GetCounter("service.drains"),
+      obs::Metrics().GetGauge("service.queue_depth"),
+      obs::Metrics().GetGauge("service.active_requests"),
+      obs::Metrics().GetHistogram("service.request_latency_us"),
+      obs::Metrics().GetHistogram("service.queue_wait_us"),
+  };
+  return m;
+}
+
+/// Why a request was asked to stop (Request::cancel_reason).
+enum CancelReason : int {
+  kReasonNone = 0,
+  kReasonClient = 1,    // CANCEL frame
+  kReasonDeadline = 2,  // per-request deadline expired
+  kReasonDrain = 3,     // shutdown drain gave up waiting
+};
+
+WireCode CodeForReason(int reason) {
+  switch (reason) {
+    case kReasonDeadline:
+      return WireCode::kDeadlineExceeded;
+    case kReasonDrain:
+      return WireCode::kShuttingDown;
+    default:
+      return WireCode::kCancelled;
+  }
+}
+
+std::uint64_t ElapsedUs(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+/// Embeddings streamed per EMBEDDINGS frame.
+constexpr std::size_t kEmbeddingBatchSize = 64;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DiskGraph>> OpenServedGraph(const std::string& path) {
+  auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false);
+  if (!disk.ok()) {
+    const Status& st = disk.status();
+    return Status(st.code(), "cannot load graph database '" + path +
+                                 "': " + st.message());
+  }
+  return disk;
+}
+
+/// One accepted TCP connection. Frames may be written by the connection's
+/// reader thread, by workers, and by the watchdog; write_mu keeps frames
+/// atomic on the wire. Lock order: QueryService::mu_ before write_mu
+/// (never the reverse — Send never takes mu_).
+struct QueryService::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Status Send(FrameType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!open.load(std::memory_order_relaxed)) {
+      return Status::IOError("connection closed");
+    }
+    Status s = WriteFrame(fd, type, payload);
+    if (!s.ok()) open.store(false, std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Unblocks the reader thread; the fd itself is closed by ~Connection.
+  void ShutdownSocket() {
+    open.store(false, std::memory_order_relaxed);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  int fd;
+  std::mutex write_mu;
+  std::atomic<bool> open{true};
+};
+
+/// One admitted (or about-to-be-admitted) SUBMIT.
+struct QueryService::Request {
+  std::uint64_t id = 0;
+  std::shared_ptr<Connection> conn;
+  QueryGraph query{1};
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  bool stream_embeddings = false;
+  std::uint32_t max_embeddings = 0;
+  Clock::time_point received_at{};
+  /// CancelReason; first writer wins (CAS from kReasonNone).
+  std::atomic<int> cancel_reason{kReasonNone};
+  /// Set by the worker while the session runs; guarded by the service's
+  /// mu_ so CANCEL / the watchdog never race the session's destruction.
+  QuerySession* session = nullptr;
+};
+
+QueryService::QueryService(Runtime* runtime, ServiceOptions options)
+    : runtime_(runtime), options_(std::move(options)) {}
+
+QueryService::~QueryService() { Stop(); }
+
+Status QueryService::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("service already started");
+  }
+  if (runtime_ == nullptr) {
+    return Status::InvalidArgument("QueryService requires a Runtime");
+  }
+  DUALSIM_RETURN_IF_ERROR(runtime_->init_status());
+  if (options_.num_workers < 1) {
+    return Status::InvalidArgument(
+        "ServiceOptions::num_workers=" +
+        std::to_string(options_.num_workers) + " (need >= 1)");
+  }
+  if (options_.max_queue_depth < 1) {
+    return Status::InvalidArgument(
+        "ServiceOptions::max_queue_depth must be >= 1 (load shedding needs "
+        "at least one queue slot)");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::IOError("bind " + options_.bind_address + ":" +
+                               std::to_string(options_.port) + ": " +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  started_.store(true);
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void QueryService::AcceptorLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // BeginDrain shuts the listening socket down; every other error on
+      // a healthy listener is transient.
+      if (draining_.load() || stopping_.load()) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Metrics().connections->Increment();
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load()) {
+      conn->ShutdownSocket();
+      continue;
+    }
+    connections_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn]() mutable { ConnectionLoop(std::move(conn)); });
+  }
+}
+
+void QueryService::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    auto frame_or = ReadFrame(conn->fd);
+    if (!frame_or.ok()) {
+      // NotFound = clean close; anything else poisons the connection. An
+      // oversized header gets a parting ERROR so the client knows why.
+      if (frame_or.status().code() == StatusCode::kInvalidArgument) {
+        conn->Send(FrameType::kError,
+                   EncodeReject({0, WireCode::kProtocolError,
+                                 frame_or.status().message()}));
+      }
+      break;
+    }
+    const Frame& frame = frame_or.value();
+    switch (frame.type) {
+      case FrameType::kSubmit:
+        HandleSubmit(conn, frame.payload);
+        break;
+      case FrameType::kCancel:
+        HandleCancel(conn, frame.payload);
+        break;
+      case FrameType::kStatus:
+        conn->Send(FrameType::kStatusInfo, EncodeStatusInfo(Snapshot()));
+        break;
+      case FrameType::kShutdown:
+        HandleShutdown(conn);
+        break;
+      default:
+        conn->Send(FrameType::kError,
+                   EncodeReject({0, WireCode::kProtocolError,
+                                 std::string("unexpected frame ") +
+                                     FrameTypeName(frame.type)}));
+        break;
+    }
+  }
+  conn->ShutdownSocket();
+}
+
+void QueryService::HandleSubmit(const std::shared_ptr<Connection>& conn,
+                                std::string_view payload) {
+  SubmitRequest submit;
+  if (Status s = DecodeSubmit(payload, &submit); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  ledger_.received.fetch_add(1, std::memory_order_relaxed);
+  Metrics().received->Increment();
+
+  auto query = ParseQuery(submit.query);
+  if (!query.ok()) {
+    ledger_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    Metrics().rejected_invalid->Increment();
+    conn->Send(FrameType::kRejected,
+               EncodeReject({submit.request_id, WireCode::kInvalidQuery,
+                             query.status().message()}));
+    return;
+  }
+
+  auto req = std::make_shared<Request>();
+  req->id = submit.request_id;
+  req->conn = conn;
+  req->query = std::move(query).value();
+  req->received_at = Clock::now();
+  if (submit.deadline_ms > 0) {
+    req->has_deadline = true;
+    req->deadline =
+        req->received_at + std::chrono::milliseconds(submit.deadline_ms);
+  }
+  req->stream_embeddings = submit.stream_embeddings;
+  req->max_embeddings = submit.max_embeddings;
+
+  // Admission decision and its announcement are atomic under mu_ so the
+  // client always sees ACCEPTED before any frame a worker emits for the
+  // same request (lock order: mu_ -> Connection::write_mu).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load()) {
+      ledger_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected_draining->Increment();
+      conn->Send(FrameType::kRejected,
+                 EncodeReject({req->id, WireCode::kShuttingDown,
+                               "service is draining"}));
+      return;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      ledger_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected_overload->Increment();
+      conn->Send(FrameType::kRejected,
+                 EncodeReject({req->id, WireCode::kOverloaded,
+                               "admission queue full (depth " +
+                                   std::to_string(queue_.size()) + ")"}));
+      return;
+    }
+    ledger_.admitted.fetch_add(1, std::memory_order_relaxed);
+    Metrics().admitted->Increment();
+    conn->Send(FrameType::kAccepted, EncodeAccepted(req->id));
+    queue_.push_back(std::move(req));
+    Metrics().queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+  }
+  work_cv_.notify_one();
+}
+
+void QueryService::HandleCancel(const std::shared_ptr<Connection>& conn,
+                                std::string_view payload) {
+  std::uint64_t id = 0;
+  if (Status s = DecodeCancel(payload, &id); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  std::shared_ptr<Request> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if ((*it)->conn == conn && (*it)->id == id) {
+        queued = *it;
+        queue_.erase(it);
+        Metrics().queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+        break;
+      }
+    }
+    if (queued == nullptr) {
+      for (const auto& req : active_) {
+        if (req->conn == conn && req->id == id) {
+          int expected = kReasonNone;
+          req->cancel_reason.compare_exchange_strong(expected, kReasonClient);
+          if (req->session != nullptr) req->session->Cancel();
+          break;
+        }
+      }
+      // Unknown ids are ignored: the request may simply have finished —
+      // a CANCEL/RESULT race, not a protocol violation.
+      return;
+    }
+    queued->cancel_reason.store(kReasonClient, std::memory_order_relaxed);
+  }
+  FinishWithoutRun(queued, WireCode::kCancelled, "cancelled before start");
+  idle_cv_.notify_all();
+}
+
+void QueryService::HandleShutdown(const std::shared_ptr<Connection>& conn) {
+  BeginDrain();
+  DrainInFlight();
+  FlushMetricsOnce();
+  conn->Send(FrameType::kShutdownAck, {});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Request> req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      req = queue_.front();
+      queue_.pop_front();
+      Metrics().queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+      active_.push_back(req);
+      Metrics().active_requests->Set(static_cast<std::int64_t>(active_.size()));
+    }
+    const std::string result_payload = RunRequest(req);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(std::find(active_.begin(), active_.end(), req));
+      Metrics().active_requests->Set(static_cast<std::int64_t>(active_.size()));
+    }
+    req->conn->Send(FrameType::kResult, result_payload);
+    idle_cv_.notify_all();
+  }
+}
+
+std::string QueryService::RunRequest(const std::shared_ptr<Request>& req) {
+  Metrics().queue_wait_us->Record(ElapsedUs(req->received_at));
+  if (options_.on_request_start) options_.on_request_start(req->id);
+
+  // Cancelled (or expired) while queued/held: never start the session.
+  if (int reason = req->cancel_reason.load(std::memory_order_relaxed);
+      reason != kReasonNone) {
+    const WireCode code = CodeForReason(reason);
+    CountResult(code);
+    ResultFrame out;
+    out.request_id = req->id;
+    out.code = code;
+    out.message = "request stopped before execution";
+    out.elapsed_us = ElapsedUs(req->received_at);
+    return EncodeResult(out);
+  }
+
+  SessionOptions sopt;
+  sopt.max_frames = options_.session_max_frames;
+  sopt.paper_buffer_allocation = options_.paper_buffer_allocation;
+  sopt.plan = options_.plan;
+
+  // Progress streaming: the scheduler invokes this serially from the
+  // session's window loop each time a last-level window retires.
+  std::atomic<std::int64_t> last_progress_us{-1'000'000};
+  const std::int64_t interval_us =
+      static_cast<std::int64_t>(options_.progress_interval_ms) * 1000;
+  const Clock::time_point start = Clock::now();
+  sopt.progress = [&](std::uint64_t embeddings) {
+    const std::int64_t now_us = static_cast<std::int64_t>(ElapsedUs(start));
+    const std::int64_t last = last_progress_us.load(std::memory_order_relaxed);
+    if (now_us - last < interval_us) return;
+    last_progress_us.store(now_us, std::memory_order_relaxed);
+    Metrics().progress_frames->Increment();
+    req->conn->Send(FrameType::kProgress,
+                    EncodeProgress({req->id, embeddings}));
+  };
+
+  QuerySession session(runtime_, std::move(sopt));
+  {
+    // Publish the session for CANCEL / the watchdog; a reason recorded
+    // before publication is honored here.
+    std::lock_guard<std::mutex> lock(mu_);
+    req->session = &session;
+    if (req->cancel_reason.load(std::memory_order_relaxed) != kReasonNone) {
+      session.Cancel();
+    }
+  }
+
+  StatusOr<EngineStats> result = [&] {
+    if (!req->stream_embeddings) return session.Run(req->query);
+    // Batch streamed embeddings; the visitor runs concurrently on worker
+    // tasks, so the buffer is mutex-guarded.
+    struct Batcher {
+      std::mutex mu;
+      EmbeddingBatch batch;
+      std::uint64_t streamed = 0;
+      std::uint32_t cap = 0;
+      Connection* conn = nullptr;
+      void Flush() {
+        if (batch.vertices.empty()) return;
+        Metrics().embeddings_streamed->Increment(batch.vertices.size() /
+                                                 batch.arity);
+        conn->Send(FrameType::kEmbeddings, EncodeEmbeddings(batch));
+        batch.vertices.clear();
+      }
+    } batcher;
+    batcher.batch.request_id = req->id;
+    batcher.batch.arity = req->query.NumVertices();
+    batcher.cap = req->max_embeddings;
+    batcher.conn = req->conn.get();
+    auto run = session.Run(req->query, [&](std::span<const VertexId> m) {
+      std::lock_guard<std::mutex> lock(batcher.mu);
+      if (batcher.cap != 0 && batcher.streamed >= batcher.cap) return;
+      ++batcher.streamed;
+      batcher.batch.vertices.insert(batcher.batch.vertices.end(), m.begin(),
+                                    m.end());
+      if (batcher.batch.vertices.size() >=
+          kEmbeddingBatchSize * batcher.batch.arity) {
+        batcher.Flush();
+      }
+    });
+    std::lock_guard<std::mutex> lock(batcher.mu);
+    batcher.Flush();
+    return run;
+  }();
+
+  {
+    // Unpublish before the session dies; CANCEL after this point is a
+    // no-op on this request.
+    std::lock_guard<std::mutex> lock(mu_);
+    req->session = nullptr;
+  }
+
+  ResultFrame out;
+  out.request_id = req->id;
+  out.elapsed_us = ElapsedUs(req->received_at);
+  if (result.ok()) {
+    out.code = WireCode::kOk;
+    out.embeddings = result->embeddings;
+    out.physical_reads = result->io.physical_reads;
+    out.logical_hits = result->io.logical_hits;
+    out.plan_cached = result->plan_cached;
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    out.code = CodeForReason(
+        req->cancel_reason.load(std::memory_order_relaxed));
+    out.message = result.status().message();
+  } else {
+    out.code = WireCodeFor(result.status());
+    out.message = result.status().ToString();
+  }
+  CountResult(out.code);
+  Metrics().request_latency_us->Record(out.elapsed_us);
+  return EncodeResult(out);
+}
+
+void QueryService::FinishWithoutRun(const std::shared_ptr<Request>& req,
+                                    WireCode code, std::string message) {
+  CountResult(code);
+  ResultFrame out;
+  out.request_id = req->id;
+  out.code = code;
+  out.message = std::move(message);
+  out.elapsed_us = ElapsedUs(req->received_at);
+  req->conn->Send(FrameType::kResult, EncodeResult(out));
+}
+
+void QueryService::CountResult(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      ledger_.completed.fetch_add(1, std::memory_order_relaxed);
+      Metrics().completed->Increment();
+      break;
+    case WireCode::kDeadlineExceeded:
+      ledger_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      Metrics().deadline_expired->Increment();
+      break;
+    case WireCode::kCancelled:
+    case WireCode::kShuttingDown:
+      ledger_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      Metrics().cancelled->Increment();
+      break;
+    default:
+      ledger_.failed.fetch_add(1, std::memory_order_relaxed);
+      Metrics().failed->Increment();
+      break;
+  }
+}
+
+void QueryService::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                          [this] { return stopping_.load(); });
+    if (stopping_.load()) return;
+    const Clock::time_point now = Clock::now();
+    // Expired in the queue: remove and answer without running.
+    std::vector<std::shared_ptr<Request>> expired;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if ((*it)->has_deadline && now >= (*it)->deadline) {
+        (*it)->cancel_reason.store(kReasonDeadline, std::memory_order_relaxed);
+        expired.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!expired.empty()) {
+      Metrics().queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
+    }
+    // Expired while running: map the deadline onto QuerySession::Cancel.
+    for (const auto& req : active_) {
+      if (req->has_deadline && now >= req->deadline) {
+        int expected = kReasonNone;
+        if (req->cancel_reason.compare_exchange_strong(expected,
+                                                       kReasonDeadline) &&
+            req->session != nullptr) {
+          req->session->Cancel();
+        }
+      }
+    }
+    if (expired.empty()) continue;
+    lock.unlock();
+    for (const auto& req : expired) {
+      FinishWithoutRun(req, WireCode::kDeadlineExceeded,
+                       "deadline expired while queued");
+    }
+    idle_cv_.notify_all();
+    lock.lock();
+  }
+}
+
+void QueryService::BeginDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  Metrics().drains->Increment();
+  // Unblocks accept(); the fd is closed in Stop after the acceptor joins.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void QueryService::DrainInFlight() {
+  const auto grace = std::chrono::milliseconds(options_.drain_timeout_ms);
+  std::vector<std::shared_ptr<Request>> flushed;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait_for(lock, grace, [this] {
+      return queue_.empty() && active_.empty();
+    });
+    // Grace expired: flush the queue and cancel the running sessions.
+    for (const auto& req : queue_) {
+      req->cancel_reason.store(kReasonDrain, std::memory_order_relaxed);
+      flushed.push_back(req);
+    }
+    queue_.clear();
+    Metrics().queue_depth->Set(0);
+    for (const auto& req : active_) {
+      int expected = kReasonNone;
+      if (req->cancel_reason.compare_exchange_strong(expected, kReasonDrain) &&
+          req->session != nullptr) {
+        req->session->Cancel();
+      }
+    }
+  }
+  for (const auto& req : flushed) {
+    FinishWithoutRun(req, WireCode::kShuttingDown, "service drained");
+  }
+  idle_cv_.notify_all();
+  // Cancellation stops at the next window boundary; give it the same
+  // grace again before teardown proceeds regardless.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait_for(lock, grace,
+                    [this] { return queue_.empty() && active_.empty(); });
+}
+
+void QueryService::FlushMetricsOnce() {
+  bool expected = false;
+  if (!metrics_flushed_.compare_exchange_strong(expected, true)) return;
+  std::string path = options_.metrics_path;
+  if (path.empty()) {
+    const char* env = std::getenv("DUALSIM_METRICS_OUT");
+    if (env != nullptr) path = env;
+  }
+  if (!path.empty()) obs::WriteMetricsJsonFile(path);
+}
+
+bool QueryService::WaitForShutdown(std::uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shutdown_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [this] { return shutdown_requested_; });
+}
+
+void QueryService::Stop() {
+  if (!started_.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  BeginDrain();
+  DrainInFlight();
+  stopping_.store(true);
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  // Unblock and join the connection readers. The acceptor is gone, so
+  // conn_threads_ is no longer mutated.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& conn : connections_) conn->ShutdownSocket();
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  FlushMetricsOnce();
+}
+
+StatusInfo QueryService::Snapshot() const {
+  StatusInfo info;
+  info.received = ledger_.received.load(std::memory_order_relaxed);
+  info.admitted = ledger_.admitted.load(std::memory_order_relaxed);
+  info.rejected_overload =
+      ledger_.rejected_overload.load(std::memory_order_relaxed);
+  info.rejected_draining =
+      ledger_.rejected_draining.load(std::memory_order_relaxed);
+  info.rejected_invalid =
+      ledger_.rejected_invalid.load(std::memory_order_relaxed);
+  info.completed = ledger_.completed.load(std::memory_order_relaxed);
+  info.failed = ledger_.failed.load(std::memory_order_relaxed);
+  info.cancelled = ledger_.cancelled.load(std::memory_order_relaxed);
+  info.deadline_expired =
+      ledger_.deadline_expired.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info.queue_depth = static_cast<std::uint32_t>(queue_.size());
+    info.active_requests = static_cast<std::uint32_t>(active_.size());
+  }
+  info.draining = draining_.load(std::memory_order_relaxed);
+  return info;
+}
+
+}  // namespace dualsim::service

@@ -1,0 +1,195 @@
+#ifndef DUALSIM_SERVICE_QUERY_SERVICE_H_
+#define DUALSIM_SERVICE_QUERY_SERVICE_H_
+
+/// TCP query service over a shared Runtime (DESIGN.md §9): a framed
+/// binary protocol (service/protocol.h), a bounded admission queue that
+/// sheds load with a typed OVERLOADED rejection instead of blocking,
+/// per-request deadlines mapped onto QuerySession::Cancel, incremental
+/// PROGRESS / EMBEDDINGS streaming as enumeration windows complete, and
+/// graceful drain on SHUTDOWN (stop accepting, finish or cancel in-flight
+/// sessions, flush metrics).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/plan.h"
+#include "runtime/runtime.h"
+#include "service/protocol.h"
+#include "storage/disk_graph.h"
+#include "util/status.h"
+
+namespace dualsim::service {
+
+/// Process exit code for a missing/unreadable graph database, shared by
+/// dualsim_cli and dualsim_serve (distinct from 1 = generic failure and
+/// 2 = usage error).
+inline constexpr int kGraphLoadExitCode = 3;
+
+/// Opens the graph database a front end is about to serve, wrapping
+/// storage errors with an actionable message. kNotFound (missing path)
+/// keeps its typed code so callers can map it to kGraphLoadExitCode.
+StatusOr<std::unique_ptr<DiskGraph>> OpenServedGraph(const std::string& path);
+
+struct ServiceOptions {
+  /// Loopback by default; the service is not authenticated.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Worker threads running query sessions — the concurrency of admitted
+  /// work. Each worker drives one QuerySession at a time on the shared
+  /// Runtime, which arbitrates frames between them.
+  int num_workers = 2;
+  /// Bounded admission queue: submissions beyond this many *queued* (not
+  /// yet running) requests are shed with a typed OVERLOADED rejection —
+  /// the service never blocks a connection on admission.
+  std::size_t max_queue_depth = 16;
+  /// Grace period for in-flight and queued sessions on drain before they
+  /// are cancelled.
+  std::uint32_t drain_timeout_ms = 10'000;
+  /// Minimum gap between PROGRESS frames per request (0 = every window).
+  std::uint32_t progress_interval_ms = 10;
+  /// Per-session frame cap (SessionOptions::max_frames); 0 = whatever is
+  /// unreserved at admission. Set this when num_workers > 1 so sessions
+  /// fit side by side.
+  std::size_t session_max_frames = 0;
+  /// Forwarded to each request's SessionOptions.
+  bool paper_buffer_allocation = true;
+  PlanOptions plan;
+  /// Metrics JSON flush target on drain; empty = DUALSIM_METRICS_OUT env
+  /// var, or no flush.
+  std::string metrics_path;
+  /// Test seam: invoked on the worker thread immediately before a
+  /// request's session runs (loopback tests use it to hold a worker and
+  /// provoke queueing / overload / deadline paths deterministically).
+  std::function<void(std::uint64_t request_id)> on_request_start;
+};
+
+/// One serving endpoint. Lifecycle: construct -> Start() -> (serve) ->
+/// Stop(), where Stop is triggered either directly (signal handler path)
+/// or by a client SHUTDOWN frame — use WaitForShutdown() to observe the
+/// latter. All entry points are thread-safe; Stop() is idempotent.
+class QueryService {
+ public:
+  explicit QueryService(Runtime* runtime, ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Binds, listens, and spawns the acceptor / worker / deadline-watchdog
+  /// threads. InvalidArgument on bad options or a degenerate runtime,
+  /// IOError when the socket cannot be bound.
+  Status Start();
+
+  /// Bound TCP port (the ephemeral choice when options.port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// True once a drain has begun (SHUTDOWN frame or Stop()).
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Blocks up to `timeout_ms` for a client-initiated SHUTDOWN drain to
+  /// complete; returns true when one has. The caller still runs Stop()
+  /// for the final teardown (joins, socket close).
+  bool WaitForShutdown(std::uint32_t timeout_ms);
+
+  /// Graceful drain + teardown: stop accepting, finish or cancel
+  /// in-flight sessions (drain_timeout_ms grace), flush metrics, join
+  /// every thread, close every socket.
+  void Stop();
+
+  /// Point-in-time admission ledger (the STATUS response).
+  StatusInfo Snapshot() const;
+
+ private:
+  struct Connection;
+  struct Request;
+
+  void AcceptorLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void WatchdogLoop();
+
+  void HandleSubmit(const std::shared_ptr<Connection>& conn,
+                    std::string_view payload);
+  void HandleCancel(const std::shared_ptr<Connection>& conn,
+                    std::string_view payload);
+  void HandleShutdown(const std::shared_ptr<Connection>& conn);
+
+  /// Runs one admitted request's session, counts the outcome, and returns
+  /// the encoded RESULT payload. The worker sends it only after retiring
+  /// the request from active_, so a client that has seen its RESULT never
+  /// observes itself in the STATUS ledger's active count.
+  std::string RunRequest(const std::shared_ptr<Request>& req);
+
+  /// Sends a RESULT for a request that never ran (queue-cancelled,
+  /// deadline-expired in queue, drain flush) and counts it.
+  void FinishWithoutRun(const std::shared_ptr<Request>& req, WireCode code,
+                        std::string message);
+
+  /// Counts a terminal outcome into the admission ledger.
+  void CountResult(WireCode code);
+
+  /// Stops accepting and marks the service draining (idempotent).
+  void BeginDrain();
+
+  /// Waits for queued+active to drain (grace period), then cancels
+  /// stragglers and waits again.
+  void DrainInFlight();
+
+  /// Writes the metrics JSON sidecar once (options.metrics_path or
+  /// DUALSIM_METRICS_OUT).
+  void FlushMetricsOnce();
+
+  Runtime* runtime_;
+  ServiceOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> metrics_flushed_{false};
+  bool shutdown_requested_ = false;  // guarded by mu_
+  bool stopped_ = false;             // guarded by mu_
+
+  std::thread acceptor_;
+  std::thread watchdog_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;      // workers: queue non-empty / stop
+  std::condition_variable idle_cv_;      // drain: queue empty && no active
+  std::condition_variable shutdown_cv_;  // WaitForShutdown
+  std::condition_variable watchdog_cv_;  // watchdog tick / stop
+  std::deque<std::shared_ptr<Request>> queue_;
+  std::vector<std::shared_ptr<Request>> active_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> conn_threads_;
+
+  /// Instance-scoped ledger (the obs registry is process-wide; STATUS
+  /// reports this service alone).
+  struct Ledger {
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> rejected_overload{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> rejected_invalid{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+  };
+  Ledger ledger_;
+};
+
+}  // namespace dualsim::service
+
+#endif  // DUALSIM_SERVICE_QUERY_SERVICE_H_

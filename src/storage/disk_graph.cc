@@ -1,6 +1,7 @@
 #include "storage/disk_graph.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -130,7 +131,15 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
     const std::string& path, bool bypass_os_cache,
     std::shared_ptr<FaultInjector> injector) {
   std::FILE* meta = std::fopen(MetaPath(path).c_str(), "rb");
-  if (meta == nullptr) return Status::IOError("cannot open " + MetaPath(path));
+  if (meta == nullptr) {
+    // A missing database stays typed (kNotFound) so front ends can map it
+    // to a distinct exit code instead of a generic I/O failure.
+    if (errno == ENOENT) {
+      return Status::NotFound("no graph database at " + MetaPath(path));
+    }
+    return Status::IOError("cannot open " + MetaPath(path) + ": " +
+                           std::strerror(errno));
+  }
   MetaHeader header;
   if (std::fread(&header, sizeof(header), 1, meta) != 1) {
     std::fclose(meta);

@@ -66,7 +66,10 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(
     const std::string& path, std::size_t page_size, bool bypass_os_cache,
     std::shared_ptr<FaultInjector> injector) {
   int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) return Status::IOError(Errno("open", path));
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(Errno("open", path));
+    return Status::IOError(Errno("open", path));
+  }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);

@@ -55,11 +55,11 @@ TEST_F(EdgeListIoTest, TextIgnoresCommentsAndBlanks) {
   EXPECT_EQ(g->NumEdges(), 3u);
 }
 
-TEST_F(EdgeListIoTest, MissingFileIsIOError) {
+TEST_F(EdgeListIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(ReadEdgeListText(PathFor("absent.txt")).status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
   EXPECT_EQ(ReadEdgeListBinary(PathFor("absent.bin")).status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 TEST_F(EdgeListIoTest, BadMagicRejected) {

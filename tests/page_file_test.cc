@@ -83,9 +83,9 @@ TEST_F(PageFileTest, ReadOutOfRangeFails) {
   EXPECT_FALSE((*file)->ReadPage(0, out.data()).ok());
 }
 
-TEST_F(PageFileTest, OpenMissingFileFails) {
+TEST_F(PageFileTest, OpenMissingFileIsNotFound) {
   EXPECT_EQ(PageFile::Open(PathFor("nope.pages"), 128).status().code(),
-            StatusCode::kIOError);
+            StatusCode::kNotFound);
 }
 
 TEST_F(PageFileTest, OpenRejectsMisalignedFile) {

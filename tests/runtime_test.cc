@@ -405,5 +405,87 @@ TEST_F(RuntimeTestBase, SessionTraceRecordsRunPhases) {
   EXPECT_EQ(names.back(), "session.run");
 }
 
+TEST(ValidateRuntimeOptionsTest, RejectsDegenerateKnobs) {
+  EXPECT_TRUE(ValidateRuntimeOptions(RuntimeOptions{}).ok());
+
+  RuntimeOptions no_io;
+  no_io.io_threads = 0;
+  Status s = ValidateRuntimeOptions(no_io);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("io_threads"), std::string::npos) << s.ToString();
+
+  RuntimeOptions negative_cpu;
+  negative_cpu.num_threads = -3;
+  s = ValidateRuntimeOptions(negative_cpu);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("num_threads"), std::string::npos)
+      << s.ToString();
+
+  RuntimeOptions no_buffer;
+  no_buffer.num_frames = 0;
+  no_buffer.buffer_fraction = 0.0;
+  s = ValidateRuntimeOptions(no_buffer);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("buffer_fraction"), std::string::npos)
+      << s.ToString();
+
+  // An explicit frame budget does not need a buffer fraction.
+  RuntimeOptions explicit_frames;
+  explicit_frames.num_frames = 32;
+  explicit_frames.buffer_fraction = 0.0;
+  EXPECT_TRUE(ValidateRuntimeOptions(explicit_frames).ok());
+
+  RuntimeOptions negative_retries;
+  negative_retries.max_read_retries = -1;
+  s = ValidateRuntimeOptions(negative_retries);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("max_read_retries"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(RuntimeTestBase, DegenerateRuntimeRefusesAdmissionWithTypedError) {
+  Graph g = ReorderByDegree(ErdosRenyi(100, 400, 3));
+  auto disk = BuildDisk(g);
+  RuntimeOptions bad;
+  bad.io_threads = 0;
+  Runtime runtime(disk.get(), bad);
+
+  // The constructor records the verdict instead of building a degenerate
+  // pool; every session run surfaces it as a descriptive error.
+  ASSERT_FALSE(runtime.init_status().ok());
+  EXPECT_EQ(runtime.init_status().code(), StatusCode::kInvalidArgument);
+
+  QuerySession session(&runtime);
+  auto result = session.Run(MakePaperQuery(PaperQuery::kQ1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("io_threads"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(RuntimeTestBase, SessionProgressReportsMonotoneCounts) {
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 42));
+  auto disk = BuildDisk(g);
+  Runtime runtime(disk.get(), SmallRuntimeOptions());
+  const QueryGraph q = MakePaperQuery(PaperQuery::kQ1);
+
+  std::vector<std::uint64_t> reports;
+  SessionOptions sopts;
+  sopts.progress = [&reports](std::uint64_t embeddings) {
+    reports.push_back(embeddings);
+  };
+  QuerySession session(&runtime, sopts);
+  auto result = session.Run(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_FALSE(reports.empty()) << "windows retired without progress";
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_LE(reports[i - 1], reports[i]) << "progress went backwards";
+  }
+  EXPECT_LE(reports.back(), result->embeddings);
+  EXPECT_EQ(result->embeddings, CountOccurrences(g, q));
+}
+
 }  // namespace
 }  // namespace dualsim

@@ -1,0 +1,161 @@
+/// Unit tests for the wire protocol: encode/decode round trips for every
+/// frame payload, bounds-checked decoding of truncated/garbage payloads,
+/// and socket framing over a loopback pipe pair.
+
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "util/status.h"
+
+namespace dualsim::service {
+namespace {
+
+TEST(ServiceProtocolTest, SubmitRoundTrip) {
+  SubmitRequest in;
+  in.request_id = 0xDEADBEEFCAFE1234ull;
+  in.deadline_ms = 1500;
+  in.max_embeddings = 77;
+  in.stream_embeddings = true;
+  in.query = "0-1,1-2,2-0";
+  SubmitRequest out;
+  ASSERT_TRUE(DecodeSubmit(EncodeSubmit(in), &out).ok());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.max_embeddings, in.max_embeddings);
+  EXPECT_EQ(out.stream_embeddings, in.stream_embeddings);
+  EXPECT_EQ(out.query, in.query);
+}
+
+TEST(ServiceProtocolTest, RejectResultStatusRoundTrips) {
+  RejectFrame reject{42, WireCode::kOverloaded, "queue full"};
+  RejectFrame reject_out;
+  ASSERT_TRUE(DecodeReject(EncodeReject(reject), &reject_out).ok());
+  EXPECT_EQ(reject_out.request_id, 42u);
+  EXPECT_EQ(reject_out.code, WireCode::kOverloaded);
+  EXPECT_EQ(reject_out.message, "queue full");
+
+  ResultFrame result;
+  result.request_id = 7;
+  result.code = WireCode::kDeadlineExceeded;
+  result.message = "late";
+  result.embeddings = 151;
+  result.physical_reads = 12;
+  result.logical_hits = 90;
+  result.elapsed_us = 123456;
+  result.plan_cached = true;
+  ResultFrame result_out;
+  ASSERT_TRUE(DecodeResult(EncodeResult(result), &result_out).ok());
+  EXPECT_EQ(result_out.request_id, 7u);
+  EXPECT_EQ(result_out.code, WireCode::kDeadlineExceeded);
+  EXPECT_EQ(result_out.message, "late");
+  EXPECT_EQ(result_out.embeddings, 151u);
+  EXPECT_EQ(result_out.physical_reads, 12u);
+  EXPECT_EQ(result_out.logical_hits, 90u);
+  EXPECT_EQ(result_out.elapsed_us, 123456u);
+  EXPECT_TRUE(result_out.plan_cached);
+
+  StatusInfo info;
+  info.received = 10;
+  info.admitted = 7;
+  info.rejected_overload = 2;
+  info.rejected_invalid = 1;
+  info.completed = 5;
+  info.cancelled = 1;
+  info.deadline_expired = 1;
+  info.queue_depth = 3;
+  info.active_requests = 2;
+  info.draining = true;
+  StatusInfo info_out;
+  ASSERT_TRUE(DecodeStatusInfo(EncodeStatusInfo(info), &info_out).ok());
+  EXPECT_EQ(info_out.received, 10u);
+  EXPECT_EQ(info_out.admitted, 7u);
+  EXPECT_EQ(info_out.rejected_overload, 2u);
+  EXPECT_EQ(info_out.rejected_invalid, 1u);
+  EXPECT_EQ(info_out.completed, 5u);
+  EXPECT_EQ(info_out.cancelled, 1u);
+  EXPECT_EQ(info_out.deadline_expired, 1u);
+  EXPECT_EQ(info_out.queue_depth, 3u);
+  EXPECT_EQ(info_out.active_requests, 2u);
+  EXPECT_TRUE(info_out.draining);
+}
+
+TEST(ServiceProtocolTest, EmbeddingBatchRoundTrip) {
+  EmbeddingBatch batch;
+  batch.request_id = 9;
+  batch.arity = 3;
+  batch.vertices = {1, 2, 3, 10, 20, 30};
+  EmbeddingBatch out;
+  ASSERT_TRUE(DecodeEmbeddings(EncodeEmbeddings(batch), &out).ok());
+  EXPECT_EQ(out.request_id, 9u);
+  EXPECT_EQ(out.arity, 3);
+  EXPECT_EQ(out.vertices, batch.vertices);
+}
+
+TEST(ServiceProtocolTest, TruncatedPayloadsAreRejectedNotRead) {
+  const std::string full = EncodeSubmit({1, 2, 3, true, "q1"});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SubmitRequest out;
+    EXPECT_FALSE(DecodeSubmit(std::string_view(full).substr(0, cut), &out).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  ResultFrame result_out;
+  EXPECT_FALSE(DecodeResult("garbage", &result_out).ok());
+  std::uint64_t id = 0;
+  EXPECT_FALSE(DecodeCancel("123", &id).ok());
+}
+
+TEST(ServiceProtocolTest, WireCodeForMapsEngineStatuses) {
+  EXPECT_EQ(WireCodeFor(Status::InvalidArgument("bad")),
+            WireCode::kInvalidQuery);
+  EXPECT_EQ(WireCodeFor(Status::Cancelled("stop")), WireCode::kCancelled);
+  EXPECT_EQ(WireCodeFor(Status::IOError("disk")), WireCode::kInternalError);
+  EXPECT_EQ(WireCodeFor(Status::OK()), WireCode::kOk);
+}
+
+TEST(ServiceProtocolTest, FramesCrossASocketPairIntact) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = EncodeProgress({5, 1234});
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kProgress, payload).ok());
+  ASSERT_TRUE(WriteFrame(fds[0], FrameType::kShutdown, {}).ok());
+
+  auto first = ReadFrame(fds[1]);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->type, FrameType::kProgress);
+  ProgressFrame progress;
+  ASSERT_TRUE(DecodeProgress(first->payload, &progress).ok());
+  EXPECT_EQ(progress.request_id, 5u);
+  EXPECT_EQ(progress.embeddings, 1234u);
+
+  auto second = ReadFrame(fds[1]);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->type, FrameType::kShutdown);
+  EXPECT_TRUE(second->payload.empty());
+
+  // Clean peer close at a frame boundary is the reader's typed exit.
+  ::close(fds[0]);
+  auto closed = ReadFrame(fds[1]);
+  ASSERT_FALSE(closed.ok());
+  EXPECT_EQ(closed.status().code(), StatusCode::kNotFound);
+  ::close(fds[1]);
+}
+
+TEST(ServiceProtocolTest, OversizedHeaderIsInvalidArgument) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const unsigned char header[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  ASSERT_EQ(::send(fds[0], header, sizeof(header), 0), 5);
+  auto frame = ReadFrame(fds[1]);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace dualsim::service

@@ -1,0 +1,527 @@
+/// Loopback integration suite for the query service: concurrent clients
+/// against the deterministic ER generator graph with every returned count
+/// cross-checked against the pinned golden value, typed rejection paths
+/// (OVERLOADED, SHUTTING_DOWN, INVALID_QUERY), deadline expiry, client
+/// cancellation, graceful drain, protocol-error handling, and the
+/// admission-ledger / service.* metric invariants.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "runtime/runtime.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "storage/disk_graph.h"
+#include "testkit/metrics_util.h"
+
+namespace dualsim::service {
+namespace {
+
+using testkit::ExpectMetricDelta;
+using testkit::MetricsProbe;
+
+/// Pinned golden counts for q1..q5 over ReorderByDegree(ErdosRenyi(200,
+/// 1000, 42)) — same fixture row as golden_counts_test.cc.
+constexpr std::uint64_t kGoldenER[5] = {151, 1076, 90, 0, 2024};
+
+/// Blocks every request inside the service's on_request_start hook until
+/// Release(); lets tests hold a worker to provoke queueing, overload,
+/// queued-deadline-expiry, and drain paths deterministically.
+class RequestGate {
+ public:
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+  }
+
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_service_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    graph_ = ReorderByDegree(ErdosRenyi(200, 1000, 42));
+    const std::string path = (dir_ / "g.db").string();
+    ASSERT_TRUE(BuildDiskGraph(graph_, path, /*page_size=*/512).ok());
+    auto disk = OpenServedGraph(path);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    disk_ = std::move(*disk);
+  }
+
+  void TearDown() override {
+    service_.reset();  // Stop() before the runtime and the disk graph die
+    runtime_.reset();
+    disk_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// An explicit frame budget several sessions fit into side by side, so
+  /// concurrent workers run truly concurrently instead of serializing on
+  /// admission.
+  static RuntimeOptions TestRuntimeOptions() {
+    RuntimeOptions options;
+    options.num_frames = 64;
+    options.num_threads = 4;
+    options.io_threads = 2;
+    return options;
+  }
+
+  void StartService(ServiceOptions sopt,
+                    RuntimeOptions ropt = TestRuntimeOptions()) {
+    if (sopt.session_max_frames == 0) sopt.session_max_frames = 20;
+    runtime_ = std::make_unique<Runtime>(disk_.get(), ropt);
+    service_ = std::make_unique<QueryService>(runtime_.get(), sopt);
+    Status s = service_->Start();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::unique_ptr<QueryClient> Connect() {
+    auto client = std::make_unique<QueryClient>();
+    Status s = client->Connect("127.0.0.1", service_->port());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return client;
+  }
+
+  std::filesystem::path dir_;
+  Graph graph_;
+  std::unique_ptr<DiskGraph> disk_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(ServiceTest, EightConcurrentClientsMatchGoldenCounts) {
+  MetricsProbe probe;
+  ServiceOptions sopt;
+  sopt.num_workers = 3;
+  sopt.max_queue_depth = 64;
+  StartService(sopt);
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &failures] {
+      QueryClient client;
+      Status s = client.Connect("127.0.0.1", service_->port());
+      if (!s.ok()) {
+        failures[c] = s.ToString();
+        return;
+      }
+      // Each client walks q1..q5 starting at a different offset so the
+      // plan cache and admission queue see interleaved shapes.
+      for (int i = 0; i < 5; ++i) {
+        const int qi = (c + i) % 5;
+        ClientRequest req;
+        req.query = "q" + std::to_string(qi + 1);
+        auto result = client.Run(req);
+        if (!result.ok()) {
+          failures[c] = result.status().ToString();
+          return;
+        }
+        if (result->code != WireCode::kOk ||
+            result->embeddings != kGoldenER[qi]) {
+          failures[c] = req.query + ": code " +
+                        WireCodeName(result->code) + ", " +
+                        std::to_string(result->embeddings) + " != " +
+                        std::to_string(kGoldenER[qi]);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_EQ(info.received, 40u);
+  EXPECT_EQ(info.admitted, 40u);
+  EXPECT_EQ(info.completed, 40u);
+  EXPECT_EQ(info.received, info.admitted + info.rejected_overload +
+                               info.rejected_draining + info.rejected_invalid);
+  EXPECT_EQ(info.admitted, info.completed + info.failed + info.cancelled +
+                               info.deadline_expired);
+
+  // The same invariant through the process-wide service.* counters.
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(probe.Delta("service.requests_received"),
+              probe.Delta("service.requests_admitted") +
+                  probe.Delta("service.requests_rejected_overload") +
+                  probe.Delta("service.requests_rejected_draining") +
+                  probe.Delta("service.requests_rejected_invalid"));
+  }
+  ExpectMetricDelta(probe, "service.requests_received", 40);
+  ExpectMetricDelta(probe, "service.requests_completed", 40);
+}
+
+TEST_F(ServiceTest, StreamedEmbeddingsMatchGoldenTriangleCount) {
+  ServiceOptions sopt;
+  sopt.progress_interval_ms = 0;  // a PROGRESS frame per retired window
+  StartService(sopt);
+  auto client = Connect();
+
+  ClientRequest req;
+  req.query = "q1";  // triangle
+  req.stream_embeddings = true;
+  ASSERT_TRUE(client->Submit(req).ok());
+
+  std::uint64_t last_progress = 0;
+  bool monotone = true;
+  std::uint64_t valid_triangles = 0;
+  auto result = client->Await(
+      [&](std::uint64_t embeddings) {
+        if (embeddings < last_progress) monotone = false;
+        last_progress = embeddings;
+      },
+      [&](const std::vector<VertexId>& m) {
+        ASSERT_EQ(m.size(), 3u);
+        if (graph_.HasEdge(m[0], m[1]) && graph_.HasEdge(m[1], m[2]) &&
+            graph_.HasEdge(m[0], m[2])) {
+          ++valid_triangles;
+        }
+      });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kOk);
+  EXPECT_EQ(result->embeddings, kGoldenER[0]);
+  EXPECT_EQ(result->streamed_embeddings, kGoldenER[0]);
+  EXPECT_EQ(valid_triangles, kGoldenER[0])
+      << "a streamed mapping was not a triangle of the data graph";
+  EXPECT_TRUE(monotone) << "PROGRESS counts must be non-decreasing";
+  EXPECT_GE(result->progress_frames, 1u);
+  EXPECT_LE(last_progress, kGoldenER[0]);
+}
+
+TEST_F(ServiceTest, StreamedEmbeddingCapIsHonored) {
+  StartService({});
+  auto client = Connect();
+  ClientRequest req;
+  req.query = "q5";
+  req.stream_embeddings = true;
+  req.max_embeddings = 7;
+  auto result = client->Run(req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kOk);
+  EXPECT_EQ(result->embeddings, kGoldenER[4]);  // the count is never capped
+  EXPECT_EQ(result->streamed_embeddings, 7u);
+}
+
+TEST_F(ServiceTest, QueueFullSubmissionsGetOverloaded) {
+  MetricsProbe probe;
+  RequestGate gate;
+  ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.max_queue_depth = 1;
+  sopt.on_request_start = [&gate](std::uint64_t) { gate.Enter(); };
+  StartService(sopt);
+
+  auto held = Connect();     // runs (held inside the hook)
+  auto queued = Connect();   // sits in the queue
+  auto shed = Connect();     // rejected: queue full
+
+  ASSERT_TRUE(held->Submit({.query = "q1"}).ok());
+  gate.AwaitEntered(1);  // the worker holds `held`, the queue is empty
+  ASSERT_TRUE(queued->Submit({.query = "q1"}).ok());
+
+  Status rejected = shed->Submit({.query = "q1"});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted)
+      << rejected.ToString();
+
+  gate.Release();
+  auto held_result = held->Await();
+  ASSERT_TRUE(held_result.ok()) << held_result.status().ToString();
+  EXPECT_EQ(held_result->code, WireCode::kOk);
+  EXPECT_EQ(held_result->embeddings, kGoldenER[0]);
+  auto queued_result = queued->Await();
+  ASSERT_TRUE(queued_result.ok()) << queued_result.status().ToString();
+  EXPECT_EQ(queued_result->code, WireCode::kOk);
+
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_EQ(info.received, 3u);
+  EXPECT_EQ(info.admitted, 2u);
+  EXPECT_EQ(info.rejected_overload, 1u);
+  ExpectMetricDelta(probe, "service.requests_rejected_overload", 1);
+}
+
+TEST_F(ServiceTest, DeadlineExpiredRequestReturnsTypedStatus) {
+  RequestGate gate;
+  ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.on_request_start = [&gate](std::uint64_t) { gate.Enter(); };
+  StartService(sopt);
+
+  auto held = Connect();
+  auto expiring = Connect();
+  ASSERT_TRUE(held->Submit({.query = "q1"}).ok());
+  gate.AwaitEntered(1);
+  // Expires in the queue while the only worker is held.
+  ASSERT_TRUE(expiring->Submit({.query = "q1", .deadline_ms = 30}).ok());
+
+  auto expired = expiring->Await();
+  ASSERT_TRUE(expired.ok()) << expired.status().ToString();
+  EXPECT_EQ(expired->code, WireCode::kDeadlineExceeded);
+
+  gate.Release();
+  auto held_result = held->Await();
+  ASSERT_TRUE(held_result.ok());
+  EXPECT_EQ(held_result->code, WireCode::kOk);
+
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_EQ(info.deadline_expired, 1u);
+  EXPECT_EQ(info.admitted, info.completed + info.failed + info.cancelled +
+                               info.deadline_expired);
+}
+
+TEST_F(ServiceTest, CancelledRequestReturnsTypedStatus) {
+  RequestGate gate;
+  ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.on_request_start = [&gate](std::uint64_t) { gate.Enter(); };
+  StartService(sopt);
+
+  auto client = Connect();
+  ASSERT_TRUE(client->Submit({.query = "q5"}).ok());
+  gate.AwaitEntered(1);  // held before the session starts
+  ASSERT_TRUE(client->Cancel().ok());
+  gate.Release();
+
+  auto result = client->Await();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kCancelled);
+
+  // The session slot was reclaimed: the same connection still serves.
+  auto after = client->Run({.query = "q1"});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->code, WireCode::kOk);
+  EXPECT_EQ(after->embeddings, kGoldenER[0]);
+  EXPECT_EQ(service_->Snapshot().cancelled, 1u);
+}
+
+TEST_F(ServiceTest, CancelMidRunNeverCrashesOrLeaks) {
+  // Non-deterministic timing by design: CANCEL races the running session.
+  // Whatever side wins, the request must finish with a typed code and the
+  // ledger must balance (this is the TSan target for the cancel path).
+  StartService({});
+  for (int round = 0; round < 5; ++round) {
+    auto client = Connect();
+    ASSERT_TRUE(client->Submit({.query = "q5"}).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(round));
+    ASSERT_TRUE(client->Cancel().ok());
+    auto result = client->Await();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->code == WireCode::kOk ||
+                result->code == WireCode::kCancelled)
+        << WireCodeName(result->code);
+    if (result->code == WireCode::kOk) {
+      EXPECT_EQ(result->embeddings, kGoldenER[4]);
+    }
+  }
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_EQ(info.admitted, 5u);
+  EXPECT_EQ(info.admitted, info.completed + info.failed + info.cancelled +
+                               info.deadline_expired);
+  EXPECT_EQ(info.active_requests, 0u);
+  EXPECT_EQ(info.queue_depth, 0u);
+}
+
+TEST_F(ServiceTest, ShutdownDrainsInFlightAndRejectsNewWork) {
+  MetricsProbe probe;
+  RequestGate gate;
+  ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.metrics_path = (dir_ / "metrics.json").string();
+  sopt.on_request_start = [&gate](std::uint64_t) { gate.Enter(); };
+  StartService(sopt);
+
+  auto held = Connect();
+  auto queued = Connect();
+  auto late = Connect();     // connected pre-drain, submits post-drain
+  auto shutter = Connect();  // issues the SHUTDOWN
+
+  ASSERT_TRUE(held->Submit({.query = "q1"}).ok());
+  gate.AwaitEntered(1);
+  ASSERT_TRUE(queued->Submit({.query = "q2"}).ok());
+
+  std::thread shutdown_thread([&shutter] {
+    Status s = shutter->Shutdown();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  while (!service_->draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Draining: new submissions are shed with the typed SHUTTING_DOWN code.
+  Status refused = late->Submit({.query = "q1"});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+
+  // In-flight work still completes: the drain waits for it.
+  gate.Release();
+  auto held_result = held->Await();
+  ASSERT_TRUE(held_result.ok()) << held_result.status().ToString();
+  EXPECT_EQ(held_result->code, WireCode::kOk);
+  EXPECT_EQ(held_result->embeddings, kGoldenER[0]);
+  auto queued_result = queued->Await();
+  ASSERT_TRUE(queued_result.ok()) << queued_result.status().ToString();
+  EXPECT_EQ(queued_result->code, WireCode::kOk);
+  EXPECT_EQ(queued_result->embeddings, kGoldenER[1]);
+  shutdown_thread.join();
+
+  // Metrics were flushed as part of the drain, before the ACK.
+  EXPECT_TRUE(std::filesystem::exists(sopt.metrics_path));
+
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_TRUE(info.draining);
+  EXPECT_EQ(info.received, 3u);
+  EXPECT_EQ(info.admitted, 2u);
+  EXPECT_EQ(info.rejected_draining, 1u);
+  EXPECT_EQ(info.completed, 2u);
+  EXPECT_EQ(info.received, info.admitted + info.rejected_overload +
+                               info.rejected_draining + info.rejected_invalid);
+  ExpectMetricDelta(probe, "service.requests_rejected_draining", 1);
+}
+
+TEST_F(ServiceTest, PlanCacheSingleMissUnderConcurrentSameQueryLoad) {
+  // Satellite: N clients submitting the same canonical query produce one
+  // plan-cache miss and N-1 hits. One worker serializes the sessions so
+  // the first run's preparation is finished before the second looks up.
+  ServiceOptions sopt;
+  sopt.num_workers = 1;
+  sopt.max_queue_depth = 16;
+  StartService(sopt);
+
+  MetricsProbe probe;
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &failures] {
+      QueryClient client;
+      Status s = client.Connect("127.0.0.1", service_->port());
+      if (!s.ok()) {
+        failures[c] = s.ToString();
+        return;
+      }
+      auto result = client.Run({.query = "q3"});
+      if (!result.ok()) {
+        failures[c] = result.status().ToString();
+      } else if (result->code != WireCode::kOk ||
+                 result->embeddings != kGoldenER[2]) {
+        failures[c] = "bad result";
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+  ExpectMetricDelta(probe, "plancache.misses", 1);
+  ExpectMetricDelta(probe, "plancache.hits", kClients - 1);
+}
+
+TEST_F(ServiceTest, InvalidQueryIsRejectedTyped) {
+  StartService({});
+  auto client = Connect();
+  Status rejected = client->Submit({.query = "notashape"});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument)
+      << rejected.ToString();
+
+  // The connection survives an invalid query.
+  auto ok = client->Run({.query = "q1"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->embeddings, kGoldenER[0]);
+
+  const StatusInfo info = service_->Snapshot();
+  EXPECT_EQ(info.rejected_invalid, 1u);
+  EXPECT_EQ(info.received, info.admitted + info.rejected_overload +
+                               info.rejected_draining + info.rejected_invalid);
+}
+
+TEST_F(ServiceTest, OversizedFrameHeaderGetsProtocolErrorAndClose) {
+  StartService({});
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(service_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // Declared payload far past kMaxFramePayload poisons the connection.
+  const unsigned char header[5] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0), 5);
+
+  auto frame = ReadFrame(fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, FrameType::kError);
+  RejectFrame reject;
+  ASSERT_TRUE(DecodeReject(frame->payload, &reject).ok());
+  EXPECT_EQ(reject.code, WireCode::kProtocolError);
+
+  // The service hangs up after the parting ERROR.
+  auto closed = ReadFrame(fd);
+  EXPECT_FALSE(closed.ok());
+  ::close(fd);
+}
+
+TEST_F(ServiceTest, StartFailsOnDegenerateRuntime) {
+  RuntimeOptions bad;
+  bad.io_threads = 0;
+  runtime_ = std::make_unique<Runtime>(disk_.get(), bad);
+  service_ = std::make_unique<QueryService>(runtime_.get(), ServiceOptions{});
+  Status s = service_->Start();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("io_threads"), std::string::npos) << s.ToString();
+}
+
+TEST_F(ServiceTest, OpenServedGraphKeepsNotFoundTyped) {
+  auto missing = OpenServedGraph((dir_ / "nope.db").string());
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound)
+      << missing.status().ToString();
+  EXPECT_NE(missing.status().message().find("nope.db"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dualsim::service

@@ -105,8 +105,11 @@ TEST_F(DifferentialFuzzTest, TransientRandomFaultsPreserveAnswers) {
 TEST_F(DifferentialFuzzTest, ScheduledTransientFaultRetriesToOracle) {
   const FuzzConfig cfg = FuzzConfigFromEnv(777, 1);
   Fixture f = MakeFixture(cfg.seed, 0);
-  // Reads 1..3 globally fail once each; retry succeeds (per-page ordinal 2).
-  f.injector->FailRead(FaultInjector::kAnyPage, /*nth=*/1, /*count=*/3);
+  // Reads 1..2 globally fail. The ordinals are global, so in the worst
+  // interleaving one read's initial attempt and first retry absorb both
+  // faults — still within the default budget of 2 retries, so the run
+  // recovers no matter how the I/O threads are scheduled.
+  f.injector->FailRead(FaultInjector::kAnyPage, /*nth=*/1, /*count=*/2);
 
   Runtime runtime(f.disk.get(), RuntimeOptions{});
   QuerySession session(&runtime);
