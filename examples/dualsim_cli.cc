@@ -16,6 +16,14 @@
 ///       Enumerate the query; print up to max_print embeddings (default 0:
 ///       count only). When a metrics path is given (or DUALSIM_METRICS_OUT
 ///       is set) the process-wide MetricsSnapshot is written there as JSON.
+///       Accepts --io-backend=<auto|threadpool|uring> and
+///       --io-queue-depth=<n> anywhere after "query".
+///
+///   dualsim_cli io-backends [--check <name>]
+///       List the compiled-in I/O backends and their availability. With
+///       --check, exit 0 when <name> is usable on this kernel and 6
+///       (kIoBackendExitCode) when it is not — run_all.sh uses this to
+///       fail fast on an unavailable --io-backend.
 ///
 /// <query> is "q1".."q5", a named shape ("triangle", "cycle5", ...), or an
 /// edge list like "0-1,1-2,2-0".
@@ -34,6 +42,7 @@
 #include "runtime/plan_cache.h"
 #include "service/query_service.h"
 #include "storage/disk_graph.h"
+#include "storage/io_backend.h"
 #include "storage/preprocess.h"
 #include "util/timer.h"
 
@@ -140,11 +149,55 @@ int CmdExplain(int argc, char** argv) {
   return 0;
 }
 
+/// Pulls --io-backend= / --io-queue-depth= out of argv (compacting the
+/// rest in place) so the positional arguments keep their indices.
+int ExtractIoFlags(int argc, char** argv, EngineOptions* options) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--io-backend=", 0) == 0) {
+      options->io_backend = arg.substr(std::string("--io-backend=").size());
+    } else if (arg.rfind("--io-queue-depth=", 0) == 0) {
+      options->io_queue_depth = static_cast<std::size_t>(
+          std::atoll(arg.c_str() + std::string("--io-queue-depth=").size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+int CmdIoBackends(int argc, char** argv) {
+  const std::string check =
+      (argc > 3 && std::string(argv[2]) == "--check") ? argv[3] : "";
+  const bool uring = UringAvailable();
+  if (check.empty()) {
+    std::printf("threadpool  available (portable default)\n");
+    std::printf("uring       %s\n",
+                uring ? "available" : UringUnavailableReason().c_str());
+    std::printf("auto        -> %s\n",
+                IoBackendKindName(ResolveIoBackendKind(IoBackendKind::kAuto)));
+    return 0;
+  }
+  auto kind = ParseIoBackendKind(check);
+  if (!kind.ok()) return Fail(kind.status());
+  if (*kind == IoBackendKind::kUring && !uring) {
+    std::fprintf(stderr, "io backend 'uring' unavailable: %s\n",
+                 UringUnavailableReason().c_str());
+    return service::kIoBackendExitCode;
+  }
+  std::printf("%s\n", IoBackendKindName(ResolveIoBackendKind(*kind)));
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
+  EngineOptions options;
+  argc = ExtractIoFlags(argc, argv, &options);
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: query <db_path> <query> [buffer_fraction] "
-                 "[max_print] [metrics.json]\n");
+                 "[max_print] [metrics.json] [--io-backend=<name>] "
+                 "[--io-queue-depth=<n>]\n");
     return 2;
   }
   auto disk = service::OpenServedGraph(argv[2]);
@@ -152,7 +205,6 @@ int CmdQuery(int argc, char** argv) {
   auto q = ParseQuery(argv[3]);
   if (!q.ok()) return Fail(q.status());
 
-  EngineOptions options;
   if (argc > 4) options.buffer_fraction = std::atof(argv[4]);
   const int max_print = argc > 5 ? std::atoi(argv[5]) : 0;
 
@@ -177,6 +229,7 @@ int CmdQuery(int argc, char** argv) {
 
   std::printf("embeddings:    %llu\n",
               static_cast<unsigned long long>(result->embeddings));
+  std::printf("io backend:    %s\n", result->io_backend.c_str());
   std::printf("elapsed:       %.3fs (prepare %.3fms)\n",
               result->elapsed_seconds, result->prepare_millis);
   std::printf("page reads:    %llu physical, %llu hits (%zu frames)\n",
@@ -213,7 +266,9 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "explain") return CmdExplain(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
+  if (command == "io-backends") return CmdIoBackends(argc, argv);
   std::fprintf(stderr,
-               "usage: dualsim_cli <build|stats|explain|query> ...\n");
+               "usage: dualsim_cli <build|stats|explain|query|io-backends> "
+               "...\n");
   return 2;
 }

@@ -2,6 +2,7 @@
 ///
 ///   dualsim_serve <db_path> [--port N] [--workers N] [--queue-depth N]
 ///                 [--buffer-fraction F] [--metrics metrics.json]
+///                 [--io-backend auto|threadpool|uring] [--io-queue-depth N]
 ///
 /// Binds 127.0.0.1:<port> (an ephemeral port when 0 or omitted; the bound
 /// port is printed either way), serves SUBMIT/CANCEL/STATUS/SHUTDOWN
@@ -9,7 +10,8 @@
 /// SHUTDOWN — draining in-flight queries and flushing metrics first.
 ///
 /// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage,
-/// 3 missing/unreadable graph database.
+/// 3 missing/unreadable graph database, 6 requested --io-backend
+/// unavailable on this build/kernel.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +30,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dualsim_serve <db_path> [--port N] [--workers N] "
                "[--queue-depth N] [--buffer-fraction F] "
-               "[--metrics metrics.json]\n");
+               "[--metrics metrics.json] "
+               "[--io-backend auto|threadpool|uring] [--io-queue-depth N]\n");
   return 2;
 }
 
@@ -54,6 +57,10 @@ int main(int argc, char** argv) {
       ropt.buffer_fraction = std::atof(value);
     } else if (flag == "--metrics") {
       sopt.metrics_path = value;
+    } else if (flag == "--io-backend") {
+      ropt.io_backend = value;
+    } else if (flag == "--io-queue-depth") {
+      ropt.io_queue_depth = static_cast<std::size_t>(std::atoi(value));
     } else {
       return Usage();
     }
@@ -75,6 +82,15 @@ int main(int argc, char** argv) {
               (*disk)->num_pages());
 
   Runtime runtime(disk->get(), ropt);
+  if (!runtime.init_status().ok()) {
+    // An explicitly requested backend that this build/kernel cannot
+    // provide gets its own exit code so scripts can skip instead of fail.
+    std::fprintf(stderr, "error: %s\n",
+                 runtime.init_status().ToString().c_str());
+    return service::kIoBackendExitCode;
+  }
+  std::printf("io backend: %s (queue depth %zu)\n", runtime.io_backend_name(),
+              ropt.io_queue_depth);
   service::QueryService svc(&runtime, sopt);
   if (Status s = svc.Start(); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());

@@ -157,42 +157,47 @@ void MatchPass::ProcessLastLevelWindow(std::uint8_t l,
     runs.push_back(std::move(run));
   }
 
-  std::latch done(static_cast<std::ptrdiff_t>(runs.size()));
+  // `pages` is the concatenation of the runs' page lists in order; map the
+  // flat PinMany index back to (run, offset) so the whole window goes to
+  // the backend as one batched submit.
+  std::vector<std::pair<Run*, std::size_t>> slots;
+  slots.reserve(pages.size());
   for (auto& run_ptr : runs) {
-    Run* run = run_ptr.get();
-    for (std::size_t k = 0; k < run->pages.size(); ++k) {
-      ctx_.pool->PinAsync(run->pages[k], [this, l, run, k, &done](
-                                             Status s, PageId p,
-                                             const std::byte* data) {
-        (void)p;
-        if (!s.ok()) {
-          // Failed pins hold no frame; nothing to unpin. Starvation is
-          // recoverable (the scheduler re-dispatches the run in a smaller
-          // window); anything else is fatal for the whole run.
-          if (s.code() == StatusCode::kResourceExhausted) {
-            run->starved.store(true, std::memory_order_relaxed);
-          } else {
-            run->fatal.store(true, std::memory_order_relaxed);
-            ctx_.SetError(s);
-          }
-        } else {
-          run->data[k] = data;
-        }
-        if (run->remaining.fetch_sub(1) == 1) {
-          ctx_.tasks->Run([this, l, run, &done] {
-            const bool skip = run->starved.load(std::memory_order_relaxed) ||
-                              run->fatal.load(std::memory_order_relaxed) ||
-                              ctx_.ShouldStop();
-            if (!skip) EnumerateLastLevelRun(l, run->data);
-            for (std::size_t j = 0; j < run->pages.size(); ++j) {
-              if (run->data[j] != nullptr) ctx_.pool->Unpin(run->pages[j]);
-            }
-            done.count_down();
-          });
-        }
-      });
+    for (std::size_t k = 0; k < run_ptr->pages.size(); ++k) {
+      slots.emplace_back(run_ptr.get(), k);
     }
   }
+
+  std::latch done(static_cast<std::ptrdiff_t>(runs.size()));
+  ctx_.pool->PinMany(pages, [this, l, &slots, &done](std::size_t i, Status s,
+                                                     const std::byte* data) {
+    auto [run, k] = slots[i];
+    if (!s.ok()) {
+      // Failed pins hold no frame; nothing to unpin. Starvation is
+      // recoverable (the scheduler re-dispatches the run in a smaller
+      // window); anything else is fatal for the whole run.
+      if (s.code() == StatusCode::kResourceExhausted) {
+        run->starved.store(true, std::memory_order_relaxed);
+      } else {
+        run->fatal.store(true, std::memory_order_relaxed);
+        ctx_.SetError(s);
+      }
+    } else {
+      run->data[k] = data;
+    }
+    if (run->remaining.fetch_sub(1) == 1) {
+      ctx_.tasks->Run([this, l, run, &done] {
+        const bool skip = run->starved.load(std::memory_order_relaxed) ||
+                          run->fatal.load(std::memory_order_relaxed) ||
+                          ctx_.ShouldStop();
+        if (!skip) EnumerateLastLevelRun(l, run->data);
+        for (std::size_t j = 0; j < run->pages.size(); ++j) {
+          if (run->data[j] != nullptr) ctx_.pool->Unpin(run->pages[j]);
+        }
+        done.count_down();
+      });
+    }
+  });
   done.wait();
   if (starved != nullptr) {
     for (const auto& run : runs) {

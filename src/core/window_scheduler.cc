@@ -253,16 +253,15 @@ Status WindowScheduler::ProcessInnerWindow(std::uint8_t l,
   };
   std::vector<Arrival> arrivals(pages.size());
   std::latch arrived(static_cast<std::ptrdiff_t>(pages.size()));
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    arrivals[i].pid = pages[i];
-    ctx_.pool->PinAsync(pages[i],
-                        [&arrivals, &arrived, i](Status s, PageId,
-                                                 const std::byte* data) {
-                          arrivals[i].status = std::move(s);
-                          arrivals[i].data = data;
-                          arrived.count_down();
-                        });
-  }
+  for (std::size_t i = 0; i < pages.size(); ++i) arrivals[i].pid = pages[i];
+  // One batched submit for the whole window: the backend sees the page
+  // set at once (the paper's per-window AsyncRead).
+  ctx_.pool->PinMany(pages, [&arrivals, &arrived](std::size_t i, Status s,
+                                                  const std::byte* data) {
+    arrivals[i].status = std::move(s);
+    arrivals[i].data = data;
+    arrived.count_down();
+  });
   arrived.wait();
   Status fatal;
   Status starved;

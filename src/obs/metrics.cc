@@ -45,10 +45,24 @@ MetricsSnapshot::HistogramValue MetricsSnapshot::histogram(
   return it == histograms.end() ? HistogramValue{} : it->second;
 }
 
+std::string MetricsSnapshot::label(std::string_view name) const {
+  auto it = labels.find(std::string(name));
+  return it == labels.end() ? std::string() : it->second;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\"metrics_enabled\": ";
   out += kMetricsEnabled ? "true" : "false";
-  out += ", \"counters\": {";
+  out += ", \"labels\": {";
+  bool lfirst = true;
+  for (const auto& [name, value] : labels) {
+    if (!lfirst) out += ", ";
+    lfirst = false;
+    AppendJsonString(&out, name);
+    out += ": ";
+    AppendJsonString(&out, value);
+  }
+  out += "}, \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
     if (!first) out += ", ";
@@ -141,6 +155,16 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
+void MetricsRegistry::SetLabel(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    labels_.emplace(std::string(name), std::string(value));
+  } else {
+    it->second.assign(value);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot out;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -153,6 +177,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     out.histograms.emplace(name, histogram->value());
   }
+  out.labels = std::map<std::string, std::string>(labels_.begin(),
+                                                  labels_.end());
   return out;
 }
 

@@ -59,6 +59,10 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramValue> histograms;
+  /// Free-form string labels describing configuration rather than counts
+  /// (e.g. "io.backend" -> "uring"). Last write wins; not reset by
+  /// ResetAll since configuration survives a counter reset.
+  std::map<std::string, std::string> labels;
 
   /// Counter value by name; 0 when absent (or when metrics are compiled
   /// out), so delta-based assertions degrade gracefully.
@@ -67,8 +71,11 @@ struct MetricsSnapshot {
   /// Histogram by name; an all-zero value when absent.
   HistogramValue histogram(std::string_view name) const;
 
-  /// Compact single-object JSON: {"metrics_enabled": ..., "counters":
-  /// {...}, "gauges": {...}, "histograms": {...}}.
+  /// Label value by name; "" when absent.
+  std::string label(std::string_view name) const;
+
+  /// Compact single-object JSON: {"metrics_enabled": ..., "labels": {...},
+  /// "counters": {...}, "gauges": {...}, "histograms": {...}}.
   std::string ToJson() const;
 };
 
@@ -242,6 +249,10 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
+  /// Sets a configuration label included in every snapshot (last write
+  /// wins). Labels survive ResetAll.
+  void SetLabel(std::string_view name, std::string_view value);
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every registered metric (tests / bench warm-up only; prefer
@@ -255,6 +266,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> labels_;
 };
 
 #else  // DUALSIM_NO_METRICS: same shape, zero storage, all no-ops.
@@ -292,6 +304,7 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view) { return &counter_; }
   Gauge* GetGauge(std::string_view) { return &gauge_; }
   Histogram* GetHistogram(std::string_view) { return &histogram_; }
+  void SetLabel(std::string_view, std::string_view) {}
   MetricsSnapshot Snapshot() const { return {}; }
   void ResetAll() {}
 

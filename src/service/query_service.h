@@ -33,6 +33,12 @@ namespace dualsim::service {
 /// 2 = usage error).
 inline constexpr int kGraphLoadExitCode = 3;
 
+/// Exit code for "the requested I/O backend is unavailable on this
+/// build/kernel" (dualsim_cli io-backends --check, run_all.sh
+/// --io-backend). Distinct from generic failures so scripts can skip
+/// instead of fail.
+inline constexpr int kIoBackendExitCode = 6;
+
 /// Opens the graph database a front end is about to serve, wrapping
 /// storage errors with an actionable message. kNotFound (missing path)
 /// keeps its typed code so callers can map it to kGraphLoadExitCode.

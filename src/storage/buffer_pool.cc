@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <chrono>
+#include <new>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -10,9 +11,10 @@ namespace dualsim {
 namespace {
 
 /// obs counters, resolved once per process. Invariant kept by every pin
-/// path: lookups == hits + misses + starved (each Pin/PinAsync call is
-/// classified exactly once; a waiter piggybacking on an in-flight read
-/// counts as a hit because it triggers no new physical read).
+/// path: lookups == hits + misses + starved (each Pin/PinAsync/PinMany
+/// element is classified exactly once; a waiter piggybacking on an
+/// in-flight read counts as a hit because it triggers no new physical
+/// read).
 struct PoolMetrics {
   obs::Counter* lookups;
   obs::Counter* hits;
@@ -38,25 +40,55 @@ PoolMetrics& Metrics() {
   return m;
 }
 
+/// Frame-arena alignment: covers O_DIRECT and io_uring fixed-buffer
+/// requirements for any 4 KiB-multiple page size.
+constexpr std::size_t kArenaAlign = 4096;
+
 }  // namespace
+
+void BufferPool::ArenaDeleter::operator()(std::byte* p) const {
+  ::operator delete[](p, std::align_val_t{kArenaAlign});
+}
+
+BufferPool::BufferPool(PageFile* file, std::size_t num_frames,
+                       IoBackend* backend, BufferPoolOptions options)
+    : file_(file), backend_(backend), options_(options) {
+  InitFrames(num_frames);
+}
 
 BufferPool::BufferPool(PageFile* file, std::size_t num_frames,
                        ThreadPool* io_pool, BufferPoolOptions options)
-    : file_(file), io_pool_(io_pool), options_(options) {
+    : file_(file),
+      owned_backend_(CreateThreadPoolIoBackend(file, io_pool)),
+      backend_(owned_backend_.get()),
+      options_(options) {
+  InitFrames(num_frames);
+}
+
+void BufferPool::InitFrames(std::size_t num_frames) {
   DS_CHECK_GE(num_frames, 1u);
   frames_.resize(num_frames);
-  storage_.resize(num_frames * file_->page_size());
+  storage_bytes_ = num_frames * file_->page_size();
+  storage_.reset(static_cast<std::byte*>(
+      ::operator new[](storage_bytes_, std::align_val_t{kArenaAlign})));
   free_frames_.reserve(num_frames);
   for (std::uint32_t i = 0; i < num_frames; ++i) {
     free_frames_.push_back(static_cast<std::uint32_t>(num_frames - 1 - i));
   }
+  // Best effort: a backend without fixed-buffer support ignores this, and
+  // a failed registration (memlock limits) just means unregistered reads.
+  (void)backend_->RegisterBufferArena(storage_.get(), storage_bytes_);
 }
 
 BufferPool::~BufferPool() {
-  // Wait for in-flight async reads so their callbacks don't touch a dead
-  // pool.
-  std::unique_lock<std::mutex> lock(mutex_);
-  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  {
+    // Wait for in-flight async reads so their callbacks don't touch a
+    // dead pool.
+    std::unique_lock<std::mutex> lock(mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  // The arena dies with us; a shared backend must stop referencing it.
+  (void)backend_->RegisterBufferArena(nullptr, 0);
 }
 
 std::uint32_t BufferPool::AllocateFrameLocked() {
@@ -86,7 +118,7 @@ Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
                                  std::uint64_t* retries) {
   const auto start = std::chrono::steady_clock::now();
   *retries = 0;
-  Status status = file_->ReadPage(pid, out);
+  Status status = backend_->ReadPage(pid, out);
   std::uint32_t backoff = options_.retry_backoff_us;
   for (int attempt = 0; attempt < options_.max_read_retries &&
                         status.code() == StatusCode::kIOError;
@@ -96,7 +128,7 @@ Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
       backoff *= 2;
     }
     ++*retries;
-    status = file_->ReadPage(pid, out);
+    status = backend_->ReadPage(pid, out);
   }
   if (options_.read_latency_us > 0) {
     std::this_thread::sleep_for(
@@ -114,9 +146,49 @@ Status BufferPool::ReadWithRetry(PageId pid, std::byte* out,
   return status;
 }
 
-void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
-  std::uint64_t retries = 0;
-  const Status status = ReadWithRetry(pid, FrameData(frame_id), &retries);
+IoReadRequest BufferPool::MakeLoadRequest(
+    std::uint32_t frame_id, PageId pid, int attempt,
+    std::chrono::steady_clock::time_point start) {
+  IoReadRequest req;
+  req.pid = pid;
+  req.dst = FrameData(frame_id);
+  req.done = [this, frame_id, pid, attempt, start](Status status) {
+    OnLoadComplete(frame_id, pid, attempt, start, std::move(status));
+  };
+  return req;
+}
+
+void BufferPool::OnLoadComplete(std::uint32_t frame_id, PageId pid,
+                                int attempt,
+                                std::chrono::steady_clock::time_point start,
+                                Status status) {
+  if (status.code() == StatusCode::kIOError &&
+      attempt < options_.max_read_retries) {
+    // Retry-with-backoff, moved from ReadWithRetry into the completion so
+    // it works for any backend. SubmitRead never blocks on queue depth,
+    // so resubmitting from a completion thread cannot deadlock.
+    const std::uint32_t backoff = options_.retry_backoff_us << attempt;
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+    Metrics().retries->Increment();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.read_retries;
+    }
+    backend_->SubmitRead(MakeLoadRequest(frame_id, pid, attempt + 1, start));
+    return;
+  }
+  if (options_.read_latency_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.read_latency_us));
+  }
+  const auto elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  Metrics().read_latency_us->Record(elapsed_us);
+  if (attempt > 0) Metrics().retry_latency_us->Record(elapsed_us);
 
   std::vector<PinCallback> callbacks;
   {
@@ -124,7 +196,6 @@ void BufferPool::LoadAndDispatch(std::uint32_t frame_id, PageId pid) {
     Frame& f = frames_[frame_id];
     ++stats_.physical_reads;
     stats_.bytes_read += page_size();
-    stats_.read_retries += retries;
     if (!status.ok()) ++stats_.failed_reads;
     if (status.ok()) {
       f.state = FrameState::kReady;
@@ -218,7 +289,7 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
   if (it != page_table_.end()) {
     Frame& f = frames_[it->second];
     if (f.state == FrameState::kLoading) {
-      ++f.pins;  // credited now; LoadAndDispatch hands the pin to callback
+      ++f.pins;  // credited now; OnLoadComplete hands the pin to callback
       f.waiters.push_back(std::move(callback));
       Metrics().hits->Increment();
       return;
@@ -252,7 +323,89 @@ void BufferPool::PinAsync(PageId pid, PinCallback callback) {
   Metrics().misses->Increment();
   ++inflight_;
   lock.unlock();
-  io_pool_->Enqueue([this, frame_id, pid] { LoadAndDispatch(frame_id, pid); });
+  backend_->SubmitRead(MakeLoadRequest(frame_id, pid, /*attempt=*/0,
+                                       std::chrono::steady_clock::now()));
+}
+
+void BufferPool::PinMany(std::span<const PageId> pids,
+                         PinManyCallback callback) {
+  if (pids.empty()) return;
+  Metrics().lookups->Increment(pids.size());
+
+  // Inline completions (hits and starvation) delivered after the lock is
+  // released; misses collected into one batched submit.
+  struct Inline {
+    std::size_t index;
+    Status status;
+    const std::byte* data;
+  };
+  std::vector<Inline> inline_done;
+  std::vector<std::uint32_t> miss_frames;
+  std::vector<std::size_t> miss_indices;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      const PageId pid = pids[i];
+      auto it = page_table_.find(pid);
+      if (it != page_table_.end()) {
+        Frame& f = frames_[it->second];
+        if (f.state == FrameState::kLoading) {
+          ++f.pins;
+          f.waiters.push_back(
+              [callback, i](Status s, PageId, const std::byte* data) {
+                callback(i, std::move(s), data);
+              });
+          Metrics().hits->Increment();
+          continue;
+        }
+        if (f.pins == 0 && f.in_lru) {
+          lru_.erase(f.lru_it);
+          f.in_lru = false;
+        }
+        ++f.pins;
+        ++stats_.logical_hits;
+        Metrics().hits->Increment();
+        inline_done.push_back({i, Status::OK(), FrameData(it->second)});
+        continue;
+      }
+      const std::uint32_t frame_id = AllocateFrameLocked();
+      if (frame_id == frames_.size()) {
+        Metrics().starved->Increment();
+        inline_done.push_back(
+            {i, Status::ResourceExhausted("all buffer frames pinned"),
+             nullptr});
+        continue;
+      }
+      Frame& f = frames_[frame_id];
+      f.page = pid;
+      f.state = FrameState::kLoading;
+      f.pins = 1;
+      f.waiters.push_back(
+          [callback, i](Status s, PageId, const std::byte* data) {
+            callback(i, std::move(s), data);
+          });
+      page_table_.emplace(pid, frame_id);
+      Metrics().misses->Increment();
+      ++inflight_;
+      miss_frames.push_back(frame_id);
+      miss_indices.push_back(i);
+    }
+  }
+
+  for (Inline& d : inline_done) {
+    callback(d.index, std::move(d.status), d.data);
+  }
+  if (miss_frames.empty()) return;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<IoReadRequest> batch;
+  batch.reserve(miss_frames.size());
+  for (std::size_t k = 0; k < miss_frames.size(); ++k) {
+    batch.push_back(MakeLoadRequest(miss_frames[k], pids[miss_indices[k]],
+                                    /*attempt=*/0, start));
+  }
+  backend_->SubmitReads(std::move(batch));
 }
 
 void BufferPool::Unpin(PageId pid) {

@@ -2,15 +2,19 @@
 #define DUALSIM_STORAGE_BUFFER_POOL_H_
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "storage/io_backend.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "util/status.h"
@@ -72,6 +76,11 @@ struct BufferPoolOptions {
 /// access through AsyncPin: Algorithm 1/2 issue AsyncRead(pid, callback)
 /// and overlap enumeration with the in-flight reads.
 ///
+/// Every physical read goes through an IoBackend (storage/io_backend.h):
+/// the portable thread-pool backend or io_uring. The pool's frame arena is
+/// 4096-byte aligned and registered with the backend so io_uring can use
+/// fixed buffers and O_DIRECT against it.
+///
 /// Replacement is LRU over unpinned frames, but DualSim pins whole windows
 /// and unpins them when a window is done, so eviction order is effectively
 /// dictated by the engine (as in the paper, which sizes windows to the
@@ -79,7 +88,14 @@ struct BufferPoolOptions {
 /// correctness).
 class BufferPool {
  public:
-  /// `io_pool` runs asynchronous reads; it may be shared with other pools.
+  /// Reads through `backend` (not owned; must outlive the pool). This is
+  /// the runtime's constructor — the backend is selected by the
+  /// io_backend option and shared across pool regrowth.
+  BufferPool(PageFile* file, std::size_t num_frames, IoBackend* backend,
+             BufferPoolOptions options = {});
+
+  /// Convenience constructor: builds and owns a thread-pool backend over
+  /// `io_pool` (the pre-IoBackend behaviour; tests and tools use this).
   BufferPool(PageFile* file, std::size_t num_frames, ThreadPool* io_pool,
              BufferPoolOptions options = {});
   ~BufferPool();
@@ -90,6 +106,10 @@ class BufferPool {
   std::size_t num_frames() const { return frames_.size(); }
   std::size_t page_size() const { return file_->page_size(); }
 
+  /// Name of the I/O backend serving this pool ("threadpool", "uring").
+  const char* backend_name() const { return backend_->name(); }
+  IoBackend* backend() const { return backend_; }
+
   /// Pins `pid`, reading it synchronously if absent. On success `*data`
   /// points at the frame contents, valid until the matching Unpin.
   Status Pin(PageId pid, const std::byte** data);
@@ -99,9 +119,23 @@ class BufferPool {
   using PinCallback = std::function<void(Status, PageId, const std::byte*)>;
 
   /// Pins `pid` asynchronously. If the page is already resident the
-  /// callback runs inline on the calling thread; otherwise it runs on the
-  /// I/O pool as soon as the read completes (the paper's AsyncRead).
+  /// callback runs inline on the calling thread; otherwise it runs on a
+  /// backend completion thread as soon as the read arrives (the paper's
+  /// AsyncRead).
   void PinAsync(PageId pid, PinCallback callback);
+
+  /// Per-element completion for PinMany: the element's index in `pids`,
+  /// the pin status, and the frame bytes (nullptr on error). Each element
+  /// completes exactly once; hits complete inline on the calling thread.
+  using PinManyCallback =
+      std::function<void(std::size_t index, Status, const std::byte*)>;
+
+  /// Window-granularity AsyncRead: classifies the whole page set under one
+  /// lock pass and hands every miss to the backend as a single batched
+  /// submit (one io_uring_enter for the uring backend). Elements that are
+  /// resident complete inline; duplicates are legal (the second occurrence
+  /// piggybacks on the first one's read, each getting its own pin).
+  void PinMany(std::span<const PageId> pids, PinManyCallback callback);
 
   /// Releases one pin. The data pointer must no longer be used once the
   /// pin count may have reached zero.
@@ -131,6 +165,8 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  void InitFrames(std::size_t num_frames);
+
   /// Finds a frame for a new page: a free frame or an LRU victim.
   /// Returns frames_.size() when everything is pinned. Requires lock held.
   std::uint32_t AllocateFrameLocked();
@@ -140,22 +176,37 @@ class BufferPool {
   /// reports the extra attempts for the caller to fold into stats_.
   Status ReadWithRetry(PageId pid, std::byte* out, std::uint64_t* retries);
 
-  /// Performs the physical read for `frame_id` (lock NOT held), then marks
-  /// the frame ready and dispatches callbacks.
-  void LoadAndDispatch(std::uint32_t frame_id, PageId pid);
+  /// Builds the backend request for one async frame load (attempt 0) or a
+  /// retry (attempt > 0).
+  IoReadRequest MakeLoadRequest(std::uint32_t frame_id, PageId pid,
+                                int attempt,
+                                std::chrono::steady_clock::time_point start);
+
+  /// Backend completion for an async frame load: resubmits retriable
+  /// IOErrors (bounded backoff), then marks the frame ready (or drops it)
+  /// and dispatches the waiters. Runs on a backend completion thread.
+  void OnLoadComplete(std::uint32_t frame_id, PageId pid, int attempt,
+                      std::chrono::steady_clock::time_point start,
+                      Status status);
 
   std::byte* FrameData(std::uint32_t frame_id) {
-    return storage_.data() + static_cast<std::size_t>(frame_id) * page_size();
+    return storage_.get() + static_cast<std::size_t>(frame_id) * page_size();
   }
 
+  struct ArenaDeleter {
+    void operator()(std::byte* p) const;
+  };
+
   PageFile* file_;
-  ThreadPool* io_pool_;
+  std::unique_ptr<IoBackend> owned_backend_;  // legacy ctor only
+  IoBackend* backend_;
   BufferPoolOptions options_;
 
   mutable std::mutex mutex_;
   std::condition_variable ready_cv_;
   std::vector<Frame> frames_;
-  std::vector<std::byte> storage_;
+  std::unique_ptr<std::byte[], ArenaDeleter> storage_;
+  std::size_t storage_bytes_ = 0;
   std::unordered_map<PageId, std::uint32_t> page_table_;
   std::list<std::uint32_t> lru_;  // front = oldest unpinned
   std::vector<std::uint32_t> free_frames_;

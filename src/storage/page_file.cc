@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "storage/io_backend.h"
 
 namespace dualsim {
 namespace {
@@ -93,51 +94,63 @@ StatusOr<std::unique_ptr<PageFile>> PageFile::Open(
   return file;
 }
 
-Status PageFile::ReadPage(PageId pid, std::byte* out) const {
-  if (pid >= num_pages_) return Status::InvalidArgument("page out of range");
-  const auto start = std::chrono::steady_clock::now();
-  Metrics().reads->Increment();
-  const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
-  if (injector_ != nullptr) {
-    FaultDecision fault = injector_->OnRead(pid);
-    if (fault.latency_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(fault.latency_us));
-    }
-    if (!fault.status.ok()) {
-      // Short read: transfer the prefix the "device" managed, then fail.
-      if (fault.truncate_to < page_size_ && fault.truncate_to > 0) {
-        (void)::pread(fd_, out, fault.truncate_to, offset);
-      }
-      Metrics().read_faults->Increment();
-      return fault.status;
-    }
+Status PageFile::ConsultReadFaults(PageId pid, std::byte* out) const {
+  if (injector_ == nullptr) return Status::OK();
+  FaultDecision fault = injector_->OnRead(pid);
+  if (fault.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(fault.latency_us));
   }
-  std::size_t done = 0;
-  while (done < page_size_) {
-    const ssize_t n = ::pread(fd_, out + done, page_size_ - done,
-                              offset + static_cast<off_t>(done));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Metrics().read_faults->Increment();
-      return Status::IOError(Errno("pread", path_));
+  if (!fault.status.ok()) {
+    // Short read: transfer the prefix the "device" managed, then fail.
+    if (fault.truncate_to < page_size_ && fault.truncate_to > 0) {
+      const off_t offset =
+          static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+      (void)io_internal::PreadFull(fd_, path_, out, fault.truncate_to, offset);
     }
-    if (n == 0) {
-      Metrics().read_faults->Increment();
-      return Status::IOError("short read from " + path_);
-    }
-    done += static_cast<std::size_t>(n);
+    Metrics().read_faults->Increment();
+    return fault.status;
   }
+  return Status::OK();
+}
+
+void PageFile::NoteReadIssued() const { Metrics().reads->Increment(); }
+
+void PageFile::NoteReadCompleted(std::uint64_t latency_us) const {
   Metrics().bytes_read->Increment(page_size_);
-  Metrics().read_latency_us->Record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count()));
+  Metrics().read_latency_us->Record(latency_us);
+}
+
+void PageFile::NoteReadFailed() const { Metrics().read_faults->Increment(); }
+
+void PageFile::DropOsCache(PageId pid) const {
 #ifdef POSIX_FADV_DONTNEED
   if (bypass_os_cache_) {
+    const off_t offset =
+        static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
     ::posix_fadvise(fd_, offset, static_cast<off_t>(page_size_),
                     POSIX_FADV_DONTNEED);
   }
+#else
+  (void)pid;
 #endif
+}
+
+Status PageFile::ReadPage(PageId pid, std::byte* out) const {
+  if (pid >= num_pages_) return Status::InvalidArgument("page out of range");
+  const auto start = std::chrono::steady_clock::now();
+  NoteReadIssued();
+  DUALSIM_RETURN_IF_ERROR(ConsultReadFaults(pid, out));
+  const off_t offset = static_cast<off_t>(pid) * static_cast<off_t>(page_size_);
+  Status status = io_internal::PreadFull(fd_, path_, out, page_size_, offset);
+  if (!status.ok()) {
+    NoteReadFailed();
+    return status;
+  }
+  NoteReadCompleted(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  DropOsCache(pid);
   return Status::OK();
 }
 
@@ -170,6 +183,12 @@ Status PageFile::WritePage(PageId pid, const std::byte* data) {
       if (errno == EINTR) continue;
       Metrics().write_faults->Increment();
       return Status::IOError(Errno("pwrite", path_));
+    }
+    if (n == 0) {
+      // pwrite returning 0 for a non-zero count means no progress is
+      // possible; looping would spin forever.
+      Metrics().write_faults->Increment();
+      return Status::IOError("short write to " + path_);
     }
     done += static_cast<std::size_t>(n);
   }

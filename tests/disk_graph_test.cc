@@ -7,27 +7,49 @@
 
 #include "graph/generators.h"
 #include "graph/reorder.h"
+#include "storage/io_backend.h"
+#include "util/thread_pool.h"
 
 namespace dualsim {
 namespace {
 
-class DiskGraphTest : public ::testing::Test {
+/// Round-trip verification runs once per I/O backend: the read-back path
+/// goes through the backend under test, so a backend that corrupts or
+/// drops bytes fails the content comparison. The uring variant skips
+/// gracefully when io_uring is unavailable.
+class DiskGraphTest : public ::testing::TestWithParam<std::string> {
  protected:
   void SetUp() override {
     dir_ = std::filesystem::temp_directory_path() /
            ("dualsim_dg_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
+    if (GetParam() == "uring" && !UringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable: " << UringUnavailableReason();
+    }
+    io_ = std::make_unique<ThreadPool>(2);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::string PathFor(const std::string& name) { return (dir_ / name).string(); }
+
+  /// One page read through the backend under test.
+  Status ReadVia(DiskGraph& disk, PageId pid, std::byte* out) {
+    if (backend_ == nullptr) {
+      auto kind = ParseIoBackendKind(GetParam());
+      EXPECT_TRUE(kind.ok()) << kind.status().ToString();
+      auto backend = CreateIoBackend(*kind, &disk.file(), io_.get());
+      EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+      backend_ = std::move(*backend);
+    }
+    return backend_->ReadPage(pid, out);
+  }
 
   /// Reads back the whole database through PageViews and compares with g.
   void VerifyContents(const Graph& g, DiskGraph& disk) {
     std::vector<std::vector<VertexId>> adj(g.NumVertices());
     std::vector<std::byte> buf(disk.page_size());
     for (PageId pid = 0; pid < disk.num_pages(); ++pid) {
-      ASSERT_TRUE(disk.file().ReadPage(pid, buf.data()).ok());
+      ASSERT_TRUE(ReadVia(disk, pid, buf.data()).ok());
       PageView view(buf.data(), disk.page_size());
       for (std::uint32_t s = 0; s < view.NumRecords(); ++s) {
         VertexRecord rec = view.GetRecord(s);
@@ -42,12 +64,17 @@ class DiskGraphTest : public ::testing::Test {
       ASSERT_EQ(adj[v].size(), want.size()) << "vertex " << v;
       EXPECT_TRUE(std::equal(want.begin(), want.end(), adj[v].begin()));
     }
+    // The backend is bound to this disk's PageFile; do not let it outlive
+    // the test-local DiskGraph.
+    backend_.reset();
   }
 
   std::filesystem::path dir_;
+  std::unique_ptr<ThreadPool> io_;
+  std::unique_ptr<IoBackend> backend_;
 };
 
-TEST_F(DiskGraphTest, BuildAndOpenRoundTrip) {
+TEST_P(DiskGraphTest, BuildAndOpenRoundTrip) {
   Graph g = ReorderByDegree(ErdosRenyi(120, 400, 3));
   const std::string path = PathFor("g.db");
   ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
@@ -59,7 +86,7 @@ TEST_F(DiskGraphTest, BuildAndOpenRoundTrip) {
   VerifyContents(g, **disk);
 }
 
-TEST_F(DiskGraphTest, FirstPageMapIsMonotone) {
+TEST_P(DiskGraphTest, FirstPageMapIsMonotone) {
   Graph g = ReorderByDegree(ErdosRenyi(200, 700, 5));
   const std::string path = PathFor("mono.db");
   ASSERT_TRUE(BuildDiskGraph(g, path, 256).ok());
@@ -76,7 +103,7 @@ TEST_F(DiskGraphTest, FirstPageMapIsMonotone) {
   }
 }
 
-TEST_F(DiskGraphTest, LargeAdjacencySplitsIntoSublists) {
+TEST_P(DiskGraphTest, LargeAdjacencySplitsIntoSublists) {
   // A star whose hub exceeds one tiny page.
   Graph g = Star(200);  // hub degree 199 >> capacity of a 128B page
   const std::string path = PathFor("split.db");
@@ -87,7 +114,7 @@ TEST_F(DiskGraphTest, LargeAdjacencySplitsIntoSublists) {
   VerifyContents(g, **disk);
 }
 
-TEST_F(DiskGraphTest, RequireSinglePageRejectsBigVertices) {
+TEST_P(DiskGraphTest, RequireSinglePageRejectsBigVertices) {
   Graph g = Star(200);
   EXPECT_EQ(BuildDiskGraph(g, PathFor("rej.db"), 128,
                            /*require_single_page=*/true)
@@ -95,7 +122,7 @@ TEST_F(DiskGraphTest, RequireSinglePageRejectsBigVertices) {
             StatusCode::kInvalidArgument);
 }
 
-TEST_F(DiskGraphTest, MultiPageCatalogFields) {
+TEST_P(DiskGraphTest, MultiPageCatalogFields) {
   Graph g = Star(200);  // hub spans several 128-byte pages
   const std::string path = PathFor("cat.db");
   ASSERT_TRUE(BuildDiskGraph(g, path, 128).ok());
@@ -121,7 +148,7 @@ TEST_F(DiskGraphTest, MultiPageCatalogFields) {
             (*disk)->LastPageOf(hub) - (*disk)->FirstPageOf(hub) + 1);
 }
 
-TEST_F(DiskGraphTest, SinglePageGraphHasTrivialSpans) {
+TEST_P(DiskGraphTest, SinglePageGraphHasTrivialSpans) {
   Graph g = ReorderByDegree(ErdosRenyi(100, 300, 3));
   const std::string path = PathFor("sp.db");
   ASSERT_TRUE(BuildDiskGraph(g, path, 4096).ok());
@@ -133,11 +160,11 @@ TEST_F(DiskGraphTest, SinglePageGraphHasTrivialSpans) {
   }
 }
 
-TEST_F(DiskGraphTest, OpenWithoutMetaFails) {
+TEST_P(DiskGraphTest, OpenWithoutMetaFails) {
   EXPECT_FALSE(DiskGraph::Open(PathFor("missing.db")).ok());
 }
 
-TEST_F(DiskGraphTest, TinyGraphRoundTrip) {
+TEST_P(DiskGraphTest, TinyGraphRoundTrip) {
   Graph g = Path(3);  // vertex degrees 1,2,1
   const std::string path = PathFor("p3.db");
   ASSERT_TRUE(BuildDiskGraph(g, path, 256).ok());
@@ -146,6 +173,10 @@ TEST_F(DiskGraphTest, TinyGraphRoundTrip) {
   EXPECT_EQ((*disk)->num_vertices(), 3u);
   VerifyContents(g, **disk);
 }
+
+INSTANTIATE_TEST_SUITE_P(Backends, DiskGraphTest,
+                         ::testing::Values("threadpool", "uring"),
+                         [](const auto& info) { return info.param; });
 
 }  // namespace
 }  // namespace dualsim

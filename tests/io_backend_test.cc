@@ -1,0 +1,358 @@
+#include "storage/io_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <latch>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/fault_injection.h"
+#include "storage/page_file.h"
+#include "util/thread_pool.h"
+
+namespace dualsim {
+namespace {
+
+constexpr std::size_t kPage = 256;
+constexpr PageId kPages = 64;
+
+/// Scoped setenv/unsetenv so fallback-ladder tests cannot leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+class IoBackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    auto file = PageFile::Create((dir_ / "io.pages").string(), kPage);
+    ASSERT_TRUE(file.ok());
+    file_ = std::move(*file);
+    std::vector<std::byte> page(kPage);
+    for (PageId pid = 0; pid < kPages; ++pid) {
+      std::memset(page.data(), static_cast<int>(pid % 251 + 1), kPage);
+      ASSERT_TRUE(file_->WritePage(pid, page.data()).ok());
+    }
+    io_ = std::make_unique<ThreadPool>(2);
+    if (GetParam() == "uring" && !UringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable: " << UringUnavailableReason();
+    }
+  }
+  void TearDown() override {
+    file_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<IoBackend> MakeBackend(std::size_t queue_depth = 8) {
+    auto kind = ParseIoBackendKind(GetParam());
+    EXPECT_TRUE(kind.ok());
+    IoBackendOptions options;
+    options.queue_depth = queue_depth;
+    auto backend = CreateIoBackend(*kind, file_.get(), io_.get(), options);
+    EXPECT_TRUE(backend.ok()) << backend.status().ToString();
+    return std::move(*backend);
+  }
+
+  static int Expected(PageId pid) { return static_cast<int>(pid % 251 + 1); }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<PageFile> file_;
+  std::unique_ptr<ThreadPool> io_;
+};
+
+TEST_P(IoBackendTest, SynchronousReadPage) {
+  auto backend = MakeBackend();
+  EXPECT_EQ(std::string(backend->name()), GetParam());
+  std::vector<std::byte> buf(kPage);
+  ASSERT_TRUE(backend->ReadPage(5, buf.data()).ok());
+  EXPECT_EQ(static_cast<int>(buf[0]), Expected(5));
+  EXPECT_EQ(static_cast<int>(buf[kPage - 1]), Expected(5));
+}
+
+TEST_P(IoBackendTest, BatchedSubmitCompletesEveryRequestWithItsOwnBuffer) {
+  auto backend = MakeBackend();
+  // One distinct destination per request: a backend that crosses wires
+  // (wrong completion for a slot) corrupts a specific buffer.
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(kPage));
+  std::latch done(kPages);
+  std::atomic<int> failures{0};
+  std::vector<IoReadRequest> batch;
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    IoReadRequest req;
+    req.pid = pid;
+    req.dst = bufs[pid].data();
+    req.done = [&, pid](Status s) {
+      if (!s.ok()) failures.fetch_add(1);
+      done.count_down();
+    };
+    batch.push_back(std::move(req));
+  }
+  backend->SubmitReads(std::move(batch));
+  done.wait();
+  EXPECT_EQ(failures.load(), 0);
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    EXPECT_EQ(static_cast<int>(bufs[pid][0]), Expected(pid)) << pid;
+    EXPECT_EQ(static_cast<int>(bufs[pid][kPage - 1]), Expected(pid)) << pid;
+  }
+}
+
+TEST_P(IoBackendTest, QueueDepthSaturationParksOverflow) {
+  // Far more in-flight reads than the submission queue holds: the backend
+  // must park overflow in userspace and complete everything (never block
+  // the submitter, never drop a request).
+  auto backend = MakeBackend(/*queue_depth=*/2);
+  constexpr int kRounds = 8;
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(kPage));
+  std::latch done(kPages * kRounds);
+  std::atomic<int> failures{0};
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<IoReadRequest> batch;
+    for (PageId pid = 0; pid < kPages; ++pid) {
+      IoReadRequest req;
+      req.pid = pid;
+      req.dst = bufs[pid].data();
+      req.done = [&](Status s) {
+        if (!s.ok()) failures.fetch_add(1);
+        done.count_down();
+      };
+      batch.push_back(std::move(req));
+    }
+    backend->SubmitReads(std::move(batch));
+  }
+  done.wait();
+  EXPECT_EQ(failures.load(), 0);
+  backend->Drain();
+}
+
+TEST_P(IoBackendTest, DrainOnDestructionRunsEveryCompletion) {
+  std::atomic<int> completions{0};
+  // bufs outlives the backend: the destructor's drain guarantee is what
+  // makes the in-flight writes into them safe.
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(kPage));
+  {
+    auto backend = MakeBackend();
+    std::vector<IoReadRequest> batch;
+    for (PageId pid = 0; pid < kPages; ++pid) {
+      IoReadRequest req;
+      req.pid = pid;
+      req.dst = bufs[pid].data();
+      req.done = [&](Status) { completions.fetch_add(1); };
+      batch.push_back(std::move(req));
+    }
+    backend->SubmitReads(std::move(batch));
+    // No Drain(): the destructor itself must not return before every
+    // in-flight completion ran.
+  }
+  EXPECT_EQ(completions.load(), static_cast<int>(kPages));
+}
+
+TEST_P(IoBackendTest, OutOfBoundsReadFailsInline) {
+  auto backend = MakeBackend();
+  std::vector<std::byte> buf(kPage);
+  EXPECT_EQ(backend->ReadPage(kPages + 7, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+  std::latch done(1);
+  Status async;
+  IoReadRequest req;
+  req.pid = kPages + 7;
+  req.dst = buf.data();
+  req.done = [&](Status s) {
+    async = std::move(s);
+    done.count_down();
+  };
+  backend->SubmitRead(std::move(req));
+  done.wait();
+  EXPECT_EQ(async.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(IoBackendTest, MetricsCountSubmissions) {
+  obs::Metrics().ResetAll();
+  auto backend = MakeBackend();
+  std::vector<std::vector<std::byte>> bufs(2, std::vector<std::byte>(kPage));
+  std::latch done(2);
+  std::vector<IoReadRequest> batch;
+  for (PageId pid : {PageId{1}, PageId{2}}) {
+    IoReadRequest req;
+    req.pid = pid;
+    req.dst = bufs[pid - 1].data();
+    req.done = [&](Status) { done.count_down(); };
+    batch.push_back(std::move(req));
+  }
+  backend->SubmitReads(std::move(batch));
+  done.wait();
+  backend->Drain();
+  const obs::MetricsSnapshot snap = obs::Metrics().Snapshot();
+#ifndef DUALSIM_NO_METRICS
+  const std::string prefix = "io." + GetParam() + ".";
+  EXPECT_EQ(snap.counter(prefix + "reads_submitted"), 2u);
+  EXPECT_EQ(snap.counter(prefix + "reads_completed"), 2u);
+  EXPECT_EQ(snap.counter(prefix + "batches"), 1u);
+  EXPECT_EQ(snap.counter(prefix + "reads_batched"), 2u);
+  // The backend label names the backend serving the process.
+  EXPECT_EQ(snap.label("io.backend"), GetParam());
+#else
+  (void)snap;
+#endif
+}
+
+TEST_P(IoBackendTest, FaultInjectionInterceptsSubmittedReads) {
+  // The fault seam must fire on the batched path of every backend: an
+  // injected permanent error surfaces through done(status) while the
+  // rest of the window completes normally.
+  auto injector = std::make_shared<FaultInjector>();
+  injector->FailReadForever(3);
+  file_->SetFaultInjector(injector);
+  auto backend = MakeBackend();
+
+  std::vector<std::vector<std::byte>> bufs(kPages,
+                                           std::vector<std::byte>(kPage));
+  std::latch done(kPages);
+  std::atomic<int> failed_pid{-1};
+  std::atomic<int> failures{0};
+  std::vector<IoReadRequest> batch;
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    IoReadRequest req;
+    req.pid = pid;
+    req.dst = bufs[pid].data();
+    req.done = [&, pid](Status s) {
+      if (!s.ok()) {
+        failures.fetch_add(1);
+        failed_pid.store(static_cast<int>(pid));
+      }
+      done.count_down();
+    };
+    batch.push_back(std::move(req));
+  }
+  backend->SubmitReads(std::move(batch));
+  done.wait();
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(failed_pid.load(), 3);
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    if (pid == 3) continue;
+    EXPECT_EQ(static_cast<int>(bufs[pid][0]), Expected(pid)) << pid;
+    EXPECT_EQ(static_cast<int>(bufs[pid][kPage - 1]), Expected(pid)) << pid;
+  }
+  EXPECT_GE(injector->stats().read_faults, 1u);
+  file_->SetFaultInjector(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, IoBackendTest,
+                         ::testing::Values("threadpool", "uring"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Backend selection and the fallback ladder (backend-independent).
+
+TEST(IoBackendKindTest, ParseAcceptsKnownNamesOnly) {
+  EXPECT_TRUE(ParseIoBackendKind("auto").ok());
+  EXPECT_TRUE(ParseIoBackendKind("threadpool").ok());
+  EXPECT_TRUE(ParseIoBackendKind("uring").ok());
+  EXPECT_EQ(ParseIoBackendKind("io_uring").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseIoBackendKind("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IoBackendKindTest, KindNamesRoundTrip) {
+  for (IoBackendKind kind :
+       {IoBackendKind::kAuto, IoBackendKind::kThreadPool,
+        IoBackendKind::kUring}) {
+    auto parsed = ParseIoBackendKind(IoBackendKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(IoBackendKindTest, ResolveCollapsesAutoToConcrete) {
+  const IoBackendKind resolved = ResolveIoBackendKind(IoBackendKind::kAuto);
+  EXPECT_NE(resolved, IoBackendKind::kAuto);
+  EXPECT_EQ(ResolveIoBackendKind(IoBackendKind::kThreadPool),
+            IoBackendKind::kThreadPool);
+  EXPECT_EQ(ResolveIoBackendKind(IoBackendKind::kUring),
+            IoBackendKind::kUring);
+}
+
+TEST(IoBackendKindTest, DefaultHonoursEnvAndRejectsTypos) {
+  {
+    ScopedEnv env("DUALSIM_IO_BACKEND", "threadpool");
+    auto kind = DefaultIoBackendKind();
+    ASSERT_TRUE(kind.ok());
+    EXPECT_EQ(*kind, IoBackendKind::kThreadPool);
+  }
+  {
+    ScopedEnv env("DUALSIM_IO_BACKEND", "not-a-backend");
+    EXPECT_EQ(DefaultIoBackendKind().status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(IoBackendFallbackTest, FakeNoUringDisablesProbe) {
+  ScopedEnv env("DUALSIM_FAKE_NO_URING", "1");
+  std::string reason;
+  EXPECT_FALSE(io_internal::UringSupported(&reason));
+  EXPECT_FALSE(reason.empty());
+}
+
+TEST(IoBackendFallbackTest, ExplicitUringUnavailableIsTypedError) {
+  ScopedEnv env("DUALSIM_FAKE_NO_URING", "1");
+  auto dir = std::filesystem::temp_directory_path() /
+             ("dualsim_io_fb_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto file = PageFile::Create((dir / "fb.pages").string(), kPage);
+  ASSERT_TRUE(file.ok());
+  // CreateUringIoBackend probes uncached, so the fake env var is honoured
+  // even after other tests populated the process-wide cache.
+  auto backend = CreateUringIoBackend(file->get());
+  EXPECT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kUnimplemented);
+  // The factory ladder: explicit uring fails, auto falls back.
+  ThreadPool pool(1);
+  auto explicit_uring =
+      CreateIoBackend(IoBackendKind::kUring, file->get(), &pool);
+  EXPECT_FALSE(explicit_uring.ok());
+  file->reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IoBackendFallbackTest, PreadFullReportsShortReads) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("dualsim_io_pf_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  auto file = PageFile::Create((dir / "pf.pages").string(), kPage);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::byte> page(kPage, std::byte{0x5a});
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+  std::vector<std::byte> buf(kPage);
+  // In-bounds read succeeds...
+  EXPECT_TRUE(io_internal::PreadFull((*file)->fd(), "pf.pages", buf.data(),
+                                     kPage, 0)
+                  .ok());
+  EXPECT_EQ(buf[0], std::byte{0x5a});
+  // ...a read past EOF hits the short-read guard instead of looping.
+  EXPECT_EQ(io_internal::PreadFull((*file)->fd(), "pf.pages", buf.data(),
+                                   kPage, kPage * 100)
+                .code(),
+            StatusCode::kIOError);
+  file->reset();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dualsim
