@@ -31,6 +31,110 @@ std::vector<VertexId> SortedRandom(std::size_t n, std::uint64_t seed,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Per-kernel intersection curves. These drive the raw kernel entry points
+// (no dispatch, no metrics, no output copy) so the curves compare kernel
+// algorithmics, not wrapper overhead. Three input classes:
+//
+//  - balanced: |a| == |b|, ~25% dense in the universe. The AVX2 block
+//    kernel's home turf.
+//  - skewed:   |small| fixed at 256, |large| = 256 * ratio. Galloping's
+//    home turf; the documented >= 2x class is ratio >= 64, where galloping
+//    beats the scalar merge by an order of magnitude.
+//  - dense:    |a| == |b|, ~50% dense. The bitmap kernel's home turf.
+//
+// Names are load-bearing: scripts/check_bench_regression.py compares them
+// against bench/baselines/BENCH_micro_kernels.json, normalized by
+// kBenchNormalizeBy to cancel machine-speed differences.
+using KernelFn = std::size_t (*)(const VertexId*, std::size_t,
+                                 const VertexId*, std::size_t, VertexId*);
+
+void RunRawKernel(benchmark::State& state, KernelFn fn,
+                  const std::vector<VertexId>& a,
+                  const std::vector<VertexId>& b) {
+  std::vector<VertexId> out(std::min(a.size(), b.size()) +
+                            intersect_internal::kOutSlack);
+  for (auto _ : state) {
+    std::size_t n = fn(a.data(), a.size(), b.data(), b.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+
+void BM_IntersectKernelBalanced(benchmark::State& state, KernelFn fn,
+                                bool needs_avx2) {
+  if (needs_avx2 && !Avx2Available()) {
+    state.SkipWithError("avx2 unavailable");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<std::uint32_t>(n * 4);
+  RunRawKernel(state, fn, SortedRandom(n, 1, universe),
+               SortedRandom(n, 2, universe));
+}
+
+void BM_IntersectKernelSkewed(benchmark::State& state, KernelFn fn,
+                              bool needs_avx2) {
+  if (needs_avx2 && !Avx2Available()) {
+    state.SkipWithError("avx2 unavailable");
+    return;
+  }
+  const std::size_t small_n = 256;
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<std::uint32_t>(small_n * ratio * 2);
+  RunRawKernel(state, fn, SortedRandom(small_n, 2, universe),
+               SortedRandom(small_n * ratio, 1, universe));
+}
+
+void BM_IntersectKernelDense(benchmark::State& state, KernelFn fn,
+                             bool needs_avx2) {
+  if (needs_avx2 && !Avx2Available()) {
+    state.SkipWithError("avx2 unavailable");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<std::uint32_t>(n * 2);
+  RunRawKernel(state, fn, SortedRandom(n, 1, universe),
+               SortedRandom(n, 2, universe));
+}
+
+#define DUALSIM_KERNEL_BENCH(cls, lo, hi)                                   \
+  BENCHMARK_CAPTURE(cls, scalar, intersect_internal::ScalarKernel, false)   \
+      ->Range(lo, hi);                                                      \
+  BENCHMARK_CAPTURE(cls, galloping, intersect_internal::GallopKernel,       \
+                    false)                                                  \
+      ->Range(lo, hi);                                                      \
+  BENCHMARK_CAPTURE(cls, bitmap, intersect_internal::BitmapKernel, false)   \
+      ->Range(lo, hi);                                                      \
+  BENCHMARK_CAPTURE(cls, avx2, intersect_internal::Avx2Kernel, true)        \
+      ->Range(lo, hi)
+
+DUALSIM_KERNEL_BENCH(BM_IntersectKernelBalanced, 1 << 12, 1 << 16);
+DUALSIM_KERNEL_BENCH(BM_IntersectKernelSkewed, 8, 512);
+DUALSIM_KERNEL_BENCH(BM_IntersectKernelDense, 1 << 12, 1 << 16);
+
+#undef DUALSIM_KERNEL_BENCH
+
+// The adaptive dispatcher on the skewed class: its curve should track the
+// per-ratio winner above, bounding the cost of dispatch itself.
+void BM_IntersectKernelAutoSkewed(benchmark::State& state) {
+  const std::size_t small_n = 256;
+  const auto ratio = static_cast<std::size_t>(state.range(0));
+  const auto universe = static_cast<std::uint32_t>(small_n * ratio * 2);
+  auto a = SortedRandom(small_n, 2, universe);
+  auto b = SortedRandom(small_n * ratio, 1, universe);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    Intersect2With(IntersectKernel::kAuto, a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectKernelAutoSkewed)->Range(8, 512);
+
 void BM_Intersect2(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto a = SortedRandom(n, 1, static_cast<std::uint32_t>(n * 4));

@@ -25,6 +25,14 @@
 ///       (kIoBackendExitCode) when it is not — run_all.sh uses this to
 ///       fail fast on an unavailable --io-backend.
 ///
+///   dualsim_cli intersect-kernels [--check <name>]
+///       List the intersection kernels and their availability on this
+///       build + CPU, plus the process default (which reflects
+///       DUALSIM_FORCE_INTERSECT_KERNEL). With --check, exit 0 when
+///       <name> is usable and 7 (kIntersectKernelExitCode) when it is
+///       not — the avx2-off CI lane uses this. "query" accepts
+///       --intersect-kernel=<auto|scalar|galloping|avx2|bitmap>.
+///
 /// <query> is "q1".."q5", a named shape ("triangle", "cycle5", ...), or an
 /// edge list like "0-1,1-2,2-0".
 
@@ -35,6 +43,7 @@
 
 #include "core/cost_model.h"
 #include "core/engine.h"
+#include "core/intersect.h"
 #include "graph/edge_list_io.h"
 #include "obs/metrics.h"
 #include "query/isomorphism.h"
@@ -149,9 +158,11 @@ int CmdExplain(int argc, char** argv) {
   return 0;
 }
 
-/// Pulls --io-backend= / --io-queue-depth= out of argv (compacting the
-/// rest in place) so the positional arguments keep their indices.
-int ExtractIoFlags(int argc, char** argv, EngineOptions* options) {
+/// Pulls --io-backend= / --io-queue-depth= / --intersect-kernel= out of
+/// argv (compacting the rest in place) so the positional arguments keep
+/// their indices.
+int ExtractIoFlags(int argc, char** argv, EngineOptions* options,
+                   std::string* intersect_kernel) {
   int out = 0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,6 +171,9 @@ int ExtractIoFlags(int argc, char** argv, EngineOptions* options) {
     } else if (arg.rfind("--io-queue-depth=", 0) == 0) {
       options->io_queue_depth = static_cast<std::size_t>(
           std::atoll(arg.c_str() + std::string("--io-queue-depth=").size()));
+    } else if (arg.rfind("--intersect-kernel=", 0) == 0) {
+      *intersect_kernel =
+          arg.substr(std::string("--intersect-kernel=").size());
     } else {
       argv[out++] = argv[i];
     }
@@ -190,15 +204,56 @@ int CmdIoBackends(int argc, char** argv) {
   return 0;
 }
 
+int CmdIntersectKernels(int argc, char** argv) {
+  const std::string check =
+      (argc > 3 && std::string(argv[2]) == "--check") ? argv[3] : "";
+  const bool avx2 = Avx2Available();
+  if (check.empty()) {
+    std::printf("scalar      available (portable oracle)\n");
+    std::printf("galloping   available\n");
+    std::printf("bitmap      available\n");
+    std::printf("avx2        %s\n",
+                avx2 ? "available" : Avx2UnavailableReason().c_str());
+    auto def = DefaultIntersectKernel();
+    if (!def.ok()) {
+      // A typo'd or forced-but-unavailable DUALSIM_FORCE_INTERSECT_KERNEL
+      // fails loudly with the typed code instead of listing a default the
+      // process would refuse to run with.
+      std::fprintf(stderr, "error: %s\n", def.status().ToString().c_str());
+      return service::kIntersectKernelExitCode;
+    }
+    std::printf("default     -> %s\n", IntersectKernelName(*def));
+    return 0;
+  }
+  auto kernel = ParseIntersectKernel(check);
+  if (!kernel.ok()) return Fail(kernel.status());
+  if (Status s = SetIntersectKernel(*kernel); !s.ok()) {
+    std::fprintf(stderr, "intersect kernel '%s' unavailable: %s\n",
+                 check.c_str(), s.ToString().c_str());
+    return service::kIntersectKernelExitCode;
+  }
+  std::printf("%s\n", IntersectKernelName(ConfiguredIntersectKernel()));
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
   EngineOptions options;
-  argc = ExtractIoFlags(argc, argv, &options);
+  std::string intersect_kernel;
+  argc = ExtractIoFlags(argc, argv, &options, &intersect_kernel);
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: query <db_path> <query> [buffer_fraction] "
                  "[max_print] [metrics.json] [--io-backend=<name>] "
-                 "[--io-queue-depth=<n>]\n");
+                 "[--io-queue-depth=<n>] [--intersect-kernel=<name>]\n");
     return 2;
+  }
+  if (!intersect_kernel.empty()) {
+    auto kernel = ParseIntersectKernel(intersect_kernel);
+    if (!kernel.ok()) return Fail(kernel.status());
+    if (Status s = SetIntersectKernel(*kernel); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return service::kIntersectKernelExitCode;
+    }
   }
   auto disk = service::OpenServedGraph(argv[2]);
   if (!disk.ok()) return FailGraphLoad(disk.status());
@@ -230,6 +285,8 @@ int CmdQuery(int argc, char** argv) {
   std::printf("embeddings:    %llu\n",
               static_cast<unsigned long long>(result->embeddings));
   std::printf("io backend:    %s\n", result->io_backend.c_str());
+  std::printf("intersect:     %s\n",
+              IntersectKernelName(ConfiguredIntersectKernel()));
   std::printf("elapsed:       %.3fs (prepare %.3fms)\n",
               result->elapsed_seconds, result->prepare_millis);
   std::printf("page reads:    %llu physical, %llu hits (%zu frames)\n",
@@ -267,8 +324,9 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
   if (command == "io-backends") return CmdIoBackends(argc, argv);
+  if (command == "intersect-kernels") return CmdIntersectKernels(argc, argv);
   std::fprintf(stderr,
-               "usage: dualsim_cli <build|stats|explain|query|io-backends> "
-               "...\n");
+               "usage: dualsim_cli <build|stats|explain|query|io-backends|"
+               "intersect-kernels> ...\n");
   return 2;
 }

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Bench-trajectory gate: compare a google-benchmark JSON run to a baseline.
+
+Compares every benchmark present in the baseline against the current run
+and fails (exit 1) when any is slower than the allowed threshold. Raw
+nanosecond timings are not comparable across machines, so both runs are
+first normalized by a reference benchmark (--normalize-by): what is
+compared is the RATIO of each benchmark's cpu_time to the reference's
+cpu_time within the same run. A kernel that regresses relative to the
+scalar baseline trips the gate on any machine; a uniformly slower CI
+runner does not.
+
+Usage:
+  check_bench_regression.py \
+      --baseline bench/baselines/BENCH_micro_kernels.json \
+      --current  current.json \
+      --normalize-by BM_IntersectKernelBalanced/scalar/4096 \
+      [--threshold 0.15]
+
+Exit codes: 0 = within threshold, 1 = regression or missing benchmark,
+2 = bad invocation / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Return {name: cpu_time} per benchmark.
+
+    When the run used --benchmark_repetitions, the median aggregate is
+    used (robust against a one-off scheduler hiccup on a shared runner);
+    otherwise the single real iteration row. Errored benchmarks (e.g.
+    avx2 skipped on a non-AVX2 runner) are dropped.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    singles = {}
+    medians = {}
+    for entry in doc.get("benchmarks", []):
+        if entry.get("error_occurred"):
+            continue
+        name = entry.get("name")
+        time = entry.get("cpu_time")
+        if name is None or time is None or time <= 0:
+            continue
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[entry.get("run_name", name)] = float(time)
+            continue
+        singles.setdefault(name, float(time))
+    times = {**singles, **medians}
+    if not times:
+        print(f"error: no usable benchmark entries in {path}", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def normalize(times, reference, path):
+    if reference not in times:
+        print(
+            f"error: normalization reference '{reference}' not found in "
+            f"{path}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    ref = times[reference]
+    return {name: t / ref for name, t in times.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in google-benchmark JSON baseline")
+    parser.add_argument("--current", required=True,
+                        help="google-benchmark JSON from this run")
+    parser.add_argument("--normalize-by", required=True, metavar="NAME",
+                        help="benchmark whose cpu_time divides all others "
+                             "(must exist in both runs)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative slowdown of the normalized "
+                             "ratio (default 0.15 = 15%%)")
+    args = parser.parse_args()
+    if args.threshold <= -1.0:
+        print("error: --threshold must be > -1", file=sys.stderr)
+        sys.exit(2)
+
+    baseline = normalize(load_times(args.baseline), args.normalize_by,
+                         args.baseline)
+    current_raw = load_times(args.current)
+    current = normalize(current_raw, args.normalize_by, args.current)
+
+    regressions = []
+    missing = []
+    print(f"{'benchmark':<55} {'base':>9} {'cur':>9} {'delta':>8}")
+    for name in sorted(baseline):
+        if name == args.normalize_by:
+            continue
+        if name not in current:
+            missing.append(name)
+            print(f"{name:<55} {baseline[name]:>9.4f} {'MISSING':>9}")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = cur / base - 1.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<55} {base:>9.4f} {cur:>9.4f} {delta:>+7.1%}{flag}")
+
+    ok = True
+    if missing:
+        ok = False
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              "current run (renamed without updating the baseline?):",
+              file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+    if regressions:
+        ok = False
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} (normalized by {args.normalize_by}):",
+              file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+    if ok:
+        print(f"\nall {len(baseline) - 1} benchmarks within "
+              f"{args.threshold:.0%} of baseline")
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,54 +1,390 @@
 #include "core/intersect.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
 
 namespace dualsim {
 
-void Intersect2(std::span<const VertexId> a, std::span<const VertexId> b,
-                std::vector<VertexId>* out) {
-  out->clear();
+namespace intersect_internal {
+
+std::size_t ScalarKernel(const VertexId* a, std::size_t na, const VertexId* b,
+                         std::size_t nb, VertexId* out) {
   std::size_t i = 0;
   std::size_t j = 0;
-  while (i < a.size() && j < b.size()) {
+  std::size_t n = 0;
+  while (i < na && j < nb) {
     if (a[i] < b[j]) {
       ++i;
     } else if (b[j] < a[i]) {
       ++j;
     } else {
-      out->push_back(a[i]);
+      out[n++] = a[i];
       ++i;
       ++j;
     }
   }
+  return n;
 }
 
-void IntersectMany(std::span<const std::span<const VertexId>> lists,
-                   std::vector<VertexId>* out) {
+std::size_t GallopKernel(const VertexId* a, std::size_t na, const VertexId* b,
+                         std::size_t nb, VertexId* out) {
+  // The smaller list drives; the cursor into the larger one only moves
+  // forward, so the whole pass is O(na log(nb/na)).
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  std::size_t n = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const VertexId v = a[i];
+    if (b[j] < v) {
+      // Gallop: double the step until b[j + step] >= v, then binary
+      // search inside the bracketed window.
+      std::size_t step = 1;
+      while (j + step < nb && b[j + step] < v) step <<= 1;
+      // First element >= v lies in (j, j + step]; binary search it.
+      std::size_t lo = j + 1;
+      std::size_t hi = std::min(j + step + 1, nb);
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (b[mid] < v) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      j = lo;
+      if (j >= nb) break;
+    }
+    if (b[j] == v) {
+      out[n++] = v;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::size_t BitmapKernel(const VertexId* a, std::size_t na, const VertexId* b,
+                         std::size_t nb, VertexId* out) {
+  if (na == 0 || nb == 0) return 0;
+  // Trim both lists to the overlap window [lo_val, hi_val]; everything
+  // outside it cannot intersect.
+  const VertexId lo_val = std::max(a[0], b[0]);
+  const VertexId hi_val = std::min(a[na - 1], b[nb - 1]);
+  if (hi_val < lo_val) return 0;
+  const VertexId* a_lo = std::lower_bound(a, a + na, lo_val);
+  const VertexId* a_hi = std::upper_bound(a_lo, a + na, hi_val);
+  const VertexId* b_lo = std::lower_bound(b, b + nb, lo_val);
+  const VertexId* b_hi = std::upper_bound(b_lo, b + nb, hi_val);
+
+  const std::size_t span = static_cast<std::size_t>(hi_val - lo_val) + 1;
+  const std::size_t words = (span + 63) / 64;
+  thread_local std::vector<std::uint64_t> bits;
+  if (bits.size() < words) bits.resize(words);
+  std::memset(bits.data(), 0, words * sizeof(std::uint64_t));
+
+  for (const VertexId* p = a_lo; p != a_hi; ++p) {
+    const std::size_t off = *p - lo_val;
+    bits[off >> 6] |= std::uint64_t{1} << (off & 63);
+  }
+  std::size_t n = 0;
+  for (const VertexId* p = b_lo; p != b_hi; ++p) {
+    const std::size_t off = *p - lo_val;
+    if (bits[off >> 6] & (std::uint64_t{1} << (off & 63))) out[n++] = *p;
+  }
+  return n;
+}
+
+namespace {
+
+/// DUALSIM_FAKE_NO_AVX2 resolved once and cached (getenv is too slow for
+/// the per-intersection hot path); ResetConfigForTesting re-reads it.
+std::atomic<int> g_fake_no_avx2{-1};
+std::atomic<int> g_configured{-1};
+
+bool FakeNoAvx2() {
+  int v = g_fake_no_avx2.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("DUALSIM_FAKE_NO_AVX2");
+    v = (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) ? 1
+                                                                         : 0;
+    g_fake_no_avx2.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+}  // namespace
+
+IntersectKernel ChooseKernel(std::span<const VertexId> a,
+                             std::span<const VertexId> b) {
+  const std::size_t smaller = std::min(a.size(), b.size());
+  const std::size_t larger = std::max(a.size(), b.size());
+  if (smaller == 0) return IntersectKernel::kScalar;
+  // Heavy size skew: galloping's O(n log(m/n)) beats any linear pass.
+  if (larger >= smaller * kGallopRatio) return IntersectKernel::kGalloping;
+  // Comparable sizes: block-compare when the CPU has it.
+  if (smaller >= kSimdMinSize && Avx2Available()) return IntersectKernel::kAvx2;
+  // Dense overlap window on a portable build: branch-free bitmap probing.
+  const VertexId lo = std::max(a.front(), b.front());
+  const VertexId hi = std::min(a.back(), b.back());
+  if (hi > lo) {
+    const std::size_t span = static_cast<std::size_t>(hi - lo) + 1;
+    if (span <= kBitmapMaxSpan &&
+        span <= kBitmapDensityFactor * (a.size() + b.size())) {
+      return IntersectKernel::kBitmap;
+    }
+  }
+  return IntersectKernel::kScalar;
+}
+
+void ResetConfigForTesting() {
+  g_fake_no_avx2.store(-1, std::memory_order_relaxed);
+  g_configured.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace intersect_internal
+
+StatusOr<IntersectKernel> ParseIntersectKernel(std::string_view name) {
+  if (name == "auto") return IntersectKernel::kAuto;
+  if (name == "scalar") return IntersectKernel::kScalar;
+  if (name == "galloping") return IntersectKernel::kGalloping;
+  if (name == "avx2") return IntersectKernel::kAvx2;
+  if (name == "bitmap") return IntersectKernel::kBitmap;
+  return Status::InvalidArgument(
+      "unknown intersect kernel '" + std::string(name) +
+      "' (want auto, scalar, galloping, avx2, or bitmap)");
+}
+
+const char* IntersectKernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto:
+      return "auto";
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kGalloping:
+      return "galloping";
+    case IntersectKernel::kAvx2:
+      return "avx2";
+    case IntersectKernel::kBitmap:
+      return "bitmap";
+  }
+  return "unknown";
+}
+
+bool Avx2Available() {
+  return intersect_internal::Avx2CompiledIn() &&
+         intersect_internal::Avx2CpuSupported() &&
+         !intersect_internal::FakeNoAvx2();
+}
+
+std::string Avx2UnavailableReason() {
+  if (!intersect_internal::Avx2CompiledIn()) {
+    return "not compiled in (build with -DDUALSIM_WITH_AVX2=ON)";
+  }
+  if (!intersect_internal::Avx2CpuSupported()) {
+    return "CPU does not report AVX2";
+  }
+  if (intersect_internal::FakeNoAvx2()) {
+    return "faked off (DUALSIM_FAKE_NO_AVX2 is set)";
+  }
+  return "";
+}
+
+StatusOr<IntersectKernel> DefaultIntersectKernel() {
+  const char* env = std::getenv("DUALSIM_FORCE_INTERSECT_KERNEL");
+  if (env == nullptr || env[0] == '\0') return IntersectKernel::kAuto;
+  auto kernel = ParseIntersectKernel(env);
+  if (!kernel.ok()) {
+    return Status::InvalidArgument("DUALSIM_FORCE_INTERSECT_KERNEL: " +
+                                   kernel.status().message());
+  }
+  if (*kernel == IntersectKernel::kAvx2 && !Avx2Available()) {
+    return Status::Unimplemented(
+        "DUALSIM_FORCE_INTERSECT_KERNEL=avx2: " + Avx2UnavailableReason());
+  }
+  return kernel;
+}
+
+Status SetIntersectKernel(IntersectKernel kernel) {
+  if (kernel == IntersectKernel::kAvx2 && !Avx2Available()) {
+    return Status::Unimplemented("intersect kernel avx2 unavailable: " +
+                                 Avx2UnavailableReason());
+  }
+  intersect_internal::g_configured.store(static_cast<int>(kernel),
+                                         std::memory_order_relaxed);
+  obs::Metrics().SetLabel("intersect.kernel", IntersectKernelName(kernel));
+  return Status::OK();
+}
+
+IntersectKernel ConfiguredIntersectKernel() {
+  int v = intersect_internal::g_configured.load(std::memory_order_relaxed);
+  if (v < 0) {
+    auto kernel = DefaultIntersectKernel();
+    // A typo'd or unavailable forced kernel must fail loudly, never
+    // silently fall back — a CI lane forcing "avx2" on a machine without
+    // it would otherwise test the wrong kernel.
+    DS_CHECK(kernel.ok()) << kernel.status().ToString();
+    v = static_cast<int>(*kernel);
+    intersect_internal::g_configured.store(v, std::memory_order_relaxed);
+    obs::Metrics().SetLabel("intersect.kernel", IntersectKernelName(*kernel));
+  }
+  return static_cast<IntersectKernel>(v);
+}
+
+namespace {
+
+using intersect_internal::kOutSlack;
+
+struct IntersectMetrics {
+  obs::Counter* calls;
+  obs::Counter* many_calls;
+  obs::Counter* kernel_calls[5];  // indexed by IntersectKernel; [0] unused
+  obs::Histogram* smaller_size;
+  obs::Histogram* larger_size;
+  obs::Histogram* selectivity_pct;
+  obs::Histogram* many_lists;
+};
+
+IntersectMetrics& IMetrics() {
+  static IntersectMetrics m = [] {
+    IntersectMetrics r;
+    r.calls = obs::Metrics().GetCounter("intersect.calls");
+    r.many_calls = obs::Metrics().GetCounter("intersect.many_calls");
+    for (IntersectKernel k :
+         {IntersectKernel::kAuto, IntersectKernel::kScalar,
+          IntersectKernel::kGalloping, IntersectKernel::kAvx2,
+          IntersectKernel::kBitmap}) {
+      r.kernel_calls[static_cast<int>(k)] = obs::Metrics().GetCounter(
+          std::string("intersect.") + IntersectKernelName(k) + ".calls");
+    }
+    r.smaller_size = obs::Metrics().GetHistogram("intersect.smaller_size");
+    r.larger_size = obs::Metrics().GetHistogram("intersect.larger_size");
+    r.selectivity_pct =
+        obs::Metrics().GetHistogram("intersect.selectivity_pct");
+    r.many_lists = obs::Metrics().GetHistogram("intersect.many_lists");
+    return r;
+  }();
+  return m;
+}
+
+std::size_t RunKernel(IntersectKernel kernel, std::span<const VertexId> a,
+                      std::span<const VertexId> b, VertexId* out) {
+  switch (kernel) {
+    case IntersectKernel::kScalar:
+      return intersect_internal::ScalarKernel(a.data(), a.size(), b.data(),
+                                              b.size(), out);
+    case IntersectKernel::kGalloping:
+      return intersect_internal::GallopKernel(a.data(), a.size(), b.data(),
+                                              b.size(), out);
+    case IntersectKernel::kAvx2:
+      return intersect_internal::Avx2Kernel(a.data(), a.size(), b.data(),
+                                            b.size(), out);
+    case IntersectKernel::kBitmap:
+      return intersect_internal::BitmapKernel(a.data(), a.size(), b.data(),
+                                              b.size(), out);
+    case IntersectKernel::kAuto:
+      break;
+  }
+  DS_CHECK(false);  // kAuto resolved before RunKernel
+  return 0;
+}
+
+/// Shared 2-way path: dispatch, run into a thread-local scratch (the AVX2
+/// kernel stores whole 8-lane blocks, so the scratch carries kOutSlack
+/// spare lanes), then copy the exact result into `out`. Copy-from-scratch
+/// also makes aliasing safe: `out` may own the memory `a` or `b` views.
+void Intersect2Impl(IntersectKernel requested, std::span<const VertexId> a,
+                    std::span<const VertexId> b, std::vector<VertexId>* out) {
+  IntersectMetrics& m = IMetrics();
+  m.calls->Increment();
+  const std::size_t smaller = std::min(a.size(), b.size());
+  m.smaller_size->Record(smaller);
+  m.larger_size->Record(std::max(a.size(), b.size()));
+  out->clear();
+  if (smaller == 0) {
+    m.selectivity_pct->Record(0);
+    return;
+  }
+  const IntersectKernel kernel = requested == IntersectKernel::kAuto
+                                     ? intersect_internal::ChooseKernel(a, b)
+                                     : requested;
+  DS_CHECK(kernel != IntersectKernel::kAvx2 || Avx2Available());
+  m.kernel_calls[static_cast<int>(kernel)]->Increment();
+
+  thread_local std::vector<VertexId> scratch;
+  if (scratch.size() < smaller + kOutSlack) scratch.resize(smaller + kOutSlack);
+  const std::size_t n = RunKernel(kernel, a, b, scratch.data());
+  m.selectivity_pct->Record(100 * n / smaller);
+  out->reserve(smaller);
+  out->assign(scratch.data(), scratch.data() + n);
+}
+
+void IntersectManyImpl(IntersectKernel kernel,
+                       std::span<const std::span<const VertexId>> lists,
+                       std::vector<VertexId>* out) {
   out->clear();
   if (lists.empty()) return;
+  IntersectMetrics& m = IMetrics();
+  m.many_calls->Increment();
+  m.many_lists->Record(lists.size());
   if (lists.size() == 1) {
     out->assign(lists[0].begin(), lists[0].end());
     return;
   }
+  // Order indices smallest-first: the running result can only shrink, so
+  // every later pairwise step sees maximal skew for the galloping kernel,
+  // and the single up-front reservation from the smallest list bounds the
+  // result for good.
+  thread_local std::vector<std::uint32_t> order;
+  order.resize(lists.size());
+  for (std::uint32_t i = 0; i < lists.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&lists](std::uint32_t x,
+                                                 std::uint32_t y) {
+    return lists[x].size() < lists[y].size();
+  });
+  out->reserve(lists[order[0]].size());
+  if (lists[order[0]].empty()) return;
   if (lists.size() == 2) {
-    Intersect2(lists[0], lists[1], out);
+    Intersect2Impl(kernel, lists[order[0]], lists[order[1]], out);
     return;
   }
-  // Drive from the smallest list; binary-search membership in the rest.
-  // An empty input makes the intersection empty — bail before scanning.
-  std::size_t smallest = 0;
-  for (std::size_t i = 0; i < lists.size(); ++i) {
-    if (lists[i].empty()) return;
-    if (lists[i].size() < lists[smallest].size()) smallest = i;
+  thread_local std::vector<VertexId> tmp;
+  thread_local std::vector<VertexId> next;
+  Intersect2Impl(kernel, lists[order[0]], lists[order[1]], &tmp);
+  for (std::size_t i = 2; i < lists.size() && !tmp.empty(); ++i) {
+    Intersect2Impl(kernel, tmp, lists[order[i]], &next);
+    std::swap(tmp, next);
   }
-  for (VertexId v : lists[smallest]) {
-    bool in_all = true;
-    for (std::size_t i = 0; i < lists.size() && in_all; ++i) {
-      if (i == smallest) continue;
-      in_all = std::binary_search(lists[i].begin(), lists[i].end(), v);
-    }
-    if (in_all) out->push_back(v);
-  }
+  out->assign(tmp.begin(), tmp.end());
+}
+
+}  // namespace
+
+void Intersect2(std::span<const VertexId> a, std::span<const VertexId> b,
+                std::vector<VertexId>* out) {
+  Intersect2Impl(ConfiguredIntersectKernel(), a, b, out);
+}
+
+void Intersect2With(IntersectKernel kernel, std::span<const VertexId> a,
+                    std::span<const VertexId> b, std::vector<VertexId>* out) {
+  Intersect2Impl(kernel, a, b, out);
+}
+
+void IntersectMany(std::span<const std::span<const VertexId>> lists,
+                   std::vector<VertexId>* out) {
+  IntersectManyImpl(ConfiguredIntersectKernel(), lists, out);
+}
+
+void IntersectManyWith(IntersectKernel kernel,
+                       std::span<const std::span<const VertexId>> lists,
+                       std::vector<VertexId>* out) {
+  IntersectManyImpl(kernel, lists, out);
 }
 
 }  // namespace dualsim

@@ -39,6 +39,12 @@ inline constexpr int kGraphLoadExitCode = 3;
 /// instead of fail.
 inline constexpr int kIoBackendExitCode = 6;
 
+/// Exit code for "the requested intersection kernel is unavailable on
+/// this build/CPU" (dualsim_cli intersect-kernels [--check], the
+/// --intersect-kernel flag, DUALSIM_FORCE_INTERSECT_KERNEL). Same skip
+/// vs fail contract as kIoBackendExitCode, for the avx2-off CI lane.
+inline constexpr int kIntersectKernelExitCode = 7;
+
 /// Opens the graph database a front end is about to serve, wrapping
 /// storage errors with an actionable message. kNotFound (missing path)
 /// keeps its typed code so callers can map it to kGraphLoadExitCode.

@@ -171,10 +171,146 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
   if (file->num_pages() != header.num_pages) {
     return Status::InvalidArgument("meta/page-file mismatch for " + path);
   }
+
+  // Catalog invariants, checked on every load (O(V), no page reads):
+  // because the database is written in ≺ order, P(v) is non-decreasing in
+  // v (Lemma 1) and each vertex's page interval is well formed. The match
+  // pass and the intersection dispatcher both build on this layout.
+  PageId prev_first = 0;
+  for (VertexId v = 0; v < header.num_vertices; ++v) {
+    if (first_page[v] == kInvalidPage) {
+      if (last_page[v] != kInvalidPage) {
+        return Status::InvalidArgument(
+            "catalog corruption in " + MetaPath(path) + ": vertex " +
+            std::to_string(v) + " has a last page but no first page");
+      }
+      continue;
+    }
+    if (first_page[v] >= header.num_pages || last_page[v] >= header.num_pages ||
+        last_page[v] < first_page[v] || first_page[v] < prev_first) {
+      return Status::InvalidArgument(
+          "catalog corruption in " + MetaPath(path) + ": vertex " +
+          std::to_string(v) + " has page interval [" +
+          std::to_string(first_page[v]) + ", " + std::to_string(last_page[v]) +
+          "] violating the ≺-order layout (Lemma 1)");
+    }
+    prev_first = first_page[v];
+  }
+  VertexId prev_vertex = 0;
+  for (PageId p = 0; p < header.num_pages; ++p) {
+    // Continuation pages (holding only the middle of a split list) have no
+    // starting vertex and carry the kInvalidPage sentinel; skip them.
+    if (first_vertex[p] == kInvalidPage) continue;
+    if (first_vertex[p] >= header.num_vertices ||
+        first_vertex[p] < prev_vertex) {
+      return Status::InvalidArgument(
+          "catalog corruption in " + MetaPath(path) + ": page " +
+          std::to_string(p) + " first-vertex map is not monotone");
+    }
+    prev_vertex = first_vertex[p];
+  }
   return std::unique_ptr<DiskGraph>(
       new DiskGraph(std::move(file), std::move(first_page),
                     std::move(last_page), std::move(first_vertex),
                     header.num_edges, header.all_single_page != 0));
+}
+
+Status DiskGraph::VerifyAdjacency(bool* degree_ordered) const {
+  if (degree_ordered != nullptr) *degree_ordered = true;
+  std::vector<std::byte> buf(file_->page_size());
+  // Per-vertex running state while its (possibly split) list streams by.
+  VertexId prev_vid = kInvalidPage;  // last vid seen (kInvalidPage = none)
+  std::uint32_t expect_offset = 0;   // next sublist_offset for prev_vid
+  std::uint32_t expect_degree = 0;
+  VertexId prev_neighbor = 0;        // last neighbor of prev_vid so far
+  std::uint32_t prev_complete_degree = 0;  // degree of last finished vertex
+  EdgeId neighbor_total = 0;
+
+  auto corrupt = [](PageId p, std::uint32_t slot, const std::string& what) {
+    return Status::InvalidArgument("adjacency verification failed at page " +
+                                   std::to_string(p) + " slot " +
+                                   std::to_string(slot) + ": " + what);
+  };
+
+  for (PageId p = 0; p < file_->num_pages(); ++p) {
+    DUALSIM_RETURN_IF_ERROR(file_->ReadPage(p, buf.data()));
+    const PageView view(buf.data(), file_->page_size());
+    for (std::uint32_t s = 0; s < view.NumRecords(); ++s) {
+      const VertexRecord rec = view.GetRecord(s);
+      if (rec.vertex >= num_vertices()) {
+        return corrupt(p, s, "vertex id out of range");
+      }
+      if (rec.sublist_offset == 0) {
+        // A new vertex begins. The previous one must have completed.
+        if (prev_vid != kInvalidPage && expect_offset != expect_degree) {
+          return corrupt(p, s,
+                         "previous vertex's sublists cover " +
+                             std::to_string(expect_offset) + " of " +
+                             std::to_string(expect_degree) + " neighbors");
+        }
+        if (prev_vid != kInvalidPage && rec.vertex <= prev_vid) {
+          return corrupt(p, s, "record vids not ascending");
+        }
+        if (prev_vid != kInvalidPage && degree_ordered != nullptr &&
+            rec.total_degree < prev_complete_degree) {
+          *degree_ordered = false;
+        }
+        prev_complete_degree = rec.total_degree;
+        if (first_page_[rec.vertex] != p) {
+          return corrupt(p, s, "catalog first-page disagrees with record");
+        }
+        prev_vid = rec.vertex;
+        expect_offset = 0;
+        expect_degree = rec.total_degree;
+      } else {
+        // Continuation sublist of the vertex in flight.
+        if (rec.vertex != prev_vid) {
+          return corrupt(p, s, "continuation sublist for a different vertex");
+        }
+        if (rec.sublist_offset != expect_offset) {
+          return corrupt(p, s, "sublists not contiguous (offset " +
+                                   std::to_string(rec.sublist_offset) +
+                                   ", expected " +
+                                   std::to_string(expect_offset) + ")");
+        }
+        if (rec.total_degree != expect_degree) {
+          return corrupt(p, s, "total_degree differs between sublists");
+        }
+      }
+      for (std::size_t k = 0; k < rec.neighbors.size(); ++k) {
+        const VertexId w = rec.neighbors[k];
+        if (w >= num_vertices()) {
+          return corrupt(p, s, "neighbor id out of range");
+        }
+        // Strictly ascending within the sublist and across the split —
+        // the sorted duplicate-free precondition of every intersection
+        // kernel.
+        if ((k > 0 || expect_offset > 0) && w <= prev_neighbor) {
+          return corrupt(p, s, "neighbors not sorted strictly ascending");
+        }
+        prev_neighbor = w;
+      }
+      expect_offset += static_cast<std::uint32_t>(rec.neighbors.size());
+      if (expect_offset > expect_degree) {
+        return corrupt(p, s, "sublists exceed total_degree");
+      }
+      neighbor_total += rec.neighbors.size();
+      if (last_page_[rec.vertex] < p) {
+        return corrupt(p, s, "record past the catalog's last page");
+      }
+    }
+  }
+  if (prev_vid != kInvalidPage && expect_offset != expect_degree) {
+    return Status::InvalidArgument(
+        "adjacency verification failed: final vertex incomplete");
+  }
+  if (neighbor_total != 2 * num_edges_) {
+    return Status::InvalidArgument(
+        "adjacency verification failed: neighbor records sum to " +
+        std::to_string(neighbor_total) + ", catalog says " +
+        std::to_string(2 * num_edges_));
+  }
+  return Status::OK();
 }
 
 DiskGraph::DiskGraph(std::unique_ptr<PageFile> file,

@@ -71,6 +71,21 @@ class DiskGraph {
   /// Largest number of pages any single vertex's adjacency occupies.
   std::uint32_t MaxVertexPages() const { return max_vertex_pages_; }
 
+  /// Full-scan verification of the on-disk adjacency invariants the
+  /// intersection kernels (DESIGN.md §11) rely on: every record's
+  /// neighbor sublist is sorted strictly ascending (therefore duplicate
+  /// free), split sublists are contiguous and globally sorted, record
+  /// vids ascend within a page, per-record degrees are consistent, and
+  /// every record agrees with the catalog's page map. O(file size) — run
+  /// at load time by front ends (dualsim_cli verifies after build) and by
+  /// the storage tests; Open itself only does the O(V) catalog checks.
+  ///
+  /// When `degree_ordered` is non-null it reports whether total degrees
+  /// are non-decreasing in vertex id — true for databases built from
+  /// ReorderByDegree graphs (the ≺-order skew assumption behind the
+  /// galloping dispatch tier), informational for ad-hoc builds.
+  Status VerifyAdjacency(bool* degree_ordered = nullptr) const;
+
  private:
   DiskGraph(std::unique_ptr<PageFile> file, std::vector<PageId> first_page,
             std::vector<PageId> last_page, std::vector<VertexId> first_vertex,

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
 #include "storage/io_backend.h"
@@ -172,6 +174,87 @@ TEST_P(DiskGraphTest, TinyGraphRoundTrip) {
   ASSERT_TRUE(disk.ok());
   EXPECT_EQ((*disk)->num_vertices(), 3u);
   VerifyContents(g, **disk);
+}
+
+TEST_P(DiskGraphTest, VerifyAdjacencyAcceptsFreshBuild) {
+  Graph g = ReorderByDegree(RMat(8, 700, 0.55, 0.15, 0.15, 4));
+  const std::string path = PathFor("verify.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  bool degree_ordered = false;
+  Status s = (*disk)->VerifyAdjacency(&degree_ordered);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // Built from a ReorderByDegree graph: the ≺-order (degree) layout the
+  // intersection dispatcher's skew assumptions come from must hold.
+  EXPECT_TRUE(degree_ordered);
+}
+
+TEST_P(DiskGraphTest, VerifyAdjacencyReportsNonDegreeOrderedLayout) {
+  // A star written without reordering: vertex 0 has the largest degree
+  // and comes first, so degrees are decreasing — valid, but flagged.
+  GraphBuilder builder(11);
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) builder.AddEdge(0, leaf);
+  Graph g = builder.Build();
+  const std::string path = PathFor("star.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  bool degree_ordered = true;
+  Status s = (*disk)->VerifyAdjacency(&degree_ordered);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(degree_ordered);
+}
+
+TEST_P(DiskGraphTest, VerifyAdjacencyDetectsUnsortedNeighbors) {
+  Graph g = ReorderByDegree(Complete(8));  // every record has >= 2 neighbors
+  const std::string path = PathFor("corrupt.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  {
+    // Swap the first record's first two neighbors in place: record 0
+    // starts right after the 8-byte page header, neighbors follow the
+    // 16-byte record header.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const std::streamoff neighbors_at = 8 + 16;
+    VertexId n0 = 0;
+    VertexId n1 = 0;
+    f.seekg(neighbors_at);
+    f.read(reinterpret_cast<char*>(&n0), sizeof(n0));
+    f.read(reinterpret_cast<char*>(&n1), sizeof(n1));
+    ASSERT_NE(n0, n1);
+    f.seekp(neighbors_at);
+    f.write(reinterpret_cast<char*>(&n1), sizeof(n1));
+    f.write(reinterpret_cast<char*>(&n0), sizeof(n0));
+  }
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  Status s = (*disk)->VerifyAdjacency();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("not sorted"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_P(DiskGraphTest, OpenRejectsNonMonotoneCatalog) {
+  Graph g = ReorderByDegree(ErdosRenyi(60, 200, 5));
+  const std::string path = PathFor("badmeta.db");
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  {
+    // Point vertex 1's first page past the end of the file: the load-time
+    // catalog check (Lemma 1 layout) must reject it before any page read.
+    std::fstream f(path + ".meta",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    const std::streamoff header_bytes = 40;
+    PageId bogus = 0x7FFFFFFF;
+    f.seekp(header_bytes + static_cast<std::streamoff>(sizeof(PageId)));
+    f.write(reinterpret_cast<char*>(&bogus), sizeof(bogus));
+  }
+  auto disk = DiskGraph::Open(path, false);
+  EXPECT_FALSE(disk.ok());
+  EXPECT_NE(disk.status().ToString().find("catalog corruption"),
+            std::string::npos)
+      << disk.status().ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, DiskGraphTest,

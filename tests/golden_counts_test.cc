@@ -18,6 +18,7 @@
 
 #include "baseline/bruteforce.h"
 #include "core/engine.h"
+#include "core/intersect.h"
 #include "graph/generators.h"
 #include "graph/reorder.h"
 #include "query/queries.h"
@@ -31,6 +32,11 @@ struct GoldenCase {
   int graph_id;
   PaperQuery query;
   std::uint64_t golden;
+  /// Which intersection kernel the engine is forced onto for this case
+  /// (kAuto = the adaptive dispatcher). Every kernel must reproduce the
+  /// same pinned counts — the end-to-end leg of the differential harness
+  /// in intersect_kernel_test.cc.
+  IntersectKernel kernel;
 };
 
 /// The fixture graphs, by id. Deterministic seeds; shapes chosen to cover
@@ -64,17 +70,28 @@ constexpr std::uint64_t kGolden[5][5] = {
 std::vector<GoldenCase> AllGoldenCases() {
   const char* names[] = {"ER", "RMat", "BA", "WS", "K12"};
   std::vector<GoldenCase> cases;
-  for (int graph = 0; graph < 5; ++graph) {
-    int qi = 0;
-    for (PaperQuery pq : AllPaperQueries()) {
-      cases.push_back({names[graph], graph, pq, kGolden[graph][qi++]});
+  for (IntersectKernel kernel :
+       {IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGalloping, IntersectKernel::kAvx2,
+        IntersectKernel::kBitmap}) {
+    for (int graph = 0; graph < 5; ++graph) {
+      int qi = 0;
+      for (PaperQuery pq : AllPaperQueries()) {
+        cases.push_back(
+            {names[graph], graph, pq, kGolden[graph][qi++], kernel});
+      }
     }
   }
   return cases;
 }
 
 std::string GoldenName(const ::testing::TestParamInfo<GoldenCase>& info) {
-  return std::string(info.param.graph_name) + PaperQueryName(info.param.query);
+  std::string name = std::string(info.param.graph_name) +
+                     PaperQueryName(info.param.query);
+  if (info.param.kernel != IntersectKernel::kAuto) {
+    name += std::string("_") + IntersectKernelName(info.param.kernel);
+  }
+  return name;
 }
 
 class GoldenCountsTest : public ::testing::TestWithParam<GoldenCase> {
@@ -85,20 +102,30 @@ class GoldenCountsTest : public ::testing::TestWithParam<GoldenCase> {
             ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    (void)SetIntersectKernel(IntersectKernel::kAuto);
+    std::filesystem::remove_all(dir_);
+  }
 
   std::filesystem::path dir_;
 };
 
 TEST_P(GoldenCountsTest, EngineAndOracleMatchPinnedCount) {
   const GoldenCase& param = GetParam();
+  if (param.kernel == IntersectKernel::kAvx2 && !Avx2Available()) {
+    GTEST_SKIP() << "avx2 kernel unavailable: " << Avx2UnavailableReason();
+  }
+  ASSERT_TRUE(SetIntersectKernel(param.kernel).ok());
   Graph g = ReorderByDegree(MakeGoldenGraph(param.graph_id));
   const QueryGraph q = MakePaperQuery(param.query);
 
   // Oracle first: if this line fails, the generators or the query
-  // definitions drifted, not the engine.
-  EXPECT_EQ(CountOccurrences(g, q), param.golden)
-      << "brute-force oracle disagrees with the pinned golden count";
+  // definitions drifted, not the engine. Kernel-independent, so checked
+  // once under the adaptive dispatcher rather than per forced kernel.
+  if (param.kernel == IntersectKernel::kAuto) {
+    EXPECT_EQ(CountOccurrences(g, q), param.golden)
+        << "brute-force oracle disagrees with the pinned golden count";
+  }
 
   const std::string path = (dir_ / "g.db").string();
   Status s = BuildDiskGraph(g, path, /*page_size=*/512);
@@ -113,7 +140,8 @@ TEST_P(GoldenCountsTest, EngineAndOracleMatchPinnedCount) {
   auto result = engine.Run(q);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->embeddings, param.golden)
-      << "engine disagrees with the pinned golden count";
+      << "engine disagrees with the pinned golden count under kernel "
+      << IntersectKernelName(param.kernel);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperQueries, GoldenCountsTest,

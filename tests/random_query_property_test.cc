@@ -7,6 +7,7 @@
 #include "baseline/psgl.h"
 #include "baseline/twintwig.h"
 #include "core/engine.h"
+#include "core/intersect.h"
 #include "runtime/query_session.h"
 #include "runtime/runtime.h"
 #include "storage/disk_graph.h"
@@ -34,8 +35,24 @@ class RandomQueryPropertyTest : public ::testing::TestWithParam<int> {
            ("dualsim_fuzz_" + std::to_string(::getpid()) + "_" +
             std::to_string(GetParam()));
     std::filesystem::create_directories(dir_);
+    // Rotate the forced intersection kernel with the seed (mirrors the
+    // io-backend parameterization of the storage suites): every kernel
+    // variant gets fuzzed against the oracle without multiplying the
+    // suite's runtime. Unavailable kernels degrade to the dispatcher.
+    static const IntersectKernel kKernels[] = {
+        IntersectKernel::kAuto, IntersectKernel::kScalar,
+        IntersectKernel::kGalloping, IntersectKernel::kAvx2,
+        IntersectKernel::kBitmap};
+    IntersectKernel kernel = kKernels[GetParam() % 5];
+    if (kernel == IntersectKernel::kAvx2 && !Avx2Available()) {
+      kernel = IntersectKernel::kAuto;
+    }
+    ASSERT_TRUE(SetIntersectKernel(kernel).ok());
   }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
+  void TearDown() override {
+    (void)SetIntersectKernel(IntersectKernel::kAuto);
+    std::filesystem::remove_all(dir_);
+  }
   std::filesystem::path dir_;
 };
 
