@@ -10,12 +10,17 @@ cpu_time within the same run. A kernel that regresses relative to the
 scalar baseline trips the gate on any machine; a uniformly slower CI
 runner does not.
 
+User counters (--counter NAME, repeatable) are compared RAW, without
+normalization: counters like pages_read are machine-independent work
+measures, so a counter exceeding its baseline by the threshold is a
+regression on any runner.
+
 Usage:
   check_bench_regression.py \
       --baseline bench/baselines/BENCH_micro_kernels.json \
       --current  current.json \
       --normalize-by BM_IntersectKernelBalanced/scalar/4096 \
-      [--threshold 0.15]
+      [--threshold 0.15] [--counter pages_read]
 
 Exit codes: 0 = within threshold, 1 = regression or missing benchmark,
 2 = bad invocation / malformed input.
@@ -26,8 +31,8 @@ import json
 import sys
 
 
-def load_times(path):
-    """Return {name: cpu_time} per benchmark.
+def load_entries(path):
+    """Return {name: json_row} per benchmark.
 
     When the run used --benchmark_repetitions, the median aggregate is
     used (robust against a one-off scheduler hiccup on a shared runner);
@@ -51,14 +56,18 @@ def load_times(path):
             continue
         if entry.get("run_type") == "aggregate":
             if entry.get("aggregate_name") == "median":
-                medians[entry.get("run_name", name)] = float(time)
+                medians[entry.get("run_name", name)] = entry
             continue
-        singles.setdefault(name, float(time))
-    times = {**singles, **medians}
-    if not times:
+        singles.setdefault(name, entry)
+    rows = {**singles, **medians}
+    if not rows:
         print(f"error: no usable benchmark entries in {path}", file=sys.stderr)
         sys.exit(2)
-    return times
+    return rows
+
+
+def load_times(rows):
+    return {name: float(e["cpu_time"]) for name, e in rows.items()}
 
 
 def normalize(times, reference, path):
@@ -85,15 +94,21 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed relative slowdown of the normalized "
                              "ratio (default 0.15 = 15%%)")
+    parser.add_argument("--counter", action="append", default=[],
+                        metavar="NAME",
+                        help="also gate this per-benchmark user counter, "
+                             "compared raw (no normalization); repeatable")
     args = parser.parse_args()
     if args.threshold <= -1.0:
         print("error: --threshold must be > -1", file=sys.stderr)
         sys.exit(2)
 
-    baseline = normalize(load_times(args.baseline), args.normalize_by,
+    baseline_rows = load_entries(args.baseline)
+    current_rows = load_entries(args.current)
+    baseline = normalize(load_times(baseline_rows), args.normalize_by,
                          args.baseline)
-    current_raw = load_times(args.current)
-    current = normalize(current_raw, args.normalize_by, args.current)
+    current = normalize(load_times(current_rows), args.normalize_by,
+                        args.current)
 
     regressions = []
     missing = []
@@ -112,6 +127,37 @@ def main():
             regressions.append((name, delta))
             flag = "  << REGRESSION"
         print(f"{name:<55} {base:>9.4f} {cur:>9.4f} {delta:>+7.1%}{flag}")
+
+    # Raw counter gates: counters are work measures (pages read, bytes
+    # moved), comparable across machines without normalization. A counter
+    # present in the baseline but absent from the current run counts as
+    # missing; a zero baseline must stay zero.
+    for counter in args.counter:
+        print(f"\ncounter {counter}:")
+        for name in sorted(baseline_rows):
+            if counter not in baseline_rows[name]:
+                continue
+            base = float(baseline_rows[name][counter])
+            label = f"{name}[{counter}]"
+            cur_row = current_rows.get(name)
+            if cur_row is None or counter not in cur_row:
+                missing.append(label)
+                print(f"{label:<55} {base:>9.1f} {'MISSING':>9}")
+                continue
+            cur = float(cur_row[counter])
+            if base > 0:
+                delta = cur / base - 1.0
+                regressed = delta > args.threshold
+                shown = f"{delta:>+7.1%}"
+            else:
+                regressed = cur > 0
+                delta = float("inf") if regressed else 0.0
+                shown = f"{'+inf':>8}" if regressed else f"{0.0:>+7.1%}"
+            flag = ""
+            if regressed:
+                regressions.append((label, delta))
+                flag = "  << REGRESSION"
+            print(f"{label:<55} {base:>9.1f} {cur:>9.1f} {shown}{flag}")
 
     ok = True
     if missing:

@@ -54,6 +54,9 @@ struct SearchState {
 constexpr VertexId kUnmapped = 0xFFFFFFFFu;
 
 bool Consistent(const SearchState& s, QueryVertex u, VertexId v) {
+  // Label constraint first: a labeled query vertex only maps onto data
+  // vertices carrying that label (wildcards match anything).
+  if (!LabelMatches(s.q->Label(u), s.g->Label(v))) return false;
   // Injectivity + adjacency to already-mapped query vertices.
   for (QueryVertex w = 0; w < s.q->NumVertices(); ++w) {
     const VertexId mapped = s.mapping[w];

@@ -21,7 +21,9 @@ double PredictPageReads(const IoCostInputs& inputs) {
     s_prod *= inputs.reduction_factor;
     total += s_prod * std::pow(p / region, l - 1) * p;
   }
-  return total;
+  // Label-constrained roots scan only the pages carrying their label;
+  // the whole cascade starts from that reduced page set.
+  return total * inputs.label_selectivity;
 }
 
 IoCostInputs MakeCostInputs(const DiskGraph& disk, const QueryPlan& plan,
@@ -33,6 +35,28 @@ IoCostInputs MakeCostInputs(const DiskGraph& disk, const QueryPlan& plan,
   inputs.buffer_frames = buffer_frames;
   inputs.red_vertices = plan.NumLevels();
   inputs.reduction_factor = reduction_factor;
+  // Derive the label selectivity from the root levels' label constraints:
+  // the fraction of pages a constrained root may scan, averaged over the
+  // groups' root levels (1.0 when nothing is constrained).
+  if (disk.num_pages() > 0 && !plan.groups.empty()) {
+    double sum = 0.0;
+    std::size_t terms = 0;
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+      for (std::uint8_t l = 0; l < plan.NumLevels(); ++l) {
+        if (plan.forests[g].parent_level[l] >= 0) continue;
+        const LabelId label =
+            plan.groups[g].position_label[plan.matching_order[l]];
+        const double fraction =
+            label == kAnyLabel
+                ? 1.0
+                : static_cast<double>(disk.PagesWithLabel(label).Count()) /
+                      static_cast<double>(disk.num_pages());
+        sum += fraction;
+        ++terms;
+      }
+    }
+    if (terms > 0) inputs.label_selectivity = sum / static_cast<double>(terms);
+  }
   return inputs;
 }
 
@@ -82,6 +106,20 @@ std::string ExplainPlan(const QueryPlan& plan) {
       out << " (";
       for (std::size_t k = 0; k < qs.size(); ++k) {
         out << (k > 0 ? "," : "") << "r" << int{qs[k]};
+      }
+      out << ")";
+    }
+    if (plan.rbi.red_graph.HasLabels()) {
+      out << " labels (";
+      const std::uint8_t len = plan.groups[g].Length();
+      for (std::uint8_t k = 0; k < len; ++k) {
+        const LabelId label = plan.groups[g].position_label[k];
+        out << (k > 0 ? "," : "");
+        if (label == kAnyLabel) {
+          out << "*";
+        } else {
+          out << label;
+        }
       }
       out << ")";
     }

@@ -19,6 +19,11 @@ struct IoCostInputs {
   /// sequences shrink relative to the whole database); the paper leaves
   /// these workload-dependent. One shared factor is exposed here.
   double reduction_factor = 1.0;
+  /// Label selectivity: fraction of database pages a label-constrained
+  /// root level may scan (|PagesWithLabel(L)| / P, 1.0 when unlabeled or
+  /// wildcard). Multiplies the level-1 term — the candidate filter
+  /// drops root windows before any I/O happens (DESIGN.md §12).
+  double label_selectivity = 1.0;
 };
 
 /// Equation 1: total disk I/Os of DualSim,

@@ -52,6 +52,13 @@ struct EngineOptions {
   /// levels). When false, frames are split equally per level (the OPT [17]
   /// strategy; ablation + Figure 17).
   bool paper_buffer_allocation = true;
+  /// Label-driven candidate filter (DESIGN.md §12): when true (default),
+  /// label-constrained levels intersect the catalog's label index with
+  /// candidate pages before windows form, skipping pages with zero
+  /// candidates. False disables only the page skipping — per-vertex label
+  /// checks stay on (they are correctness, not optimization). This is the
+  /// bench_candidate_filter ablation axis.
+  bool candidate_filter = true;
   /// Preparation-step options (RBI choice, v-grouping, matching order).
   PlanOptions plan;
 };

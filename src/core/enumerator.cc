@@ -25,6 +25,11 @@ class Matcher {
   /// assigned so far (order constraints + cvs filter).
   bool Admissible(std::uint8_t l, VertexId v, std::size_t depth) const {
     const LevelDomain& dom = in_.domains[l];
+    if (dom.label != kAnyLabel) {
+      const LabelId data_label =
+          in_.data_labels.empty() ? LabelId{0} : in_.data_labels[v];
+      if (data_label != dom.label) return false;
+    }
     if (dom.candidates != nullptr &&
         (v >= dom.candidates->size() || !dom.candidates->Test(v))) {
       return false;

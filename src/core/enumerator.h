@@ -17,6 +17,11 @@ namespace dualsim {
 struct LevelDomain {
   const WindowIndex* index = nullptr;
   const Bitmap* candidates = nullptr;  // nullptr = unrestricted (root/internal)
+  /// Required data-vertex label for this level (the v-group's positional
+  /// label constraint); kAnyLabel admits every vertex. Checked directly in
+  /// the recursion — the internal pass runs with candidates == nullptr, so
+  /// the label constraint cannot ride on the cvs bitmap alone.
+  LabelId label = kAnyLabel;
 };
 
 /// Receives every complete red-graph assignment of one v-group sequence.
@@ -47,6 +52,9 @@ struct GroupMatchInput {
   /// P(v) for every vertex (DiskGraph::FirstPageMap); used by the
   /// internal-duplicate check below. May be empty when skip bitmap is null.
   std::span<const PageId> first_page;
+  /// Per-vertex data labels (DiskGraph::Labels); empty for an unlabeled
+  /// database, in which case every data vertex behaves as label 0.
+  std::span<const LabelId> data_labels;
   /// When set, assignments whose vertices all live in these pages are
   /// skipped — they are internal subgraphs, enumerated by the internal
   /// pass (paper §5.2: external matching "avoids matching all red query

@@ -56,6 +56,14 @@ struct ExecContext {
   TaskGroup* tasks = nullptr;
   std::uint8_t levels = 0;
   std::size_t num_groups = 0;
+  /// Per-vertex data labels (DiskGraph::Labels); empty when the database
+  /// is unlabeled (every data vertex then behaves as label 0).
+  std::span<const LabelId> data_labels;
+  /// When false, the label-driven candidate *page* filter (skipping whole
+  /// pages the root level cannot match) is disabled; per-vertex label
+  /// checks always stay on — they are correctness, the page filter is the
+  /// I/O optimization (the bench_candidate_filter ablation axis).
+  bool candidate_filter = true;
   /// Session-owned cancellation flag (may be set from any thread while the
   /// run is in flight); nullptr when the run is not cancellable.
   const std::atomic<bool>* cancel = nullptr;

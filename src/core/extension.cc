@@ -14,6 +14,7 @@ struct ExtensionState {
   std::span<const QueryVertex> order;
   std::span<VertexId> mapping;
   std::span<const std::span<const VertexId>> red_adjacency;
+  std::span<const LabelId> data_labels;
   const FullEmbeddingFn* on_embedding;
   std::uint64_t count = 0;
   // Scratch intersection buffers, one per recursion depth.
@@ -21,6 +22,13 @@ struct ExtensionState {
 };
 
 bool AdmissibleNonRed(const ExtensionState& s, QueryVertex u, VertexId v) {
+  // Label constraint of the non-red query vertex.
+  const LabelId want = s.rbi->query.Label(u);
+  if (want != kAnyLabel) {
+    const LabelId have =
+        s.data_labels.empty() ? LabelId{0} : s.data_labels[v];
+    if (have != want) return false;
+  }
   // Injectivity against everything mapped so far.
   for (QueryVertex w = 0; w < s.rbi->query.NumVertices(); ++w) {
     if (s.mapping[w] == v) return false;
@@ -85,10 +93,10 @@ std::uint64_t ExtendNonRed(
     const RbiQueryGraph& rbi, std::span<const QueryVertex> nonred_order,
     std::span<VertexId> mapping,
     std::span<const std::span<const VertexId>> red_adjacency,
+    std::span<const LabelId> data_labels,
     const FullEmbeddingFn* on_embedding) {
-  ExtensionState s{&rbi,          nonred_order, mapping,
-                   red_adjacency, on_embedding, 0,
-                   {}};
+  ExtensionState s{&rbi,        nonred_order,  mapping, red_adjacency,
+                   data_labels, on_embedding, 0,       {}};
   s.scratch.resize(nonred_order.size());
   Recurse(s, 0);
   return s.count;

@@ -31,13 +31,17 @@ using ProgressFn = std::function<void(std::uint64_t embeddings)>;
 ///
 /// `mapping` must have the red vertices filled (and non-red = kNoVertex);
 /// `red_adjacency` holds adj(m(r)) for each red query vertex r, straight
-/// from the pinned pages. Returns the number of full embeddings found;
-/// invokes `on_embedding` per embedding when non-null. `mapping` is
-/// restored on return.
+/// from the pinned pages. `data_labels` is the per-vertex label map of the
+/// data graph (empty = unlabeled, every vertex label 0); non-red query
+/// vertices with a concrete label constraint only accept matching data
+/// vertices. Returns the number of full embeddings found; invokes
+/// `on_embedding` per embedding when non-null. `mapping` is restored on
+/// return.
 std::uint64_t ExtendNonRed(
     const RbiQueryGraph& rbi, std::span<const QueryVertex> nonred_order,
     std::span<VertexId> mapping,
     std::span<const std::span<const VertexId>> red_adjacency,
+    std::span<const LabelId> data_labels,
     const FullEmbeddingFn* on_embedding);
 
 }  // namespace dualsim

@@ -307,15 +307,17 @@ void Intersect2Impl(IntersectKernel requested, std::span<const VertexId> a,
   m.smaller_size->Record(smaller);
   m.larger_size->Record(std::max(a.size(), b.size()));
   out->clear();
-  if (smaller == 0) {
-    m.selectivity_pct->Record(0);
-    return;
-  }
   const IntersectKernel kernel = requested == IntersectKernel::kAuto
                                      ? intersect_internal::ChooseKernel(a, b)
                                      : requested;
   DS_CHECK(kernel != IntersectKernel::kAvx2 || Avx2Available());
+  // Record the kernel before the empty shortcut so the per-kernel counters
+  // always sum to intersect.calls (ChooseKernel resolves empty to scalar).
   m.kernel_calls[static_cast<int>(kernel)]->Increment();
+  if (smaller == 0) {
+    m.selectivity_pct->Record(0);
+    return;
+  }
 
   thread_local std::vector<VertexId> scratch;
   if (scratch.size() < smaller + kOutSlack) scratch.resize(smaller + kOutSlack);
@@ -348,8 +350,10 @@ void IntersectManyImpl(IntersectKernel kernel,
                                                  std::uint32_t y) {
     return lists[x].size() < lists[y].size();
   });
+  // No early-out when the smallest list is empty: the pairwise path below
+  // terminates immediately anyway, and funneling through Intersect2Impl
+  // keeps intersect.calls == sum(intersect.<kernel>.calls).
   out->reserve(lists[order[0]].size());
-  if (lists[order[0]].empty()) return;
   if (lists.size() == 2) {
     Intersect2Impl(kernel, lists[order[0]], lists[order[1]], out);
     return;

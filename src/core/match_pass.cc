@@ -55,8 +55,13 @@ void FlushTaskMetrics(const TaskCounters& c, bool internal) {
 class ExtendingEmitter : public RedEmitter {
  public:
   ExtendingEmitter(const QueryPlan& plan, const VGroupSequence& group,
+                   std::span<const LabelId> data_labels,
                    const FullEmbeddingFn* visitor, TaskCounters* counters)
-      : plan_(plan), group_(group), visitor_(visitor), counters_(counters) {
+      : plan_(plan),
+        group_(group),
+        data_labels_(data_labels),
+        visitor_(visitor),
+        counters_(counters) {
     mapping_.fill(kNoVertex);
   }
 
@@ -76,7 +81,7 @@ class ExtendingEmitter : public RedEmitter {
       }
       counters_->embeddings += ExtendNonRed(
           plan_.rbi, plan_.nonred_order, {mapping_.data(), num_q},
-          {red_adjacency_.data(), num_q}, visitor_);
+          {red_adjacency_.data(), num_q}, data_labels_, visitor_);
       for (std::uint8_t k = 0; k < qs.size(); ++k) {
         mapping_[plan_.rbi.red[qs[k]]] = kNoVertex;
       }
@@ -86,6 +91,7 @@ class ExtendingEmitter : public RedEmitter {
  private:
   const QueryPlan& plan_;
   const VGroupSequence& group_;
+  std::span<const LabelId> data_labels_;
   const FullEmbeddingFn* visitor_;
   TaskCounters* counters_;
   std::array<VertexId, kMaxQueryVertices> mapping_;
@@ -118,6 +124,9 @@ void MatchPass::RunInternalChunk(std::size_t g, std::size_t begin,
   for (std::uint8_t j = 0; j < ctx_.levels; ++j) {
     domains[j].index = &st.index;
     domains[j].candidates = nullptr;
+    // The internal pass has no cvs bitmaps, so the per-level label
+    // constraint rides on the domain directly.
+    domains[j].label = plan.groups[g].position_label[plan.matching_order[j]];
   }
   GroupMatchInput input;
   input.group = &plan.groups[g];
@@ -125,7 +134,9 @@ void MatchPass::RunInternalChunk(std::size_t g, std::size_t begin,
   input.domains = {domains.data(), ctx_.levels};
   input.level_order = plan.internal_level_order[g];
   input.seeds = {st.index.entries().data() + begin, end - begin};
-  ExtendingEmitter emitter(plan, plan.groups[g], ctx_.visitor, &counters);
+  input.data_labels = ctx_.data_labels;
+  ExtendingEmitter emitter(plan, plan.groups[g], ctx_.data_labels,
+                           ctx_.visitor, &counters);
   MatchGroup(input, emitter);
   internal_embeddings_.fetch_add(counters.embeddings);
   red_assignments_.fetch_add(counters.red_assignments);
@@ -223,6 +234,7 @@ void MatchPass::EnumerateLastLevelRun(
       domains[j].index = j == l ? &page_index : &ctx_.level[j].index;
       const GroupLevelState& gl = ctx_.level[j].per_group[g];
       domains[j].candidates = gl.is_root ? nullptr : &gl.cvs;
+      domains[j].label = plan.groups[g].position_label[plan.matching_order[j]];
     }
     GroupMatchInput input;
     input.group = &plan.groups[g];
@@ -231,8 +243,10 @@ void MatchPass::EnumerateLastLevelRun(
     input.level_order = plan.external_level_order[g];
     input.seeds = page_index.entries();
     input.first_page = ctx_.disk->FirstPageMap();
+    input.data_labels = ctx_.data_labels;
     input.skip_if_all_pages_in = &ctx_.level[0].window_pages;
-    ExtendingEmitter emitter(plan, plan.groups[g], ctx_.visitor, &counters);
+    ExtendingEmitter emitter(plan, plan.groups[g], ctx_.data_labels,
+                             ctx_.visitor, &counters);
     MatchGroup(input, emitter);
   }
   external_embeddings_.fetch_add(counters.embeddings);

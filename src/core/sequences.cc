@@ -35,20 +35,28 @@ std::vector<VGroupSequence> GroupSequencesByTopology(
   for (const FullOrderSequence& qs : sequences) {
     const std::uint8_t n = static_cast<std::uint8_t>(qs.size());
     std::array<std::uint16_t, kMaxQueryVertices> adjacency{};
+    std::array<LabelId, kMaxQueryVertices> labels{};
     for (std::uint8_t k = 0; k < n; ++k) {
+      labels[k] = red_graph.Label(qs[k]);
       for (std::uint8_t k2 = 0; k2 < n; ++k2) {
         if (k != k2 && red_graph.HasEdge(qs[k], qs[k2])) {
           adjacency[k] |= static_cast<std::uint16_t>(1u << k2);
         }
       }
     }
+    // Two sequences share a group only when both the positional topology
+    // AND the positional labels agree: a ≺-ordered data sequence matches
+    // every member or none only under equal per-position constraints, so
+    // equivalence classes never merge across labels.
     auto it = std::find_if(groups.begin(), groups.end(),
-                           [&adjacency](const VGroupSequence& g) {
-                             return g.position_adjacency == adjacency;
+                           [&adjacency, &labels](const VGroupSequence& g) {
+                             return g.position_adjacency == adjacency &&
+                                    g.position_label == labels;
                            });
     if (it == groups.end()) {
       VGroupSequence group;
       group.position_adjacency = adjacency;
+      group.position_label = labels;
       group.members.push_back(qs);
       groups.push_back(std::move(group));
     } else {

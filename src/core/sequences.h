@@ -30,6 +30,10 @@ struct VGroupSequence {
   /// Positional adjacency: bit k' of position_adjacency[k] is set iff
   /// (qs[k], qs[k']) is a red-graph edge for every member qs.
   std::array<std::uint16_t, kMaxQueryVertices> position_adjacency{};
+  /// Label constraint of the query vertex at each position — identical
+  /// across members (grouping keys on it), so each matching level has one
+  /// well-defined required data label (kAnyLabel when unconstrained).
+  std::array<LabelId, kMaxQueryVertices> position_label{};
   /// The member full-order sequences.
   std::vector<FullOrderSequence> members;
 

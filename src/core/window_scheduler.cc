@@ -18,6 +18,12 @@ struct SchedulerMetrics {
   obs::Counter* windows_split;
   obs::Counter* candidate_vertices;
   obs::Histogram* window_pages;
+  // Label-driven candidate filter (DESIGN.md §12): pages dropped from
+  // root candidate-page sequences because no record in them carries the
+  // level's required label, and adjacency entries dropped from child
+  // candidate sets for the same reason.
+  obs::Counter* pages_skipped;
+  obs::Counter* vertices_filtered;
 };
 
 SchedulerMetrics& Metrics() {
@@ -27,6 +33,8 @@ SchedulerMetrics& Metrics() {
       obs::Metrics().GetCounter("scheduler.windows_split"),
       obs::Metrics().GetCounter("scheduler.candidate_vertices"),
       obs::Metrics().GetHistogram("scheduler.window_pages"),
+      obs::Metrics().GetCounter("candidate.pages_skipped"),
+      obs::Metrics().GetCounter("candidate.vertices_filtered"),
   };
   return m;
 }
@@ -67,6 +75,19 @@ Status WindowScheduler::Execute() {
       gl.cps.Resize(num_pages);
       if (gl.is_root) {
         gl.cps.SetAll();  // InitializeCandidateSequences for roots
+        // Candidate filter: a root level with a concrete label constraint
+        // can only match records in pages that hold at least one vertex
+        // of that label — intersect with the catalog's label index before
+        // any window is formed (the page-skipping half of DESIGN.md §12).
+        const LabelId label =
+            ctx_.plan->groups[g].position_label[ctx_.plan->matching_order[l]];
+        if (ctx_.candidate_filter && label != kAnyLabel) {
+          gl.cps.Intersect(ctx_.disk->PagesWithLabel(label));
+          const std::size_t kept = gl.cps.Count();
+          if (kept < num_pages) {
+            Metrics().pages_skipped->Increment(num_pages - kept);
+          }
+        }
       } else {
         gl.cvs.Resize(num_vertices);
       }
@@ -330,7 +351,9 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
   }
   const std::uint8_t pos_parent = ctx_.plan->matching_order[l];
   const std::span<const PageId> first_page = ctx_.disk->FirstPageMap();
+  const std::span<const LabelId> data_labels = ctx_.data_labels;
   std::uint64_t candidates = 0;
+  std::uint64_t filtered = 0;
   for (const WindowIndex::Entry& e : ctx_.level[l].index.entries()) {
     // Current vertex window: resident vertices passing the level's cvs.
     if (!parent_state.is_root &&
@@ -341,8 +364,24 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
     for (std::uint8_t c : children) {
       GroupLevelState& child = ctx_.level[c].per_group[g];
       const bool child_larger = ctx_.plan->matching_order[c] > pos_parent;
+      // Candidate filter: adjacency entries whose data label cannot match
+      // the child level's constraint never enter cvs/cps, so pages only
+      // reachable through them are never windowed at the child level.
+      const LabelId child_label =
+          ctx_.candidate_filter
+              ? ctx_.plan->groups[g]
+                    .position_label[ctx_.plan->matching_order[c]]
+              : kAnyLabel;
       for (VertexId w : e.adjacency) {
         if (child_larger ? (w > e.vertex) : (w < e.vertex)) {
+          if (child_label != kAnyLabel) {
+            const LabelId wl =
+                data_labels.empty() ? LabelId{0} : data_labels[w];
+            if (wl != child_label) {
+              ++filtered;
+              continue;
+            }
+          }
           child.cvs.Set(w);
           child.cps.Set(first_page[w]);
           ++candidates;
@@ -351,6 +390,7 @@ void WindowScheduler::ComputeChildCandidates(std::uint8_t l, std::size_t g) {
     }
   }
   if (candidates > 0) Metrics().candidate_vertices->Increment(candidates);
+  if (filtered > 0) Metrics().vertices_filtered->Increment(filtered);
 }
 
 void WindowScheduler::NotifyProgress() {

@@ -12,6 +12,13 @@ void GraphBuilder::AddEdge(VertexId u, VertexId v) {
   if (v + 1 > num_vertices_) num_vertices_ = v + 1;
 }
 
+void GraphBuilder::SetLabel(VertexId v, LabelId label) {
+  if (v + 1 > num_vertices_) num_vertices_ = v + 1;
+  if (labels_.size() < v + 1) labels_.resize(v + 1, 0);
+  labels_[v] = label;
+  has_labels_ = true;
+}
+
 Graph GraphBuilder::Build() {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
@@ -39,8 +46,14 @@ Graph GraphBuilder::Build() {
   edges_.clear();
   std::uint32_t n = num_vertices_;
   num_vertices_ = 0;
-  (void)n;
-  return Graph(std::move(offsets), std::move(neighbors));
+  Graph g(std::move(offsets), std::move(neighbors));
+  if (has_labels_) {
+    labels_.resize(n, 0);
+    g.SetLabels(std::move(labels_));
+  }
+  labels_.clear();
+  has_labels_ = false;
+  return g;
 }
 
 Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& keep) {
@@ -58,7 +71,13 @@ Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& keep) {
       }
     }
   }
-  return builder.Build();
+  Graph sub = builder.Build();
+  if (g.HasLabels()) {
+    std::vector<LabelId> labels(keep.size());
+    for (std::size_t i = 0; i < keep.size(); ++i) labels[i] = g.Label(keep[i]);
+    sub.SetLabels(std::move(labels));
+  }
+  return sub;
 }
 
 }  // namespace dualsim

@@ -21,6 +21,11 @@ class GraphBuilder {
   /// Records the undirected edge {u, v}. Self-loops are ignored.
   void AddEdge(VertexId u, VertexId v);
 
+  /// Assigns a label to `v` (vertices grow the graph like AddEdge does).
+  /// Unset vertices default to label 0; calling this at least once makes
+  /// the built graph labeled.
+  void SetLabel(VertexId v, LabelId label);
+
   std::uint64_t NumAddedEdges() const { return edges_.size(); }
 
   /// Builds the CSR graph. The builder is left empty afterwards.
@@ -29,6 +34,8 @@ class GraphBuilder {
  private:
   std::uint32_t num_vertices_ = 0;
   std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<LabelId> labels_;
+  bool has_labels_ = false;
 };
 
 /// Returns the induced subgraph on `keep` (which may be unsorted), with

@@ -146,4 +146,25 @@ Graph Star(std::uint32_t n) {
   return builder.Build();
 }
 
+Graph WithRandomLabels(Graph g, std::uint32_t num_labels, std::uint64_t seed,
+                       double skew) {
+  Random rng(seed);
+  // Cumulative Zipf weights; sampled by inverting the CDF per vertex.
+  std::vector<double> cdf(num_labels);
+  double total = 0.0;
+  for (std::uint32_t l = 0; l < num_labels; ++l) {
+    total += 1.0 / std::pow(static_cast<double>(l + 1), skew);
+    cdf[l] = total;
+  }
+  std::vector<LabelId> labels(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const double r = rng.UniformDouble() * total;
+    std::uint32_t l = 0;
+    while (l + 1 < num_labels && cdf[l] <= r) ++l;
+    labels[v] = static_cast<LabelId>(l);
+  }
+  g.SetLabels(std::move(labels));
+  return g;
+}
+
 }  // namespace dualsim

@@ -54,6 +54,14 @@ Graph Path(std::uint32_t n);
 /// Star: center 0 connected to n-1 leaves.
 Graph Star(std::uint32_t n);
 
+/// Labels every vertex of `g` with a draw from a Zipf-skewed distribution
+/// over [0, num_labels): label l has weight 1/(l+1)^skew, so a few labels
+/// dominate and the rest are rare — the shape of LDBC-style property
+/// graphs (many Persons/Comments, few Countries/Tags). Deterministic for
+/// a given seed; skew 0 is uniform. `num_labels` must be >= 1.
+Graph WithRandomLabels(Graph g, std::uint32_t num_labels, std::uint64_t seed,
+                       double skew = 1.0);
+
 }  // namespace dualsim
 
 #endif  // DUALSIM_GRAPH_GENERATORS_H_

@@ -19,6 +19,18 @@ bool Graph::HasEdge(VertexId u, VertexId v) const {
   return std::binary_search(adj.begin(), adj.end(), v);
 }
 
+void Graph::SetLabels(std::vector<LabelId> labels) {
+  assert(labels.empty() || labels.size() == NumVertices());
+  labels_ = std::move(labels);
+}
+
+std::uint32_t Graph::NumLabels() const {
+  if (labels_.empty()) return 1;
+  LabelId max_label = 0;
+  for (LabelId l : labels_) max_label = std::max(max_label, l);
+  return static_cast<std::uint32_t>(max_label) + 1;
+}
+
 std::uint32_t Graph::MaxDegree() const {
   std::uint32_t max_deg = 0;
   for (VertexId v = 0; v < NumVertices(); ++v) {

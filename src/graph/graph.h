@@ -15,6 +15,22 @@ using VertexId = std::uint32_t;
 /// Undirected edge count / adjacency offsets type.
 using EdgeId = std::uint64_t;
 
+/// Vertex label identifier. Labels are small dense ids assigned at load
+/// time; an unlabeled graph behaves as if every vertex carries label 0.
+using LabelId = std::uint16_t;
+
+/// Query-side wildcard: matches any data-vertex label. Never a valid data
+/// label (data labels are capped well below this sentinel).
+inline constexpr LabelId kAnyLabel = 0xFFFF;
+
+/// Largest data label id a graph may carry (leaves kAnyLabel free).
+inline constexpr LabelId kMaxDataLabel = 0xFFFE;
+
+/// True when a query-vertex label constraint admits a data-vertex label.
+inline constexpr bool LabelMatches(LabelId query_label, LabelId data_label) {
+  return query_label == kAnyLabel || query_label == data_label;
+}
+
 /// Immutable in-memory undirected graph in CSR form. Adjacency lists are
 /// sorted ascending and contain no self-loops or duplicates. This is the
 /// substrate from which the on-disk slotted-page database is built, and the
@@ -53,12 +69,31 @@ class Graph {
 
   std::uint32_t MaxDegree() const;
 
+  /// True when the graph carries an explicit per-vertex label array. An
+  /// unlabeled graph is semantically all-label-0 (see Label()).
+  bool HasLabels() const { return !labels_.empty(); }
+
+  /// Label of `v`; 0 for every vertex of an unlabeled graph.
+  LabelId Label(VertexId v) const {
+    return labels_.empty() ? LabelId{0} : labels_[v];
+  }
+
+  /// Installs per-vertex labels. `labels.size()` must equal NumVertices()
+  /// (or be empty, which reverts to the unlabeled state). Labels above
+  /// kMaxDataLabel are rejected by callers before reaching here.
+  void SetLabels(std::vector<LabelId> labels);
+
+  /// Number of distinct label values = max label + 1 (1 when unlabeled).
+  std::uint32_t NumLabels() const;
+
   const std::vector<EdgeId>& offsets() const { return offsets_; }
   const std::vector<VertexId>& neighbors() const { return neighbors_; }
+  const std::vector<LabelId>& labels() const { return labels_; }
 
  private:
   std::vector<EdgeId> offsets_;
   std::vector<VertexId> neighbors_;
+  std::vector<LabelId> labels_;
 };
 
 }  // namespace dualsim

@@ -35,7 +35,15 @@ Graph ReorderByDegree(const Graph& g) {
       if (v < w) builder.AddEdge(inverse[v], inverse[w]);
     }
   }
-  return builder.Build();
+  Graph out = builder.Build();
+  if (g.HasLabels()) {
+    std::vector<LabelId> labels(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      labels[inverse[v]] = g.Label(v);
+    }
+    out.SetLabels(std::move(labels));
+  }
+  return out;
 }
 
 bool IsDegreeOrdered(const Graph& g) {

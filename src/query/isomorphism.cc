@@ -12,6 +12,12 @@ std::vector<QueryPermutation> Automorphisms(const QueryGraph& q) {
   std::vector<QueryPermutation> autos;
   do {
     bool ok = true;
+    // A labeled automorphism must preserve the label constraint of every
+    // vertex — otherwise symmetry breaking would equate vertices the
+    // labels distinguish and drop valid embeddings.
+    for (QueryVertex u = 0; u < n && ok; ++u) {
+      if (q.Label(u) != q.Label(perm[u])) ok = false;
+    }
     for (QueryVertex u = 0; u < n && ok; ++u) {
       for (QueryVertex v = u + 1; v < n && ok; ++v) {
         if (q.HasEdge(u, v) != q.HasEdge(perm[u], perm[v])) ok = false;
@@ -28,17 +34,27 @@ std::vector<QueryPermutation> Automorphisms(const QueryGraph& q) {
 
 namespace {
 
-/// Adjacency masks of `q` relabeled by `perm` (perm[u] = new label of u).
-std::array<std::uint32_t, kMaxQueryVertices> RelabeledMasks(
-    const QueryGraph& q, const std::vector<QueryVertex>& perm) {
+/// Canonical comparison key under a relabeling: adjacency masks plus the
+/// permuted label-constraint vector, so differently-labeled queries never
+/// share a canonical form (the plan cache would otherwise alias them).
+struct RelabeledEncoding {
   std::array<std::uint32_t, kMaxQueryVertices> masks{};
+  std::array<LabelId, kMaxQueryVertices> labels{};
+  auto operator<=>(const RelabeledEncoding&) const = default;
+};
+
+/// Encoding of `q` relabeled by `perm` (perm[u] = new label of u).
+RelabeledEncoding RelabeledMasks(const QueryGraph& q,
+                                 const std::vector<QueryVertex>& perm) {
+  RelabeledEncoding enc;
   const std::uint8_t n = q.NumVertices();
   for (QueryVertex u = 0; u < n; ++u) {
+    enc.labels[perm[u]] = q.Label(u);
     for (QueryVertex v = 0; v < n; ++v) {
-      if (q.HasEdge(u, v)) masks[perm[u]] |= 1u << perm[v];
+      if (q.HasEdge(u, v)) enc.masks[perm[u]] |= 1u << perm[v];
     }
   }
-  return masks;
+  return enc;
 }
 
 }  // namespace
@@ -75,6 +91,9 @@ CanonicalQuery CanonicalizeQuery(const QueryGraph& q) {
     for (const auto& [u, v] : q.Edges()) {
       relabeled.AddEdge(out.to_canonical[u], out.to_canonical[v]);
     }
+    for (QueryVertex u = 0; u < n; ++u) {
+      relabeled.SetLabel(out.to_canonical[u], q.Label(u));
+    }
     out.graph = relabeled;
   }
   return out;
@@ -84,13 +103,20 @@ std::string CanonicalQueryKey(const CanonicalQuery& canonical) {
   const QueryGraph& g = canonical.graph;
   const std::uint8_t n = g.NumVertices();
   std::string key;
-  key.reserve(2 + n * 2u);
+  key.reserve(2 + n * 4u);
   key.push_back(canonical.exact ? 'c' : 'x');
   key.push_back(static_cast<char>(n));
   for (QueryVertex u = 0; u < n; ++u) {
     const std::uint32_t mask = g.NeighborMask(u);
     key.push_back(static_cast<char>(mask & 0xFF));
     key.push_back(static_cast<char>((mask >> 8) & 0xFF));
+  }
+  // Label constraints are part of the identity: an unlabeled triangle and
+  // a labeled one must map to different plan-cache entries.
+  for (QueryVertex u = 0; u < n; ++u) {
+    const LabelId label = g.Label(u);
+    key.push_back(static_cast<char>(label & 0xFF));
+    key.push_back(static_cast<char>((label >> 8) & 0xFF));
   }
   return key;
 }

@@ -24,9 +24,67 @@ bool MatchShape(const std::string& text, const std::string& prefix,
   return n > 0;
 }
 
+/// Parses the "@L0,L1,..." positional label suffix onto `q`: one term per
+/// query vertex, each a label id or `*` (any label).
+Status ApplyLabelSuffix(QueryGraph* q, const std::string& labels,
+                        const std::string& full_text) {
+  std::size_t i = 0;
+  QueryVertex u = 0;
+  while (i < labels.size()) {
+    if (u >= q->NumVertices()) {
+      return Status::InvalidArgument("more labels than query vertices in: " +
+                                     full_text);
+    }
+    if (labels[i] == '*') {
+      q->SetLabel(u, kAnyLabel);
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(labels[i]))) {
+      long value = 0;
+      while (i < labels.size() &&
+             std::isdigit(static_cast<unsigned char>(labels[i]))) {
+        value = value * 10 + (labels[i] - '0');
+        if (value > kMaxDataLabel) {
+          return Status::InvalidArgument("label id too large in: " + full_text);
+        }
+        ++i;
+      }
+      q->SetLabel(u, static_cast<LabelId>(value));
+    } else {
+      return Status::InvalidArgument("cannot parse label list in: " +
+                                     full_text);
+    }
+    ++u;
+    if (i < labels.size()) {
+      if (labels[i] != ',') {
+        return Status::InvalidArgument("cannot parse label list in: " +
+                                       full_text);
+      }
+      ++i;
+    }
+  }
+  if (u != q->NumVertices()) {
+    return Status::InvalidArgument(
+        "label list must name all " + std::to_string(q->NumVertices()) +
+        " query vertices (use * for unconstrained) in: " + full_text);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<QueryGraph> ParseQuery(const std::string& text) {
+  // "<query>@L0,L1,..." constrains vertex k to label Lk (`*` = any), e.g.
+  // "triangle@0,0,1" or "0-1 1-2@2,*,2". Applies to named shapes and edge
+  // lists alike.
+  if (const std::size_t at = text.find('@'); at != std::string::npos) {
+    if (text.find('@', at + 1) != std::string::npos) {
+      return Status::InvalidArgument("multiple '@' in query: " + text);
+    }
+    DUALSIM_ASSIGN_OR_RETURN(QueryGraph q, ParseQuery(text.substr(0, at)));
+    DUALSIM_RETURN_IF_ERROR(ApplyLabelSuffix(&q, text.substr(at + 1), text));
+    return q;
+  }
+
   // Named shapes first.
   if (text == "q1" || text == "triangle") return MakePaperQuery(PaperQuery::kQ1);
   if (text == "q2" || text == "square") return MakePaperQuery(PaperQuery::kQ2);
@@ -61,8 +119,10 @@ StatusOr<QueryGraph> ParseQuery(const std::string& text) {
     return MakeCycleQuery(n);
   }
 
-  // Edge list: tokens "a-b" separated by commas/whitespace.
+  // Edge list: tokens "a-b" (edge) or "a=L" (label constraint on a),
+  // separated by commas/whitespace.
   std::vector<std::pair<int, int>> edges;
+  std::vector<std::pair<int, int>> labels;
   int max_vertex = -1;
   std::size_t i = 0;
   auto skip_separators = [&] {
@@ -88,21 +148,35 @@ StatusOr<QueryGraph> ParseQuery(const std::string& text) {
   while (i < text.size()) {
     int a = 0;
     int b = 0;
-    if (!parse_int(&a) || i >= text.size() || text[i] != '-') {
+    if (!parse_int(&a) ||
+        (i < text.size() && text[i] != '-' && text[i] != '=') ||
+        i >= text.size()) {
       return Status::InvalidArgument("cannot parse query edge list: " + text);
     }
-    ++i;  // '-'
+    if (a >= kMaxQueryVertices) {
+      return Status::InvalidArgument("query vertex id too large in: " + text);
+    }
+    const char op = text[i];
+    ++i;  // '-' or '='
     if (!parse_int(&b)) {
       return Status::InvalidArgument("cannot parse query edge list: " + text);
     }
-    if (a == b) {
-      return Status::InvalidArgument("self-loop in query: " + text);
+    if (op == '=') {
+      if (b > kMaxDataLabel) {
+        return Status::InvalidArgument("label id too large in: " + text);
+      }
+      labels.emplace_back(a, b);
+      max_vertex = std::max(max_vertex, a);
+    } else {
+      if (a == b) {
+        return Status::InvalidArgument("self-loop in query: " + text);
+      }
+      if (b >= kMaxQueryVertices) {
+        return Status::InvalidArgument("query vertex id too large in: " + text);
+      }
+      edges.emplace_back(a, b);
+      max_vertex = std::max({max_vertex, a, b});
     }
-    if (a >= kMaxQueryVertices || b >= kMaxQueryVertices) {
-      return Status::InvalidArgument("query vertex id too large in: " + text);
-    }
-    edges.emplace_back(a, b);
-    max_vertex = std::max({max_vertex, a, b});
     skip_separators();
   }
   if (edges.empty()) {
@@ -111,6 +185,9 @@ StatusOr<QueryGraph> ParseQuery(const std::string& text) {
   QueryGraph q(static_cast<std::uint8_t>(max_vertex + 1));
   for (const auto& [a, b] : edges) {
     q.AddEdge(static_cast<QueryVertex>(a), static_cast<QueryVertex>(b));
+  }
+  for (const auto& [a, l] : labels) {
+    q.SetLabel(static_cast<QueryVertex>(a), static_cast<LabelId>(l));
   }
   if (!q.IsConnected()) {
     return Status::InvalidArgument("query graph must be connected: " + text);

@@ -58,6 +58,14 @@ std::string QueryGraph::ToString() const {
   for (const auto& [u, v] : Edges()) {
     out += " " + std::to_string(u) + "-" + std::to_string(v);
   }
+  if (HasLabels()) {
+    out += " labels:";
+    for (QueryVertex u = 0; u < num_vertices_; ++u) {
+      if (label_[u] != kAnyLabel) {
+        out += " " + std::to_string(u) + "=" + std::to_string(label_[u]);
+      }
+    }
+  }
   return out;
 }
 

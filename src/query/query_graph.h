@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph.h"
+
 namespace dualsim {
 
 /// Index of a query vertex (u_i in the paper).
@@ -14,9 +16,12 @@ using QueryVertex = std::uint8_t;
 /// leaves room for extensions while keeping adjacency masks in a word.
 inline constexpr std::uint8_t kMaxQueryVertices = 12;
 
-/// Small undirected, unlabeled, connected query graph, stored as per-vertex
-/// adjacency bitmasks. All algorithms over it (automorphisms, vertex
-/// covers, sequence enumeration) are exponential in |V_q| but |V_q| <= 12.
+/// Small undirected, optionally labeled, connected query graph, stored as
+/// per-vertex adjacency bitmasks. Each vertex carries a label constraint:
+/// kAnyLabel (the default) matches every data vertex; a concrete label
+/// restricts candidates to data vertices with that label. All algorithms
+/// over it (automorphisms, vertex covers, sequence enumeration) are
+/// exponential in |V_q| but |V_q| <= 12.
 class QueryGraph {
  public:
   QueryGraph() = default;
@@ -46,13 +51,31 @@ class QueryGraph {
   /// True when the induced subgraph on `mask` is connected (and non-empty).
   bool IsConnectedSubset(std::uint32_t mask) const;
 
-  /// Human-readable listing, e.g. "4 vertices: 0-1 1-2 2-3".
+  /// Label constraint on `u` (kAnyLabel when unconstrained).
+  LabelId Label(QueryVertex u) const { return label_[u]; }
+
+  /// Constrains `u` to data vertices labeled `label`.
+  void SetLabel(QueryVertex u, LabelId label) { label_[u] = label; }
+
+  /// True when at least one vertex carries a concrete label constraint.
+  bool HasLabels() const {
+    for (std::uint8_t u = 0; u < num_vertices_; ++u) {
+      if (label_[u] != kAnyLabel) return true;
+    }
+    return false;
+  }
+
+  /// Human-readable listing, e.g. "4 vertices: 0-1 1-2 2-3"; labeled
+  /// vertices append " labels: 0=A ..." style "u=label" terms.
   std::string ToString() const;
 
  private:
   std::uint8_t num_vertices_ = 0;
   std::uint8_t num_edges_ = 0;
   std::uint32_t adj_[kMaxQueryVertices] = {};
+  LabelId label_[kMaxQueryVertices] = {
+      kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel,
+      kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel, kAnyLabel};
 };
 
 /// A partial order constraint u < v between query vertices: any embedding m

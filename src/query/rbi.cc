@@ -59,15 +59,22 @@ RbiQueryGraph GenerateRbiQueryGraph(const QueryGraph& q,
   if (options.apply_rules) {
     int best_orders = CountInternalOrders(orders, best);
     int best_edges = CountInducedEdges(q, best);
+    int best_labeled = CountLabeledVertices(q, best);
     for (std::size_t i = 1; i < covers.size(); ++i) {
       const int n_orders = CountInternalOrders(orders, covers[i]);
       const int n_edges = CountInducedEdges(q, covers[i]);
+      const int n_labeled = CountLabeledVertices(q, covers[i]);
       // Rule 1: more internal partial orders. Rule 2: denser red graph.
+      // Rule 3 (labels): more label-constrained red vertices — each one
+      // narrows the candidate-page set its level scans.
       if (n_orders > best_orders ||
-          (n_orders == best_orders && n_edges > best_edges)) {
+          (n_orders == best_orders && n_edges > best_edges) ||
+          (n_orders == best_orders && n_edges == best_edges &&
+           n_labeled > best_labeled)) {
         best = covers[i];
         best_orders = n_orders;
         best_edges = n_edges;
+        best_labeled = n_labeled;
       }
     }
   }
@@ -94,6 +101,10 @@ RbiQueryGraph GenerateRbiQueryGraph(const QueryGraph& q,
 
   rbi.red_graph = QueryGraph(static_cast<std::uint8_t>(rbi.red.size()));
   for (std::uint8_t i = 0; i < rbi.red.size(); ++i) {
+    // The red graph inherits the label constraints of its vertices: the
+    // v-group machinery plans over it, and two red vertices with
+    // different labels must never land in one equivalence class.
+    rbi.red_graph.SetLabel(i, q.Label(rbi.red[i]));
     for (std::uint8_t j = static_cast<std::uint8_t>(i + 1); j < rbi.red.size();
          ++j) {
       if (q.HasEdge(rbi.red[i], rbi.red[j])) rbi.red_graph.AddEdge(i, j);

@@ -42,4 +42,12 @@ std::vector<std::uint32_t> MinimumConnectedVertexCovers(const QueryGraph& q) {
   return CoversOfMinSize(q, /*require_connected=*/true);
 }
 
+int CountLabeledVertices(const QueryGraph& q, std::uint32_t mask) {
+  int count = 0;
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if (((mask >> u) & 1u) && q.Label(u) != kAnyLabel) ++count;
+  }
+  return count;
+}
+
 }  // namespace dualsim

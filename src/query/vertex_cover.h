@@ -20,6 +20,11 @@ std::vector<std::uint32_t> MinimumVertexCovers(const QueryGraph& q);
 /// subgraph is connected, of minimum size among such covers.
 std::vector<std::uint32_t> MinimumConnectedVertexCovers(const QueryGraph& q);
 
+/// Number of vertices in `mask` carrying a concrete label constraint
+/// (not kAnyLabel). Used by cover selection: label-constrained red
+/// vertices make the candidate-page filter selective.
+int CountLabeledVertices(const QueryGraph& q, std::uint32_t mask);
+
 }  // namespace dualsim
 
 #endif  // DUALSIM_QUERY_VERTEX_COVER_H_

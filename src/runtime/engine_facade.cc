@@ -36,6 +36,7 @@ StatusOr<EngineStats> DualSimEngine::Run(const QueryGraph& q,
 
     SessionOptions session_options;
     session_options.paper_buffer_allocation = options_.paper_buffer_allocation;
+    session_options.candidate_filter = options_.candidate_filter;
     session_options.plan = options_.plan;
     session_ = std::make_unique<QuerySession>(runtime_.get(), session_options);
   }

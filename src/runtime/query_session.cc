@@ -133,6 +133,8 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   ctx.pool = lease.pool();
   ctx.levels = levels;
   ctx.num_groups = plan->groups.size();
+  ctx.data_labels = disk->Labels();
+  ctx.candidate_filter = options_.candidate_filter;
   TaskGroup tasks(ctx.cpu_pool);
   ctx.tasks = &tasks;
 

@@ -26,6 +26,10 @@ struct SessionOptions {
   /// concurrently should set a cap so they fit side by side; a cap below
   /// a plan's minimum is an InvalidArgument.
   std::size_t max_frames = 0;
+  /// Label-driven candidate page filter (see EngineOptions::
+  /// candidate_filter); false disables page skipping only, per-vertex
+  /// label checks always stay on.
+  bool candidate_filter = true;
   /// Preparation-step options (RBI choice, v-grouping, matching order).
   PlanOptions plan;
   /// Optional trace sink: each Run() records spans (prepare, admit,

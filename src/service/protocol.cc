@@ -153,6 +153,9 @@ std::string EncodeSubmit(const SubmitRequest& req) {
   w.U32(req.max_embeddings);
   w.U8(req.stream_embeddings ? kFlagStreamEmbeddings : 0);
   w.Str(req.query);
+  // v1 ends here; later versions self-describe with a trailing byte so a
+  // v2-aware server can tell old clients apart from labeled-capable ones.
+  if (req.version > kSubmitVersionV1) w.U8(req.version);
   return std::move(w).Take();
 }
 
@@ -164,7 +167,14 @@ Status DecodeSubmit(std::string_view payload, SubmitRequest* out) {
   r.U32(&out->max_embeddings);
   r.U8(&flags);
   r.Str(&out->query);
-  if (!r.Done()) return Truncated("SUBMIT");
+  if (r.Done()) {
+    out->version = kSubmitVersionV1;  // old client, no trailing byte
+  } else {
+    if (!r.U8(&out->version) || !r.Done() ||
+        out->version <= kSubmitVersionV1) {
+      return Truncated("SUBMIT");
+    }
+  }
   out->stream_embeddings = (flags & kFlagStreamEmbeddings) != 0;
   return Status::OK();
 }

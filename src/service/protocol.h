@@ -69,13 +69,23 @@ const char* WireCodeName(WireCode code);
 /// and is resolved by the service, not here.
 WireCode WireCodeFor(const Status& status);
 
+/// SUBMIT payload versions. v1 ends at the query string; v2 appends a
+/// trailing u8 version byte and declares the client speaks the labeled
+/// query syntax ("0-1,0=3" / "triangle@3,3,*"). Decoders accept both: a
+/// payload ending at the query is v1, a trailing byte is the version.
+inline constexpr std::uint8_t kSubmitVersionV1 = 1;
+inline constexpr std::uint8_t kSubmitVersionLabeled = 2;
+
 /// SUBMIT payload.
 struct SubmitRequest {
   std::uint64_t request_id = 0;
   std::uint32_t deadline_ms = 0;     // 0 = no deadline
   std::uint32_t max_embeddings = 0;  // cap on streamed embeddings (0 = all)
   bool stream_embeddings = false;    // also stream EMBEDDINGS batches
-  std::string query;                 // query/parser.h text form
+  std::string query;                 // query/parser.h text form (labels ok)
+  /// Payload version: kSubmitVersionV1 payloads omit the trailing byte
+  /// (old clients); encoders only append it when > v1.
+  std::uint8_t version = kSubmitVersionLabeled;
 };
 
 /// REJECTED and ERROR payload (ERROR uses request_id 0 when unknown).

@@ -45,6 +45,12 @@ inline constexpr int kIoBackendExitCode = 6;
 /// vs fail contract as kIoBackendExitCode, for the avx2-off CI lane.
 inline constexpr int kIntersectKernelExitCode = 7;
 
+/// Exit code for "the graph database opened but failed verification"
+/// (dualsim_cli verify: adjacency/catalog cross-checks on the slotted
+/// pages and the label index). Distinct from kGraphLoadExitCode so
+/// scripts can tell "unreadable file" from "readable but corrupt".
+inline constexpr int kGraphVerifyExitCode = 8;
+
 /// Opens the graph database a front end is about to serve, wrapping
 /// storage errors with an actionable message. kNotFound (missing path)
 /// keeps its typed code so callers can map it to kGraphLoadExitCode.

@@ -10,7 +10,15 @@
 namespace dualsim {
 namespace {
 
+// v2 ("DSMETA02"): header + first_page + last_page + first_vertex, no
+// labels. Unlabeled graphs still write this layout bit-for-bit so old
+// readers (and the format-compatibility CI job) keep working.
 constexpr std::uint64_t kMetaMagic = 0x44534D4554413032ULL;  // "DSMETA02"
+// v3 ("DSMETA03"): identical prefix, `reserved` carries num_labels, and a
+// label section follows first_vertex — u16 labels[num_vertices], then per
+// label a u32 run count + that many (u32 lo, u32 hi) half-open vertex-id
+// intervals, the sorted-vertex-interval index (DESIGN.md §12).
+constexpr std::uint64_t kMetaMagicV3 = 0x44534D4554413033ULL;  // "DSMETA03"
 
 struct MetaHeader {
   std::uint64_t magic;
@@ -19,10 +27,30 @@ struct MetaHeader {
   std::uint32_t num_pages;
   std::uint64_t num_edges;
   std::uint32_t all_single_page;
-  std::uint32_t reserved;
+  std::uint32_t reserved;  // v3: number of distinct labels
 };
 
 std::string MetaPath(const std::string& path) { return path + ".meta"; }
+
+/// Maximal runs of consecutive vertex ids carrying `label`. Because the
+/// database is in ≺ order these runs are exactly the sorted-vertex
+/// intervals the candidate filter intersects with adjacency.
+std::vector<std::pair<VertexId, VertexId>> LabelRuns(
+    const std::vector<LabelId>& labels, LabelId label) {
+  std::vector<std::pair<VertexId, VertexId>> runs;
+  const auto n = static_cast<VertexId>(labels.size());
+  for (VertexId v = 0; v < n;) {
+    if (labels[v] != label) {
+      ++v;
+      continue;
+    }
+    VertexId end = v + 1;
+    while (end < n && labels[end] == label) ++end;
+    runs.emplace_back(v, end);
+    v = end;
+  }
+  return runs;
+}
 
 }  // namespace
 
@@ -102,16 +130,27 @@ Status BuildDiskGraph(const Graph& g, const std::string& path,
   DUALSIM_RETURN_IF_ERROR(flush());
   DUALSIM_RETURN_IF_ERROR(file->Sync());
 
-  // Catalog.
+  // Catalog. Labeled graphs append the v3 label section; unlabeled
+  // graphs keep the v2 layout unchanged.
+  const bool labeled = g.HasLabels();
+  std::uint32_t num_labels = 0;
+  if (labeled) {
+    num_labels = g.NumLabels();
+    if (num_labels > static_cast<std::uint32_t>(kMaxDataLabel) + 1) {
+      return Status::InvalidArgument("too many vertex labels (" +
+                                     std::to_string(num_labels) + " > " +
+                                     std::to_string(kMaxDataLabel + 1) + ")");
+    }
+  }
   std::FILE* meta = std::fopen(MetaPath(path).c_str(), "wb");
   if (meta == nullptr) return Status::IOError("cannot open " + MetaPath(path));
-  MetaHeader header{kMetaMagic,
+  MetaHeader header{labeled ? kMetaMagicV3 : kMetaMagic,
                     page_size,
                     g.NumVertices(),
                     current_page,
                     g.NumEdges(),
                     all_single_page ? 1u : 0u,
-                    0};
+                    num_labels};
   bool ok = std::fwrite(&header, sizeof(header), 1, meta) == 1;
   ok = ok && (first_page.empty() ||
               std::fwrite(first_page.data(), sizeof(PageId), first_page.size(),
@@ -122,6 +161,21 @@ Status BuildDiskGraph(const Graph& g, const std::string& path,
   ok = ok && (first_vertex.empty() ||
               std::fwrite(first_vertex.data(), sizeof(VertexId),
                           first_vertex.size(), meta) == first_vertex.size());
+  if (labeled && ok) {
+    const std::vector<LabelId>& labels = g.labels();
+    ok = labels.empty() ||
+         std::fwrite(labels.data(), sizeof(LabelId), labels.size(), meta) ==
+             labels.size();
+    for (std::uint32_t l = 0; ok && l < num_labels; ++l) {
+      const auto runs = LabelRuns(labels, static_cast<LabelId>(l));
+      const auto run_count = static_cast<std::uint32_t>(runs.size());
+      ok = std::fwrite(&run_count, sizeof(run_count), 1, meta) == 1;
+      for (const auto& [lo, hi] : runs) {
+        ok = ok && std::fwrite(&lo, sizeof(lo), 1, meta) == 1 &&
+             std::fwrite(&hi, sizeof(hi), 1, meta) == 1;
+      }
+    }
+  }
   std::fclose(meta);
   if (!ok) return Status::IOError("short write to " + MetaPath(path));
   return Status::OK();
@@ -145,7 +199,8 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
     std::fclose(meta);
     return Status::IOError("short read from " + MetaPath(path));
   }
-  if (header.magic != kMetaMagic) {
+  const bool labeled = header.magic == kMetaMagicV3;
+  if (header.magic != kMetaMagic && !labeled) {
     std::fclose(meta);
     return Status::InvalidArgument("bad meta magic in " + MetaPath(path));
   }
@@ -161,8 +216,81 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
   ok = ok && (first_vertex.empty() ||
               std::fread(first_vertex.data(), sizeof(VertexId),
                          first_vertex.size(), meta) == first_vertex.size());
+
+  // v3 label section: per-vertex labels, then the per-label interval
+  // index. The index is validated against the labels array below — a
+  // catalog whose intervals disagree with its labels is corrupt.
+  std::vector<LabelId> labels;
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> label_runs;
+  const std::uint32_t num_labels = labeled ? header.reserved : 1;
+  if (labeled && ok) {
+    if (num_labels == 0 ||
+        num_labels > static_cast<std::uint32_t>(kMaxDataLabel) + 1) {
+      std::fclose(meta);
+      return Status::InvalidArgument("bad label count in " + MetaPath(path));
+    }
+    labels.resize(header.num_vertices);
+    ok = labels.empty() ||
+         std::fread(labels.data(), sizeof(LabelId), labels.size(), meta) ==
+             labels.size();
+    label_runs.resize(num_labels);
+    for (std::uint32_t l = 0; ok && l < num_labels; ++l) {
+      std::uint32_t run_count = 0;
+      ok = std::fread(&run_count, sizeof(run_count), 1, meta) == 1 &&
+           run_count <= header.num_vertices;
+      for (std::uint32_t r = 0; ok && r < run_count; ++r) {
+        VertexId lo = 0, hi = 0;
+        ok = std::fread(&lo, sizeof(lo), 1, meta) == 1 &&
+             std::fread(&hi, sizeof(hi), 1, meta) == 1;
+        if (ok) label_runs[l].emplace_back(lo, hi);
+      }
+    }
+  }
   std::fclose(meta);
   if (!ok) return Status::IOError("short read from " + MetaPath(path));
+
+  if (labeled) {
+    // Interval index vs label array: every run must be well formed,
+    // ascending, and agree with the labels it claims to cover; the runs
+    // of all labels must cover every vertex exactly once. O(V) total.
+    std::uint64_t covered = 0;
+    for (std::uint32_t l = 0; l < num_labels; ++l) {
+      VertexId prev_end = 0;
+      bool first = true;
+      for (const auto& [lo, hi] : label_runs[l]) {
+        if (lo >= hi || hi > header.num_vertices ||
+            (!first && lo < prev_end)) {
+          return Status::InvalidArgument(
+              "catalog corruption in " + MetaPath(path) + ": label " +
+              std::to_string(l) + " interval index is not sorted");
+        }
+        for (VertexId v = lo; v < hi; ++v) {
+          if (labels[v] != l) {
+            return Status::InvalidArgument(
+                "catalog corruption in " + MetaPath(path) + ": label " +
+                std::to_string(l) + " interval [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + ") disagrees with the label array");
+          }
+        }
+        covered += hi - lo;
+        prev_end = hi;
+        first = false;
+      }
+    }
+    if (covered != header.num_vertices) {
+      return Status::InvalidArgument(
+          "catalog corruption in " + MetaPath(path) +
+          ": label intervals cover " + std::to_string(covered) + " of " +
+          std::to_string(header.num_vertices) + " vertices");
+    }
+    for (LabelId l : labels) {
+      if (l >= num_labels) {
+        return Status::InvalidArgument("catalog corruption in " +
+                                       MetaPath(path) +
+                                       ": vertex label out of range");
+      }
+    }
+  }
 
   DUALSIM_ASSIGN_OR_RETURN(
       std::unique_ptr<PageFile> file,
@@ -212,7 +340,14 @@ StatusOr<std::unique_ptr<DiskGraph>> DiskGraph::Open(
   return std::unique_ptr<DiskGraph>(
       new DiskGraph(std::move(file), std::move(first_page),
                     std::move(last_page), std::move(first_vertex),
-                    header.num_edges, header.all_single_page != 0));
+                    header.num_edges, header.all_single_page != 0,
+                    std::move(labels), num_labels));
+}
+
+const Bitmap& DiskGraph::PagesWithLabel(LabelId label) const {
+  if (label == kAnyLabel) return all_pages_;
+  if (label >= label_pages_.size()) return no_pages_;
+  return label_pages_[label];
 }
 
 Status DiskGraph::VerifyAdjacency(bool* degree_ordered) const {
@@ -317,13 +452,16 @@ DiskGraph::DiskGraph(std::unique_ptr<PageFile> file,
                      std::vector<PageId> first_page,
                      std::vector<PageId> last_page,
                      std::vector<VertexId> first_vertex, EdgeId num_edges,
-                     bool all_single_page)
+                     bool all_single_page, std::vector<LabelId> labels,
+                     std::uint32_t num_labels)
     : file_(std::move(file)),
       first_page_(std::move(first_page)),
       last_page_(std::move(last_page)),
       first_vertex_(std::move(first_vertex)),
       num_edges_(num_edges),
-      all_single_page_(all_single_page) {
+      all_single_page_(all_single_page),
+      labels_(std::move(labels)),
+      num_labels_(num_labels) {
   spans_beyond_.assign(file_->num_pages(), false);
   for (VertexId v = 0; v < first_page_.size(); ++v) {
     const PageId first = first_page_[v];
@@ -331,6 +469,23 @@ DiskGraph::DiskGraph(std::unique_ptr<PageFile> file,
     if (first == kInvalidPage) continue;
     max_vertex_pages_ = std::max(max_vertex_pages_, last - first + 1);
     for (PageId p = first; p < last; ++p) spans_beyond_[p] = true;
+  }
+  // Per-label candidate-page bitmaps: which pages hold a record of each
+  // label. Derived from the catalog (no page reads): vertex v's records
+  // live on pages [first_page_[v], last_page_[v]].
+  all_pages_.Resize(file_->num_pages());
+  all_pages_.SetAll();
+  no_pages_.Resize(file_->num_pages());
+  label_pages_.resize(num_labels_);
+  for (auto& bm : label_pages_) bm.Resize(file_->num_pages());
+  if (labels_.empty()) {
+    if (!label_pages_.empty()) label_pages_[0].SetAll();
+  } else {
+    for (VertexId v = 0; v < first_page_.size(); ++v) {
+      if (first_page_[v] == kInvalidPage) continue;
+      Bitmap& bm = label_pages_[labels_[v]];
+      for (PageId p = first_page_[v]; p <= last_page_[v]; ++p) bm.Set(p);
+    }
   }
 }
 

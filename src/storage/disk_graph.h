@@ -9,6 +9,7 @@
 #include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "util/bitmap.h"
 #include "util/status.h"
 
 namespace dualsim {
@@ -20,6 +21,11 @@ namespace dualsim {
 /// pages unless `require_single_page` is set, in which case building fails
 /// for such vertices (the enumeration engine assumes the paper's
 /// small-degree case; see DESIGN.md).
+///
+/// Unlabeled graphs write the v2 catalog ("DSMETA02") bit-for-bit as
+/// before; labeled graphs write the v3 catalog ("DSMETA03") which appends
+/// a label section (per-vertex u16 label ids + a label→sorted-vertex-
+/// interval index). DiskGraph::Open reads both (DESIGN.md §12).
 Status BuildDiskGraph(const Graph& g, const std::string& path,
                       std::size_t page_size,
                       bool require_single_page = false,
@@ -71,6 +77,28 @@ class DiskGraph {
   /// Largest number of pages any single vertex's adjacency occupies.
   std::uint32_t MaxVertexPages() const { return max_vertex_pages_; }
 
+  /// True when the database carries a label section (v3 catalog). An
+  /// unlabeled (v2) database behaves as all-label-0.
+  bool HasLabels() const { return !labels_.empty(); }
+
+  /// Number of distinct labels (1 for unlabeled databases).
+  std::uint32_t NumLabels() const { return num_labels_; }
+
+  /// Label of data vertex `v`; 0 for unlabeled databases.
+  LabelId LabelOf(VertexId v) const {
+    return labels_.empty() ? LabelId{0} : labels_[v];
+  }
+
+  /// The whole per-vertex label map (empty for unlabeled databases).
+  std::span<const LabelId> Labels() const { return labels_; }
+
+  /// Pages containing at least one vertex record with label `label`
+  /// (size() == num_pages). kAnyLabel returns the all-pages bitmap; a
+  /// label no data vertex carries returns the empty bitmap. This is the
+  /// root candidate-page filter: windows over pages outside this set
+  /// cannot produce a match for a label-constrained root level.
+  const Bitmap& PagesWithLabel(LabelId label) const;
+
   /// Full-scan verification of the on-disk adjacency invariants the
   /// intersection kernels (DESIGN.md §11) rely on: every record's
   /// neighbor sublist is sorted strictly ascending (therefore duplicate
@@ -89,7 +117,8 @@ class DiskGraph {
  private:
   DiskGraph(std::unique_ptr<PageFile> file, std::vector<PageId> first_page,
             std::vector<PageId> last_page, std::vector<VertexId> first_vertex,
-            EdgeId num_edges, bool all_single_page);
+            EdgeId num_edges, bool all_single_page,
+            std::vector<LabelId> labels, std::uint32_t num_labels);
 
   std::unique_ptr<PageFile> file_;
   std::vector<PageId> first_page_;
@@ -99,6 +128,14 @@ class DiskGraph {
   EdgeId num_edges_;
   bool all_single_page_;
   std::uint32_t max_vertex_pages_ = 1;
+  // Label section (v3 catalogs). labels_ is empty for v2 databases;
+  // label_pages_[l] is the set of pages holding a record labeled l, and
+  // all_pages_/no_pages_ back the kAnyLabel / absent-label answers.
+  std::vector<LabelId> labels_;
+  std::uint32_t num_labels_ = 1;
+  std::vector<Bitmap> label_pages_;
+  Bitmap all_pages_;
+  Bitmap no_pages_;
 };
 
 }  // namespace dualsim

@@ -56,8 +56,17 @@ StatusOr<PreprocessResult> ExternalReorder(const Graph& g,
   DUALSIM_RETURN_IF_ERROR(sorter.error());
   for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
 
-  PreprocessResult result{Graph(std::move(offsets), std::move(neighbors)),
-                          sorter.stats()};
+  Graph reordered(std::move(offsets), std::move(neighbors));
+  if (g.HasLabels()) {
+    // New vertex `rank` is old vertex `perm[rank]`.
+    std::vector<LabelId> labels(n);
+    for (std::uint32_t rank = 0; rank < n; ++rank) {
+      labels[rank] = g.Label(perm[rank]);
+    }
+    reordered.SetLabels(std::move(labels));
+  }
+
+  PreprocessResult result{std::move(reordered), sorter.stats()};
   return result;
 }
 
@@ -87,7 +96,13 @@ Graph PartiallySortedGraph(const Graph& g, double sorted_fraction,
       if (v < w) builder.AddEdge(new_id[v], new_id[w]);
     }
   }
-  return builder.Build();
+  Graph out = builder.Build();
+  if (ordered.HasLabels()) {
+    std::vector<LabelId> labels(n);
+    for (VertexId v = 0; v < n; ++v) labels[new_id[v]] = ordered.Label(v);
+    out.SetLabels(std::move(labels));
+  }
+  return out;
 }
 
 }  // namespace dualsim

@@ -35,7 +35,7 @@ TEST(ExtensionTest, TriangleIvoryIntersection) {
     seen.emplace_back(m.begin(), m.end());
   };
   const std::uint64_t count =
-      ExtendNonRed(rbi, nonred, mapping, red_adj, &fn);
+      ExtendNonRed(rbi, nonred, mapping, red_adj, {}, &fn);
   // PO of the triangle is 0<1<2: candidates must exceed m(1)=6: both 7,9.
   EXPECT_EQ(count, 2u);
   ASSERT_EQ(seen.size(), 2u);
@@ -55,7 +55,7 @@ TEST(ExtensionTest, PartialOrderPrunesCandidates) {
   red_adj[rbi.red[0]] = adj0;
   red_adj[rbi.red[1]] = adj1;
   std::vector<QueryVertex> nonred = {2};
-  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, nullptr), 1u);
+  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, {}, nullptr), 1u);
 }
 
 TEST(ExtensionTest, InjectivityExcludesMappedVertices) {
@@ -69,7 +69,7 @@ TEST(ExtensionTest, InjectivityExcludesMappedVertices) {
   red_adj[0] = adj_center;
   std::vector<QueryVertex> nonred = {1, 2};
   // Orders: star leaves are symmetric => 1 < 2. Assignments: (5,6) only.
-  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, nullptr), 1u);
+  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, {}, nullptr), 1u);
 }
 
 TEST(ExtensionTest, EmptyNonRedCountsOne) {
@@ -79,7 +79,7 @@ TEST(ExtensionTest, EmptyNonRedCountsOne) {
   RbiQueryGraph rbi = MakeRbi(MakeCliqueQuery(3));
   std::vector<VertexId> mapping = {1, 2, 3};  // pretend all mapped
   std::vector<std::span<const VertexId>> red_adj(3);
-  EXPECT_EQ(ExtendNonRed(rbi, {}, mapping, red_adj, nullptr), 1u);
+  EXPECT_EQ(ExtendNonRed(rbi, {}, mapping, red_adj, {}, nullptr), 1u);
 }
 
 TEST(ExtensionTest, BlackVertexScansWholeList) {
@@ -93,7 +93,7 @@ TEST(ExtensionTest, BlackVertexScansWholeList) {
   red_adj[1] = adj_mid;
   std::vector<QueryVertex> nonred = {0, 2};
   // Ordered pairs from {10,20,30} with m(0) < m(2): C(3,2) = 3.
-  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, nullptr), 3u);
+  EXPECT_EQ(ExtendNonRed(rbi, nonred, mapping, red_adj, {}, nullptr), 3u);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+/// On-disk format compatibility (DESIGN.md §12): the labeled v3 format is
+/// additive. Unlabeled graphs must keep writing the byte-exact v2 layout
+/// (magic "DSMETA02", no label section) so files written by previous
+/// binaries and files written today are interchangeable — and v2 files
+/// must keep loading and matching. Labeled graphs write "DSMETA03" with
+/// the label array + interval index appended, and Open() validates that
+/// index rather than trusting it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+#include <unistd.h>
+
+#include "baseline/bruteforce.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/queries.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+namespace {
+
+// Mirrors of the (file-local) magics in storage/disk_graph.cc. If these
+// drift, the format changed and this suite must be revisited on purpose.
+constexpr std::uint64_t kMagicV2 = 0x44534D4554413032ULL;  // "DSMETA02"
+constexpr std::uint64_t kMagicV3 = 0x44534D4554413033ULL;  // "DSMETA03"
+
+// The catalog (and so the magic) lives in the sidecar `<path>.meta` file;
+// `<path>` itself holds the raw slotted pages.
+std::uint64_t ReadMagic(const std::string& path) {
+  std::ifstream in(path + ".meta", std::ios::binary);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return magic;
+}
+
+class FormatCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_compat_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FormatCompatTest, UnlabeledGraphsKeepTheV2Magic) {
+  Graph g = ReorderByDegree(ErdosRenyi(120, 500, 3));
+  const std::string path = (dir_ / "v2.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  EXPECT_EQ(ReadMagic(path), kMagicV2)
+      << "an unlabeled build must stay bit-compatible with old readers";
+
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_FALSE((*disk)->HasLabels());
+  EXPECT_EQ((*disk)->NumLabels(), 1u);
+  // An unlabeled graph behaves as "every vertex has label 0": both the
+  // wildcard and label 0 cover every page, other labels cover none.
+  EXPECT_EQ((*disk)->PagesWithLabel(kAnyLabel).Count(), (*disk)->num_pages());
+  EXPECT_EQ((*disk)->PagesWithLabel(0).Count(), (*disk)->num_pages());
+  EXPECT_EQ((*disk)->PagesWithLabel(1).Count(), 0u);
+}
+
+TEST_F(FormatCompatTest, V2FilesStillLoadAndMatchAllPaperQueries) {
+  // The exact ER fixture of the golden suite: its q1..q5 counts are
+  // pinned there; here the same file must reproduce the oracle counts
+  // after a plain v2 round trip.
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 42));
+  const std::string path = (dir_ / "golden.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  ASSERT_EQ(ReadMagic(path), kMagicV2);
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  EngineOptions options;
+  options.buffer_fraction = 0.2;
+  DualSimEngine engine(disk->get(), options);
+  for (PaperQuery pq : AllPaperQueries()) {
+    const QueryGraph q = MakePaperQuery(pq);
+    auto result = engine.Run(q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->embeddings, CountOccurrences(g, q))
+        << "query " << PaperQueryName(pq);
+  }
+}
+
+TEST_F(FormatCompatTest, LabeledGraphsRoundTripThroughV3) {
+  Graph g = WithRandomLabels(ReorderByDegree(ErdosRenyi(150, 700, 11)),
+                             /*num_labels=*/5, /*seed=*/29);
+  const std::string path = (dir_ / "v3.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  EXPECT_EQ(ReadMagic(path), kMagicV3);
+
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->HasLabels());
+  EXPECT_EQ((*disk)->NumLabels(), g.NumLabels());
+  ASSERT_EQ((*disk)->num_vertices(), g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ((*disk)->LabelOf(v), g.Label(v)) << "vertex " << v;
+  }
+  // Page-bitmap sanity: the label bitmaps cover exactly the pages the
+  // catalog places each vertex on, and their union is every page.
+  Bitmap seen;
+  seen.Resize((*disk)->num_pages());
+  for (LabelId l = 0; l < (*disk)->NumLabels(); ++l) {
+    seen.Union((*disk)->PagesWithLabel(l));
+  }
+  EXPECT_EQ(seen.Count(), (*disk)->num_pages());
+}
+
+TEST_F(FormatCompatTest, CorruptLabelSectionIsRejected) {
+  Graph g = WithRandomLabels(ReorderByDegree(ErdosRenyi(100, 400, 13)),
+                             /*num_labels=*/3, /*seed=*/41);
+  const std::string path = (dir_ / "bad.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+
+  // Truncate the catalog inside the label section: Open must fail with a
+  // typed error, not load garbage labels.
+  const std::string meta = path + ".meta";
+  const auto full_size = std::filesystem::file_size(meta);
+  std::filesystem::resize_file(meta, full_size - 4);
+  auto disk = DiskGraph::Open(path, false);
+  EXPECT_FALSE(disk.ok());
+}
+
+}  // namespace
+}  // namespace dualsim

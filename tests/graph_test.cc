@@ -89,5 +89,42 @@ TEST(InducedSubgraphTest, RelabelFollowsKeepOrder) {
   EXPECT_TRUE(sub.HasEdge(0, 1));  // old 2-3 edge
 }
 
+TEST(GraphLabelTest, UnlabeledGraphReportsLabelZero) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  EXPECT_FALSE(g.HasLabels());
+  EXPECT_EQ(g.NumLabels(), 1u);
+  EXPECT_EQ(g.Label(0), 0);
+  EXPECT_EQ(g.Label(2), 0);
+}
+
+TEST(GraphLabelTest, SetLabelsRoundTrip) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  g.SetLabels({2, 0, 1, 2});
+  EXPECT_TRUE(g.HasLabels());
+  EXPECT_EQ(g.NumLabels(), 3u);  // max label + 1
+  EXPECT_EQ(g.Label(0), 2);
+  EXPECT_EQ(g.Label(1), 0);
+  EXPECT_EQ(g.Label(3), 2);
+}
+
+TEST(GraphLabelTest, InducedSubgraphCarriesLabels) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  Graph g = b.Build();
+  g.SetLabels({4, 5, 6, 7});
+  Graph sub = InducedSubgraph(g, {1, 3});
+  ASSERT_TRUE(sub.HasLabels());
+  EXPECT_EQ(sub.Label(0), 5);  // old vertex 1
+  EXPECT_EQ(sub.Label(1), 7);  // old vertex 3
+}
+
 }  // namespace
 }  // namespace dualsim

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "testkit/metrics_util.h"
 #include "util/random.h"
 
 namespace dualsim {
@@ -143,6 +144,40 @@ TEST(IntersectTest, RandomizedAgainstSets) {
     IntersectMany(spans, &out);
     EXPECT_EQ(out, std::vector<VertexId>(expected.begin(), expected.end()));
   }
+}
+
+/// Regression: every 2-way dispatch attributes exactly one per-kernel
+/// counter, *including* the empty-input shortcut and the many-way path
+/// whose smallest list is empty — both historically recorded
+/// intersect.calls without any intersect.<kernel>.calls, so the per-kernel
+/// counters no longer summed to the total.
+TEST(IntersectTest, KernelCountersSumToCalls) {
+  if (!obs::kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  const std::vector<VertexId> empty;
+  const std::vector<VertexId> a = {1, 2, 3};
+  const std::vector<VertexId> b = {2, 3, 4};
+  std::vector<VertexId> out;
+
+  testkit::MetricsProbe probe;
+  Intersect2(empty, a, &out);  // empty-input shortcut
+  EXPECT_TRUE(out.empty());
+  Intersect2(a, b, &out);  // normal path
+  EXPECT_EQ(out, (std::vector<VertexId>{2, 3}));
+  const std::span<const VertexId> lists[] = {a, empty, b};
+  IntersectMany(lists, &out);  // many-way with an empty smallest list
+  EXPECT_TRUE(out.empty());
+
+  const std::uint64_t calls = probe.Delta("intersect.calls");
+  std::uint64_t per_kernel = 0;
+  for (const char* name :
+       {"intersect.scalar.calls", "intersect.galloping.calls",
+        "intersect.avx2.calls", "intersect.bitmap.calls"}) {
+    per_kernel += probe.Delta(name);
+  }
+  EXPECT_EQ(calls, 3u);  // two 2-way + one pairwise step inside many-way
+  EXPECT_EQ(per_kernel, calls)
+      << "per-kernel counters must sum to intersect.calls";
+  testkit::ExpectMetricDelta(probe, "intersect.many_calls", 1);
 }
 
 }  // namespace

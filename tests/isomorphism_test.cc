@@ -107,6 +107,52 @@ TEST(CanonicalizeTest, IsomorphicRelabelingsShareAKey) {
             CanonicalQueryKey(CanonicalizeQuery(triangle)));
 }
 
+TEST(AutomorphismTest, LabelsBreakSymmetry) {
+  // The bare triangle has all 6 automorphisms; labeling one corner pins
+  // it, leaving only the swap of the other two; distinct labels on two
+  // corners leave only the identity.
+  QueryGraph q(3);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  EXPECT_EQ(Automorphisms(q).size(), 6u);
+  q.SetLabel(0, 7);
+  EXPECT_EQ(Automorphisms(q).size(), 2u);
+  q.SetLabel(1, 8);
+  EXPECT_EQ(Automorphisms(q).size(), 1u);
+}
+
+TEST(CanonicalizeTest, LabelsChangeTheCanonicalKey) {
+  auto triangle = [] {
+    QueryGraph q(3);
+    q.AddEdge(0, 1);
+    q.AddEdge(1, 2);
+    q.AddEdge(0, 2);
+    return q;
+  };
+  const QueryGraph plain = triangle();
+  QueryGraph one_labeled = triangle();
+  one_labeled.SetLabel(0, 1);
+  QueryGraph other_label = triangle();
+  other_label.SetLabel(0, 2);
+  // Same shape + same multiset of labels on symmetric positions =>
+  // isomorphic => same key.
+  QueryGraph shifted = triangle();
+  shifted.SetLabel(2, 1);
+
+  const std::string plain_key = CanonicalQueryKey(CanonicalizeQuery(plain));
+  const std::string one_key =
+      CanonicalQueryKey(CanonicalizeQuery(one_labeled));
+  const std::string other_key =
+      CanonicalQueryKey(CanonicalizeQuery(other_label));
+  EXPECT_NE(plain_key, one_key)
+      << "a labeled query must never alias the unlabeled plan";
+  EXPECT_NE(one_key, other_key)
+      << "differently-labeled queries must never share a plan";
+  EXPECT_EQ(one_key, CanonicalQueryKey(CanonicalizeQuery(shifted)))
+      << "label-preserving isomorphisms must share a plan";
+}
+
 TEST(CanonicalizeTest, LargeQueriesFallBackToIdentity) {
   QueryGraph big(static_cast<std::uint8_t>(kMaxCanonicalVertices + 1));
   for (QueryVertex v = 1; v < big.NumVertices(); ++v) big.AddEdge(0, v);

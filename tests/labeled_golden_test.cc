@@ -1,0 +1,170 @@
+/// Labeled golden-count regression suite (DESIGN.md §12): labeled queries
+/// over deterministic labeled generator graphs, with the exact embedding
+/// count pinned as a literal and cross-checked against the label-aware
+/// brute-force oracle. Same triage contract as golden_counts_test.cc:
+///   - engine != golden, oracle == golden  -> engine regression
+///   - engine == golden, oracle != golden  -> oracle or generator drift
+///   - both != golden                      -> generator/label drift
+/// Any intentional change to the generators, the label assignment, or the
+/// parser's label syntax must re-derive these numbers.
+///
+/// The suite also pins the *semantics* of labels end-to-end: every query
+/// goes through ParseQuery (text syntax), the plan cache (label-aware
+/// canonical forms), and the candidate filter (both on and off — the two
+/// configurations must agree, since filtering is an optimization).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "baseline/bruteforce.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/parser.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim {
+namespace {
+
+/// Deterministic labeled fixture graphs: labels are assigned *after* the
+/// degree reorder, so vertex ids here match the on-disk ids exactly.
+/// Four labels with Zipf skew 1.0 — label 0 common, label 3 rare.
+Graph MakeLabeledGraph(int id) {
+  constexpr std::uint32_t kNumLabels = 4;
+  switch (id) {
+    case 0:
+      return WithRandomLabels(ReorderByDegree(ErdosRenyi(200, 1000, 42)),
+                              kNumLabels, 17);
+    case 1:
+      return WithRandomLabels(
+          ReorderByDegree(RMat(8, 900, 0.57, 0.15, 0.15, 7)), kNumLabels, 23);
+    default:
+      return WithRandomLabels(ReorderByDegree(BarabasiAlbert(150, 3, 5)),
+                              kNumLabels, 31);
+  }
+}
+
+/// The labeled queries, in the CLI/wire text syntax. A mix of fully
+/// labeled, partially labeled (wildcards), and rare-label selective
+/// shapes; q5 uses the "@" suffix form to cover both syntaxes.
+const char* const kLabeledQueries[] = {
+    "0-1,1-2,2-0,0=0,1=0,2=0",      // triangle, all on the common label
+    "0-1,1-2,2-0,0=0,1=1",          // triangle, mixed labels + wildcard
+    "0-1,1-2,0=3,2=3",              // path P3, rare label at both ends
+    "0-1,1-2,2-3,3-0,0=1,2=1",      // 4-cycle, alternating constraint
+    "triangle@2,2,*",               // suffix syntax on a named shape
+};
+
+// Pinned counts per graph (rows: ER, RMat, BA) x query (columns as above).
+constexpr std::uint64_t kGolden[3][5] = {
+    /* ER   */ {19, 81, 168, 91, 8},
+    /* RMat */ {58, 604, 71, 809, 15},
+    /* BA   */ {6, 29, 118, 9, 3},
+};
+
+struct LabeledCase {
+  const char* graph_name;
+  int graph_id;
+  int query_id;
+  std::uint64_t golden;
+  bool candidate_filter;
+};
+
+std::vector<LabeledCase> AllLabeledCases() {
+  const char* names[] = {"ER", "RMat", "BA"};
+  std::vector<LabeledCase> cases;
+  for (bool filter : {true, false}) {
+    for (int graph = 0; graph < 3; ++graph) {
+      for (int query = 0; query < 5; ++query) {
+        cases.push_back(
+            {names[graph], graph, query, kGolden[graph][query], filter});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string LabeledName(const ::testing::TestParamInfo<LabeledCase>& info) {
+  return std::string(info.param.graph_name) + "q" +
+         std::to_string(info.param.query_id + 1) +
+         (info.param.candidate_filter ? "" : "_nofilter");
+}
+
+class LabeledGoldenTest : public ::testing::TestWithParam<LabeledCase> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_labeled_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(LabeledGoldenTest, EngineAndOracleMatchPinnedCount) {
+  const LabeledCase& param = GetParam();
+  Graph g = MakeLabeledGraph(param.graph_id);
+  ASSERT_TRUE(g.HasLabels());
+  auto q = ParseQuery(kLabeledQueries[param.query_id]);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->HasLabels());
+
+  // Oracle first (filter-independent, so checked once per graph x query).
+  if (param.candidate_filter) {
+    EXPECT_EQ(CountOccurrences(g, *q), param.golden)
+        << "label-aware oracle disagrees with the pinned golden count";
+  }
+
+  const std::string path = (dir_ / "g.db").string();
+  Status s = BuildDiskGraph(g, path, /*page_size=*/512);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  auto disk = DiskGraph::Open(path, /*bypass_os_cache=*/false);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->HasLabels());
+
+  EngineOptions options;
+  options.buffer_fraction = 0.2;
+  options.num_threads = 4;
+  options.candidate_filter = param.candidate_filter;
+  DualSimEngine engine(disk->get(), options);
+  auto result = engine.Run(*q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->embeddings, param.golden)
+      << "engine disagrees with the pinned golden count (candidate_filter="
+      << (param.candidate_filter ? "on" : "off") << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(LabeledQueries, LabeledGoldenTest,
+                         ::testing::ValuesIn(AllLabeledCases()), LabeledName);
+
+/// An unlabeled query over a labeled graph ignores labels entirely: it
+/// must count exactly what the unlabeled oracle counts.
+TEST(LabeledGoldenTest, WildcardQueryIgnoresLabels) {
+  Graph g = MakeLabeledGraph(0);
+  auto q = ParseQuery("triangle");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->HasLabels());
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dualsim_labeled_wild_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "g.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  DualSimEngine engine(disk->get());
+  auto result = engine.Run(*q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->embeddings, CountOccurrences(g, *q));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dualsim

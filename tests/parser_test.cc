@@ -60,5 +60,42 @@ TEST(ParserTest, VertexCountFromMaxId) {
   EXPECT_EQ(q->NumVertices(), 4u);
 }
 
+TEST(ParserTest, InlineLabelTokens) {
+  auto q = ParseQuery("0-1,1-2,2-0,0=3,1=3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->HasLabels());
+  EXPECT_EQ(q->Label(0), 3);
+  EXPECT_EQ(q->Label(1), 3);
+  EXPECT_EQ(q->Label(2), kAnyLabel);  // unconstrained = wildcard
+
+  // An unlabeled parse stays label-free entirely.
+  auto plain = ParseQuery("0-1,1-2,2-0");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->HasLabels());
+}
+
+TEST(ParserTest, LabelSuffixNamesEveryVertex) {
+  auto q = ParseQuery("triangle@1,2,*");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->NumVertices(), 3u);
+  EXPECT_EQ(q->Label(0), 1);
+  EXPECT_EQ(q->Label(1), 2);
+  EXPECT_EQ(q->Label(2), kAnyLabel);
+
+  // Works on edge lists too.
+  auto el = ParseQuery("0-1,1-2@5,5,5");
+  ASSERT_TRUE(el.ok()) << el.status().ToString();
+  EXPECT_EQ(el->Label(2), 5);
+}
+
+TEST(ParserTest, RejectsBadLabels) {
+  EXPECT_FALSE(ParseQuery("0-1,9=1").ok());        // label on unknown vertex
+  EXPECT_FALSE(ParseQuery("triangle@1,2").ok());   // suffix misses a vertex
+  EXPECT_FALSE(ParseQuery("triangle@1,2,3,4").ok());  // too many
+  EXPECT_FALSE(ParseQuery("triangle@1,2,x").ok());    // not a label
+  EXPECT_FALSE(ParseQuery("0-1@1,2@3,4").ok());       // multiple suffixes
+  EXPECT_FALSE(ParseQuery("0-1,0=65535").ok());       // reserved (kAnyLabel)
+}
+
 }  // namespace
 }  // namespace dualsim

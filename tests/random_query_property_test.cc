@@ -20,6 +20,8 @@ using testkit::FuzzConfig;
 using testkit::FuzzConfigFromEnv;
 using testkit::RandomConnectedQuery;
 using testkit::RandomDataGraph;
+using testkit::RandomLabeledDataGraph;
+using testkit::RandomLabeledQuery;
 using testkit::RelabelQuery;
 using testkit::ReproHint;
 
@@ -142,6 +144,102 @@ TEST_P(RandomQueryPropertyTest, PlanCacheWarmPathMatchesColdPath) {
     EXPECT_EQ(iso->embeddings, want)
         << q.ToString() << " vs " << relabeled.ToString() << "\n"
         << ReproHint(seed);
+  }
+}
+
+/// Labeled property fuzz: random labeled queries (mixed constrained and
+/// wildcard vertices) over random labeled data graphs must agree with the
+/// label-aware brute-force oracle — with the candidate filter both on and
+/// off, since filtering must never change counts. TwinTwig/PSGL stay out
+/// of this leg: they are unlabeled baselines.
+TEST_P(RandomQueryPropertyTest, LabeledQueriesAgreeWithOracle) {
+  const int param = GetParam();
+  const FuzzConfig cfg = FuzzConfigFromEnv(200, 3);
+  const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(param);
+  Random rng(seed * 65537 + 3);
+
+  const std::uint32_t num_labels = 2 + param % 3;  // 2..4 labels
+  Graph g = RandomLabeledDataGraph(seed, param, param, num_labels);
+  ASSERT_TRUE(g.HasLabels());
+  const std::string path = (dir_ / "labeled.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->HasLabels());
+
+  EngineOptions options;
+  options.buffer_fraction = 0.15 + 0.05 * (param % 3);
+  options.num_threads = 1 + param % 4;
+  options.candidate_filter = (param % 2) == 0;
+  DualSimEngine engine(disk->get(), options);
+
+  for (int trial = 0; trial < cfg.iters; ++trial) {
+    const QueryGraph q = RandomLabeledQuery(rng, 3 + param % 3, num_labels);
+    const std::uint64_t want = CountOccurrences(g, q);
+
+    auto dual = engine.Run(q);
+    ASSERT_TRUE(dual.ok()) << dual.status().ToString() << " " << q.ToString()
+                           << "\n" << ReproHint(seed);
+    EXPECT_EQ(dual->embeddings, want)
+        << q.ToString() << " (candidate_filter="
+        << (options.candidate_filter ? "on" : "off") << ")\n"
+        << ReproHint(seed);
+  }
+}
+
+/// Labeled plan-cache aliasing: an isomorphic relabeling of a labeled
+/// query (labels carried along the permutation) shares the canonical form
+/// and the cached plan; a query with identical shape but different labels
+/// must NOT alias it — it gets its own plan and its own (correct) count.
+TEST_P(RandomQueryPropertyTest, LabeledPlansNeverAliasAcrossLabels) {
+  const int param = GetParam();
+  const FuzzConfig cfg = FuzzConfigFromEnv(300, 3);
+  const std::uint64_t seed = cfg.seed + static_cast<std::uint64_t>(param);
+  Random rng(seed * 1299709 + 11);
+
+  const std::uint32_t num_labels = 3;
+  Graph g = RandomLabeledDataGraph(seed, param + 2, param, num_labels);
+  const std::string path = (dir_ / "alias.db").string();
+  ASSERT_TRUE(BuildDiskGraph(g, path, 512).ok());
+  auto disk = DiskGraph::Open(path, false);
+  ASSERT_TRUE(disk.ok());
+
+  Runtime runtime(disk->get(), RuntimeOptions{});
+  QuerySession session(&runtime);
+
+  for (int trial = 0; trial < cfg.iters; ++trial) {
+    const QueryGraph q = RandomLabeledQuery(rng, 3 + param % 3, num_labels);
+    const std::uint64_t want = CountOccurrences(g, q);
+
+    auto cold = session.Run(q);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString() << "\n"
+                           << ReproHint(seed);
+    EXPECT_EQ(cold->embeddings, want) << q.ToString() << "\n"
+                                      << ReproHint(seed);
+
+    // Isomorphic relabeling (labels permuted with the vertices): same
+    // canonical form, cached plan, identical count.
+    const QueryGraph iso_q = RelabelQuery(q, rng);
+    auto iso = session.Run(iso_q);
+    ASSERT_TRUE(iso.ok()) << iso.status().ToString();
+    EXPECT_TRUE(iso->plan_cached)
+        << q.ToString() << " vs " << iso_q.ToString();
+    EXPECT_EQ(iso->embeddings, want)
+        << q.ToString() << " vs " << iso_q.ToString() << "\n"
+        << ReproHint(seed);
+
+    // Same shape, shifted labels: must not alias the cached plan's counts.
+    QueryGraph shifted = q;
+    for (QueryVertex u = 0; u < shifted.NumVertices(); ++u) {
+      if (shifted.Label(u) != kAnyLabel) {
+        shifted.SetLabel(
+            u, static_cast<LabelId>((shifted.Label(u) + 1) % num_labels));
+      }
+    }
+    auto other = session.Run(shifted);
+    ASSERT_TRUE(other.ok()) << other.status().ToString();
+    EXPECT_EQ(other->embeddings, CountOccurrences(g, shifted))
+        << shifted.ToString() << "\n" << ReproHint(seed);
   }
 }
 

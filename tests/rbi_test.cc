@@ -114,5 +114,23 @@ TEST(RbiTest, Rule1PrefersInternalOrders) {
   EXPECT_EQ(rbi.red[1], 1u);
 }
 
+TEST(RbiTest, RedGraphInheritsLabels) {
+  // Labeled square: whatever cover Rule 3 picks, each red-graph vertex
+  // must carry the label of the query vertex it stands for.
+  QueryGraph q(4);
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 0);
+  q.SetLabel(0, 5);
+  q.SetLabel(2, 6);
+  RbiQueryGraph rbi = MakeRbi(q);
+  for (std::size_t i = 0; i < rbi.red.size(); ++i) {
+    EXPECT_EQ(rbi.red_graph.Label(static_cast<QueryVertex>(i)),
+              q.Label(rbi.red[i]))
+        << "red index " << i << " = query vertex " << int{rbi.red[i]};
+  }
+}
+
 }  // namespace
 }  // namespace dualsim

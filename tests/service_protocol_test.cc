@@ -29,6 +29,44 @@ TEST(ServiceProtocolTest, SubmitRoundTrip) {
   EXPECT_EQ(out.max_embeddings, in.max_embeddings);
   EXPECT_EQ(out.stream_embeddings, in.stream_embeddings);
   EXPECT_EQ(out.query, in.query);
+  EXPECT_EQ(out.version, kSubmitVersionLabeled);
+}
+
+TEST(ServiceProtocolTest, SubmitVersionCompat) {
+  // A labeled query rides the v2 payload; the trailing version byte
+  // round-trips.
+  SubmitRequest labeled;
+  labeled.request_id = 11;
+  labeled.query = "0-1,1-2,2-0,0=3,1=3,2=*";
+  SubmitRequest out;
+  ASSERT_TRUE(DecodeSubmit(EncodeSubmit(labeled), &out).ok());
+  EXPECT_EQ(out.version, kSubmitVersionLabeled);
+  EXPECT_EQ(out.query, labeled.query);
+
+  // An old client encodes v1 (no trailing byte); the decoder accepts it
+  // and reports the version so the service knows the peer's vintage.
+  SubmitRequest old_client;
+  old_client.request_id = 12;
+  old_client.query = "q1";
+  old_client.version = kSubmitVersionV1;
+  const std::string v1_bytes = EncodeSubmit(old_client);
+  SubmitRequest v1_out;
+  ASSERT_TRUE(DecodeSubmit(v1_bytes, &v1_out).ok());
+  EXPECT_EQ(v1_out.version, kSubmitVersionV1);
+  EXPECT_EQ(v1_out.query, "q1");
+  // And v2 is exactly v1 plus the version byte.
+  SubmitRequest v2 = old_client;
+  v2.version = kSubmitVersionLabeled;
+  const std::string v2_bytes = EncodeSubmit(v2);
+  ASSERT_EQ(v2_bytes.size(), v1_bytes.size() + 1);
+  EXPECT_EQ(v2_bytes.substr(0, v1_bytes.size()), v1_bytes);
+
+  // A bogus trailing version (claiming v1 with the byte present) is
+  // malformed, not silently accepted.
+  std::string bogus = v1_bytes;
+  bogus.push_back(static_cast<char>(kSubmitVersionV1));
+  SubmitRequest bogus_out;
+  EXPECT_FALSE(DecodeSubmit(bogus, &bogus_out).ok());
 }
 
 TEST(ServiceProtocolTest, RejectResultStatusRoundTrips) {
@@ -98,10 +136,19 @@ TEST(ServiceProtocolTest, EmbeddingBatchRoundTrip) {
 
 TEST(ServiceProtocolTest, TruncatedPayloadsAreRejectedNotRead) {
   const std::string full = EncodeSubmit({1, 2, 3, true, "q1"});
+  // A v2 payload is the v1 layout plus one trailing version byte, so the
+  // v1-sized prefix MUST decode (that is the compat contract); every other
+  // prefix is a truncation and must be rejected.
+  const std::size_t v1_size = full.size() - 1;
   for (std::size_t cut = 0; cut < full.size(); ++cut) {
     SubmitRequest out;
-    EXPECT_FALSE(DecodeSubmit(std::string_view(full).substr(0, cut), &out).ok())
-        << "prefix of " << cut << " bytes decoded";
+    const Status s = DecodeSubmit(std::string_view(full).substr(0, cut), &out);
+    if (cut == v1_size) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(out.version, kSubmitVersionV1);
+    } else {
+      EXPECT_FALSE(s.ok()) << "prefix of " << cut << " bytes decoded";
+    }
   }
   ResultFrame result_out;
   EXPECT_FALSE(DecodeResult("garbage", &result_out).ok());

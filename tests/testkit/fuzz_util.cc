@@ -64,7 +64,30 @@ QueryGraph RelabelQuery(const QueryGraph& q, Random& rng) {
   for (const auto& [u, v] : q.Edges()) {
     out.AddEdge(perm[u], perm[v]);
   }
+  for (QueryVertex u = 0; u < n; ++u) {
+    out.SetLabel(perm[u], q.Label(u));
+  }
   return out;
+}
+
+QueryGraph RandomLabeledQuery(Random& rng, int num_vertices,
+                              std::uint32_t num_labels,
+                              double labeled_fraction) {
+  QueryGraph q = RandomConnectedQuery(rng, num_vertices);
+  for (QueryVertex u = 0; u < q.NumVertices(); ++u) {
+    if (rng.Bernoulli(labeled_fraction)) {
+      q.SetLabel(u, static_cast<LabelId>(rng.Uniform(num_labels)));
+    }
+  }
+  return q;
+}
+
+Graph RandomLabeledDataGraph(std::uint64_t seed, int flavor, int scale,
+                             std::uint32_t num_labels) {
+  // Label after the degree reorder: assignment is random anyway, and this
+  // keeps the graph ready for BuildDiskGraph unchanged.
+  return WithRandomLabels(RandomDataGraph(seed, flavor, scale), num_labels,
+                          seed ^ 0xBADC0FFEE0DDF00DULL);
 }
 
 Graph RandomDataGraph(std::uint64_t seed, int flavor, int scale) {

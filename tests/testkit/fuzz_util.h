@@ -51,6 +51,19 @@ QueryGraph RelabelQuery(const QueryGraph& q, Random& rng);
 /// consecutive iterations do not all share one shape.
 Graph RandomDataGraph(std::uint64_t seed, int flavor, int scale);
 
+/// RandomConnectedQuery with each vertex constrained to a random label
+/// in [0, num_labels) with probability `labeled_fraction` (wildcard
+/// otherwise) — exercising mixed labeled/unlabeled levels.
+QueryGraph RandomLabeledQuery(Random& rng, int num_vertices,
+                              std::uint32_t num_labels,
+                              double labeled_fraction = 0.7);
+
+/// RandomDataGraph plus a skewed random label in [0, num_labels) per
+/// vertex (WithRandomLabels); still degree-reordered and ready for
+/// BuildDiskGraph, which then writes the labeled v3 format.
+Graph RandomLabeledDataGraph(std::uint64_t seed, int flavor, int scale,
+                             std::uint32_t num_labels);
+
 }  // namespace dualsim::testkit
 
 #endif  // DUALSIM_TESTS_TESTKIT_FUZZ_UTIL_H_
