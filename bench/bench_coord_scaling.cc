@@ -1,0 +1,117 @@
+/// Coordinator scaling micro-benchmark: one q1 query through the full
+/// distributed path — in-process coordinator, 1/2/4 spawned dualsim_serve
+/// worker processes, partition-scoped fan-out, owner-dedup merge — over
+/// the fixed ER fixture graph. Times are machine-dependent; the emitted
+/// counters are not: merged (owner-accepted embeddings, must equal the
+/// single-node golden 151), dup_dropped (boundary surplus reports), and
+/// dispatches per request are pure functions of (graph, parts, seed), so
+/// CI gates them RAW against bench/baselines/BENCH_coord_scaling.json
+/// with check_bench_regression.py --counter. A dedup regression shows up
+/// as a changed merged/dup_dropped long before a wrong user-visible count
+/// would be noticed.
+///
+/// The fixture is intentionally NOT scaled by DUALSIM_BENCH_SCALE: the
+/// counters are pinned to the 200-vertex ER shape.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "coord/coordinator.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "storage/disk_graph.h"
+
+#ifndef DUALSIM_SERVE_BIN_PATH
+#define DUALSIM_SERVE_BIN_PATH ""
+#endif
+
+namespace {
+
+using namespace dualsim;
+
+std::string ServeBinary() {
+  if (const char* env = std::getenv("DUALSIM_SERVE_BIN");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return DUALSIM_SERVE_BIN_PATH;
+}
+
+constexpr std::uint64_t kGoldenQ1 = 151;
+
+void BM_CoordScaling(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  const std::string bin = ServeBinary();
+  if (bin.empty()) {
+    state.SkipWithError("dualsim_serve path unknown (set DUALSIM_SERVE_BIN)");
+    return;
+  }
+
+  Graph g = ReorderByDegree(ErdosRenyi(200, 1000, 42));
+  bench::ScopedDbDir dir;
+  const std::string db = dir.PathFor("coord.db");
+  if (Status s = BuildDiskGraph(g, db, /*page_size=*/512); !s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+
+  coord::CoordinatorOptions opt;
+  opt.db_path = db;
+  opt.num_parts = parts;
+  opt.worker_binary = bin;
+  coord::Coordinator coordinator(std::move(opt));
+  if (Status s = coordinator.Start(); !s.ok()) {
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+  service::QueryClient client;
+  if (Status s = client.Connect("127.0.0.1", coordinator.port()); !s.ok()) {
+    coordinator.Stop();
+    state.SkipWithError(s.ToString().c_str());
+    return;
+  }
+
+  const obs::MetricsSnapshot before = obs::Metrics().Snapshot();
+  std::uint64_t iters = 0;
+  for (auto _ : state) {
+    auto result = client.Run({.query = "q1"});
+    if (!result.ok() || result->code != service::WireCode::kOk ||
+        result->embeddings != kGoldenQ1) {
+      state.SkipWithError("distributed q1 run failed or missed the golden");
+      break;
+    }
+    ++iters;
+  }
+  const obs::MetricsSnapshot after = obs::Metrics().Snapshot();
+  client.Close();
+  coordinator.Stop();
+
+  if (iters > 0 && obs::kMetricsEnabled) {
+    const auto per_iter = [&](const char* name) {
+      return static_cast<double>(after.counter(name) -
+                                 before.counter(name)) /
+             static_cast<double>(iters);
+    };
+    state.counters["merged"] = per_iter("coord.merge_accepted");
+    state.counters["dup_dropped"] =
+        per_iter("coord.merge_duplicates_dropped");
+    state.counters["dispatches"] = per_iter("coord.dispatches");
+  }
+}
+
+BENCHMARK(BM_CoordScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

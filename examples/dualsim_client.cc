@@ -75,6 +75,20 @@ int CmdQuery(QueryClient& client, int argc, char** argv) {
   std::printf("result:        %s%s%s\n", WireCodeName(result->code),
               result->message.empty() ? "" : " — ",
               result->message.c_str());
+  if (result->partial.has_value()) {
+    // A coordinator answered with a degraded merge: say exactly which
+    // partitions are missing so the count is never mistaken for complete.
+    std::printf("partial:       %zu of %u partition(s) failed:",
+                result->partial->failed_parts.size(),
+                result->partial->total_parts);
+    for (std::uint32_t p : result->partial->failed_parts) {
+      std::printf(" %u", p);
+    }
+    std::printf("\npartial count: %llu embeddings from surviving "
+                "partitions\n",
+                static_cast<unsigned long long>(
+                    result->partial->merged_embeddings));
+  }
   std::printf("embeddings:    %llu\n",
               static_cast<unsigned long long>(result->embeddings));
   if (result->streamed_embeddings > 0) {

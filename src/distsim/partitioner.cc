@@ -5,19 +5,16 @@
 #include "util/logging.h"
 
 namespace dualsim {
-namespace {
 
-/// Multiplicative (Fibonacci) hash of a vertex id into [0, parts).
-int PartOf(VertexId v, int parts, std::uint64_t seed) {
+int PartitionOf(VertexId v, int num_parts, std::uint64_t seed) {
+  DS_CHECK_GE(num_parts, 1);
   std::uint64_t h = (static_cast<std::uint64_t>(v) + seed + 1) *
                     0x9E3779B97F4A7C15ULL;
   h ^= h >> 29;
   h *= 0xBF58476D1CE4E5B9ULL;
   h ^= h >> 32;
-  return static_cast<int>(h % static_cast<std::uint64_t>(parts));
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_parts));
 }
-
-}  // namespace
 
 PartitionStats HashPartition(const Graph& g, int num_parts,
                              std::uint64_t seed) {
@@ -27,11 +24,11 @@ PartitionStats HashPartition(const Graph& g, int num_parts,
   stats.edges_per_part.assign(num_parts, 0);
 
   for (VertexId u = 0; u < g.NumVertices(); ++u) {
-    const int part_u = PartOf(u, num_parts, seed);
+    const int part_u = PartitionOf(u, num_parts, seed);
     for (VertexId v : g.Neighbors(u)) {
       if (v < u) continue;  // each undirected edge once
       ++stats.edges_per_part[part_u];
-      if (PartOf(v, num_parts, seed) != part_u) ++stats.cut_edges;
+      if (PartitionOf(v, num_parts, seed) != part_u) ++stats.cut_edges;
     }
   }
 
@@ -46,6 +43,50 @@ PartitionStats HashPartition(const Graph& g, int num_parts,
         static_cast<double>(stats.cut_edges) / static_cast<double>(total);
   }
   return stats;
+}
+
+PartitionManifest BuildPartitionManifest(const Graph& g, int num_parts,
+                                         std::uint64_t seed) {
+  DS_CHECK_GE(num_parts, 1);
+  PartitionManifest manifest;
+  manifest.num_parts = num_parts;
+  manifest.seed = seed;
+  manifest.home.resize(g.NumVertices());
+  manifest.is_boundary.assign(g.NumVertices(), 0);
+  manifest.owner.resize(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    manifest.home[v] = PartitionOf(v, num_parts, seed);
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    int owner = manifest.home[v];
+    for (VertexId u : g.Neighbors(v)) {
+      if (manifest.home[u] != manifest.home[v]) {
+        manifest.is_boundary[v] = 1;
+        owner = std::min(owner, manifest.home[u]);
+      }
+    }
+    manifest.owner[v] = owner;
+  }
+  manifest.stats = HashPartition(g, num_parts, seed);
+  return manifest;
+}
+
+int EmbeddingOwner(std::span<const VertexId> mapping, int num_parts,
+                   std::uint64_t seed) {
+  DS_CHECK(!mapping.empty());
+  int owner = PartitionOf(mapping[0], num_parts, seed);
+  for (std::size_t i = 1; i < mapping.size(); ++i) {
+    owner = std::min(owner, PartitionOf(mapping[i], num_parts, seed));
+  }
+  return owner;
+}
+
+bool EmbeddingTouches(std::span<const VertexId> mapping, int part,
+                      int num_parts, std::uint64_t seed) {
+  for (VertexId v : mapping) {
+    if (PartitionOf(v, num_parts, seed) == part) return true;
+  }
+  return false;
 }
 
 }  // namespace dualsim

@@ -2,6 +2,7 @@
 #define DUALSIM_DISTSIM_PARTITIONER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -24,13 +25,57 @@ struct PartitionStats {
   double cut_fraction = 0.0;
 };
 
-/// Partitions vertices by multiplicative hashing (the default partitioner
-/// of Giraph/Hadoop-style systems: no locality, ~uniform vertex counts,
-/// but hub edges concentrate wherever hubs land — the skew the paper's
-/// Appendix B.3 blames when "one slave machine has three times more
-/// intermediate results ... depending on partitioning results").
+/// Home partition of a vertex id: a pure function of (v, num_parts, seed)
+/// — multiplicative (Fibonacci) hashing, the default placement of
+/// Giraph/Hadoop-style systems. Because it needs no shared state, the
+/// coordinator and every worker process agree on placement by exchanging
+/// only (num_parts, seed) on the wire.
+int PartitionOf(VertexId v, int num_parts, std::uint64_t seed = 0);
+
+/// Partitions vertices by multiplicative hashing (no locality, ~uniform
+/// vertex counts, but hub edges concentrate wherever hubs land — the skew
+/// the paper's Appendix B.3 blames when "one slave machine has three times
+/// more intermediate results ... depending on partitioning results").
 PartitionStats HashPartition(const Graph& g, int num_parts,
                              std::uint64_t seed = 0);
+
+/// Full placement record for one (graph, num_parts, seed) partitioning:
+/// per-vertex home parts, the boundary set, and the stable ownership rule
+/// distributed enumeration dedups by. A vertex *appears* in its home part
+/// and — as a ghost across each cut edge — in every neighbor's home part;
+/// its owner is the LOWEST partition id among those appearances, so
+/// ownership is deterministic (pure function of the graph and the seed)
+/// and every replica set has exactly one owner.
+struct PartitionManifest {
+  int num_parts = 0;
+  std::uint64_t seed = 0;
+  /// home[v]: the hash part v is placed in (== PartitionOf(v, ...)).
+  std::vector<int> home;
+  /// is_boundary[v]: v has at least one neighbor homed in another part
+  /// (so v is replicated as a ghost and needs the ownership rule).
+  std::vector<std::uint8_t> is_boundary;
+  /// owner[v] = min(home[v], min over neighbors u of home[u]); equals
+  /// home[v] exactly for interior (non-boundary) vertices.
+  std::vector<int> owner;
+  PartitionStats stats;
+};
+
+PartitionManifest BuildPartitionManifest(const Graph& g, int num_parts,
+                                         std::uint64_t seed = 0);
+
+/// Owner partition of one embedding: the lowest home part over its matched
+/// data vertices. Workers report every embedding that *touches* their part
+/// (EmbeddingTouches); the coordinator accepts an embedding only from its
+/// owner, so boundary-spanning embeddings — reported by several workers —
+/// are merged exactly once. Pure in (num_parts, seed); the coordinator
+/// and its workers never exchange vertex tables.
+int EmbeddingOwner(std::span<const VertexId> mapping, int num_parts,
+                   std::uint64_t seed);
+
+/// True when at least one matched data vertex is homed in `part` — the
+/// worker-side report rule of partition-scoped sub-queries.
+bool EmbeddingTouches(std::span<const VertexId> mapping, int part,
+                      int num_parts, std::uint64_t seed);
 
 }  // namespace dualsim
 

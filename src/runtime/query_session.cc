@@ -104,20 +104,36 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   }
   Runtime::FrameLease lease = std::move(lease_or).value();
 
+  // A filter forces per-embedding materialization even on counting-only
+  // runs: the filter sees the caller-order mapping, survivors are counted
+  // here (stats.embeddings below) and passed on to any caller visitor.
+  std::atomic<std::uint64_t> filter_survivors{0};
+  FullEmbeddingFn filtered;
+  if (options_.embedding_filter) {
+    const FullEmbeddingFn* inner = visitor ? &visitor : nullptr;
+    filtered = [this, &filter_survivors,
+                inner](std::span<const VertexId> m) {
+      if (!options_.embedding_filter(m)) return;
+      filter_survivors.fetch_add(1, std::memory_order_relaxed);
+      if (inner != nullptr) (*inner)(m);
+    };
+  }
+  const FullEmbeddingFn& effective = filtered ? filtered : visitor;
+
   // Undo the canonical relabeling before the caller's visitor sees a
   // mapping: the plan enumerates the canonical graph, whose vertex u is
   // the caller's to_canonical^-1(u).
-  const FullEmbeddingFn* vis = visitor ? &visitor : nullptr;
+  const FullEmbeddingFn* vis = effective ? &effective : nullptr;
   FullEmbeddingFn remapped;
   if (vis != nullptr && !canonical.identity) {
     const std::uint8_t n = q.NumVertices();
     const QueryPermutation to_canonical = canonical.to_canonical;
-    remapped = [&visitor, to_canonical, n](std::span<const VertexId> m) {
+    remapped = [&effective, to_canonical, n](std::span<const VertexId> m) {
       std::array<VertexId, kMaxQueryVertices> original;
       for (QueryVertex u = 0; u < n; ++u) {
         original[u] = m[to_canonical[u]];
       }
-      visitor({original.data(), n});
+      effective({original.data(), n});
     };
     vis = &remapped;
   }
@@ -163,7 +179,10 @@ StatusOr<EngineStats> QuerySession::Run(const QueryGraph& q,
   EngineStats stats;
   stats.internal_embeddings = match.internal_embeddings();
   stats.external_embeddings = match.external_embeddings();
-  stats.embeddings = stats.internal_embeddings + stats.external_embeddings;
+  stats.embeddings = options_.embedding_filter
+                         ? filter_survivors.load(std::memory_order_relaxed)
+                         : stats.internal_embeddings +
+                               stats.external_embeddings;
   stats.red_assignments = match.red_assignments();
   stats.io = ctx.pool->stats() - io_before;
   stats.io_backend = ctx.pool->backend_name();

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 
 #include "core/engine_stats.h"
 #include "core/extension.h"
@@ -14,6 +16,12 @@
 #include "util/status.h"
 
 namespace dualsim {
+
+/// Predicate over a full embedding (mapping indexed by query vertex of the
+/// query as given). Returning false suppresses the embedding: it is not
+/// counted in EngineStats::embeddings and the visitor never sees it.
+/// Called concurrently from worker threads; must be thread-safe.
+using EmbeddingFilterFn = std::function<bool(std::span<const VertexId>)>;
 
 /// Per-session (per-query-stream) knobs; resource knobs live in
 /// RuntimeOptions.
@@ -40,6 +48,14 @@ struct SessionOptions {
   /// as enumeration windows retire, with the monotone running embedding
   /// count. Empty disables progress reporting.
   ProgressFn progress;
+  /// Optional per-embedding veto (partition-scoped workers report only
+  /// embeddings touching their partition). When set, every full embedding
+  /// is materialized even on counting-only runs, and EngineStats::
+  /// embeddings counts survivors — internal/external_embeddings keep the
+  /// unfiltered engine totals, so embeddings may be smaller than their
+  /// sum. Progress counts stay unfiltered (they are window-retire
+  /// telemetry, not results).
+  EmbeddingFilterFn embedding_filter;
 };
 
 /// One query stream against a shared Runtime. Each Run() canonicalizes

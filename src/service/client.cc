@@ -81,6 +81,7 @@ Status QueryClient::Submit(const ClientRequest& req) {
   submit.max_embeddings = req.max_embeddings;
   submit.stream_embeddings = req.stream_embeddings;
   submit.query = req.query;
+  submit.partition = req.partition;  // encoder forces v3 when set
   DUALSIM_RETURN_IF_ERROR(Send(FrameType::kSubmit, EncodeSubmit(submit)));
 
   DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
@@ -144,6 +145,12 @@ StatusOr<ClientResult> QueryClient::Await(
         }
         break;
       }
+      case FrameType::kPartialResult: {
+        PartialResultFrame partial;
+        DUALSIM_RETURN_IF_ERROR(DecodePartialResult(frame.payload, &partial));
+        result.partial = std::move(partial);
+        break;  // the terminal RESULT follows
+      }
       case FrameType::kResult: {
         ResultFrame res;
         DUALSIM_RETURN_IF_ERROR(DecodeResult(frame.payload, &res));
@@ -178,6 +185,33 @@ Status QueryClient::Cancel() {
   const std::uint64_t id = inflight_id_;
   if (id == 0) return Status::FailedPrecondition("no request in flight");
   return Send(FrameType::kCancel, EncodeCancel(id));
+}
+
+StatusOr<WorkerHelloAck> QueryClient::Hello(const WorkerHello& hello) {
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is in flight");
+  }
+  DUALSIM_RETURN_IF_ERROR(
+      Send(FrameType::kWorkerHello, EncodeWorkerHello(hello)));
+  DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+  if (frame.type == FrameType::kError) {
+    RejectFrame reject;
+    DUALSIM_RETURN_IF_ERROR(DecodeReject(frame.payload, &reject));
+    return StatusForReject(reject);
+  }
+  if (frame.type != FrameType::kWorkerHelloAck) {
+    return Status::Internal(std::string("unexpected frame ") +
+                            FrameTypeName(frame.type) +
+                            " awaiting WORKER_HELLO_ACK");
+  }
+  WorkerHelloAck ack;
+  DUALSIM_RETURN_IF_ERROR(DecodeWorkerHelloAck(frame.payload, &ack));
+  return ack;
+}
+
+void QueryClient::Abort() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 StatusOr<StatusInfo> QueryClient::GetStatus() {

@@ -8,9 +8,11 @@
 /// called from another thread while Await() blocks (the socket is
 /// full-duplex; writes are serialized internally).
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,9 @@ struct ClientRequest {
   std::uint32_t deadline_ms = 0;     // 0 = no deadline
   bool stream_embeddings = false;    // also receive EMBEDDINGS batches
   std::uint32_t max_embeddings = 0;  // cap on streamed embeddings (0 = all)
+  /// Set on coordinator -> worker sub-queries: the SUBMIT goes out as v3
+  /// and the worker reports only embeddings touching this scope's part.
+  std::optional<PartitionScope> partition = std::nullopt;
 };
 
 /// Terminal outcome of one admitted request (a decoded RESULT frame plus
@@ -41,6 +46,10 @@ struct ClientResult {
   /// Client-side tallies of the streamed frames seen before the RESULT.
   std::uint64_t progress_frames = 0;
   std::uint64_t streamed_embeddings = 0;
+  /// Present when the service announced a degraded merge (a PARTIAL_RESULT
+  /// frame preceding a RESULT with code kPartialResult): which partitions
+  /// failed and what the surviving workers contributed.
+  std::optional<PartialResultFrame> partial = std::nullopt;
 };
 
 class QueryClient {
@@ -82,6 +91,17 @@ class QueryClient {
   /// code kCancelled (or kOk if the run won the race).
   Status Cancel();
 
+  /// Coordinator -> worker handshake: sends WORKER_HELLO (announcing the
+  /// graph shape the coordinator expects) and blocks for the ack. Only
+  /// between requests. The caller judges shape/version skew from the ack.
+  StatusOr<WorkerHelloAck> Hello(const WorkerHello& hello);
+
+  /// Hard-unblocks a concurrent Await() by shutting the socket down (no
+  /// close; the fd stays owned until Close()). Await then fails with
+  /// IOError and the connection is dead — the coordinator's last resort
+  /// against a worker that ignores CANCEL past the deadline.
+  void Abort();
+
   /// Fetches the service's admission ledger. Only between requests (the
   /// connection carries one conversation at a time).
   StatusOr<StatusInfo> GetStatus();
@@ -96,7 +116,9 @@ class QueryClient {
   int fd_ = -1;
   std::mutex write_mu_;
   std::uint64_t next_request_id_ = 1;
-  std::uint64_t inflight_id_ = 0;  // 0 = no request in flight
+  /// 0 = no request in flight. Atomic because Cancel()/Abort() read it
+  /// from another thread while Await() owns the request lifecycle.
+  std::atomic<std::uint64_t> inflight_id_{0};
 };
 
 }  // namespace dualsim::service

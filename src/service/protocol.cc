@@ -70,6 +70,10 @@ class WireReader {
   /// Every byte consumed and no getter failed.
   bool Done() const { return ok_ && pos_ == data_.size(); }
 
+  /// Bytes left to consume (0 once a getter has failed). Lets versioned
+  /// decoders pick a suffix layout by its exact width before reading it.
+  std::size_t Remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
  private:
   bool Fixed(std::uint64_t* v, int bytes) {
     if (!ok_ || data_.size() - pos_ < static_cast<std::size_t>(bytes)) {
@@ -107,6 +111,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kCancel: return "CANCEL";
     case FrameType::kStatus: return "STATUS";
     case FrameType::kShutdown: return "SHUTDOWN";
+    case FrameType::kWorkerHello: return "WORKER_HELLO";
     case FrameType::kAccepted: return "ACCEPTED";
     case FrameType::kRejected: return "REJECTED";
     case FrameType::kProgress: return "PROGRESS";
@@ -115,6 +120,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kStatusInfo: return "STATUS_INFO";
     case FrameType::kShutdownAck: return "SHUTDOWN_ACK";
     case FrameType::kError: return "ERROR";
+    case FrameType::kWorkerHelloAck: return "WORKER_HELLO_ACK";
+    case FrameType::kPartialResult: return "PARTIAL_RESULT";
   }
   return "UNKNOWN";
 }
@@ -129,6 +136,7 @@ const char* WireCodeName(WireCode code) {
     case WireCode::kCancelled: return "CANCELLED";
     case WireCode::kInternalError: return "INTERNAL_ERROR";
     case WireCode::kProtocolError: return "PROTOCOL_ERROR";
+    case WireCode::kPartialResult: return "PARTIAL_RESULT";
   }
   return "UNKNOWN";
 }
@@ -155,7 +163,17 @@ std::string EncodeSubmit(const SubmitRequest& req) {
   w.Str(req.query);
   // v1 ends here; later versions self-describe with a trailing byte so a
   // v2-aware server can tell old clients apart from labeled-capable ones.
-  if (req.version > kSubmitVersionV1) w.U8(req.version);
+  // v3 inserts the partition scope before that byte; the decoder picks
+  // the layout by the exact suffix width, so the scope fields must stay
+  // fixed-size.
+  if (req.partition.has_value()) {
+    w.U32(req.partition->num_parts);
+    w.U32(req.partition->part_id);
+    w.U64(req.partition->seed);
+    w.U8(kSubmitVersionPartition);
+  } else if (req.version > kSubmitVersionV1) {
+    w.U8(req.version);
+  }
   return std::move(w).Take();
 }
 
@@ -167,13 +185,34 @@ Status DecodeSubmit(std::string_view payload, SubmitRequest* out) {
   r.U32(&out->max_embeddings);
   r.U8(&flags);
   r.Str(&out->query);
-  if (r.Done()) {
-    out->version = kSubmitVersionV1;  // old client, no trailing byte
-  } else {
-    if (!r.U8(&out->version) || !r.Done() ||
-        out->version <= kSubmitVersionV1) {
-      return Truncated("SUBMIT");
+  out->partition.reset();
+  switch (r.Remaining()) {
+    case 0:  // old client, no trailing byte
+      if (!r.Done()) return Truncated("SUBMIT");
+      out->version = kSubmitVersionV1;
+      break;
+    case 1:  // version byte only; a partition version demands its scope
+      if (!r.U8(&out->version) || !r.Done() ||
+          out->version <= kSubmitVersionV1 ||
+          out->version == kSubmitVersionPartition) {
+        return Truncated("SUBMIT");
+      }
+      break;
+    case 17: {  // partition scope (4+4+8) + version byte
+      PartitionScope scope;
+      r.U32(&scope.num_parts);
+      r.U32(&scope.part_id);
+      r.U64(&scope.seed);
+      if (!r.U8(&out->version) || !r.Done() ||
+          out->version != kSubmitVersionPartition || scope.num_parts < 1 ||
+          scope.part_id >= scope.num_parts) {
+        return Truncated("SUBMIT");
+      }
+      out->partition = scope;
+      break;
     }
+    default:
+      return Truncated("SUBMIT");
   }
   out->stream_embeddings = (flags & kFlagStreamEmbeddings) != 0;
   return Status::OK();
@@ -328,6 +367,75 @@ Status DecodeStatusInfo(std::string_view payload, StatusInfo* out) {
   r.U8(&draining);
   if (!r.Done()) return Truncated("STATUS_INFO");
   out->draining = draining != 0;
+  return Status::OK();
+}
+
+std::string EncodeWorkerHello(const WorkerHello& hello) {
+  WireWriter w;
+  w.U8(hello.version);
+  w.U64(hello.coordinator_id);
+  w.U32(hello.num_vertices);
+  w.U64(hello.num_edges);
+  return std::move(w).Take();
+}
+
+Status DecodeWorkerHello(std::string_view payload, WorkerHello* out) {
+  WireReader r(payload);
+  r.U8(&out->version);
+  r.U64(&out->coordinator_id);
+  r.U32(&out->num_vertices);
+  r.U64(&out->num_edges);
+  if (!r.Done()) return Truncated("WORKER_HELLO");
+  return Status::OK();
+}
+
+std::string EncodeWorkerHelloAck(const WorkerHelloAck& ack) {
+  WireWriter w;
+  w.U8(ack.version);
+  w.U32(ack.num_vertices);
+  w.U64(ack.num_edges);
+  w.U8(ack.supports_partition ? 1 : 0);
+  return std::move(w).Take();
+}
+
+Status DecodeWorkerHelloAck(std::string_view payload, WorkerHelloAck* out) {
+  WireReader r(payload);
+  std::uint8_t supports = 0;
+  r.U8(&out->version);
+  r.U32(&out->num_vertices);
+  r.U64(&out->num_edges);
+  r.U8(&supports);
+  if (!r.Done()) return Truncated("WORKER_HELLO_ACK");
+  out->supports_partition = supports != 0;
+  return Status::OK();
+}
+
+std::string EncodePartialResult(const PartialResultFrame& frame) {
+  WireWriter w;
+  w.U64(frame.request_id);
+  w.U32(frame.total_parts);
+  w.U32(static_cast<std::uint32_t>(frame.failed_parts.size()));
+  for (std::uint32_t part : frame.failed_parts) w.U32(part);
+  w.U64(frame.merged_embeddings);
+  w.Str(frame.message);
+  return std::move(w).Take();
+}
+
+Status DecodePartialResult(std::string_view payload,
+                           PartialResultFrame* out) {
+  WireReader r(payload);
+  std::uint32_t count = 0;
+  r.U64(&out->request_id);
+  r.U32(&out->total_parts);
+  if (!r.U32(&count) || count > kMaxFramePayload / 4 ||
+      count > out->total_parts) {
+    return Truncated("PARTIAL_RESULT");
+  }
+  out->failed_parts.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) r.U32(&out->failed_parts[i]);
+  r.U64(&out->merged_embeddings);
+  r.Str(&out->message);
+  if (!r.Done()) return Truncated("PARTIAL_RESULT");
   return Status::OK();
 }
 

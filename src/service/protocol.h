@@ -9,16 +9,26 @@
 /// prefix plus raw bytes. A frame whose declared length exceeds
 /// kMaxFramePayload is a protocol violation and closes the connection.
 ///
-/// Client -> server: SUBMIT, CANCEL, STATUS, SHUTDOWN.
+/// Client -> server: SUBMIT, CANCEL, STATUS, SHUTDOWN, WORKER_HELLO.
 /// Server -> client: ACCEPTED, REJECTED, PROGRESS, EMBEDDINGS, RESULT,
-/// STATUS_INFO, SHUTDOWN_ACK, ERROR.
+/// STATUS_INFO, SHUTDOWN_ACK, ERROR, WORKER_HELLO_ACK, PARTIAL_RESULT.
 ///
 /// One SUBMIT produces exactly one terminal frame for its request id —
 /// REJECTED (never admitted) or RESULT (admitted; carries a WireCode) —
-/// with any number of PROGRESS / EMBEDDINGS frames in between. Request
-/// ids are chosen by the client and scoped to its connection.
+/// with any number of PROGRESS / EMBEDDINGS frames in between. A
+/// coordinator additionally announces a degraded merge with one
+/// PARTIAL_RESULT frame immediately before a RESULT whose code is
+/// kPartialResult. Request ids are chosen by the client and scoped to its
+/// connection.
+///
+/// WORKER_HELLO / WORKER_HELLO_ACK is the coordinator -> worker handshake
+/// (DESIGN.md §13): the coordinator states its hello version and the graph
+/// shape it partitioned; the worker answers with the shape it serves and
+/// whether it accepts partition-scoped SUBMITs, so shape or version skew
+/// fails fast instead of merging counts from the wrong graph.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +47,7 @@ enum class FrameType : std::uint8_t {
   kCancel = 0x02,
   kStatus = 0x03,
   kShutdown = 0x04,
+  kWorkerHello = 0x05,
   // Server -> client.
   kAccepted = 0x81,
   kRejected = 0x82,
@@ -46,6 +57,8 @@ enum class FrameType : std::uint8_t {
   kStatusInfo = 0x86,
   kShutdownAck = 0x87,
   kError = 0x88,
+  kWorkerHelloAck = 0x89,
+  kPartialResult = 0x8A,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -60,6 +73,7 @@ enum class WireCode : std::uint8_t {
   kCancelled = 5,         // client CANCEL frame took effect
   kInternalError = 6,     // engine failure (I/O, resources, ...)
   kProtocolError = 7,     // malformed or unexpected frame
+  kPartialResult = 8,     // coordinator merged a strict subset of workers
 };
 
 const char* WireCodeName(WireCode code);
@@ -71,10 +85,25 @@ WireCode WireCodeFor(const Status& status);
 
 /// SUBMIT payload versions. v1 ends at the query string; v2 appends a
 /// trailing u8 version byte and declares the client speaks the labeled
-/// query syntax ("0-1,0=3" / "triangle@3,3,*"). Decoders accept both: a
-/// payload ending at the query is v1, a trailing byte is the version.
+/// query syntax ("0-1,0=3" / "triangle@3,3,*"); v3 inserts a partition
+/// scope (num_parts, part_id, seed) between the query and the version
+/// byte — the coordinator -> worker dispatch form. Decoders accept all
+/// three: a payload ending at the query is v1, a single trailing byte is
+/// v2, and a trailing byte of 3 is preceded by the scope fields.
 inline constexpr std::uint8_t kSubmitVersionV1 = 1;
 inline constexpr std::uint8_t kSubmitVersionLabeled = 2;
+inline constexpr std::uint8_t kSubmitVersionPartition = 3;
+
+/// Partition scope of a coordinator-dispatched sub-query: the worker
+/// enumerates the shared graph but reports only embeddings touching
+/// `part_id` under the pure hash placement (num_parts, seed) — see
+/// distsim/partitioner.h. The scope is self-describing so stock workers
+/// need no out-of-band partition state.
+struct PartitionScope {
+  std::uint32_t num_parts = 0;
+  std::uint32_t part_id = 0;
+  std::uint64_t seed = 0;
+};
 
 /// SUBMIT payload.
 struct SubmitRequest {
@@ -83,8 +112,11 @@ struct SubmitRequest {
   std::uint32_t max_embeddings = 0;  // cap on streamed embeddings (0 = all)
   bool stream_embeddings = false;    // also stream EMBEDDINGS batches
   std::string query;                 // query/parser.h text form (labels ok)
+  /// Present on v3 payloads only (coordinator -> worker sub-queries).
+  std::optional<PartitionScope> partition = std::nullopt;
   /// Payload version: kSubmitVersionV1 payloads omit the trailing byte
-  /// (old clients); encoders only append it when > v1.
+  /// (old clients); encoders only append it when > v1, and force
+  /// kSubmitVersionPartition whenever `partition` is set.
   std::uint8_t version = kSubmitVersionLabeled;
 };
 
@@ -164,6 +196,53 @@ Status DecodeResult(std::string_view payload, ResultFrame* out);
 
 std::string EncodeStatusInfo(const StatusInfo& info);
 Status DecodeStatusInfo(std::string_view payload, StatusInfo* out);
+
+/// Version of the WORKER_HELLO handshake this build speaks. The hello
+/// carries its version first, so — like the SUBMIT trailing byte — a
+/// newer coordinator is detected as typed version skew instead of a
+/// garbled decode.
+inline constexpr std::uint8_t kWorkerHelloVersion = 1;
+
+/// WORKER_HELLO payload (coordinator -> worker): the graph shape the
+/// coordinator partitioned. A worker serving a different graph answers
+/// honestly and the coordinator refuses to merge counts across shapes.
+struct WorkerHello {
+  std::uint8_t version = kWorkerHelloVersion;
+  std::uint64_t coordinator_id = 0;  // for worker-side log correlation
+  std::uint32_t num_vertices = 0;    // 0 = coordinator has no expectation
+  std::uint64_t num_edges = 0;
+};
+
+/// WORKER_HELLO_ACK payload (worker -> coordinator).
+struct WorkerHelloAck {
+  std::uint8_t version = kWorkerHelloVersion;
+  std::uint32_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  /// False when this worker predates partition-scoped SUBMITs; the
+  /// coordinator fails the handshake rather than receive unfiltered
+  /// (duplicate-heavy) streams.
+  bool supports_partition = false;
+};
+
+/// PARTIAL_RESULT payload: sent by a coordinator immediately before a
+/// RESULT carrying kPartialResult, detailing which partitions' workers
+/// failed past the bounded retry and what the surviving merge holds.
+struct PartialResultFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t total_parts = 0;
+  std::vector<std::uint32_t> failed_parts;
+  std::uint64_t merged_embeddings = 0;  // from the successful partitions
+  std::string message;
+};
+
+std::string EncodeWorkerHello(const WorkerHello& hello);
+Status DecodeWorkerHello(std::string_view payload, WorkerHello* out);
+
+std::string EncodeWorkerHelloAck(const WorkerHelloAck& ack);
+Status DecodeWorkerHelloAck(std::string_view payload, WorkerHelloAck* out);
+
+std::string EncodePartialResult(const PartialResultFrame& frame);
+Status DecodePartialResult(std::string_view payload, PartialResultFrame* out);
 
 /// One decoded frame off the wire.
 struct Frame {

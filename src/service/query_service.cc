@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "distsim/partitioner.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
 #include "runtime/query_session.h"
@@ -146,6 +147,8 @@ struct QueryService::Request {
   Clock::time_point deadline{};
   bool stream_embeddings = false;
   std::uint32_t max_embeddings = 0;
+  /// v3 SUBMIT scope: count/stream only embeddings touching this part.
+  std::optional<PartitionScope> partition = std::nullopt;
   Clock::time_point received_at{};
   /// CancelReason; first writer wins (CAS from kReasonNone).
   std::atomic<int> cancel_reason{kReasonNone};
@@ -276,6 +279,9 @@ void QueryService::ConnectionLoop(std::shared_ptr<Connection> conn) {
       case FrameType::kShutdown:
         HandleShutdown(conn);
         break;
+      case FrameType::kWorkerHello:
+        HandleWorkerHello(conn, frame.payload);
+        break;
       default:
         conn->Send(FrameType::kError,
                    EncodeReject({0, WireCode::kProtocolError,
@@ -320,6 +326,7 @@ void QueryService::HandleSubmit(const std::shared_ptr<Connection>& conn,
   }
   req->stream_embeddings = submit.stream_embeddings;
   req->max_embeddings = submit.max_embeddings;
+  req->partition = submit.partition;
 
   // Admission decision and its announcement are atomic under mu_ so the
   // client always sees ACCEPTED before any frame a worker emits for the
@@ -390,6 +397,24 @@ void QueryService::HandleCancel(const std::shared_ptr<Connection>& conn,
   idle_cv_.notify_all();
 }
 
+void QueryService::HandleWorkerHello(const std::shared_ptr<Connection>& conn,
+                                     std::string_view payload) {
+  WorkerHello hello;
+  if (Status s = DecodeWorkerHello(payload, &hello); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  // The ack always states *this* worker's truth; shape or version skew is
+  // the coordinator's call to make (it refuses to merge, we keep serving).
+  WorkerHelloAck ack;
+  ack.version = kWorkerHelloVersion;
+  ack.num_vertices = runtime_->disk()->num_vertices();
+  ack.num_edges = static_cast<std::uint64_t>(runtime_->disk()->num_edges());
+  ack.supports_partition = true;
+  conn->Send(FrameType::kWorkerHelloAck, EncodeWorkerHelloAck(ack));
+}
+
 void QueryService::HandleShutdown(const std::shared_ptr<Connection>& conn) {
   BeginDrain();
   DrainInFlight();
@@ -448,6 +473,16 @@ std::string QueryService::RunRequest(const std::shared_ptr<Request>& req) {
   sopt.max_frames = options_.session_max_frames;
   sopt.paper_buffer_allocation = options_.paper_buffer_allocation;
   sopt.plan = options_.plan;
+  if (req->partition.has_value()) {
+    // Partition-scoped sub-query: report only embeddings with a matched
+    // vertex homed in this part. Pure in (num_parts, seed), so the
+    // coordinator's owner-side dedup sees a deterministic report set.
+    const PartitionScope scope = *req->partition;
+    sopt.embedding_filter = [scope](std::span<const VertexId> m) {
+      return EmbeddingTouches(m, static_cast<int>(scope.part_id),
+                              static_cast<int>(scope.num_parts), scope.seed);
+    };
+  }
 
   // Progress streaming: the scheduler invokes this serially from the
   // session's window loop each time a last-level window retires.

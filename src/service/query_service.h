@@ -8,6 +8,11 @@
 /// PROGRESS / EMBEDDINGS streaming as enumeration windows complete, and
 /// graceful drain on SHUTDOWN (stop accepting, finish or cancel in-flight
 /// sessions, flush metrics).
+///
+/// The same service doubles as a distributed *worker* (DESIGN.md §13): it
+/// answers WORKER_HELLO with the served graph's shape, and a v3
+/// partition-scoped SUBMIT runs with an embedding filter so only
+/// embeddings touching the scope's partition are counted and streamed.
 
 #include <atomic>
 #include <condition_variable>
@@ -140,6 +145,8 @@ class QueryService {
   void HandleCancel(const std::shared_ptr<Connection>& conn,
                     std::string_view payload);
   void HandleShutdown(const std::shared_ptr<Connection>& conn);
+  void HandleWorkerHello(const std::shared_ptr<Connection>& conn,
+                         std::string_view payload);
 
   /// Runs one admitted request's session, counts the outcome, and returns
   /// the encoded RESULT payload. The worker sends it only after retiring

@@ -1,0 +1,231 @@
+/// Distributed-vs-single-node equivalence suite for the coordinator
+/// (DESIGN.md §13). For each partition count in {2, 3, 4} the harness
+/// spawns that many dualsim_serve worker processes behind an in-process
+/// coordinator and runs every paper query (q1..q5) plus the labeled query
+/// set, asserting:
+///   - the merged distributed count equals the pinned single-node golden
+///     (the same literals golden_counts_test.cc / labeled_golden_test.cc
+///     pin), cross-checked here against the brute-force oracle;
+///   - the dedup invariant: coord.merge_accepted advanced by exactly the
+///     golden count and coord.merge_duplicates_dropped by exactly
+///     sum(touched_partitions - 1) over the oracle's embeddings — i.e.
+///     every boundary-spanning embedding was reported by each partition
+///     it touches and accepted from precisely its owner;
+///   - a streamed distributed run relays exactly the single-node
+///     embedding *set*, not just an equal count.
+/// Plus the version-skew leg: a partition-scoped (v3) SUBMIT from an
+/// outside client is a typed protocol error, never silently executed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/bruteforce.h"
+#include "distsim/partitioner.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "query/parser.h"
+#include "query/symmetry_breaking.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "testkit/coord_fixture.h"
+#include "testkit/metrics_util.h"
+
+namespace dualsim::coord {
+namespace {
+
+using service::ClientRequest;
+using service::PartitionScope;
+using service::WireCode;
+using testkit::CoordHarness;
+using testkit::MetricsProbe;
+
+/// Pinned goldens for q1..q5 over ReorderByDegree(ErdosRenyi(200, 1000,
+/// 42)) — the ER row of golden_counts_test.cc.
+constexpr std::uint64_t kGoldenER[5] = {151, 1076, 90, 0, 2024};
+
+/// The labeled fixture and its goldens — the ER row of
+/// labeled_golden_test.cc (labels assigned after the degree reorder).
+const char* const kLabeledQueries[5] = {
+    "0-1,1-2,2-0,0=0,1=0,2=0", "0-1,1-2,2-0,0=0,1=1", "0-1,1-2,0=3,2=3",
+    "0-1,1-2,2-3,3-0,0=1,2=1", "triangle@2,2,*",
+};
+constexpr std::uint64_t kGoldenLabeledER[5] = {19, 81, 168, 91, 8};
+
+Graph UnlabeledGraph() { return ReorderByDegree(ErdosRenyi(200, 1000, 42)); }
+
+Graph LabeledGraph() {
+  return WithRandomLabels(ReorderByDegree(ErdosRenyi(200, 1000, 42)),
+                          /*num_labels=*/4, /*seed=*/17);
+}
+
+/// What the distributed merge must have seen for one query: the oracle's
+/// embeddings, each weighted by how many partitions it touches. accepted
+/// must equal the embedding count (each from its owner, exactly once) and
+/// dropped the surplus reports (touches - 1 per embedding).
+struct MergeExpectation {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  /// The embeddings themselves, sorted, for set-equality checks on
+  /// streamed runs.
+  std::vector<std::vector<VertexId>> embeddings;
+};
+
+MergeExpectation OracleMerge(const Graph& g, const std::string& query_text,
+                             int num_parts, std::uint64_t seed) {
+  auto q = ParseQuery(query_text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  MergeExpectation exp;
+  EnumerateBruteForce(g, *q, FindPartialOrders(*q),
+                      [&](const Embedding& m) {
+                        ++exp.accepted;
+                        int touches = 0;
+                        for (int p = 0; p < num_parts; ++p) {
+                          if (EmbeddingTouches({m.data(), m.size()}, p,
+                                               num_parts, seed)) {
+                            ++touches;
+                          }
+                        }
+                        // Every embedding touches at least its owner.
+                        EXPECT_GE(touches, 1);
+                        exp.dropped +=
+                            static_cast<std::uint64_t>(touches - 1);
+                        exp.embeddings.push_back(m);
+                      });
+  std::sort(exp.embeddings.begin(), exp.embeddings.end());
+  return exp;
+}
+
+class CoordEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+/// One query through the distributed path, with the merge counters pinned
+/// against the oracle-derived expectation.
+void RunAndCheck(CoordHarness& harness, const Graph& g,
+                 const std::string& query, std::uint64_t golden,
+                 int num_parts) {
+  SCOPED_TRACE("query=" + query + " parts=" + std::to_string(num_parts));
+  const MergeExpectation exp = OracleMerge(g, query, num_parts, /*seed=*/0);
+  ASSERT_EQ(exp.accepted, golden) << "oracle disagrees with the pinned "
+                                     "golden - generator or oracle drift";
+
+  MetricsProbe probe;
+  auto client = harness.Connect();
+  auto result = client->Run({.query = query});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kOk) << result->message;
+  EXPECT_EQ(result->embeddings, golden);
+  EXPECT_FALSE(result->partial.has_value());
+
+  testkit::ExpectMetricDelta(probe, "coord.merge_accepted", exp.accepted);
+  testkit::ExpectMetricDelta(probe, "coord.merge_duplicates_dropped",
+                             exp.dropped);
+}
+
+TEST_P(CoordEquivalenceTest, UnlabeledGoldenCounts) {
+  const int parts = GetParam();
+  const Graph g = UnlabeledGraph();
+  CoordHarness harness;
+  Status s = harness.Start(g, parts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const char* const queries[5] = {"q1", "q2", "q3", "q4", "q5"};
+  for (int i = 0; i < 5; ++i) {
+    RunAndCheck(harness, g, queries[i], kGoldenER[i], parts);
+  }
+}
+
+TEST_P(CoordEquivalenceTest, LabeledGoldenCounts) {
+  const int parts = GetParam();
+  const Graph g = LabeledGraph();
+  CoordHarness harness;
+  Status s = harness.Start(g, parts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (int i = 0; i < 5; ++i) {
+    RunAndCheck(harness, g, kLabeledQueries[i], kGoldenLabeledER[i], parts);
+  }
+}
+
+/// A streamed distributed run must relay the exact single-node embedding
+/// *set* — owner-side dedup means equal counts could still hide a wrong
+/// merge (one embedding twice, another dropped); set equality cannot.
+TEST_P(CoordEquivalenceTest, StreamedEmbeddingsMatchOracleSet) {
+  const int parts = GetParam();
+  const Graph g = UnlabeledGraph();
+  CoordHarness harness;
+  Status s = harness.Start(g, parts);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  const MergeExpectation exp = OracleMerge(g, "q1", parts, /*seed=*/0);
+  auto client = harness.Connect();
+  std::vector<std::vector<VertexId>> streamed;
+  ASSERT_TRUE(
+      client->Submit({.query = "q1", .stream_embeddings = true}).ok());
+  auto result = client->Await(
+      /*on_progress=*/{},
+      [&](const std::vector<VertexId>& m) { streamed.push_back(m); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kOk) << result->message;
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(streamed, exp.embeddings);
+  EXPECT_EQ(result->streamed_embeddings, exp.accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, CoordEquivalenceTest,
+                         ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "Parts";
+                         });
+
+/// Version-skew: the coordinator must refuse a partition-scoped (v3)
+/// SUBMIT arriving from the outside — those are coordinator-issued only.
+/// Silently executing one would double-filter and undercount.
+TEST(CoordVersionSkewTest, ClientSentPartitionScopeIsRejected) {
+  const Graph g = UnlabeledGraph();
+  CoordHarness harness;
+  Status s = harness.Start(g, 2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  auto client = harness.Connect();
+  ClientRequest req;
+  req.query = "q1";
+  req.partition = PartitionScope{/*num_parts=*/2, /*part_id=*/0, /*seed=*/0};
+  Status submit = client->Submit(req);
+  EXPECT_FALSE(submit.ok());
+
+  // The connection survives the rejection and a well-formed submit still
+  // answers correctly.
+  auto client2 = harness.Connect();
+  auto result = client2->Run({.query = "q1"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->embeddings, kGoldenER[0]);
+}
+
+/// The coordinator's STATUS ledger tracks admissions like a single-node
+/// service: one received/admitted/completed per successful query.
+TEST(CoordLedgerTest, StatusSnapshotCountsRequests) {
+  const Graph g = UnlabeledGraph();
+  CoordHarness harness;
+  Status s = harness.Start(g, 2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  auto client = harness.Connect();
+  for (int i = 0; i < 3; ++i) {
+    auto result = client->Run({.query = "q1"});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->embeddings, kGoldenER[0]);
+  }
+  auto info = client->GetStatus();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->received, 3u);
+  EXPECT_EQ(info->admitted, 3u);
+  EXPECT_EQ(info->completed, 3u);
+  EXPECT_EQ(info->failed, 0u);
+  EXPECT_EQ(info->queue_depth, 0u);
+  EXPECT_EQ(info->active_requests, 0u);
+  EXPECT_FALSE(info->draining);
+}
+
+}  // namespace
+}  // namespace dualsim::coord

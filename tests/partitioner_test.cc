@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "distsim/cluster.h"
 #include "graph/generators.h"
@@ -52,6 +55,75 @@ TEST(PartitionerTest, SeedChangesPlacement) {
   PartitionStats a = HashPartition(g, 8, /*seed=*/1);
   PartitionStats b = HashPartition(g, 8, /*seed=*/2);
   EXPECT_NE(a.edges_per_part, b.edges_per_part);
+}
+
+TEST(PartitionerTest, ManifestExportsDeterministicOwnership) {
+  Graph g = ErdosRenyi(250, 1100, 21);
+  const int parts = 4;
+  const std::uint64_t seed = 9;
+  const PartitionManifest m = BuildPartitionManifest(g, parts, seed);
+  ASSERT_EQ(m.num_parts, parts);
+  ASSERT_EQ(m.seed, seed);
+  ASSERT_EQ(m.home.size(), g.NumVertices());
+  ASSERT_EQ(m.is_boundary.size(), g.NumVertices());
+  ASSERT_EQ(m.owner.size(), g.NumVertices());
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    // home is the pure hash — the only thing the wire ever carries.
+    EXPECT_EQ(m.home[v], PartitionOf(v, parts, seed));
+    // The ownership rule: lowest part id among v's appearances (its home
+    // plus each neighbor's home where v is replicated as a ghost).
+    int lowest = m.home[v];
+    bool boundary = false;
+    for (VertexId u : g.Neighbors(v)) {
+      const int up = PartitionOf(u, parts, seed);
+      if (up != m.home[v]) boundary = true;
+      lowest = std::min(lowest, up);
+    }
+    EXPECT_EQ(m.is_boundary[v] != 0, boundary) << "v=" << v;
+    EXPECT_EQ(m.owner[v], lowest) << "v=" << v;
+    if (!boundary) {
+      EXPECT_EQ(m.owner[v], m.home[v]) << "v=" << v;
+    }
+    EXPECT_LE(m.owner[v], m.home[v]) << "v=" << v;
+  }
+
+  // Determinism: the manifest is a pure function of (graph, parts, seed).
+  const PartitionManifest again = BuildPartitionManifest(g, parts, seed);
+  EXPECT_EQ(again.home, m.home);
+  EXPECT_EQ(again.is_boundary, m.is_boundary);
+  EXPECT_EQ(again.owner, m.owner);
+
+  // A different seed must actually move vertices (otherwise "seed" in the
+  // wire scope is dead weight and dedup could silently diverge).
+  const PartitionManifest reseeded = BuildPartitionManifest(g, parts, 10);
+  EXPECT_NE(reseeded.home, m.home);
+}
+
+TEST(PartitionerTest, EmbeddingOwnerAgreesWithTouchRule) {
+  const int parts = 3;
+  const std::uint64_t seed = 5;
+  Graph g = ErdosRenyi(120, 500, 33);
+  // Synthetic embeddings: any vertex tuple exercises the pure functions.
+  for (VertexId a = 0; a < 40; ++a) {
+    const std::vector<VertexId> m = {a, (a * 7 + 3) % 120, (a * 13 + 1) % 120};
+    const int owner = EmbeddingOwner({m.data(), m.size()}, parts, seed);
+    int expected = parts;
+    for (VertexId v : m) expected = std::min(expected, PartitionOf(v, parts, seed));
+    EXPECT_EQ(owner, expected);
+    // The owner is always among the touched parts, and only parts homing
+    // a matched vertex are touched — the pair of rules that makes the
+    // coordinator's merge exactly-once.
+    EXPECT_TRUE(EmbeddingTouches({m.data(), m.size()}, owner, parts, seed));
+    for (int p = 0; p < parts; ++p) {
+      bool homes = false;
+      for (VertexId v : m) homes |= PartitionOf(v, parts, seed) == p;
+      EXPECT_EQ(EmbeddingTouches({m.data(), m.size()}, p, parts, seed), homes);
+      if (p < owner) {
+        EXPECT_FALSE(EmbeddingTouches({m.data(), m.size()}, p, parts, seed));
+      }
+    }
+  }
 }
 
 TEST(PartitionerTest, MeasuredSkewFeedsClusterModel) {

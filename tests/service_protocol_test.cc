@@ -156,6 +156,185 @@ TEST(ServiceProtocolTest, TruncatedPayloadsAreRejectedNotRead) {
   EXPECT_FALSE(DecodeCancel("123", &id).ok());
 }
 
+TEST(ServiceProtocolTest, PartitionScopedSubmitRoundTrip) {
+  SubmitRequest in;
+  in.request_id = 99;
+  in.deadline_ms = 250;
+  in.stream_embeddings = true;
+  in.query = "q2";
+  in.partition = PartitionScope{/*num_parts=*/3, /*part_id=*/2,
+                                /*seed=*/0xFEEDFACE12345678ull};
+  const std::string bytes = EncodeSubmit(in);
+  SubmitRequest out;
+  ASSERT_TRUE(DecodeSubmit(bytes, &out).ok());
+  EXPECT_EQ(out.version, kSubmitVersionPartition);
+  ASSERT_TRUE(out.partition.has_value());
+  EXPECT_EQ(out.partition->num_parts, 3u);
+  EXPECT_EQ(out.partition->part_id, 2u);
+  EXPECT_EQ(out.partition->seed, 0xFEEDFACE12345678ull);
+  EXPECT_EQ(out.query, "q2");
+  EXPECT_TRUE(out.stream_embeddings);
+
+  // v3 is exactly the v1 layout plus the 16-byte scope plus the version
+  // byte — the compat discriminator is the remaining-suffix width.
+  SubmitRequest v1 = in;
+  v1.partition.reset();
+  v1.version = kSubmitVersionV1;
+  EXPECT_EQ(bytes.size(), EncodeSubmit(v1).size() + 17);
+
+  // An invalid scope must never decode: a worker acting on it would
+  // filter against a nonsense partitioning and silently undercount.
+  for (PartitionScope bad : {PartitionScope{0, 0, 0},     // no partitions
+                             PartitionScope{3, 3, 0},     // part out of range
+                             PartitionScope{2, 7, 0}}) {  // ditto
+    SubmitRequest req = in;
+    req.partition = bad;
+    SubmitRequest ignored;
+    EXPECT_FALSE(DecodeSubmit(EncodeSubmit(req), &ignored).ok())
+        << bad.num_parts << "/" << bad.part_id;
+  }
+}
+
+TEST(ServiceProtocolTest, PartitionScopedSubmitTruncationFuzz) {
+  SubmitRequest in;
+  in.request_id = 7;
+  in.query = "0-1,1-2,2-0";
+  // num_parts = 3 on purpose: its low byte alone claims "version 3", which
+  // the one-byte arm rejects (a partition version demands its scope), so
+  // every cut except the exact v1 boundary must fail.
+  in.partition = PartitionScope{3, 1, 42};
+  const std::string full = EncodeSubmit(in);
+  const std::size_t v1_size = full.size() - 17;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SubmitRequest out;
+    const Status s = DecodeSubmit(std::string_view(full).substr(0, cut), &out);
+    if (cut == v1_size) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(out.version, kSubmitVersionV1);
+      EXPECT_FALSE(out.partition.has_value());
+    } else {
+      EXPECT_FALSE(s.ok()) << "prefix of " << cut << " bytes decoded";
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, PartitionScopedSubmitCorruptionFuzz) {
+  // Single-byte corruption anywhere in a v3 payload either fails the
+  // decode or yields a scope that still satisfies the invariants the
+  // workers rely on (num_parts >= 1, part_id < num_parts) — never an
+  // out-of-range partition and never a crash.
+  SubmitRequest in;
+  in.request_id = 7;
+  in.query = "q1";
+  in.partition = PartitionScope{4, 3, 1};
+  const std::string full = EncodeSubmit(in);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    for (unsigned char flip : {0x01, 0x80, 0xFF}) {
+      std::string mutated = full;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      SubmitRequest out;
+      if (DecodeSubmit(mutated, &out).ok() && out.partition.has_value()) {
+        EXPECT_GE(out.partition->num_parts, 1u);
+        EXPECT_LT(out.partition->part_id, out.partition->num_parts);
+      }
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, WorkerHelloRoundTrip) {
+  WorkerHello hello;
+  hello.coordinator_id = 0xABCDEF0102030405ull;
+  hello.num_vertices = 200;
+  hello.num_edges = 1000;
+  WorkerHello hello_out;
+  ASSERT_TRUE(DecodeWorkerHello(EncodeWorkerHello(hello), &hello_out).ok());
+  EXPECT_EQ(hello_out.version, kWorkerHelloVersion);
+  EXPECT_EQ(hello_out.coordinator_id, hello.coordinator_id);
+  EXPECT_EQ(hello_out.num_vertices, 200u);
+  EXPECT_EQ(hello_out.num_edges, 1000u);
+
+  WorkerHelloAck ack;
+  ack.num_vertices = 200;
+  ack.num_edges = 1000;
+  ack.supports_partition = true;
+  WorkerHelloAck ack_out;
+  ASSERT_TRUE(
+      DecodeWorkerHelloAck(EncodeWorkerHelloAck(ack), &ack_out).ok());
+  EXPECT_EQ(ack_out.version, kWorkerHelloVersion);
+  EXPECT_EQ(ack_out.num_vertices, 200u);
+  EXPECT_EQ(ack_out.num_edges, 1000u);
+  EXPECT_TRUE(ack_out.supports_partition);
+
+  // Truncations of both payloads are rejected at every cut.
+  const std::string hello_bytes = EncodeWorkerHello(hello);
+  for (std::size_t cut = 0; cut < hello_bytes.size(); ++cut) {
+    WorkerHello ignored;
+    EXPECT_FALSE(
+        DecodeWorkerHello(std::string_view(hello_bytes).substr(0, cut),
+                          &ignored)
+            .ok())
+        << cut;
+  }
+  const std::string ack_bytes = EncodeWorkerHelloAck(ack);
+  for (std::size_t cut = 0; cut < ack_bytes.size(); ++cut) {
+    WorkerHelloAck ignored;
+    EXPECT_FALSE(
+        DecodeWorkerHelloAck(std::string_view(ack_bytes).substr(0, cut),
+                             &ignored)
+            .ok())
+        << cut;
+  }
+}
+
+TEST(ServiceProtocolTest, PartialResultRoundTripAndBounds) {
+  PartialResultFrame partial;
+  partial.request_id = 31;
+  partial.total_parts = 4;
+  partial.failed_parts = {1, 3};
+  partial.merged_embeddings = 77;
+  partial.message = "partitions 1,3 failed";
+  PartialResultFrame out;
+  ASSERT_TRUE(DecodePartialResult(EncodePartialResult(partial), &out).ok());
+  EXPECT_EQ(out.request_id, 31u);
+  EXPECT_EQ(out.total_parts, 4u);
+  EXPECT_EQ(out.failed_parts, partial.failed_parts);
+  EXPECT_EQ(out.merged_embeddings, 77u);
+  EXPECT_EQ(out.message, partial.message);
+
+  // No failures is legal on the wire even though the coordinator never
+  // sends it (the frame exists only for degraded merges).
+  PartialResultFrame none = partial;
+  none.failed_parts.clear();
+  ASSERT_TRUE(DecodePartialResult(EncodePartialResult(none), &out).ok());
+  EXPECT_TRUE(out.failed_parts.empty());
+
+  // More failed parts than total_parts claims is malformed — a decoder
+  // that trusted the count could be made to allocate unboundedly.
+  PartialResultFrame bogus = partial;
+  bogus.total_parts = 1;
+  EXPECT_FALSE(
+      DecodePartialResult(EncodePartialResult(bogus), &out).ok());
+
+  const std::string bytes = EncodePartialResult(partial);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    PartialResultFrame ignored;
+    EXPECT_FALSE(
+        DecodePartialResult(std::string_view(bytes).substr(0, cut), &ignored)
+            .ok())
+        << cut;
+  }
+}
+
+TEST(ServiceProtocolTest, NewFrameTypesHaveNames) {
+  // The log/debug surface must keep up with the frame table; an
+  // "unknown" name for a live frame type means a switch was missed.
+  EXPECT_STREQ(FrameTypeName(FrameType::kWorkerHello), "WORKER_HELLO");
+  EXPECT_STREQ(FrameTypeName(FrameType::kWorkerHelloAck),
+               "WORKER_HELLO_ACK");
+  EXPECT_STREQ(FrameTypeName(FrameType::kPartialResult), "PARTIAL_RESULT");
+  EXPECT_STREQ(WireCodeName(WireCode::kPartialResult), "PARTIAL_RESULT");
+}
+
 TEST(ServiceProtocolTest, WireCodeForMapsEngineStatuses) {
   EXPECT_EQ(WireCodeFor(Status::InvalidArgument("bad")),
             WireCode::kInvalidQuery);

@@ -1,0 +1,76 @@
+#include "testkit/coord_fixture.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <system_error>
+
+#include "storage/disk_graph.h"
+
+#ifndef DUALSIM_SERVE_BIN_PATH
+#define DUALSIM_SERVE_BIN_PATH ""
+#endif
+
+namespace dualsim::testkit {
+
+std::string ServeBinaryPath() {
+  if (const char* env = std::getenv("DUALSIM_SERVE_BIN");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return DUALSIM_SERVE_BIN_PATH;
+}
+
+Status CoordHarness::Start(
+    const Graph& g, int num_parts,
+    const std::function<void(coord::CoordinatorOptions&)>& mutate) {
+  Stop();
+  // Per-harness dir: several harnesses run sequentially in one binary.
+  static int harness_counter = 0;
+  dir_ = std::filesystem::temp_directory_path() /
+         ("dualsim_coord_harness_" + std::to_string(::getpid()) + "_" +
+          std::to_string(harness_counter++));
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return Status::IOError("cannot create " + dir_.string());
+  const std::string db = (dir_ / "g.db").string();
+  if (Status s = BuildDiskGraph(g, db, /*page_size=*/512); !s.ok()) return s;
+
+  coord::CoordinatorOptions opt;
+  opt.db_path = db;
+  opt.num_parts = num_parts;
+  opt.worker_binary = ServeBinaryPath();
+  if (opt.worker_binary.empty()) {
+    return Status::FailedPrecondition(
+        "dualsim_serve binary unknown: set DUALSIM_SERVE_BIN or build the "
+        "examples");
+  }
+  if (mutate) mutate(opt);
+
+  coordinator_ = std::make_unique<coord::Coordinator>(std::move(opt));
+  Status s = coordinator_->Start();
+  if (!s.ok()) coordinator_.reset();
+  return s;
+}
+
+std::unique_ptr<service::QueryClient> CoordHarness::Connect() {
+  auto client = std::make_unique<service::QueryClient>();
+  Status s = client->Connect("127.0.0.1", coordinator_->port());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return client;
+}
+
+void CoordHarness::Stop() {
+  if (coordinator_ != nullptr) {
+    coordinator_->Stop();
+    coordinator_.reset();
+  }
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    dir_.clear();
+  }
+}
+
+}  // namespace dualsim::testkit

@@ -1,0 +1,67 @@
+#ifndef DUALSIM_TESTS_TESTKIT_COORD_FIXTURE_H_
+#define DUALSIM_TESTS_TESTKIT_COORD_FIXTURE_H_
+
+/// Multi-process harness for the coordinator suites: builds a temp graph
+/// database, starts an *in-process* coord::Coordinator that spawns one
+/// dualsim_serve worker process per partition over it, and hands out
+/// connected clients. Running the coordinator in the test process keeps
+/// the coord.* counters in this process's registry (so MetricsProbe from
+/// testkit/metrics_util.h sees them) and gives tests direct access to the
+/// fault seams (CoordinatorOptions::on_dispatch, workers() pids); only the
+/// workers are real separate processes, which is the part the distributed
+/// path actually needs.
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "coord/coordinator.h"
+#include "graph/graph.h"
+#include "service/client.h"
+#include "util/status.h"
+
+namespace dualsim::testkit {
+
+/// Path of the dualsim_serve binary the coordinator spawns as workers:
+/// $DUALSIM_SERVE_BIN when set (CI override), else the build-tree location
+/// baked in by tests/CMakeLists.txt (DUALSIM_SERVE_BIN_PATH). Empty when
+/// neither is available.
+std::string ServeBinaryPath();
+
+class CoordHarness {
+ public:
+  CoordHarness() = default;
+  ~CoordHarness() { Stop(); }
+
+  CoordHarness(const CoordHarness&) = delete;
+  CoordHarness& operator=(const CoordHarness&) = delete;
+
+  /// Builds `g` into a fresh temp database and starts a spawn-mode
+  /// coordinator over it with `num_parts` workers. `mutate` (optional)
+  /// runs after the harness fills db path / worker binary / ports, so
+  /// tests can inject fault seams, retry budgets, and worker args.
+  Status Start(const Graph& g, int num_parts,
+               const std::function<void(coord::CoordinatorOptions&)>& mutate =
+                   {});
+
+  coord::Coordinator& coordinator() { return *coordinator_; }
+  std::uint16_t port() const { return coordinator_->port(); }
+
+  /// A client connected to the coordinator endpoint. Raises a gtest
+  /// failure (but still returns the client) if the connect fails.
+  std::unique_ptr<service::QueryClient> Connect();
+
+  /// Stops the coordinator (drains, kills spawned workers) and removes
+  /// the temp database. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  std::filesystem::path dir_;
+  std::unique_ptr<coord::Coordinator> coordinator_;
+};
+
+}  // namespace dualsim::testkit
+
+#endif  // DUALSIM_TESTS_TESTKIT_COORD_FIXTURE_H_
