@@ -4,6 +4,17 @@
 ///                  [--max-embeddings N]
 ///       Submit one query and print its streamed progress and result.
 ///
+///   dualsim_client <port> subscribe <query> [--initial] [--events N]
+///       Register a continuous query: print the initial count (and the
+///       initial embeddings with --initial), then stream each pushed
+///       delta chain. Stops after N events (0 = until the service ends
+///       the subscription).
+///
+///   dualsim_client <port> update <deltas>
+///       Apply an edge-delta batch, e.g. "add:3-7,del:1-4". Prints the
+///       UPDATE_ACK: what applied, what was ignored, and how much of the
+///       graph the incremental re-execution actually touched.
+///
 ///   dualsim_client <port> status
 ///       Print the service's admission ledger.
 ///
@@ -17,6 +28,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "incr/edge_delta_log.h"
 #include "service/client.h"
 
 namespace {
@@ -28,6 +40,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: dualsim_client <port> query <query> [--deadline-ms N] "
                "[--stream] [--max-embeddings N]\n"
+               "       dualsim_client <port> subscribe <query> [--initial] "
+               "[--events N]\n"
+               "       dualsim_client <port> update <deltas>  "
+               "(e.g. \"add:3-7,del:1-4\")\n"
                "       dualsim_client <port> status\n"
                "       dualsim_client <port> shutdown\n");
   return 2;
@@ -104,6 +120,103 @@ int CmdQuery(QueryClient& client, int argc, char** argv) {
   return result->code == WireCode::kOk ? 0 : 1;
 }
 
+void PrintMappings(const char* verb, std::uint8_t arity,
+                   const std::vector<VertexId>& flat) {
+  if (arity == 0) return;
+  for (std::size_t i = 0; i + arity <= flat.size(); i += arity) {
+    std::printf("%s {", verb);
+    for (std::size_t j = 0; j < arity; ++j) {
+      std::printf("%su%zu->%u", j ? ", " : "", j, flat[i + j]);
+    }
+    std::printf("}\n");
+  }
+}
+
+int CmdSubscribe(QueryClient& client, int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string query = argv[3];
+  bool initial = false;
+  std::uint64_t max_events = 0;  // 0 = until the subscription ends
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--initial") {
+      initial = true;
+    } else if (flag == "--events" && i + 1 < argc) {
+      max_events = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage();
+    }
+  }
+
+  auto sub = client.Subscribe(query, initial,
+                              initial ? [](const std::vector<VertexId>& m) {
+                                std::printf("initial: {");
+                                for (std::size_t i = 0; i < m.size(); ++i) {
+                                  std::printf("%su%zu->%u", i ? ", " : "", i,
+                                              m[i]);
+                                }
+                                std::printf("}\n");
+                              }
+                              : std::function<void(
+                                    const std::vector<VertexId>&)>{});
+  if (!sub.ok()) return Fail(sub.status());
+  std::printf("subscribed:    id %llu, %llu initial embedding(s)\n",
+              static_cast<unsigned long long>(sub->subscription_id),
+              static_cast<unsigned long long>(sub->initial_count));
+  std::fflush(stdout);
+
+  std::uint64_t events = 0;
+  while (max_events == 0 || events < max_events) {
+    auto event = client.NextEvent();
+    if (!event.ok()) return Fail(event.status());
+    if (event->ended) {
+      std::printf("ended:         %s%s%s after %llu diff(s)\n",
+                  WireCodeName(event->end_code),
+                  event->end_message.empty() ? "" : " — ",
+                  event->end_message.c_str(),
+                  static_cast<unsigned long long>(event->diffs_pushed));
+      return event->end_code == WireCode::kOk ? 0 : 1;
+    }
+    ++events;
+    const std::uint64_t added =
+        event->arity ? event->added.size() / event->arity : 0;
+    const std::uint64_t retracted =
+        event->arity ? event->retracted.size() / event->arity : 0;
+    std::printf("delta #%llu:      +%llu -%llu embeddings "
+                "(%llu/%llu windows re-run, %llu pages read)\n",
+                static_cast<unsigned long long>(event->sequence),
+                static_cast<unsigned long long>(added),
+                static_cast<unsigned long long>(retracted),
+                static_cast<unsigned long long>(event->windows_rerun),
+                static_cast<unsigned long long>(event->windows_rerun +
+                                                event->windows_skipped),
+                static_cast<unsigned long long>(event->pages_read));
+    PrintMappings("  +", event->arity, event->added);
+    PrintMappings("  -", event->arity, event->retracted);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int CmdUpdate(QueryClient& client, int argc, char** argv) {
+  if (argc != 4) return Usage();
+  auto deltas = incr::ParseEdgeDeltas(argv[3]);
+  if (!deltas.ok()) return Fail(deltas.status());
+  auto ack = client.Update(*deltas);
+  if (!ack.ok()) return Fail(ack.status());
+  std::printf("batch #%llu:      %u applied, %u ignored, %llu dirty page(s)\n",
+              static_cast<unsigned long long>(ack->sequence), ack->applied,
+              ack->ignored, static_cast<unsigned long long>(ack->dirty_pages));
+  std::printf("re-execution:  %llu/%llu windows across %u subscription(s), "
+              "%llu pages read\n",
+              static_cast<unsigned long long>(ack->windows_rerun),
+              static_cast<unsigned long long>(ack->windows_rerun +
+                                              ack->windows_skipped),
+              ack->subscriptions_notified,
+              static_cast<unsigned long long>(ack->pages_read));
+  return 0;
+}
+
 int CmdStatus(QueryClient& client) {
   auto info = client.GetStatus();
   if (!info.ok()) return Fail(info.status());
@@ -123,6 +236,11 @@ int CmdStatus(QueryClient& client) {
               static_cast<unsigned long long>(info->deadline_expired));
   std::printf("queue/active:      %u / %u%s\n", info->queue_depth,
               info->active_requests, info->draining ? " (draining)" : "");
+  std::printf("subscriptions:     %u live, %llu update(s), %llu delta "
+              "frame(s) sent\n",
+              info->subscriptions_active,
+              static_cast<unsigned long long>(info->updates_received),
+              static_cast<unsigned long long>(info->delta_frames_sent));
   return 0;
 }
 
@@ -137,6 +255,8 @@ int main(int argc, char** argv) {
   if (Status s = client.Connect("127.0.0.1", port); !s.ok()) return Fail(s);
 
   if (command == "query") return CmdQuery(client, argc, argv);
+  if (command == "subscribe") return CmdSubscribe(client, argc, argv);
+  if (command == "update") return CmdUpdate(client, argc, argv);
   if (command == "status") return CmdStatus(client);
   if (command == "shutdown") {
     if (Status s = client.Shutdown(); !s.ok()) return Fail(s);

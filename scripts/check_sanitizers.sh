@@ -17,7 +17,7 @@ SANITIZERS=("$@")
 
 # TSan over the whole suite is slow; restrict it to the suites that
 # exercise cross-thread engine/runtime/pool state.
-TSAN_FILTER='Engine|BufferPool|ThreadPool|TaskGroup|Runtime|Concurrency|Fault|DifferentialFuzz|Service|Coord'
+TSAN_FILTER='Engine|BufferPool|ThreadPool|TaskGroup|Runtime|Concurrency|Fault|DifferentialFuzz|Service|Coord|Incr'
 
 for san in "${SANITIZERS[@]}"; do
   case "$san" in

@@ -1,0 +1,385 @@
+#include "incr/delta_match_pass.h"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace dualsim::incr {
+namespace {
+
+struct PassMetrics {
+  obs::Counter* passes;
+  obs::Counter* windows_rerun;
+  obs::Counter* windows_skipped;
+  obs::Counter* pages_read;
+  obs::Counter* diff_added;
+  obs::Counter* diff_retracted;
+};
+
+PassMetrics& Metrics() {
+  static PassMetrics m{
+      obs::Metrics().GetCounter("incr.passes"),
+      obs::Metrics().GetCounter("incr.windows_rerun"),
+      obs::Metrics().GetCounter("incr.windows_skipped"),
+      obs::Metrics().GetCounter("incr.pass_pages_read"),
+      obs::Metrics().GetCounter("incr.diff_added"),
+      obs::Metrics().GetCounter("incr.diff_retracted"),
+  };
+  return m;
+}
+
+constexpr VertexId kUnmapped = 0xFFFFFFFFu;
+
+/// Lazy per-pass adjacency cache over both views. The *new* view is the
+/// overlay's composed adjacency; the *old* (pre-batch) view un-applies the
+/// batch per vertex: old(v) = new(v) − batch_added(v) + batch_removed(v).
+/// Every base page is pinned at most once per pass regardless of how many
+/// anchors touch it, and the distinct-page set is the pass's cost.
+class AdjacencyCache {
+ public:
+  AdjacencyCache(const GraphOverlay* overlay, BufferPool* pool,
+                 const std::vector<EdgeDelta>& applied)
+      : overlay_(overlay), pool_(pool) {
+    for (const EdgeDelta& d : applied) {
+      const bool add = d.op == DeltaOp::kAddEdge;
+      for (const auto& [x, y] : {std::pair{d.u, d.v}, std::pair{d.v, d.u}}) {
+        (add ? batch_[x].added : batch_[x].removed).push_back(y);
+      }
+    }
+    for (auto& [v, adj] : batch_) {
+      std::sort(adj.added.begin(), adj.added.end());
+      std::sort(adj.removed.begin(), adj.removed.end());
+    }
+  }
+
+  /// Composed (post-batch) adjacency; nullptr after a page-read failure
+  /// (the error is latched in status()). Pointers stay valid for the life
+  /// of the cache (node-based map).
+  const std::vector<VertexId>* New(VertexId v) {
+    auto it = new_adj_.find(v);
+    if (it == new_adj_.end()) {
+      std::vector<VertexId> adj;
+      Status s = overlay_->ComposedNeighbors(v, pool_, &adj, &touched_);
+      if (!s.ok()) {
+        if (status_.ok()) status_ = std::move(s);
+        return nullptr;
+      }
+      it = new_adj_.emplace(v, std::move(adj)).first;
+    }
+    return &it->second;
+  }
+
+  /// Pre-batch adjacency (the new view with this batch un-applied).
+  const std::vector<VertexId>* Old(VertexId v) {
+    auto bit = batch_.find(v);
+    if (bit == batch_.end()) return New(v);  // untouched by the batch
+    auto it = old_adj_.find(v);
+    if (it != old_adj_.end()) return &it->second;
+    const std::vector<VertexId>* now = New(v);
+    if (now == nullptr) return nullptr;
+    std::vector<VertexId> kept;
+    kept.reserve(now->size());
+    std::set_difference(now->begin(), now->end(), bit->second.added.begin(),
+                        bit->second.added.end(), std::back_inserter(kept));
+    std::vector<VertexId> old_adj;
+    old_adj.reserve(kept.size() + bit->second.removed.size());
+    std::set_union(kept.begin(), kept.end(), bit->second.removed.begin(),
+                   bit->second.removed.end(), std::back_inserter(old_adj));
+    return &old_adj_.emplace(v, std::move(old_adj)).first->second;
+  }
+
+  const Status& status() const { return status_; }
+  std::uint64_t pages_read() const { return touched_.size(); }
+
+ private:
+  struct BatchAdjust {
+    std::vector<VertexId> added;
+    std::vector<VertexId> removed;
+  };
+
+  const GraphOverlay* overlay_;
+  BufferPool* pool_;
+  std::unordered_map<VertexId, BatchAdjust> batch_;
+  std::unordered_map<VertexId, std::vector<VertexId>> new_adj_;
+  std::unordered_map<VertexId, std::vector<VertexId>> old_adj_;
+  PageSet touched_;
+  Status status_;
+};
+
+/// Matching order rooted at `root`: like the brute-force enumerator's
+/// order, but the first position is forced (the anchor's), then a
+/// connected frontier grows by most-placed-neighbors / highest degree.
+std::vector<QueryVertex> OrderFrom(const QueryGraph& q, QueryVertex root) {
+  const std::uint8_t n = q.NumVertices();
+  std::vector<QueryVertex> order;
+  std::uint32_t placed = 1u << root;
+  order.push_back(root);
+  while (order.size() < n) {
+    QueryVertex best = kMaxQueryVertices;
+    int best_connected = -1;
+    for (QueryVertex u = 0; u < n; ++u) {
+      if ((placed >> u) & 1u) continue;
+      const int connected = __builtin_popcount(q.NeighborMask(u) & placed);
+      if (connected > best_connected ||
+          (connected == best_connected && best != kMaxQueryVertices &&
+           q.Degree(u) > q.Degree(best))) {
+        best = u;
+        best_connected = connected;
+      }
+    }
+    DS_CHECK_GT(best_connected, 0);  // q is connected
+    order.push_back(best);
+    placed |= 1u << best;
+  }
+  return order;
+}
+
+/// One anchored backtracking search over one view.
+struct AnchorSearch {
+  const GraphOverlay* overlay;
+  const QueryGraph* q;
+  const std::vector<PartialOrder>* orders;
+  AdjacencyCache* cache;
+  bool old_view;
+  /// Sorted owner set A, or nullptr meaning "all vertices". An embedding
+  /// is emitted only by its owner anchor: min(matched ∩ A).
+  const std::vector<VertexId>* owners;
+  VertexId anchor;
+  std::vector<QueryVertex> order;
+  Embedding mapping;
+  std::vector<Embedding>* out;
+  bool failed = false;
+
+  const std::vector<VertexId>* Adj(VertexId v) {
+    const std::vector<VertexId>* adj =
+        old_view ? cache->Old(v) : cache->New(v);
+    if (adj == nullptr) failed = true;
+    return adj;
+  }
+
+  bool HasEdge(VertexId v, VertexId w) {
+    const std::vector<VertexId>* adj = Adj(v);
+    return adj != nullptr && std::binary_search(adj->begin(), adj->end(), w);
+  }
+
+  bool Consistent(QueryVertex u, VertexId v) {
+    if (!LabelMatches(q->Label(u), overlay->LabelOf(v))) return false;
+    for (QueryVertex w = 0; w < q->NumVertices(); ++w) {
+      const VertexId mapped = mapping[w];
+      if (mapped == kUnmapped) continue;
+      if (mapped == v) return false;
+      if (q->HasEdge(u, w) && !HasEdge(v, mapped)) return false;
+      if (failed) return false;
+    }
+    for (const PartialOrder& o : *orders) {
+      if (o.first == u && mapping[o.second] != kUnmapped &&
+          !(v < mapping[o.second])) {
+        return false;
+      }
+      if (o.second == u && mapping[o.first] != kUnmapped &&
+          !(mapping[o.first] < v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True when `anchor` owns the completed mapping: no matched vertex in
+  /// the owner set is smaller. With owners == nullptr every vertex is in
+  /// the set, so the owner is simply the minimum matched vertex.
+  bool AnchorOwns() const {
+    for (VertexId v : mapping) {
+      if (v >= anchor) continue;
+      if (owners == nullptr ||
+          std::binary_search(owners->begin(), owners->end(), v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Recurse(std::size_t depth) {
+    if (failed) return;
+    if (depth == order.size()) {
+      if (AnchorOwns()) out->push_back(mapping);
+      return;
+    }
+    const QueryVertex u = order[depth];
+    // Candidates come from the shortest adjacency list among mapped query
+    // neighbors (depth 0 is handled by the caller, which maps the anchor).
+    VertexId pivot = kUnmapped;
+    std::size_t pivot_size = 0;
+    for (QueryVertex w = 0; w < q->NumVertices(); ++w) {
+      if (!q->HasEdge(u, w) || mapping[w] == kUnmapped) continue;
+      const std::vector<VertexId>* adj = Adj(mapping[w]);
+      if (adj == nullptr) return;
+      if (pivot == kUnmapped || adj->size() < pivot_size) {
+        pivot = mapping[w];
+        pivot_size = adj->size();
+      }
+    }
+    DS_CHECK_NE(pivot, kUnmapped);
+    // Cached vectors never move: the cache maps are node-based and an
+    // entry, once loaded, is immutable for the life of the pass.
+    const std::vector<VertexId>* candidates = Adj(pivot);
+    if (candidates == nullptr) return;
+    for (const VertexId v : *candidates) {
+      if (!Consistent(u, v)) {
+        if (failed) return;
+        continue;
+      }
+      mapping[u] = v;
+      Recurse(depth + 1);
+      mapping[u] = kUnmapped;
+      if (failed) return;
+    }
+  }
+
+  /// Runs the search with the anchor mapped at the order's root. The same
+  /// embedding cannot be produced twice across (anchor, root) pairs:
+  /// injectivity puts the owner at exactly one query position.
+  void Run() {
+    const QueryVertex root = order[0];
+    mapping.assign(q->NumVertices(), kUnmapped);
+    if (!Consistent(root, anchor)) return;
+    mapping[root] = anchor;
+    Recurse(1);
+  }
+};
+
+void SortEmbeddings(std::vector<Embedding>* set) {
+  std::sort(set->begin(), set->end());
+}
+
+}  // namespace
+
+DeltaMatchPass::DeltaMatchPass(const GraphOverlay* overlay, BufferPool* pool,
+                               IncrOptions options)
+    : overlay_(overlay), pool_(pool), options_(options) {}
+
+StatusOr<EmbeddingDiff> DeltaMatchPass::Run(
+    const QueryGraph& q, const std::vector<PartialOrder>& orders,
+    const GraphOverlay::ApplyResult& batch) {
+  if (options_.window_pages == 0) {
+    return Status::InvalidArgument("window_pages must be positive");
+  }
+  if (q.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+  EmbeddingDiff diff;
+  DeltaMatchStats& st = diff.stats;
+
+  const std::uint32_t w = options_.window_pages;
+  const std::uint32_t num_pages = overlay_->base()->num_pages();
+  st.windows_total = (num_pages + w - 1) / w;
+  st.dirty_pages = batch.dirty_pages.Count();
+  std::vector<bool> window_dirty(st.windows_total, false);
+  batch.dirty_pages.ForEach(
+      [&](std::size_t pid) { window_dirty[pid / w] = true; });
+  const std::uint64_t dirty_windows = static_cast<std::uint64_t>(
+      std::count(window_dirty.begin(), window_dirty.end(), true));
+  st.windows_rerun =
+      options_.dirty_window_filter ? dirty_windows : st.windows_total;
+  st.windows_skipped = st.windows_total - st.windows_rerun;
+
+  // The anchor set A: with the filter on, only the applied deltas'
+  // endpoints (every changed embedding maps a query edge onto a batch
+  // edge, so it contains one of these); with it off, every vertex — a
+  // full re-enumeration of both views whose difference is provably the
+  // same set.
+  std::vector<VertexId> all_vertices;
+  const std::vector<VertexId>* anchors = nullptr;
+  const std::vector<VertexId>* owners = nullptr;
+  if (options_.dirty_window_filter) {
+    anchors = &batch.dirty_vertices;
+    owners = &batch.dirty_vertices;
+  } else {
+    all_vertices.resize(overlay_->num_vertices());
+    for (VertexId v = 0; v < all_vertices.size(); ++v) all_vertices[v] = v;
+    anchors = &all_vertices;
+    owners = nullptr;
+  }
+
+  std::vector<Embedding> old_set;
+  std::vector<Embedding> new_set;
+  if (!anchors->empty()) {
+    AdjacencyCache cache(overlay_, pool_, batch.applied);
+    std::vector<std::vector<QueryVertex>> order_of(q.NumVertices());
+    for (QueryVertex root = 0; root < q.NumVertices(); ++root) {
+      order_of[root] = OrderFrom(q, root);
+    }
+    for (VertexId d : *anchors) {
+      for (QueryVertex root = 0; root < q.NumVertices(); ++root) {
+        ++st.anchor_searches;
+        for (bool old_view : {true, false}) {
+          AnchorSearch search{overlay_,  &q,   &orders,
+                              &cache,    old_view, owners,
+                              d,         order_of[root],
+                              {},        old_view ? &old_set : &new_set};
+          search.Run();
+          if (!cache.status().ok()) return cache.status();
+        }
+      }
+    }
+    st.pages_read = cache.pages_read();
+  }
+
+  SortEmbeddings(&old_set);
+  SortEmbeddings(&new_set);
+  std::set_difference(new_set.begin(), new_set.end(), old_set.begin(),
+                      old_set.end(), std::back_inserter(diff.added));
+  std::set_difference(old_set.begin(), old_set.end(), new_set.begin(),
+                      new_set.end(), std::back_inserter(diff.retracted));
+  st.added = diff.added.size();
+  st.retracted = diff.retracted.size();
+
+  Metrics().passes->Increment();
+  Metrics().windows_rerun->Increment(st.windows_rerun);
+  Metrics().windows_skipped->Increment(st.windows_skipped);
+  Metrics().pages_read->Increment(st.pages_read);
+  Metrics().diff_added->Increment(st.added);
+  Metrics().diff_retracted->Increment(st.retracted);
+  return diff;
+}
+
+StatusOr<std::vector<Embedding>> DeltaMatchPass::EnumerateAll(
+    const QueryGraph& q, const std::vector<PartialOrder>& orders,
+    DeltaMatchStats* stats) {
+  if (q.NumVertices() == 0) {
+    return Status::InvalidArgument("empty query");
+  }
+  DeltaMatchStats local;
+  DeltaMatchStats& st = stats != nullptr ? *stats : local;
+  st = DeltaMatchStats{};
+  const std::uint32_t w = options_.window_pages == 0 ? 1 : options_.window_pages;
+  st.windows_total = (overlay_->base()->num_pages() + w - 1) / w;
+  st.windows_rerun = st.windows_total;
+
+  AdjacencyCache cache(overlay_, pool_, /*applied=*/{});
+  std::vector<Embedding> out;
+  for (QueryVertex root = 0; root < q.NumVertices(); ++root) {
+    const std::vector<QueryVertex> order = OrderFrom(q, root);
+    for (VertexId d = 0; d < overlay_->num_vertices(); ++d) {
+      ++st.anchor_searches;
+      AnchorSearch search{overlay_, &q,      &orders, &cache, /*old_view=*/false,
+                          /*owners=*/nullptr, d,      order,  {},
+                          &out};
+      search.Run();
+      if (!cache.status().ok()) return cache.status();
+    }
+  }
+  st.pages_read = cache.pages_read();
+  st.added = out.size();
+  SortEmbeddings(&out);
+
+  Metrics().passes->Increment();
+  Metrics().windows_rerun->Increment(st.windows_rerun);
+  Metrics().pages_read->Increment(st.pages_read);
+  return out;
+}
+
+}  // namespace dualsim::incr

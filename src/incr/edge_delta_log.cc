@@ -1,0 +1,199 @@
+#include "incr/edge_delta_log.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dualsim::incr {
+
+const char* DeltaOpName(DeltaOp op) {
+  switch (op) {
+    case DeltaOp::kAddEdge: return "add";
+    case DeltaOp::kRemoveEdge: return "del";
+  }
+  return "unknown";
+}
+
+void EdgeDeltaLog::Append(const EdgeDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(delta);
+  ++total_appended_;
+}
+
+void EdgeDeltaLog::Append(const std::vector<EdgeDelta>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.insert(pending_.end(), deltas.begin(), deltas.end());
+  total_appended_ += deltas.size();
+}
+
+std::size_t EdgeDeltaLog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+DeltaBatch EdgeDeltaLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Last-writer-wins per unordered pair: an add staged after a remove of
+  // the same edge leaves one add in the batch. Endpoint labels travel
+  // with the winning delta (they are assertions, not state). An ordered
+  // map keeps the result sorted by (u, v) with no extra pass.
+  std::map<std::pair<VertexId, VertexId>, EdgeDelta> net;
+  for (const EdgeDelta& d : pending_) {
+    EdgeDelta norm = d;
+    if (norm.u > norm.v) {
+      std::swap(norm.u, norm.v);
+      std::swap(norm.u_label, norm.v_label);
+    }
+    net[{norm.u, norm.v}] = norm;
+  }
+  pending_.clear();
+
+  DeltaBatch batch;
+  batch.sequence = ++sequence_;
+  batch.deltas.reserve(net.size());
+  for (auto& [pair, delta] : net) batch.deltas.push_back(delta);
+
+  history_.push_back(batch);
+  if (history_.size() > kHistoryCapacity) history_.pop_front();
+  return batch;
+}
+
+std::uint64_t EdgeDeltaLog::last_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_;
+}
+
+std::uint64_t EdgeDeltaLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+std::vector<DeltaBatch> EdgeDeltaLog::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {history_.begin(), history_.end()};
+}
+
+namespace {
+
+Status ParseError(std::string_view term, const char* why) {
+  return Status::InvalidArgument("bad delta term '" + std::string(term) +
+                                 "': " + why);
+}
+
+/// Parses a decimal u32 from [pos, end of digits); false on no digits or
+/// overflow.
+bool ParseU32(std::string_view s, std::size_t* pos, std::uint32_t* out) {
+  std::uint64_t value = 0;
+  std::size_t digits = 0;
+  while (*pos < s.size() && s[*pos] >= '0' && s[*pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(s[*pos] - '0');
+    if (value > 0xFFFFFFFFull) return false;
+    ++*pos;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+Status ParseOneDelta(std::string_view term, EdgeDelta* out) {
+  *out = EdgeDelta{};
+  std::size_t pos = 0;
+  if (term.starts_with("add:")) {
+    out->op = DeltaOp::kAddEdge;
+    pos = 4;
+  } else if (term.starts_with("del:")) {
+    out->op = DeltaOp::kRemoveEdge;
+    pos = 4;
+  } else {
+    return ParseError(term, "expected 'add:U-V' or 'del:U-V'");
+  }
+  if (!ParseU32(term, &pos, &out->u)) {
+    return ParseError(term, "expected a vertex id after the op");
+  }
+  if (pos >= term.size() || term[pos] != '-') {
+    return ParseError(term, "expected '-' between the endpoints");
+  }
+  ++pos;
+  if (!ParseU32(term, &pos, &out->v)) {
+    return ParseError(term, "expected a second vertex id");
+  }
+  if (out->u == out->v) return ParseError(term, "self-loops are not edges");
+  if (pos == term.size()) return Status::OK();
+  // Optional "@LU,LV" label-assertion suffix; "*" leaves a side unchecked.
+  if (term[pos] != '@') return ParseError(term, "trailing garbage");
+  ++pos;
+  auto parse_label = [&](LabelId* label) -> bool {
+    if (pos < term.size() && term[pos] == '*') {
+      ++pos;
+      *label = kAnyLabel;
+      return true;
+    }
+    std::uint32_t value = 0;
+    if (!ParseU32(term, &pos, &value) || value > kMaxDataLabel) return false;
+    *label = static_cast<LabelId>(value);
+    return true;
+  };
+  if (!parse_label(&out->u_label)) {
+    return ParseError(term, "expected a label (or '*') after '@'");
+  }
+  if (pos >= term.size() || term[pos] != ',') {
+    return ParseError(term, "expected ',' between the two labels");
+  }
+  ++pos;
+  if (!parse_label(&out->v_label) || pos != term.size()) {
+    return ParseError(term, "expected a second label (or '*')");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<EdgeDelta>> ParseEdgeDeltas(std::string_view text) {
+  std::vector<EdgeDelta> deltas;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    // A term ends at whitespace or at a comma — except the one comma
+    // inside an "@LU,LV" label suffix, which belongs to the term.
+    std::size_t end = start;
+    bool in_suffix = false;
+    bool suffix_comma_seen = false;
+    while (end < text.size()) {
+      const char c = text[end];
+      if (c == ' ' || c == '\t' || c == '\n') break;
+      if (c == '@') in_suffix = true;
+      if (c == ',') {
+        if (!in_suffix || suffix_comma_seen) break;
+        suffix_comma_seen = true;
+      }
+      ++end;
+    }
+    if (end > start) {
+      EdgeDelta delta;
+      DUALSIM_RETURN_IF_ERROR(
+          ParseOneDelta(text.substr(start, end - start), &delta));
+      deltas.push_back(delta);
+    }
+    start = end + 1;
+  }
+  if (deltas.empty()) {
+    return Status::InvalidArgument("no deltas in '" + std::string(text) + "'");
+  }
+  return deltas;
+}
+
+std::string FormatEdgeDelta(const EdgeDelta& delta) {
+  std::string out = std::string(DeltaOpName(delta.op)) + ":" +
+                    std::to_string(delta.u) + "-" + std::to_string(delta.v);
+  if (delta.u_label != kAnyLabel || delta.v_label != kAnyLabel) {
+    out += '@';
+    out += delta.u_label == kAnyLabel ? std::string("*")
+                                      : std::to_string(delta.u_label);
+    out += ',';
+    out += delta.v_label == kAnyLabel ? std::string("*")
+                                      : std::to_string(delta.v_label);
+  }
+  return out;
+}
+
+}  // namespace dualsim::incr

@@ -1,0 +1,105 @@
+#ifndef DUALSIM_INCR_EDGE_DELTA_LOG_H_
+#define DUALSIM_INCR_EDGE_DELTA_LOG_H_
+
+/// Append-only edge-delta log for evolving graphs (DESIGN.md §14).
+///
+/// Writers append individual edge additions/removals; Flush() folds the
+/// staged deltas into one *normalized* DeltaBatch — per vertex pair the
+/// last staged operation wins, endpoints are ordered u < v, and the batch
+/// carries a monotone sequence number. Batches are what the GraphOverlay
+/// applies and what the DeltaMatchPass re-executes against: everything
+/// downstream reasons about batch boundaries, never about raw appends.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dualsim::incr {
+
+enum class DeltaOp : std::uint8_t {
+  kAddEdge = 0,
+  kRemoveEdge = 1,
+};
+
+const char* DeltaOpName(DeltaOp op);
+
+/// One edge mutation. Endpoint labels are optional assertions (kAnyLabel =
+/// unchecked): vertices are immutable in an overlay, so a delta asserting
+/// a label the stored graph disagrees with is *stale* — the overlay counts
+/// it as ignored instead of applying it (DESIGN.md §14 invariant I3).
+struct EdgeDelta {
+  DeltaOp op = DeltaOp::kAddEdge;
+  VertexId u = 0;
+  VertexId v = 0;
+  LabelId u_label = kAnyLabel;
+  LabelId v_label = kAnyLabel;
+
+  bool operator==(const EdgeDelta&) const = default;
+};
+
+/// One flushed, normalized batch: per unordered vertex pair at most one
+/// delta (the last appended wins), endpoints ordered u < v, deltas sorted
+/// by (u, v) so application and wire encoding are deterministic.
+struct DeltaBatch {
+  std::uint64_t sequence = 0;
+  std::vector<EdgeDelta> deltas;
+
+  bool empty() const { return deltas.empty(); }
+};
+
+/// Thread-safe append-only log. Appends stage into a pending buffer;
+/// Flush() normalizes the pending buffer into the next batch and retains
+/// it in the (bounded) history so late subscribers can be told how far the
+/// view has advanced.
+class EdgeDeltaLog {
+ public:
+  /// Batches kept in history (oldest dropped first). The history is
+  /// observability, not recovery: the overlay holds the composed state.
+  static constexpr std::size_t kHistoryCapacity = 256;
+
+  void Append(const EdgeDelta& delta);
+  void Append(const std::vector<EdgeDelta>& deltas);
+
+  /// Deltas staged since the last Flush.
+  std::size_t pending() const;
+
+  /// Normalizes and drains the staged deltas into the next batch (its
+  /// sequence is last_sequence() + 1 even when empty, so an empty UPDATE
+  /// still advances the subscribers' notion of "current").
+  DeltaBatch Flush();
+
+  std::uint64_t last_sequence() const;
+
+  /// Raw deltas ever appended (before normalization).
+  std::uint64_t total_appended() const;
+
+  /// Snapshot of the retained batch history, oldest first.
+  std::vector<DeltaBatch> History() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EdgeDelta> pending_;
+  std::deque<DeltaBatch> history_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t total_appended_ = 0;
+};
+
+/// Parses the CLI/text form of a delta list: comma/space-separated terms
+/// "add:U-V" / "del:U-V", each optionally suffixed "@LU,LV" asserting the
+/// endpoint labels ("*" = unchecked). Examples:
+///   "add:3-17,del:4-9"      two unlabeled deltas
+///   "add:3-17@1,*"          add asserting label(3) == 1
+StatusOr<std::vector<EdgeDelta>> ParseEdgeDeltas(std::string_view text);
+
+/// Inverse of ParseEdgeDeltas for one delta, e.g. "add:3-17@1,*".
+std::string FormatEdgeDelta(const EdgeDelta& delta);
+
+}  // namespace dualsim::incr
+
+#endif  // DUALSIM_INCR_EDGE_DELTA_LOG_H_

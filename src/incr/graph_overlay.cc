@@ -1,0 +1,254 @@
+#include "incr/graph_overlay.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "storage/page.h"
+
+namespace dualsim::incr {
+namespace {
+
+struct OverlayMetrics {
+  obs::Counter* batches_applied;
+  obs::Counter* deltas_applied;
+  obs::Counter* deltas_ignored;
+  obs::Counter* dirty_pages;
+  obs::Counter* apply_pages_read;
+};
+
+OverlayMetrics& Metrics() {
+  static OverlayMetrics m{
+      obs::Metrics().GetCounter("incr.batches_applied"),
+      obs::Metrics().GetCounter("incr.deltas_applied"),
+      obs::Metrics().GetCounter("incr.deltas_ignored"),
+      obs::Metrics().GetCounter("incr.dirty_pages"),
+      obs::Metrics().GetCounter("incr.apply_pages_read"),
+  };
+  return m;
+}
+
+/// Inserts `w` into a sorted vector (no-op when present).
+void SortedInsert(std::vector<VertexId>* list, VertexId w) {
+  auto it = std::lower_bound(list->begin(), list->end(), w);
+  if (it == list->end() || *it != w) list->insert(it, w);
+}
+
+/// Erases `w` from a sorted vector (no-op when absent).
+void SortedErase(std::vector<VertexId>* list, VertexId w) {
+  auto it = std::lower_bound(list->begin(), list->end(), w);
+  if (it != list->end() && *it == w) list->erase(it);
+}
+
+bool SortedContains(const std::vector<VertexId>& list, VertexId w) {
+  return std::binary_search(list.begin(), list.end(), w);
+}
+
+}  // namespace
+
+Status ReadBaseAdjacency(const DiskGraph& base, BufferPool* pool, VertexId v,
+                         std::vector<VertexId>* out, PageSet* touched) {
+  out->clear();
+  if (v >= base.num_vertices()) {
+    return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                   " outside the base graph");
+  }
+  const PageId first = base.FirstPageOf(v);
+  const PageId last = base.LastPageOf(v);
+  for (PageId pid = first; pid <= last; ++pid) {
+    if (touched != nullptr) (*touched)[pid] = true;
+    const std::byte* data = nullptr;
+    DUALSIM_RETURN_IF_ERROR(pool->Pin(pid, &data));
+    PageView view(data, base.page_size());
+    const std::uint32_t records = view.NumRecords();
+    for (std::uint32_t slot = 0; slot < records; ++slot) {
+      const VertexRecord rec = view.GetRecord(slot);
+      if (rec.vertex != v) continue;
+      // Sublists arrive in page order == offset order (the builder writes
+      // them consecutively), so appending preserves global sort order.
+      out->insert(out->end(), rec.neighbors.begin(), rec.neighbors.end());
+    }
+    pool->Unpin(pid);
+  }
+  return Status::OK();
+}
+
+GraphOverlay::GraphOverlay(const DiskGraph* base) : base_(base) {}
+
+bool GraphOverlay::ComposedHasEdgeLocked(
+    VertexId u, VertexId w, const std::vector<VertexId>& base_adj) const {
+  auto it = deltas_.find(u);
+  if (it != deltas_.end()) {
+    if (SortedContains(it->second.added, w)) return true;
+    if (SortedContains(it->second.removed, w)) return false;
+  }
+  return SortedContains(base_adj, w);
+}
+
+StatusOr<GraphOverlay::ApplyResult> GraphOverlay::ApplyBatch(
+    const DeltaBatch& batch, BufferPool* pool) {
+  ApplyResult result;
+  result.sequence = batch.sequence;
+  result.dirty_pages.Resize(base_->num_pages());
+
+  // Validate before mutating: a batch naming an unknown vertex applies
+  // nothing (all-or-nothing keeps the view consistent with the log).
+  for (const EdgeDelta& d : batch.deltas) {
+    if (d.u >= num_vertices() || d.v >= num_vertices()) {
+      return Status::InvalidArgument(
+          "delta " + FormatEdgeDelta(d) + " references a vertex outside the "
+          "base graph (" + std::to_string(num_vertices()) + " vertices)");
+    }
+    if (d.u == d.v) {
+      return Status::InvalidArgument("delta " + FormatEdgeDelta(d) +
+                                     " is a self-loop");
+    }
+  }
+
+  PageSet touched;
+  // Base adjacency cache for this batch: several deltas often share an
+  // endpoint and each presence probe needs the endpoint's base list.
+  std::unordered_map<VertexId, std::vector<VertexId>> base_cache;
+  auto base_adj_of = [&](VertexId v) -> StatusOr<const std::vector<VertexId>*> {
+    auto it = base_cache.find(v);
+    if (it == base_cache.end()) {
+      std::vector<VertexId> adj;
+      DUALSIM_RETURN_IF_ERROR(
+          ReadBaseAdjacency(*base_, pool, v, &adj, &touched));
+      it = base_cache.emplace(v, std::move(adj)).first;
+    }
+    return &it->second;
+  };
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const EdgeDelta& d : batch.deltas) {
+    // I3: stale label assertions never mutate the view.
+    if (!LabelMatches(d.u_label, base_->LabelOf(d.u)) ||
+        !LabelMatches(d.v_label, base_->LabelOf(d.v))) {
+      ++result.ignored;
+      continue;
+    }
+    DUALSIM_ASSIGN_OR_RETURN(const std::vector<VertexId>* u_base,
+                             base_adj_of(d.u));
+    const bool present = ComposedHasEdgeLocked(d.u, d.v, *u_base);
+    const bool want = d.op == DeltaOp::kAddEdge;
+    if (present == want) {
+      ++result.ignored;  // I1: only presence-flipping deltas apply
+      continue;
+    }
+    const bool in_base = SortedContains(*u_base, d.v);
+    for (const auto& [x, y] : {std::pair{d.u, d.v}, std::pair{d.v, d.u}}) {
+      VertexDelta& vd = deltas_[x];
+      if (want) {
+        // Either restore a removed base edge or add a brand-new one.
+        if (in_base) SortedErase(&vd.removed, y);
+        else SortedInsert(&vd.added, y);
+      } else {
+        if (in_base) SortedInsert(&vd.removed, y);
+        else SortedErase(&vd.added, y);
+      }
+      if (vd.added.empty() && vd.removed.empty()) deltas_.erase(x);
+    }
+    if (want) ++edges_added_;
+    else ++edges_removed_;
+    result.applied.push_back(d);
+    for (VertexId endpoint : {d.u, d.v}) {
+      for (PageId pid = base_->FirstPageOf(endpoint);
+           pid <= base_->LastPageOf(endpoint); ++pid) {
+        result.dirty_pages.Set(pid);
+      }
+      result.dirty_vertices.push_back(endpoint);
+    }
+  }
+  ++batches_applied_;
+  lock.unlock();
+
+  std::sort(result.dirty_vertices.begin(), result.dirty_vertices.end());
+  result.dirty_vertices.erase(
+      std::unique(result.dirty_vertices.begin(), result.dirty_vertices.end()),
+      result.dirty_vertices.end());
+  result.pages_read = touched.size();
+
+  Metrics().batches_applied->Increment();
+  Metrics().deltas_applied->Increment(result.applied.size());
+  Metrics().deltas_ignored->Increment(result.ignored);
+  Metrics().dirty_pages->Increment(result.dirty_pages.Count());
+  Metrics().apply_pages_read->Increment(result.pages_read);
+  return result;
+}
+
+Status GraphOverlay::ComposedNeighbors(VertexId v, BufferPool* pool,
+                                       std::vector<VertexId>* out,
+                                       PageSet* touched) const {
+  std::vector<VertexId> base_adj;
+  DUALSIM_RETURN_IF_ERROR(
+      ReadBaseAdjacency(*base_, pool, v, &base_adj, touched));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = deltas_.find(v);
+  if (it == deltas_.end()) {
+    *out = std::move(base_adj);
+    return Status::OK();
+  }
+  const VertexDelta& vd = it->second;
+  std::vector<VertexId> kept;
+  kept.reserve(base_adj.size());
+  std::set_difference(base_adj.begin(), base_adj.end(), vd.removed.begin(),
+                      vd.removed.end(), std::back_inserter(kept));
+  out->clear();
+  out->reserve(kept.size() + vd.added.size());
+  std::set_union(kept.begin(), kept.end(), vd.added.begin(), vd.added.end(),
+                 std::back_inserter(*out));
+  return Status::OK();
+}
+
+Status GraphOverlay::BaseNeighbors(VertexId v, BufferPool* pool,
+                                   std::vector<VertexId>* out,
+                                   PageSet* touched) const {
+  return ReadBaseAdjacency(*base_, pool, v, out, touched);
+}
+
+GraphOverlay::VertexDelta GraphOverlay::DeltaOf(VertexId v) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = deltas_.find(v);
+  return it == deltas_.end() ? VertexDelta{} : it->second;
+}
+
+bool GraphOverlay::dirty() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return edges_added_ > 0 || edges_removed_ > 0;
+}
+
+std::uint64_t GraphOverlay::batches_applied() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return batches_applied_;
+}
+
+std::uint64_t GraphOverlay::edges_added() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return edges_added_;
+}
+
+std::uint64_t GraphOverlay::edges_removed() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return edges_removed_;
+}
+
+StatusOr<Graph> GraphOverlay::Materialize(BufferPool* pool) const {
+  const std::uint32_t n = num_vertices();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  std::vector<VertexId> neighbors;
+  std::vector<VertexId> adj;
+  for (VertexId v = 0; v < n; ++v) {
+    DUALSIM_RETURN_IF_ERROR(ComposedNeighbors(v, pool, &adj));
+    neighbors.insert(neighbors.end(), adj.begin(), adj.end());
+    offsets[v + 1] = static_cast<EdgeId>(neighbors.size());
+  }
+  Graph g(std::move(offsets), std::move(neighbors));
+  if (base_->HasLabels()) {
+    g.SetLabels({base_->Labels().begin(), base_->Labels().end()});
+  }
+  return g;
+}
+
+}  // namespace dualsim::incr

@@ -1,0 +1,134 @@
+#ifndef DUALSIM_INCR_GRAPH_OVERLAY_H_
+#define DUALSIM_INCR_GRAPH_OVERLAY_H_
+
+/// In-memory delta overlay over an immutable DiskGraph (DESIGN.md §14).
+///
+/// The on-disk slotted pages never change; the overlay holds, per touched
+/// vertex, the sorted sets of neighbors added to and removed from its base
+/// adjacency list. The *composed view* is
+///
+///   adj(v) = (base_adj(v) − removed(v)) ∪ added(v)
+///
+/// served behind the same sorted-ascending contract as the base graph, so
+/// enumeration code works unchanged on either view. Invariants (checked by
+/// ApplyBatch, asserted by the tests):
+///   I1  added(v) ∩ base_adj(v) = ∅ and removed(v) ⊆ base_adj(v) — a
+///       delta that would not change the composed view is *ignored*, so
+///       every applied delta flips exactly one edge's presence.
+///   I2  symmetric: w ∈ added(v) ⇔ v ∈ added(w) (same for removed).
+///   I3  labels are immutable: a delta whose label assertion disagrees
+///       with the stored label is ignored as stale.
+///
+/// Each applied batch also reports its *dirty pages* — the full base page
+/// span [FirstPageOf(x), LastPageOf(x)] of both endpoints of every applied
+/// delta — which is what the DeltaMatchPass intersects with enumeration
+/// windows to decide what to re-run.
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "incr/edge_delta_log.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "util/bitmap.h"
+#include "util/status.h"
+
+namespace dualsim::incr {
+
+/// Distinct base pages touched by one overlay operation (accounting for
+/// the paper's I/O cost model: incremental wins are measured in pages).
+using PageSet = std::unordered_map<PageId, bool>;
+
+class GraphOverlay {
+ public:
+  /// `base` must outlive the overlay.
+  explicit GraphOverlay(const DiskGraph* base);
+
+  const DiskGraph* base() const { return base_; }
+  std::uint32_t num_vertices() const { return base_->num_vertices(); }
+  LabelId LabelOf(VertexId v) const { return base_->LabelOf(v); }
+
+  /// Per-vertex overlay adjustment (both lists sorted ascending). Empty
+  /// lists for untouched vertices.
+  struct VertexDelta {
+    std::vector<VertexId> added;
+    std::vector<VertexId> removed;
+  };
+
+  /// Outcome of applying one batch.
+  struct ApplyResult {
+    std::uint64_t sequence = 0;
+    /// Deltas that changed the composed view (subset of the batch, still
+    /// normalized/sorted). The DeltaMatchPass un-applies exactly these to
+    /// reconstruct the pre-batch view.
+    std::vector<EdgeDelta> applied;
+    /// No-op adds/removes and stale label assertions.
+    std::uint64_t ignored = 0;
+    /// Base pages whose resident adjacency the batch touched.
+    Bitmap dirty_pages;
+    /// Sorted distinct endpoints of the applied deltas.
+    std::vector<VertexId> dirty_vertices;
+    /// Distinct base pages consulted while normalizing the batch.
+    std::uint64_t pages_read = 0;
+  };
+
+  /// Applies a flushed batch to the composed view. Reads base pages
+  /// through `pool` to classify each delta as effective or no-op.
+  /// InvalidArgument when a delta references a vertex outside the base
+  /// graph (nothing is applied in that case).
+  StatusOr<ApplyResult> ApplyBatch(const DeltaBatch& batch, BufferPool* pool);
+
+  /// Composed adjacency of `v`, sorted ascending. Base pages pinned
+  /// through `pool`; their ids are recorded into `touched` when non-null.
+  Status ComposedNeighbors(VertexId v, BufferPool* pool,
+                           std::vector<VertexId>* out,
+                           PageSet* touched = nullptr) const;
+
+  /// Raw base adjacency of `v` (no overlay), same page accounting.
+  Status BaseNeighbors(VertexId v, BufferPool* pool,
+                       std::vector<VertexId>* out,
+                       PageSet* touched = nullptr) const;
+
+  /// Copy of the overlay adjustment for `v` (empty when untouched).
+  VertexDelta DeltaOf(VertexId v) const;
+
+  /// True once any batch changed the composed view.
+  bool dirty() const;
+
+  std::uint64_t batches_applied() const;
+  std::uint64_t edges_added() const;
+  std::uint64_t edges_removed() const;
+
+  /// Full composed view as an in-memory Graph (labels copied from the
+  /// base). O(file size); for tests, the evolving-graph example, and
+  /// differential oracles — never on the serving path.
+  StatusOr<Graph> Materialize(BufferPool* pool) const;
+
+ private:
+  /// Requires mu_ held (shared is enough). True when {u, w} is present in
+  /// the composed view given u's base adjacency.
+  bool ComposedHasEdgeLocked(VertexId u, VertexId w,
+                             const std::vector<VertexId>& base_adj) const;
+
+  const DiskGraph* base_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<VertexId, VertexDelta> deltas_;
+  std::uint64_t batches_applied_ = 0;
+  std::uint64_t edges_added_ = 0;
+  std::uint64_t edges_removed_ = 0;
+};
+
+/// Reads the full base adjacency of `v` by pinning its page span through
+/// `pool` and stitching sublist records (storage/page.h). Shared by the
+/// overlay and the DeltaMatchPass.
+Status ReadBaseAdjacency(const DiskGraph& base, BufferPool* pool, VertexId v,
+                         std::vector<VertexId>* out,
+                         PageSet* touched = nullptr);
+
+}  // namespace dualsim::incr
+
+#endif  // DUALSIM_INCR_GRAPH_OVERLAY_H_

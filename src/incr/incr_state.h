@@ -1,0 +1,26 @@
+#ifndef DUALSIM_INCR_INCR_STATE_H_
+#define DUALSIM_INCR_INCR_STATE_H_
+
+#include <memory>
+#include <mutex>
+
+#include "incr/edge_delta_log.h"
+#include "incr/graph_overlay.h"
+
+namespace dualsim::incr {
+
+/// Shared evolving-graph state owned by a Runtime and used by the service:
+/// the append-only delta log plus the overlay composing its flushed
+/// batches over the base DiskGraph. `mu` serializes the update pipeline
+/// (flush → apply → notify) with initial subscription runs, so a new
+/// subscriber either sees a batch in its initial results or receives its
+/// diff — never neither, never both (DESIGN.md §14).
+struct IncrState {
+  std::mutex mu;
+  EdgeDeltaLog log;
+  std::unique_ptr<GraphOverlay> overlay;
+};
+
+}  // namespace dualsim::incr
+
+#endif  // DUALSIM_INCR_INCR_STATE_H_

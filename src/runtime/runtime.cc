@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "incr/incr_state.h"
 #include "obs/metrics.h"
 
 namespace dualsim {
@@ -132,6 +133,14 @@ Runtime::~Runtime() {
 std::size_t Runtime::num_frames() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pool_frames_;
+}
+
+incr::IncrState& Runtime::incr_state() {
+  std::call_once(incr_once_, [this] {
+    incr_state_ = std::make_unique<incr::IncrState>();
+    incr_state_->overlay = std::make_unique<incr::GraphOverlay>(disk_);
+  });
+  return *incr_state_;
 }
 
 Runtime::FrameLease& Runtime::FrameLease::operator=(

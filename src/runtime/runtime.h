@@ -15,6 +15,10 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace dualsim::incr {
+struct IncrState;
+}  // namespace dualsim::incr
+
 namespace dualsim {
 
 /// Configuration of the shared execution substrate (resource knobs only;
@@ -147,6 +151,12 @@ class Runtime {
 
   RuntimeStats stats() const;
 
+  /// Evolving-graph state (delta log + overlay over disk()), created
+  /// lazily on first use and shared by every connection of a service. One
+  /// instance per runtime: its mutex is the serialization point for the
+  /// update pipeline (incr/incr_state.h).
+  incr::IncrState& incr_state();
+
  private:
   /// Replaces the buffer pool with one of >= `min_frames` frames.
   /// Requires the admission lock held and no active sessions.
@@ -174,6 +184,9 @@ class Runtime {
   std::size_t active_sessions_ = 0;
   std::uint64_t sessions_completed_ = 0;
   IoStats retired_io_;  // stats of replaced pools
+
+  std::once_flag incr_once_;
+  std::unique_ptr<incr::IncrState> incr_state_;
 };
 
 }  // namespace dualsim

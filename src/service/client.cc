@@ -62,6 +62,7 @@ void QueryClient::Close() {
     fd_ = -1;
   }
   inflight_id_ = 0;
+  pending_events_.clear();
 }
 
 Status QueryClient::Send(FrameType type, std::string_view payload) {
@@ -241,6 +242,248 @@ Status QueryClient::Shutdown() {
                             " awaiting SHUTDOWN_ACK");
   }
   return Status::OK();
+}
+
+StatusOr<SubscribeResult> QueryClient::Subscribe(
+    const std::string& query, bool initial_embeddings,
+    const std::function<void(const std::vector<VertexId>&)>& on_embedding) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is already in flight");
+  }
+  SubscribeRequest req;
+  req.request_id = next_request_id_++;
+  req.initial_embeddings = initial_embeddings;
+  req.query = query;
+  DUALSIM_RETURN_IF_ERROR(Send(FrameType::kSubscribe, EncodeSubscribe(req)));
+
+  SubscribeResult result;
+  result.subscription_id = req.request_id;
+  std::vector<VertexId> mapping;
+  bool accepted = false;
+  for (;;) {
+    DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kAccepted: {
+        std::uint64_t id = 0;
+        DUALSIM_RETURN_IF_ERROR(DecodeAccepted(frame.payload, &id));
+        if (id != req.request_id) {
+          return Status::Internal("ACCEPTED for unexpected request id " +
+                                  std::to_string(id));
+        }
+        accepted = true;
+        break;
+      }
+      case FrameType::kRejected:
+      case FrameType::kError: {
+        RejectFrame reject;
+        DUALSIM_RETURN_IF_ERROR(DecodeReject(frame.payload, &reject));
+        return StatusForReject(reject);
+      }
+      case FrameType::kEmbeddings: {
+        EmbeddingBatch batch;
+        DUALSIM_RETURN_IF_ERROR(DecodeEmbeddings(frame.payload, &batch));
+        if (batch.arity == 0) {
+          return Status::Internal("EMBEDDINGS batch with arity 0");
+        }
+        result.streamed_embeddings += batch.vertices.size() / batch.arity;
+        if (on_embedding) {
+          for (std::size_t i = 0; i + batch.arity <= batch.vertices.size();
+               i += batch.arity) {
+            mapping.assign(batch.vertices.begin() + static_cast<long>(i),
+                           batch.vertices.begin() +
+                               static_cast<long>(i + batch.arity));
+            on_embedding(mapping);
+          }
+        }
+        break;
+      }
+      case FrameType::kProgress: {
+        // The go-live marker: the subscription's initial count.
+        ProgressFrame progress;
+        DUALSIM_RETURN_IF_ERROR(DecodeProgress(frame.payload, &progress));
+        if (progress.request_id != req.request_id) {
+          return Status::Internal("PROGRESS for unexpected request id " +
+                                  std::to_string(progress.request_id));
+        }
+        result.initial_count = progress.embeddings;
+        return result;
+      }
+      case FrameType::kResult: {
+        ResultFrame res;
+        DUALSIM_RETURN_IF_ERROR(DecodeResult(frame.payload, &res));
+        if (res.request_id != req.request_id) {
+          // A terminal for an older subscription on this connection;
+          // deliver it through NextEvent().
+          pending_events_.push_back(std::move(frame));
+          break;
+        }
+        // Admitted but the initial run failed; surface the typed code.
+        return StatusForReject({res.request_id, res.code, res.message});
+      }
+      case FrameType::kDelta:
+        // A push for an older subscription racing this registration.
+        pending_events_.push_back(std::move(frame));
+        break;
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(frame.type) + (accepted
+                                    ? " awaiting subscription go-live"
+                                    : " awaiting subscription admission"));
+    }
+  }
+}
+
+StatusOr<UpdateAck> QueryClient::Update(
+    const std::vector<incr::EdgeDelta>& deltas) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is already in flight");
+  }
+  UpdateRequest req;
+  req.request_id = next_request_id_++;
+  req.deltas = deltas;
+  DUALSIM_RETURN_IF_ERROR(Send(FrameType::kUpdate, EncodeUpdate(req)));
+  for (;;) {
+    DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kUpdateAck: {
+        UpdateAck ack;
+        DUALSIM_RETURN_IF_ERROR(DecodeUpdateAck(frame.payload, &ack));
+        if (ack.request_id != req.request_id) {
+          return Status::Internal("UPDATE_ACK for unexpected request id " +
+                                  std::to_string(ack.request_id));
+        }
+        return ack;
+      }
+      case FrameType::kError: {
+        RejectFrame reject;
+        DUALSIM_RETURN_IF_ERROR(DecodeReject(frame.payload, &reject));
+        return StatusForReject(reject);
+      }
+      case FrameType::kDelta:
+      case FrameType::kResult:
+        // Pushes for this connection's own subscriptions land before the
+        // ack; keep them for NextEvent().
+        pending_events_.push_back(std::move(frame));
+        break;
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(frame.type) +
+                                " awaiting UPDATE_ACK");
+    }
+  }
+}
+
+StatusOr<std::uint64_t> QueryClient::Unsubscribe(
+    std::uint64_t subscription_id) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (inflight_id_ != 0) {
+    return Status::FailedPrecondition("a request is already in flight");
+  }
+  // The terminal may already be queued (the service ended the
+  // subscription before the UNSUBSCRIBE landed).
+  for (auto it = pending_events_.begin(); it != pending_events_.end(); ++it) {
+    if (it->type != FrameType::kResult) continue;
+    ResultFrame res;
+    DUALSIM_RETURN_IF_ERROR(DecodeResult(it->payload, &res));
+    if (res.request_id != subscription_id) continue;
+    pending_events_.erase(it);
+    return res.embeddings;
+  }
+  DUALSIM_RETURN_IF_ERROR(
+      Send(FrameType::kUnsubscribe, EncodeUnsubscribe(subscription_id)));
+  for (;;) {
+    DUALSIM_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kResult: {
+        ResultFrame res;
+        DUALSIM_RETURN_IF_ERROR(DecodeResult(frame.payload, &res));
+        if (res.request_id != subscription_id) {
+          pending_events_.push_back(std::move(frame));
+          break;
+        }
+        return res.embeddings;  // delta chains pushed over the lifetime
+      }
+      case FrameType::kError: {
+        RejectFrame reject;
+        DUALSIM_RETURN_IF_ERROR(DecodeReject(frame.payload, &reject));
+        return StatusForReject(reject);
+      }
+      case FrameType::kDelta:
+        pending_events_.push_back(std::move(frame));
+        break;
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(frame.type) +
+                                " awaiting UNSUBSCRIBE result");
+    }
+  }
+}
+
+StatusOr<Frame> QueryClient::NextSubscriptionFrame() {
+  if (!pending_events_.empty()) {
+    Frame frame = std::move(pending_events_.front());
+    pending_events_.pop_front();
+    return frame;
+  }
+  return ReadFrame(fd_);
+}
+
+StatusOr<SubscriptionEvent> QueryClient::NextEvent() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  SubscriptionEvent event;
+  bool in_chain = false;
+  for (;;) {
+    DUALSIM_ASSIGN_OR_RETURN(Frame frame, NextSubscriptionFrame());
+    switch (frame.type) {
+      case FrameType::kDelta: {
+        DeltaFrame delta;
+        DUALSIM_RETURN_IF_ERROR(DecodeDelta(frame.payload, &delta));
+        if (!in_chain) {
+          in_chain = true;
+          event.subscription_id = delta.request_id;
+          event.sequence = delta.sequence;
+          event.arity = delta.arity;
+        } else if (delta.request_id != event.subscription_id ||
+                   delta.sequence != event.sequence) {
+          return Status::Internal("interleaved DELTA chains (ids " +
+                                  std::to_string(event.subscription_id) +
+                                  " and " + std::to_string(delta.request_id) +
+                                  ")");
+        }
+        event.added.insert(event.added.end(), delta.added.begin(),
+                           delta.added.end());
+        event.retracted.insert(event.retracted.end(), delta.retracted.begin(),
+                               delta.retracted.end());
+        if ((delta.flags & kDeltaFlagFinal) != 0) {
+          // Re-execution stats ride the final chunk only.
+          event.windows_rerun = delta.windows_rerun;
+          event.windows_skipped = delta.windows_skipped;
+          event.pages_read = delta.pages_read;
+          return event;
+        }
+        break;
+      }
+      case FrameType::kResult: {
+        if (in_chain) {
+          return Status::Internal("RESULT inside a DELTA chain");
+        }
+        ResultFrame res;
+        DUALSIM_RETURN_IF_ERROR(DecodeResult(frame.payload, &res));
+        event.subscription_id = res.request_id;
+        event.ended = true;
+        event.end_code = res.code;
+        event.end_message = res.message;
+        event.diffs_pushed = res.embeddings;
+        return event;
+      }
+      default:
+        return Status::Internal(std::string("unexpected frame ") +
+                                FrameTypeName(frame.type) +
+                                " awaiting subscription event");
+    }
+  }
 }
 
 }  // namespace dualsim::service

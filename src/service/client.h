@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -50,6 +51,41 @@ struct ClientResult {
   /// frame preceding a RESULT with code kPartialResult): which partitions
   /// failed and what the surviving workers contributed.
   std::optional<PartialResultFrame> partial = std::nullopt;
+};
+
+/// Outcome of a successful Subscribe(): the subscription is live and the
+/// service will push one DELTA chain per applied UPDATE batch.
+struct SubscribeResult {
+  std::uint64_t subscription_id = 0;
+  /// Embeddings of the query in the composed view at registration time
+  /// (the PROGRESS go-live marker's count).
+  std::uint64_t initial_count = 0;
+  /// Initial embeddings streamed before go-live (only when requested).
+  std::uint64_t streamed_embeddings = 0;
+};
+
+/// One push from the service to a subscriber: either a complete embedding
+/// diff for one update batch (a DELTA chain re-assembled across chunks),
+/// or the subscription's terminal RESULT (`ended`).
+struct SubscriptionEvent {
+  std::uint64_t subscription_id = 0;
+  bool ended = false;
+
+  // Diff payload (ended == false). Vertex lists are arity-strided
+  // flattened embeddings, like EMBEDDINGS batches.
+  std::uint64_t sequence = 0;
+  std::uint8_t arity = 0;
+  std::vector<VertexId> added;
+  std::vector<VertexId> retracted;
+  std::uint64_t windows_rerun = 0;
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t pages_read = 0;
+
+  // Terminal payload (ended == true): why the service closed the
+  // subscription, and how many diffs it pushed over its lifetime.
+  WireCode end_code = WireCode::kOk;
+  std::string end_message;
+  std::uint64_t diffs_pushed = 0;
 };
 
 class QueryClient {
@@ -110,8 +146,42 @@ class QueryClient {
   /// SHUTDOWN_ACK confirming the drain completed.
   Status Shutdown();
 
+  /// Registers a continuous query and blocks through admission and the
+  /// initial run: a REJECTED becomes a typed error (as in Submit), an
+  /// initial-run failure surfaces its terminal RESULT as an error, and
+  /// success returns at the PROGRESS go-live marker. When
+  /// `initial_embeddings` is set, each initial embedding is streamed
+  /// through `on_embedding` before go-live. One connection may hold
+  /// several subscriptions; deltas arrive through NextEvent().
+  StatusOr<SubscribeResult> Subscribe(
+      const std::string& query, bool initial_embeddings = false,
+      const std::function<void(const std::vector<VertexId>& mapping)>&
+          on_embedding = {});
+
+  /// Sends one edge-delta batch and blocks for the UPDATE_ACK. DELTA
+  /// pushes for this connection's own subscriptions that land first are
+  /// queued for NextEvent(), so updating and subscribing on the same
+  /// connection is safe.
+  StatusOr<UpdateAck> Update(const std::vector<incr::EdgeDelta>& deltas);
+
+  /// Ends one subscription and blocks for its terminal RESULT; returns
+  /// the number of delta chains the service pushed over its lifetime.
+  /// In-flight DELTA chains that arrive first are queued for NextEvent().
+  /// Call only for a live subscription id returned by Subscribe().
+  StatusOr<std::uint64_t> Unsubscribe(std::uint64_t subscription_id);
+
+  /// Blocks for the next subscription push: a complete re-assembled DELTA
+  /// chain, or a terminal RESULT (`ended` set) when the service closes a
+  /// subscription (drain, re-execution failure). Drains frames queued by
+  /// Update()/Unsubscribe() before touching the socket.
+  StatusOr<SubscriptionEvent> NextEvent();
+
  private:
   Status Send(FrameType type, std::string_view payload);
+
+  /// Next frame for the subscription machinery: queued first, socket
+  /// second.
+  StatusOr<Frame> NextSubscriptionFrame();
 
   int fd_ = -1;
   std::mutex write_mu_;
@@ -119,6 +189,9 @@ class QueryClient {
   /// 0 = no request in flight. Atomic because Cancel()/Abort() read it
   /// from another thread while Await() owns the request lifecycle.
   std::atomic<std::uint64_t> inflight_id_{0};
+  /// DELTA / terminal RESULT frames that arrived while a different reply
+  /// was awaited (Update, Unsubscribe, Subscribe); drained by NextEvent().
+  std::deque<Frame> pending_events_;
 };
 
 }  // namespace dualsim::service

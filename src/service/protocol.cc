@@ -102,6 +102,7 @@ Status Truncated(const char* what) {
 }
 
 constexpr std::uint8_t kFlagStreamEmbeddings = 0x1;
+constexpr std::uint8_t kFlagInitialEmbeddings = 0x1;
 
 }  // namespace
 
@@ -112,6 +113,9 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kStatus: return "STATUS";
     case FrameType::kShutdown: return "SHUTDOWN";
     case FrameType::kWorkerHello: return "WORKER_HELLO";
+    case FrameType::kSubscribe: return "SUBSCRIBE";
+    case FrameType::kUpdate: return "UPDATE";
+    case FrameType::kUnsubscribe: return "UNSUBSCRIBE";
     case FrameType::kAccepted: return "ACCEPTED";
     case FrameType::kRejected: return "REJECTED";
     case FrameType::kProgress: return "PROGRESS";
@@ -122,6 +126,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kError: return "ERROR";
     case FrameType::kWorkerHelloAck: return "WORKER_HELLO_ACK";
     case FrameType::kPartialResult: return "PARTIAL_RESULT";
+    case FrameType::kDelta: return "DELTA";
+    case FrameType::kUpdateAck: return "UPDATE_ACK";
   }
   return "UNKNOWN";
 }
@@ -347,6 +353,12 @@ std::string EncodeStatusInfo(const StatusInfo& info) {
   w.U32(info.queue_depth);
   w.U32(info.active_requests);
   w.U8(info.draining ? 1 : 0);
+  // Pre-SUBSCRIBE payloads end at the draining byte; the continuous-query
+  // counters are a fixed-width suffix the decoder selects by Remaining(),
+  // like SUBMIT's versioned tail.
+  w.U32(info.subscriptions_active);
+  w.U64(info.updates_received);
+  w.U64(info.delta_frames_sent);
   return std::move(w).Take();
 }
 
@@ -365,8 +377,162 @@ Status DecodeStatusInfo(std::string_view payload, StatusInfo* out) {
   r.U32(&out->queue_depth);
   r.U32(&out->active_requests);
   r.U8(&draining);
+  out->subscriptions_active = 0;
+  out->updates_received = 0;
+  out->delta_frames_sent = 0;
+  switch (r.Remaining()) {
+    case 0:  // legacy server, no continuous-query suffix
+      break;
+    case 20:  // 4 + 8 + 8
+      r.U32(&out->subscriptions_active);
+      r.U64(&out->updates_received);
+      r.U64(&out->delta_frames_sent);
+      break;
+    default:
+      return Truncated("STATUS_INFO");
+  }
   if (!r.Done()) return Truncated("STATUS_INFO");
   out->draining = draining != 0;
+  return Status::OK();
+}
+
+std::string EncodeSubscribe(const SubscribeRequest& req) {
+  WireWriter w;
+  w.U64(req.request_id);
+  w.U8(req.initial_embeddings ? kFlagInitialEmbeddings : 0);
+  w.Str(req.query);
+  return std::move(w).Take();
+}
+
+Status DecodeSubscribe(std::string_view payload, SubscribeRequest* out) {
+  WireReader r(payload);
+  std::uint8_t flags = 0;
+  r.U64(&out->request_id);
+  r.U8(&flags);
+  r.Str(&out->query);
+  if (!r.Done()) return Truncated("SUBSCRIBE");
+  out->initial_embeddings = (flags & kFlagInitialEmbeddings) != 0;
+  return Status::OK();
+}
+
+std::string EncodeUpdate(const UpdateRequest& req) {
+  WireWriter w;
+  w.U64(req.request_id);
+  w.U32(static_cast<std::uint32_t>(req.deltas.size()));
+  for (const incr::EdgeDelta& d : req.deltas) {
+    w.U8(static_cast<std::uint8_t>(d.op));
+    w.U32(d.u);
+    w.U32(d.v);
+    w.U16(d.u_label);
+    w.U16(d.v_label);
+  }
+  return std::move(w).Take();
+}
+
+Status DecodeUpdate(std::string_view payload, UpdateRequest* out) {
+  WireReader r(payload);
+  std::uint32_t count = 0;
+  r.U64(&out->request_id);
+  if (!r.U32(&count) || count > kMaxFramePayload / kWireDeltaBytes) {
+    return Truncated("UPDATE");
+  }
+  out->deltas.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    incr::EdgeDelta& d = out->deltas[i];
+    std::uint8_t op = 0;
+    r.U8(&op);
+    r.U32(&d.u);
+    r.U32(&d.v);
+    r.U16(&d.u_label);
+    r.U16(&d.v_label);
+    if (op > static_cast<std::uint8_t>(incr::DeltaOp::kRemoveEdge) ||
+        d.u == d.v) {
+      return Truncated("UPDATE");
+    }
+    d.op = static_cast<incr::DeltaOp>(op);
+  }
+  if (!r.Done()) return Truncated("UPDATE");
+  return Status::OK();
+}
+
+std::string EncodeUnsubscribe(std::uint64_t request_id) {
+  WireWriter w;
+  w.U64(request_id);
+  return std::move(w).Take();
+}
+
+Status DecodeUnsubscribe(std::string_view payload,
+                         std::uint64_t* request_id) {
+  WireReader r(payload);
+  r.U64(request_id);
+  if (!r.Done()) return Truncated("UNSUBSCRIBE");
+  return Status::OK();
+}
+
+std::string EncodeDelta(const DeltaFrame& frame) {
+  WireWriter w;
+  w.U64(frame.request_id);
+  w.U64(frame.sequence);
+  w.U8(frame.arity);
+  w.U8(frame.flags);
+  w.U32(static_cast<std::uint32_t>(frame.added.size()));
+  for (VertexId v : frame.added) w.U32(v);
+  w.U32(static_cast<std::uint32_t>(frame.retracted.size()));
+  for (VertexId v : frame.retracted) w.U32(v);
+  w.U64(frame.windows_rerun);
+  w.U64(frame.windows_skipped);
+  w.U64(frame.pages_read);
+  return std::move(w).Take();
+}
+
+Status DecodeDelta(std::string_view payload, DeltaFrame* out) {
+  WireReader r(payload);
+  r.U64(&out->request_id);
+  r.U64(&out->sequence);
+  r.U8(&out->arity);
+  r.U8(&out->flags);
+  for (std::vector<VertexId>* list : {&out->added, &out->retracted}) {
+    std::uint32_t count = 0;
+    if (!r.U32(&count) || count > kMaxFramePayload / 4 ||
+        (out->arity != 0 && count % out->arity != 0)) {
+      return Truncated("DELTA");
+    }
+    list->resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) r.U32(&(*list)[i]);
+  }
+  r.U64(&out->windows_rerun);
+  r.U64(&out->windows_skipped);
+  r.U64(&out->pages_read);
+  if (!r.Done()) return Truncated("DELTA");
+  return Status::OK();
+}
+
+std::string EncodeUpdateAck(const UpdateAck& ack) {
+  WireWriter w;
+  w.U64(ack.request_id);
+  w.U64(ack.sequence);
+  w.U32(ack.applied);
+  w.U32(ack.ignored);
+  w.U64(ack.dirty_pages);
+  w.U64(ack.windows_rerun);
+  w.U64(ack.windows_skipped);
+  w.U64(ack.pages_read);
+  w.U32(ack.subscriptions_notified);
+  return std::move(w).Take();
+}
+
+Status DecodeUpdateAck(std::string_view payload, UpdateAck* out) {
+  WireReader r(payload);
+  r.U64(&out->request_id);
+  r.U64(&out->sequence);
+  r.U32(&out->applied);
+  r.U32(&out->ignored);
+  r.U64(&out->dirty_pages);
+  r.U64(&out->windows_rerun);
+  r.U64(&out->windows_skipped);
+  r.U64(&out->pages_read);
+  r.U32(&out->subscriptions_notified);
+  if (!r.Done()) return Truncated("UPDATE_ACK");
   return Status::OK();
 }
 

@@ -9,9 +9,11 @@
 /// prefix plus raw bytes. A frame whose declared length exceeds
 /// kMaxFramePayload is a protocol violation and closes the connection.
 ///
-/// Client -> server: SUBMIT, CANCEL, STATUS, SHUTDOWN, WORKER_HELLO.
+/// Client -> server: SUBMIT, CANCEL, STATUS, SHUTDOWN, WORKER_HELLO,
+/// SUBSCRIBE, UPDATE, UNSUBSCRIBE.
 /// Server -> client: ACCEPTED, REJECTED, PROGRESS, EMBEDDINGS, RESULT,
-/// STATUS_INFO, SHUTDOWN_ACK, ERROR, WORKER_HELLO_ACK, PARTIAL_RESULT.
+/// STATUS_INFO, SHUTDOWN_ACK, ERROR, WORKER_HELLO_ACK, PARTIAL_RESULT,
+/// DELTA, UPDATE_ACK.
 ///
 /// One SUBMIT produces exactly one terminal frame for its request id —
 /// REJECTED (never admitted) or RESULT (admitted; carries a WireCode) —
@@ -20,6 +22,16 @@
 /// PARTIAL_RESULT frame immediately before a RESULT whose code is
 /// kPartialResult. Request ids are chosen by the client and scoped to its
 /// connection.
+///
+/// Continuous queries (DESIGN.md §14): one SUBSCRIBE produces one ACCEPTED
+/// or REJECTED, the initial results (EMBEDDINGS batches when requested,
+/// then one PROGRESS carrying the initial count as the go-live marker),
+/// any number of DELTA frames — one chain per applied update batch, chunked
+/// under the frame cap with kDeltaFlagFinal on the last chunk — and exactly
+/// one terminal RESULT (UNSUBSCRIBE -> OK, drain -> SHUTTING_DOWN). UPDATE
+/// applies an edge-delta batch to the served graph's overlay and is
+/// answered by one UPDATE_ACK (or ERROR) after every live subscription's
+/// DELTA chain for that batch has been sent.
 ///
 /// WORKER_HELLO / WORKER_HELLO_ACK is the coordinator -> worker handshake
 /// (DESIGN.md §13): the coordinator states its hello version and the graph
@@ -34,6 +46,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "incr/edge_delta_log.h"
 #include "util/status.h"
 
 namespace dualsim::service {
@@ -48,6 +61,9 @@ enum class FrameType : std::uint8_t {
   kStatus = 0x03,
   kShutdown = 0x04,
   kWorkerHello = 0x05,
+  kSubscribe = 0x06,
+  kUpdate = 0x07,
+  kUnsubscribe = 0x08,
   // Server -> client.
   kAccepted = 0x81,
   kRejected = 0x82,
@@ -59,6 +75,8 @@ enum class FrameType : std::uint8_t {
   kError = 0x88,
   kWorkerHelloAck = 0x89,
   kPartialResult = 0x8A,
+  kDelta = 0x8B,
+  kUpdateAck = 0x8C,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -171,6 +189,12 @@ struct StatusInfo {
   std::uint32_t queue_depth = 0;
   std::uint32_t active_requests = 0;
   bool draining = false;
+  /// Continuous-query suffix (absent on pre-SUBSCRIBE payloads, which end
+  /// at the draining byte; the decoder discriminates by the exact suffix
+  /// width, like SUBMIT's version byte).
+  std::uint32_t subscriptions_active = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t delta_frames_sent = 0;
 };
 
 std::string EncodeSubmit(const SubmitRequest& req);
@@ -196,6 +220,77 @@ Status DecodeResult(std::string_view payload, ResultFrame* out);
 
 std::string EncodeStatusInfo(const StatusInfo& info);
 Status DecodeStatusInfo(std::string_view payload, StatusInfo* out);
+
+/// SUBSCRIBE payload: register a continuous query. The server runs it
+/// once against the current composed view (streaming EMBEDDINGS batches
+/// when `initial_embeddings` is set), marks the go-live boundary with a
+/// PROGRESS frame carrying the initial count, then pushes one DELTA chain
+/// per applied UPDATE batch until UNSUBSCRIBE or drain.
+struct SubscribeRequest {
+  std::uint64_t request_id = 0;
+  bool initial_embeddings = false;
+  std::string query;  // query/parser.h text form (labels ok)
+};
+
+/// UPDATE payload: one edge-delta batch for the served graph. Deltas are
+/// applied atomically as one batch (last-writer-wins per vertex pair) and
+/// fan out to every live subscription before the UPDATE_ACK.
+struct UpdateRequest {
+  std::uint64_t request_id = 0;
+  std::vector<incr::EdgeDelta> deltas;
+};
+
+/// Bytes one EdgeDelta occupies on the wire (op u8 + 2 vertex u32 +
+/// 2 label u16); bounds the per-frame delta count.
+inline constexpr std::size_t kWireDeltaBytes = 13;
+
+/// DELTA flags (u8 bitmask).
+inline constexpr std::uint8_t kDeltaFlagFinal = 0x1;
+
+/// DELTA payload: the embedding diff one applied batch produced for one
+/// subscription. Large diffs are chunked into several DELTA frames (all
+/// but the last with kDeltaFlagFinal clear); the re-execution stats ride
+/// on the final chunk only.
+struct DeltaFrame {
+  std::uint64_t request_id = 0;  // the subscription's id
+  std::uint64_t sequence = 0;    // batch sequence (EdgeDeltaLog)
+  std::uint8_t arity = 0;
+  std::uint8_t flags = kDeltaFlagFinal;
+  std::vector<VertexId> added;      // size % arity == 0
+  std::vector<VertexId> retracted;  // size % arity == 0
+  std::uint64_t windows_rerun = 0;
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t pages_read = 0;
+};
+
+/// UPDATE_ACK payload: what one UPDATE batch did to the served view and
+/// its subscribers.
+struct UpdateAck {
+  std::uint64_t request_id = 0;
+  std::uint64_t sequence = 0;
+  std::uint32_t applied = 0;  // deltas that flipped an edge's presence
+  std::uint32_t ignored = 0;  // no-ops and stale label assertions
+  std::uint64_t dirty_pages = 0;
+  std::uint64_t windows_rerun = 0;    // summed over notified subscriptions
+  std::uint64_t windows_skipped = 0;
+  std::uint64_t pages_read = 0;
+  std::uint32_t subscriptions_notified = 0;
+};
+
+std::string EncodeSubscribe(const SubscribeRequest& req);
+Status DecodeSubscribe(std::string_view payload, SubscribeRequest* out);
+
+std::string EncodeUpdate(const UpdateRequest& req);
+Status DecodeUpdate(std::string_view payload, UpdateRequest* out);
+
+std::string EncodeUnsubscribe(std::uint64_t request_id);
+Status DecodeUnsubscribe(std::string_view payload, std::uint64_t* request_id);
+
+std::string EncodeDelta(const DeltaFrame& frame);
+Status DecodeDelta(std::string_view payload, DeltaFrame* out);
+
+std::string EncodeUpdateAck(const UpdateAck& ack);
+Status DecodeUpdateAck(std::string_view payload, UpdateAck* out);
 
 /// Version of the WORKER_HELLO handshake this build speaks. The hello
 /// carries its version first, so — like the SUBMIT trailing byte — a

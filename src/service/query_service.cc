@@ -14,8 +14,11 @@
 #include <utility>
 
 #include "distsim/partitioner.h"
+#include "incr/delta_match_pass.h"
+#include "incr/incr_state.h"
 #include "obs/metrics.h"
 #include "query/parser.h"
+#include "query/symmetry_breaking.h"
 #include "runtime/query_session.h"
 
 namespace dualsim::service {
@@ -37,8 +40,12 @@ struct ServiceMetrics {
   obs::Counter* progress_frames;
   obs::Counter* embeddings_streamed;
   obs::Counter* drains;
+  obs::Counter* subscriptions;
+  obs::Counter* updates;
+  obs::Counter* delta_frames;
   obs::Gauge* queue_depth;
   obs::Gauge* active_requests;
+  obs::Gauge* subscriptions_active;
   obs::Histogram* request_latency_us;
   obs::Histogram* queue_wait_us;
 };
@@ -58,8 +65,12 @@ ServiceMetrics& Metrics() {
       obs::Metrics().GetCounter("service.progress_frames"),
       obs::Metrics().GetCounter("service.embeddings_streamed"),
       obs::Metrics().GetCounter("service.drains"),
+      obs::Metrics().GetCounter("service.subscriptions"),
+      obs::Metrics().GetCounter("service.updates"),
+      obs::Metrics().GetCounter("service.delta_frames"),
       obs::Metrics().GetGauge("service.queue_depth"),
       obs::Metrics().GetGauge("service.active_requests"),
+      obs::Metrics().GetGauge("service.subscriptions_active"),
       obs::Metrics().GetHistogram("service.request_latency_us"),
       obs::Metrics().GetHistogram("service.queue_wait_us"),
   };
@@ -94,6 +105,10 @@ std::uint64_t ElapsedUs(Clock::time_point since) {
 
 /// Embeddings streamed per EMBEDDINGS frame.
 constexpr std::size_t kEmbeddingBatchSize = 64;
+
+/// Vertex ids per DELTA chunk (added + retracted combined); keeps every
+/// chunk far below kMaxFramePayload.
+constexpr std::size_t kDeltaChunkVertices = 16 * 1024;
 
 }  // namespace
 
@@ -155,6 +170,20 @@ struct QueryService::Request {
   /// Set by the worker while the session runs; guarded by the service's
   /// mu_ so CANCEL / the watchdog never race the session's destruction.
   QuerySession* session = nullptr;
+};
+
+/// One live continuous query. Registered under the service's mu_; its
+/// DELTA chains are pushed while the updater's connection thread holds the
+/// IncrState mutex, so chains for successive batches never interleave.
+struct QueryService::Subscription {
+  std::uint64_t id = 0;
+  std::shared_ptr<Connection> conn;
+  QueryGraph query{1};
+  std::vector<PartialOrder> orders;
+  /// DELTA chains sent (one per batch). Written under IncrState::mu, read
+  /// by unsubscribe/drain paths that hold only the service's mu_.
+  std::atomic<std::uint64_t> diffs_pushed{0};
+  Clock::time_point received_at{};
 };
 
 QueryService::QueryService(Runtime* runtime, ServiceOptions options)
@@ -282,6 +311,15 @@ void QueryService::ConnectionLoop(std::shared_ptr<Connection> conn) {
       case FrameType::kWorkerHello:
         HandleWorkerHello(conn, frame.payload);
         break;
+      case FrameType::kSubscribe:
+        HandleSubscribe(conn, frame.payload);
+        break;
+      case FrameType::kUpdate:
+        HandleUpdate(conn, frame.payload);
+        break;
+      case FrameType::kUnsubscribe:
+        HandleUnsubscribe(conn, frame.payload);
+        break;
       default:
         conn->Send(FrameType::kError,
                    EncodeReject({0, WireCode::kProtocolError,
@@ -291,6 +329,9 @@ void QueryService::ConnectionLoop(std::shared_ptr<Connection> conn) {
     }
   }
   conn->ShutdownSocket();
+  // A silently-closed connection takes its subscriptions with it; they
+  // are counted cancelled without a terminal frame (nobody is listening).
+  DropSubscriptionsOf(conn);
 }
 
 void QueryService::HandleSubmit(const std::shared_ptr<Connection>& conn,
@@ -413,6 +454,389 @@ void QueryService::HandleWorkerHello(const std::shared_ptr<Connection>& conn,
   ack.num_edges = static_cast<std::uint64_t>(runtime_->disk()->num_edges());
   ack.supports_partition = true;
   conn->Send(FrameType::kWorkerHelloAck, EncodeWorkerHelloAck(ack));
+}
+
+namespace {
+
+/// Flattens a diff side into the wire's vertex array.
+std::vector<VertexId> Flatten(const std::vector<Embedding>& set) {
+  std::vector<VertexId> flat;
+  if (!set.empty()) flat.reserve(set.size() * set.front().size());
+  for (const Embedding& m : set) flat.insert(flat.end(), m.begin(), m.end());
+  return flat;
+}
+
+}  // namespace
+
+void QueryService::HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                                   std::string_view payload) {
+  SubscribeRequest request;
+  if (Status s = DecodeSubscribe(payload, &request); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  ledger_.received.fetch_add(1, std::memory_order_relaxed);
+  Metrics().received->Increment();
+  Metrics().subscriptions->Increment();
+
+  auto query = ParseQuery(request.query);
+  if (!query.ok()) {
+    ledger_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    Metrics().rejected_invalid->Increment();
+    conn->Send(FrameType::kRejected,
+               EncodeReject({request.request_id, WireCode::kInvalidQuery,
+                             query.status().message()}));
+    return;
+  }
+
+  auto sub = std::make_shared<Subscription>();
+  sub->id = request.request_id;
+  sub->conn = conn;
+  sub->query = std::move(query).value();
+  sub->orders = FindPartialOrders(sub->query);
+  sub->received_at = Clock::now();
+
+  // Registration and the initial run are one atomic step against the
+  // update pipeline (IncrState::mu): every batch lands either in the
+  // initial results or in a DELTA chain, never both, never neither.
+  // Lock order: incr.mu -> mu_ -> Connection::write_mu.
+  incr::IncrState& incr = runtime_->incr_state();
+  std::lock_guard<std::mutex> incr_lock(incr.mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_.load()) {
+      ledger_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected_draining->Increment();
+      conn->Send(FrameType::kRejected,
+                 EncodeReject({sub->id, WireCode::kShuttingDown,
+                               "service is draining"}));
+      return;
+    }
+    if (subscriptions_.size() >= options_.max_subscriptions) {
+      ledger_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      Metrics().rejected_overload->Increment();
+      conn->Send(FrameType::kRejected,
+                 EncodeReject({sub->id, WireCode::kOverloaded,
+                               "subscription cap reached (" +
+                                   std::to_string(subscriptions_.size()) +
+                                   " live)"}));
+      return;
+    }
+    ledger_.admitted.fetch_add(1, std::memory_order_relaxed);
+    Metrics().admitted->Increment();
+    conn->Send(FrameType::kAccepted, EncodeAccepted(sub->id));
+    subscriptions_.push_back(sub);
+    Metrics().subscriptions_active->Set(
+        static_cast<std::int64_t>(subscriptions_.size()));
+  }
+
+  StatusOr<std::uint64_t> initial =
+      RunInitialSubscription(sub, request.initial_embeddings);
+  if (!initial.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = std::find(subscriptions_.begin(), subscriptions_.end(), sub);
+      if (it != subscriptions_.end()) subscriptions_.erase(it);
+      Metrics().subscriptions_active->Set(
+          static_cast<std::int64_t>(subscriptions_.size()));
+    }
+    ResultFrame out;
+    out.request_id = sub->id;
+    out.code = WireCodeFor(initial.status());
+    if (out.code == WireCode::kOk) out.code = WireCode::kInternalError;
+    out.message = initial.status().ToString();
+    out.elapsed_us = ElapsedUs(sub->received_at);
+    CountResult(out.code);
+    conn->Send(FrameType::kResult, EncodeResult(out));
+    return;
+  }
+  // Go-live marker: the initial count; everything after this frame is
+  // DELTA chains and the terminal RESULT.
+  Metrics().progress_frames->Increment();
+  conn->Send(FrameType::kProgress, EncodeProgress({sub->id, *initial}));
+}
+
+StatusOr<std::uint64_t> QueryService::RunInitialSubscription(
+    const std::shared_ptr<Subscription>& sub, bool stream) {
+  incr::IncrState& incr = runtime_->incr_state();
+  if (!incr.overlay->dirty()) {
+    // Pristine overlay: the composed view IS the base graph, so the
+    // initial run goes through a regular QuerySession — full engine,
+    // plan cache, paper buffer allocation.
+    SessionOptions sopt;
+    sopt.max_frames = options_.session_max_frames;
+    sopt.paper_buffer_allocation = options_.paper_buffer_allocation;
+    sopt.plan = options_.plan;
+    QuerySession session(runtime_, std::move(sopt));
+    if (!stream) {
+      DUALSIM_ASSIGN_OR_RETURN(EngineStats stats, session.Run(sub->query));
+      return stats.embeddings;
+    }
+    struct Batcher {
+      std::mutex mu;
+      EmbeddingBatch batch;
+      Connection* conn = nullptr;
+      void Flush() {
+        if (batch.vertices.empty()) return;
+        Metrics().embeddings_streamed->Increment(batch.vertices.size() /
+                                                 batch.arity);
+        conn->Send(FrameType::kEmbeddings, EncodeEmbeddings(batch));
+        batch.vertices.clear();
+      }
+    } batcher;
+    batcher.batch.request_id = sub->id;
+    batcher.batch.arity = sub->query.NumVertices();
+    batcher.conn = sub->conn.get();
+    auto run = session.Run(sub->query, [&](std::span<const VertexId> m) {
+      std::lock_guard<std::mutex> lock(batcher.mu);
+      batcher.batch.vertices.insert(batcher.batch.vertices.end(), m.begin(),
+                                    m.end());
+      if (batcher.batch.vertices.size() >=
+          kEmbeddingBatchSize * batcher.batch.arity) {
+        batcher.Flush();
+      }
+    });
+    DUALSIM_RETURN_IF_ERROR(run.status());
+    std::lock_guard<std::mutex> lock(batcher.mu);
+    batcher.Flush();
+    return run->embeddings;
+  }
+
+  // Dirty overlay: enumerate the composed view with the incremental
+  // machinery under a small frame lease (the engine reads base pages
+  // only, so it cannot serve the overlayed view).
+  DUALSIM_ASSIGN_OR_RETURN(Runtime::FrameLease lease,
+                           runtime_->Admit(1, options_.incr_max_frames));
+  incr::DeltaMatchPass pass(
+      incr.overlay.get(), lease.pool(),
+      {options_.incr_window_pages, options_.incr_dirty_window_filter});
+  DUALSIM_ASSIGN_OR_RETURN(std::vector<Embedding> all,
+                           pass.EnumerateAll(sub->query, sub->orders));
+  if (stream) {
+    EmbeddingBatch batch;
+    batch.request_id = sub->id;
+    batch.arity = sub->query.NumVertices();
+    for (const Embedding& m : all) {
+      batch.vertices.insert(batch.vertices.end(), m.begin(), m.end());
+      if (batch.vertices.size() >= kEmbeddingBatchSize * batch.arity) {
+        Metrics().embeddings_streamed->Increment(batch.vertices.size() /
+                                                 batch.arity);
+        sub->conn->Send(FrameType::kEmbeddings, EncodeEmbeddings(batch));
+        batch.vertices.clear();
+      }
+    }
+    if (!batch.vertices.empty()) {
+      Metrics().embeddings_streamed->Increment(batch.vertices.size() /
+                                               batch.arity);
+      sub->conn->Send(FrameType::kEmbeddings, EncodeEmbeddings(batch));
+    }
+  }
+  return static_cast<std::uint64_t>(all.size());
+}
+
+std::uint64_t QueryService::SendDeltaChain(const Subscription& sub,
+                                           std::uint64_t sequence,
+                                           const incr::EmbeddingDiff& diff) {
+  const std::uint8_t arity = sub.query.NumVertices();
+  const std::vector<VertexId> added = Flatten(diff.added);
+  const std::vector<VertexId> retracted = Flatten(diff.retracted);
+  // Embedding-aligned chunk capacity (>= one embedding per chunk).
+  const std::size_t cap =
+      std::max<std::size_t>(kDeltaChunkVertices / arity, 1) * arity;
+
+  std::uint64_t frames = 0;
+  std::size_t a = 0;
+  std::size_t r = 0;
+  for (;;) {
+    DeltaFrame frame;
+    frame.request_id = sub.id;
+    frame.sequence = sequence;
+    frame.arity = arity;
+    std::size_t room = cap;
+    const std::size_t take_a = std::min(room, added.size() - a);
+    frame.added.assign(added.begin() + a, added.begin() + a + take_a);
+    a += take_a;
+    room -= take_a;
+    const std::size_t take_r = std::min(room, retracted.size() - r);
+    frame.retracted.assign(retracted.begin() + r,
+                           retracted.begin() + r + take_r);
+    r += take_r;
+    const bool final = a == added.size() && r == retracted.size();
+    frame.flags = final ? kDeltaFlagFinal : 0;
+    if (final) {
+      // Stats ride on the final chunk only.
+      frame.windows_rerun = diff.stats.windows_rerun;
+      frame.windows_skipped = diff.stats.windows_skipped;
+      frame.pages_read = diff.stats.pages_read;
+    }
+    sub.conn->Send(FrameType::kDelta, EncodeDelta(frame));
+    ++frames;
+    if (final) break;
+  }
+  ledger_.delta_frames_sent.fetch_add(frames, std::memory_order_relaxed);
+  Metrics().delta_frames->Increment(frames);
+  return frames;
+}
+
+void QueryService::HandleUpdate(const std::shared_ptr<Connection>& conn,
+                                std::string_view payload) {
+  UpdateRequest update;
+  if (Status s = DecodeUpdate(payload, &update); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  ledger_.updates_received.fetch_add(1, std::memory_order_relaxed);
+  Metrics().updates->Increment();
+
+  // The whole pipeline — flush, apply, fan out — runs on this connection
+  // thread under the IncrState mutex with a bounded frame lease: updates
+  // serialize with each other and with initial subscription runs, and
+  // never occupy a worker or more than incr_max_frames frames.
+  incr::IncrState& incr = runtime_->incr_state();
+  std::lock_guard<std::mutex> incr_lock(incr.mu);
+  incr.log.Append(update.deltas);
+  const incr::DeltaBatch batch = incr.log.Flush();
+
+  auto lease = runtime_->Admit(1, options_.incr_max_frames);
+  if (!lease.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({update.request_id, WireCode::kInternalError,
+                             lease.status().ToString()}));
+    return;
+  }
+  auto applied = incr.overlay->ApplyBatch(batch, lease->pool());
+  if (!applied.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({update.request_id,
+                             WireCodeFor(applied.status()),
+                             applied.status().message()}));
+    return;
+  }
+
+  UpdateAck ack;
+  ack.request_id = update.request_id;
+  ack.sequence = applied->sequence;
+  ack.applied = static_cast<std::uint32_t>(applied->applied.size());
+  ack.ignored = static_cast<std::uint32_t>(applied->ignored);
+  ack.dirty_pages = applied->dirty_pages.Count();
+
+  // Live snapshot; no subscription can register while incr.mu is held.
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subs = subscriptions_;
+  }
+
+  std::vector<std::shared_ptr<Subscription>> broken;
+  for (const auto& sub : subs) {
+    incr::DeltaMatchPass pass(
+        incr.overlay.get(), lease->pool(),
+        {options_.incr_window_pages, options_.incr_dirty_window_filter});
+    auto diff = pass.Run(sub->query, sub->orders, *applied);
+    if (!diff.ok()) {
+      broken.push_back(sub);
+      ResultFrame out;
+      out.request_id = sub->id;
+      out.code = WireCodeFor(diff.status());
+      if (out.code == WireCode::kOk) out.code = WireCode::kInternalError;
+      out.message = diff.status().ToString();
+      out.elapsed_us = ElapsedUs(sub->received_at);
+      CountResult(out.code);
+      sub->conn->Send(FrameType::kResult, EncodeResult(out));
+      continue;
+    }
+    SendDeltaChain(*sub, applied->sequence, *diff);
+    sub->diffs_pushed.fetch_add(1, std::memory_order_relaxed);
+    ack.windows_rerun += diff->stats.windows_rerun;
+    ack.windows_skipped += diff->stats.windows_skipped;
+    ack.pages_read += diff->stats.pages_read;
+    ++ack.subscriptions_notified;
+  }
+  if (!broken.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& sub : broken) {
+      auto it = std::find(subscriptions_.begin(), subscriptions_.end(), sub);
+      if (it != subscriptions_.end()) subscriptions_.erase(it);
+    }
+    Metrics().subscriptions_active->Set(
+        static_cast<std::int64_t>(subscriptions_.size()));
+  }
+  conn->Send(FrameType::kUpdateAck, EncodeUpdateAck(ack));
+}
+
+void QueryService::HandleUnsubscribe(const std::shared_ptr<Connection>& conn,
+                                     std::string_view payload) {
+  std::uint64_t id = 0;
+  if (Status s = DecodeUnsubscribe(payload, &id); !s.ok()) {
+    conn->Send(FrameType::kError,
+               EncodeReject({0, WireCode::kProtocolError, s.message()}));
+    return;
+  }
+  std::shared_ptr<Subscription> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = subscriptions_.begin(); it != subscriptions_.end(); ++it) {
+      if ((*it)->conn == conn && (*it)->id == id) {
+        found = *it;
+        subscriptions_.erase(it);
+        break;
+      }
+    }
+    Metrics().subscriptions_active->Set(
+        static_cast<std::int64_t>(subscriptions_.size()));
+  }
+  // Unknown ids are ignored, like CANCEL: the subscription may already
+  // have ended (drain / error) — a race, not a protocol violation.
+  if (found == nullptr) return;
+  ResultFrame out;
+  out.request_id = id;
+  out.code = WireCode::kOk;
+  out.embeddings =
+      found->diffs_pushed.load(std::memory_order_relaxed);  // chains sent
+  out.elapsed_us = ElapsedUs(found->received_at);
+  CountResult(WireCode::kOk);
+  conn->Send(FrameType::kResult, EncodeResult(out));
+}
+
+void QueryService::DropSubscriptionsOf(
+    const std::shared_ptr<Connection>& conn) {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+      if ((*it)->conn == conn) {
+        it = subscriptions_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    Metrics().subscriptions_active->Set(
+        static_cast<std::int64_t>(subscriptions_.size()));
+  }
+  for (std::size_t i = 0; i < dropped; ++i) CountResult(WireCode::kCancelled);
+}
+
+void QueryService::EndAllSubscriptions(WireCode code,
+                                       const std::string& message) {
+  std::vector<std::shared_ptr<Subscription>> ended;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ended.swap(subscriptions_);
+    Metrics().subscriptions_active->Set(0);
+  }
+  for (const auto& sub : ended) {
+    ResultFrame out;
+    out.request_id = sub->id;
+    out.code = code;
+    out.message = message;
+    out.embeddings = sub->diffs_pushed.load(std::memory_order_relaxed);
+    out.elapsed_us = ElapsedUs(sub->received_at);
+    CountResult(code);
+    sub->conn->Send(FrameType::kResult, EncodeResult(out));
+  }
 }
 
 void QueryService::HandleShutdown(const std::shared_ptr<Connection>& conn) {
@@ -663,6 +1087,9 @@ void QueryService::BeginDrain() {
 }
 
 void QueryService::DrainInFlight() {
+  // Subscriptions are not in-flight work — they are standing state; end
+  // each with its terminal RESULT before waiting out the queue.
+  EndAllSubscriptions(WireCode::kShuttingDown, "service is draining");
   const auto grace = std::chrono::milliseconds(options_.drain_timeout_ms);
   std::vector<std::shared_ptr<Request>> flushed;
   {
@@ -761,10 +1188,16 @@ StatusInfo QueryService::Snapshot() const {
   info.cancelled = ledger_.cancelled.load(std::memory_order_relaxed);
   info.deadline_expired =
       ledger_.deadline_expired.load(std::memory_order_relaxed);
+  info.updates_received =
+      ledger_.updates_received.load(std::memory_order_relaxed);
+  info.delta_frames_sent =
+      ledger_.delta_frames_sent.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     info.queue_depth = static_cast<std::uint32_t>(queue_.size());
     info.active_requests = static_cast<std::uint32_t>(active_.size());
+    info.subscriptions_active =
+        static_cast<std::uint32_t>(subscriptions_.size());
   }
   info.draining = draining_.load(std::memory_order_relaxed);
   return info;

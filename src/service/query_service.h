@@ -9,6 +9,16 @@
 /// graceful drain on SHUTDOWN (stop accepting, finish or cancel in-flight
 /// sessions, flush metrics).
 ///
+/// Continuous queries (DESIGN.md §14): SUBSCRIBE registers a query that
+/// outlives its initial run — the service streams the initial results,
+/// then pushes one DELTA chain per UPDATE batch applied to the served
+/// graph's delta overlay. One-shot SUBMITs keep running against the
+/// immutable base snapshot, so their counts are stable under churn; only
+/// subscriptions see the composed (base ∘ overlay) view. Update work runs
+/// on the updating client's connection thread with a small bounded frame
+/// lease — never on the worker pool — so delta churn cannot starve
+/// one-shot queries of workers or frames.
+///
 /// The same service doubles as a distributed *worker* (DESIGN.md §13): it
 /// answers WORKER_HELLO with the served graph's shape, and a v3
 /// partition-scoped SUBMIT runs with an embedding filter so only
@@ -26,6 +36,7 @@
 #include <vector>
 
 #include "core/plan.h"
+#include "incr/delta_match_pass.h"
 #include "runtime/runtime.h"
 #include "service/protocol.h"
 #include "storage/disk_graph.h"
@@ -89,6 +100,17 @@ struct ServiceOptions {
   /// Metrics JSON flush target on drain; empty = DUALSIM_METRICS_OUT env
   /// var, or no flush.
   std::string metrics_path;
+  /// Live SUBSCRIBE cap; further subscriptions are shed with OVERLOADED
+  /// (0 disables continuous queries entirely).
+  std::size_t max_subscriptions = 64;
+  /// Pages per incremental re-execution window (incr::IncrOptions).
+  std::uint32_t incr_window_pages = 64;
+  /// Ablation knob: false re-runs every window on each update instead of
+  /// only the dirty ones. The streamed diffs are identical either way.
+  bool incr_dirty_window_filter = true;
+  /// Frame-lease cap for overlay application and delta re-execution; the
+  /// starvation guard that keeps update churn from draining the pool.
+  std::size_t incr_max_frames = 8;
   /// Test seam: invoked on the worker thread immediately before a
   /// request's session runs (loopback tests use it to hold a worker and
   /// provoke queueing / overload / deadline paths deterministically).
@@ -134,6 +156,7 @@ class QueryService {
  private:
   struct Connection;
   struct Request;
+  struct Subscription;
 
   void AcceptorLoop();
   void ConnectionLoop(std::shared_ptr<Connection> conn);
@@ -147,6 +170,31 @@ class QueryService {
   void HandleShutdown(const std::shared_ptr<Connection>& conn);
   void HandleWorkerHello(const std::shared_ptr<Connection>& conn,
                          std::string_view payload);
+  void HandleSubscribe(const std::shared_ptr<Connection>& conn,
+                       std::string_view payload);
+  void HandleUpdate(const std::shared_ptr<Connection>& conn,
+                    std::string_view payload);
+  void HandleUnsubscribe(const std::shared_ptr<Connection>& conn,
+                         std::string_view payload);
+
+  /// Terminates every subscription owned by `conn` without sending frames
+  /// (the peer is gone); counts each as cancelled.
+  void DropSubscriptionsOf(const std::shared_ptr<Connection>& conn);
+
+  /// Ends every subscription with a terminal RESULT carrying `code`
+  /// (drain path).
+  void EndAllSubscriptions(WireCode code, const std::string& message);
+
+  /// Runs a just-registered subscription's query once against the current
+  /// composed view (caller holds IncrState::mu), streaming EMBEDDINGS
+  /// when `stream` is set; returns the initial embedding count.
+  StatusOr<std::uint64_t> RunInitialSubscription(
+      const std::shared_ptr<Subscription>& sub, bool stream);
+
+  /// Pushes one batch's embedding diff to one subscription as a chunked
+  /// DELTA chain (final chunk flagged); returns frames sent.
+  std::uint64_t SendDeltaChain(const Subscription& sub, std::uint64_t sequence,
+                               const incr::EmbeddingDiff& diff);
 
   /// Runs one admitted request's session, counts the outcome, and returns
   /// the encoded RESULT payload. The worker sends it only after retiring
@@ -196,6 +244,7 @@ class QueryService {
   std::condition_variable watchdog_cv_;  // watchdog tick / stop
   std::deque<std::shared_ptr<Request>> queue_;
   std::vector<std::shared_ptr<Request>> active_;
+  std::vector<std::shared_ptr<Subscription>> subscriptions_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> conn_threads_;
 
@@ -211,6 +260,8 @@ class QueryService {
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> cancelled{0};
     std::atomic<std::uint64_t> deadline_expired{0};
+    std::atomic<std::uint64_t> updates_received{0};
+    std::atomic<std::uint64_t> delta_frames_sent{0};
   };
   Ledger ledger_;
 };

@@ -1,0 +1,254 @@
+/// Differential fuzz for the incremental subsystem: random edge
+/// add/remove sequences over random graphs, asserting after every batch
+/// that the DeltaMatchPass diff equals the from-scratch delta
+///
+///   added     = bruteforce(new) − bruteforce(old)
+///   retracted = bruteforce(old) − bruteforce(new)
+///
+/// with the same symmetry-breaking partial orders on both sides —
+/// labeled and unlabeled graphs, dirty-window filter on and off, and the
+/// composed view cross-checked against an in-memory shadow after every
+/// batch. Seeds and iteration counts follow the shared fuzz conventions
+/// (DUALSIM_FUZZ_SEED / DUALSIM_FUZZ_ITERS, see testkit/fuzz_util.h).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "incr/delta_match_pass.h"
+#include "incr/edge_delta_log.h"
+#include "incr/graph_overlay.h"
+#include "query/symmetry_breaking.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_graph.h"
+#include "testkit/fuzz_util.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dualsim::incr {
+namespace {
+
+using testkit::FuzzConfigFromEnv;
+using testkit::RandomConnectedQuery;
+using testkit::RandomLabeledQuery;
+using testkit::ReproHint;
+
+/// Mutable undirected adjacency mirroring the composed view.
+using Shadow = std::vector<std::set<VertexId>>;
+
+Shadow ShadowOf(const Graph& g) {
+  Shadow shadow(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto n = g.Neighbors(v);
+    shadow[v] = {n.begin(), n.end()};
+  }
+  return shadow;
+}
+
+/// CSR snapshot of a shadow, carrying `labels` when non-empty.
+Graph GraphOf(const Shadow& shadow, const std::vector<LabelId>& labels) {
+  std::vector<EdgeId> offsets(shadow.size() + 1, 0);
+  std::vector<VertexId> neighbors;
+  for (VertexId v = 0; v < shadow.size(); ++v) {
+    neighbors.insert(neighbors.end(), shadow[v].begin(), shadow[v].end());
+    offsets[v + 1] = static_cast<EdgeId>(neighbors.size());
+  }
+  Graph g(std::move(offsets), std::move(neighbors));
+  if (!labels.empty()) g.SetLabels(labels);
+  return g;
+}
+
+std::vector<Embedding> Oracle(const Graph& g, const QueryGraph& q,
+                              const std::vector<PartialOrder>& orders) {
+  std::vector<Embedding> out;
+  EnumerateBruteForce(g, q, orders,
+                      [&](const Embedding& m) { out.push_back(m); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Embedding> Minus(const std::vector<Embedding>& a,
+                             const std::vector<Embedding>& b) {
+  std::vector<Embedding> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// A random batch of presence flips (w.r.t. the shadow), sprinkled with
+/// deliberate no-ops and an occasional stale label assertion so the
+/// ignored path stays covered.
+std::vector<EdgeDelta> RandomBatch(const Shadow& shadow,
+                                   const std::vector<LabelId>& labels,
+                                   Random& rng) {
+  const auto n = static_cast<VertexId>(shadow.size());
+  std::vector<EdgeDelta> deltas;
+  const int count = 1 + static_cast<int>(rng.Uniform(5));
+  for (int i = 0; i < count; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) v = (v + 1) % n;
+    if (u == v) continue;  // n == 1
+    const bool present = shadow[u].count(v) > 0;
+    EdgeDelta d;
+    d.u = u;
+    d.v = v;
+    if (rng.Bernoulli(0.15)) {
+      // Deliberate no-op: ask for the state the edge is already in.
+      d.op = present ? DeltaOp::kAddEdge : DeltaOp::kRemoveEdge;
+    } else {
+      d.op = present ? DeltaOp::kRemoveEdge : DeltaOp::kAddEdge;
+    }
+    if (!labels.empty() && rng.Bernoulli(0.2)) {
+      // Label assertion; sometimes deliberately stale.
+      d.u_label = rng.Bernoulli(0.5)
+                      ? labels[u]
+                      : static_cast<LabelId>((labels[u] + 1) % 3);
+      d.v_label = labels[v];
+    }
+    deltas.push_back(d);
+  }
+  return deltas;
+}
+
+/// Applies a *flushed, normalized* batch to the shadow exactly as the
+/// overlay specifies: presence flips only, stale labels ignored.
+void ApplyToShadow(const DeltaBatch& batch, const std::vector<LabelId>& labels,
+                   Shadow* shadow) {
+  for (const EdgeDelta& d : batch.deltas) {
+    if (!labels.empty()) {
+      if (!LabelMatches(d.u_label, labels[d.u]) ||
+          !LabelMatches(d.v_label, labels[d.v])) {
+        continue;  // stale
+      }
+    }
+    const bool present = (*shadow)[d.u].count(d.v) > 0;
+    if (d.op == DeltaOp::kAddEdge && !present) {
+      (*shadow)[d.u].insert(d.v);
+      (*shadow)[d.v].insert(d.u);
+    } else if (d.op == DeltaOp::kRemoveEdge && present) {
+      (*shadow)[d.u].erase(d.v);
+      (*shadow)[d.v].erase(d.u);
+    }
+  }
+}
+
+void RunDifferential(std::uint64_t seed, bool labeled) {
+  Random rng(seed);
+  const auto n = static_cast<std::uint32_t>(30 + rng.Uniform(70));
+  const auto m = static_cast<std::uint64_t>(n) * (2 + rng.Uniform(3));
+  Graph base = ErdosRenyi(n, m, rng.Next());
+  std::vector<LabelId> labels;
+  if (labeled) {
+    base = WithRandomLabels(std::move(base), /*num_labels=*/3, rng.Next());
+    labels = base.labels();
+  }
+
+  const QueryGraph q =
+      labeled ? RandomLabeledQuery(rng, 3 + static_cast<int>(rng.Uniform(2)),
+                                   /*num_labels=*/3, /*labeled_fraction=*/0.5)
+              : RandomConnectedQuery(rng, 3 + static_cast<int>(rng.Uniform(2)));
+  const auto orders = FindPartialOrders(q);
+
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("incr_fuzz_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "g.db").string();
+  ASSERT_TRUE(BuildDiskGraph(base, path, /*page_size=*/512).ok())
+      << ReproHint(seed);
+  auto disk = DiskGraph::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString() << "\n" << ReproHint(seed);
+  ThreadPool io(2);
+  BufferPool pool(&(*disk)->file(), 256, &io);
+  GraphOverlay overlay(disk->get());
+  EdgeDeltaLog log;
+
+  Shadow shadow = ShadowOf(base);
+  std::vector<Embedding> current = Oracle(base, q, orders);
+
+  const int batches = 4;
+  for (int b = 0; b < batches; ++b) {
+    log.Append(RandomBatch(shadow, labels, rng));
+    const DeltaBatch batch = log.Flush();
+    auto applied = overlay.ApplyBatch(batch, &pool);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString() << "\n"
+                              << ReproHint(seed);
+
+    ApplyToShadow(batch, labels, &shadow);
+    const Graph next = GraphOf(shadow, labels);
+    const std::vector<Embedding> expected = Oracle(next, q, orders);
+
+    // Alternate the ablation arm across batches; both must produce the
+    // identical from-scratch delta.
+    const bool filter = (b % 2 == 0);
+    DeltaMatchPass pass(
+        &overlay, &pool,
+        {/*window_pages=*/1 + static_cast<std::uint32_t>(rng.Uniform(8)),
+         /*dirty_window_filter=*/filter});
+    auto diff = pass.Run(q, orders, *applied);
+    ASSERT_TRUE(diff.ok()) << diff.status().ToString() << "\n"
+                           << ReproHint(seed);
+    EXPECT_EQ(diff->added, Minus(expected, current))
+        << "batch " << b << " filter=" << filter << "\n" << ReproHint(seed);
+    EXPECT_EQ(diff->retracted, Minus(current, expected))
+        << "batch " << b << " filter=" << filter << "\n" << ReproHint(seed);
+
+    // The composed view itself must equal the shadow.
+    std::vector<VertexId> adj;
+    for (VertexId v = 0; v < next.NumVertices(); ++v) {
+      ASSERT_TRUE(overlay.ComposedNeighbors(v, &pool, &adj).ok());
+      const auto want = next.Neighbors(v);
+      ASSERT_TRUE(std::equal(want.begin(), want.end(), adj.begin(), adj.end()))
+          << "vertex " << v << "\n" << ReproHint(seed);
+    }
+
+    current = expected;
+    if (::testing::Test::HasFailure()) break;
+  }
+
+  // After all the churn, a fresh EnumerateAll over the overlay agrees
+  // with the final shadow oracle.
+  DeltaMatchPass pass(&overlay, &pool, {/*window_pages=*/4});
+  auto all = pass.EnumerateAll(q, orders);
+  ASSERT_TRUE(all.ok()) << all.status().ToString() << "\n" << ReproHint(seed);
+  EXPECT_EQ(*all, current) << ReproHint(seed);
+
+  // POSIX unlink-while-open: the page file stays readable until the pool
+  // and disk handle go out of scope below.
+  std::filesystem::remove_all(dir);
+}
+
+class IncrDifferentialFuzz : public ::testing::Test {};
+
+TEST(IncrDifferentialFuzz, UnlabeledDiffsMatchFromScratchDelta) {
+  const auto config = FuzzConfigFromEnv(/*default_seed=*/0xD5A1u,
+                                        /*default_iters=*/6);
+  for (int i = 0; i < config.iters; ++i) {
+    RunDifferential(config.seed + static_cast<std::uint64_t>(i) * 7919,
+                    /*labeled=*/false);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+TEST(IncrDifferentialFuzz, LabeledDiffsMatchFromScratchDelta) {
+  const auto config = FuzzConfigFromEnv(/*default_seed=*/0x1ABE1u,
+                                        /*default_iters=*/6);
+  for (int i = 0; i < config.iters; ++i) {
+    RunDifferential(config.seed + static_cast<std::uint64_t>(i) * 104729,
+                    /*labeled=*/true);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace dualsim::incr

@@ -1,0 +1,438 @@
+/// Loopback integration suite for continuous queries (SUBSCRIBE / UPDATE
+/// / UNSUBSCRIBE): initial counts against the pinned golden values, the
+/// pushed-diff oracle (delta chains must equal the from-scratch delta of
+/// the composed view), base-snapshot semantics for one-shot SUBMITs
+/// under churn, the subscription cap and invalid-query rejections,
+/// drain/unsubscribe terminal accounting, and a concurrent
+/// subscriber/updater/query soak (the TSan lane's target).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/bruteforce.h"
+#include "graph/generators.h"
+#include "graph/reorder.h"
+#include "incr/edge_delta_log.h"
+#include "query/parser.h"
+#include "runtime/runtime.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+#include "storage/disk_graph.h"
+
+namespace dualsim::service {
+namespace {
+
+/// Pinned golden counts for q1..q5 over ReorderByDegree(ErdosRenyi(200,
+/// 1000, 42)) — same fixture row as service_test.cc.
+constexpr std::uint64_t kGoldenTriangles = 151;
+
+class IncrServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dualsim_incr_service_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    graph_ = ReorderByDegree(ErdosRenyi(200, 1000, 42));
+    const std::string path = (dir_ / "g.db").string();
+    ASSERT_TRUE(BuildDiskGraph(graph_, path, /*page_size=*/512).ok());
+    auto disk = OpenServedGraph(path);
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    disk_ = std::move(*disk);
+  }
+
+  void TearDown() override {
+    service_.reset();
+    runtime_.reset();
+    disk_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void StartService(ServiceOptions sopt = {}) {
+    if (sopt.session_max_frames == 0) sopt.session_max_frames = 20;
+    RuntimeOptions ropt;
+    ropt.num_frames = 64;
+    ropt.num_threads = 4;
+    ropt.io_threads = 2;
+    runtime_ = std::make_unique<Runtime>(disk_.get(), ropt);
+    service_ = std::make_unique<QueryService>(runtime_.get(), sopt);
+    Status s = service_->Start();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::unique_ptr<QueryClient> Connect() {
+    auto client = std::make_unique<QueryClient>();
+    Status s = client->Connect("127.0.0.1", service_->port());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return client;
+  }
+
+  /// First `count` absent pairs whose endpoints share a neighbor, so
+  /// adding any of them closes at least one new triangle.
+  std::vector<std::pair<VertexId, VertexId>> TriangleClosingNonEdges(
+      std::size_t count) {
+    std::vector<std::pair<VertexId, VertexId>> out;
+    std::set<std::pair<VertexId, VertexId>> seen;
+    for (VertexId u = 0; u < graph_.NumVertices() && out.size() < count; ++u) {
+      const auto adj = graph_.Neighbors(u);
+      for (std::size_t i = 0; i < adj.size() && out.size() < count; ++i) {
+        for (std::size_t j = i + 1; j < adj.size() && out.size() < count;
+             ++j) {
+          VertexId a = adj[i], b = adj[j];
+          if (a > b) std::swap(a, b);
+          const auto adj_a = graph_.Neighbors(a);
+          if (std::binary_search(adj_a.begin(), adj_a.end(), b)) continue;
+          if (!seen.insert({a, b}).second) continue;
+          out.emplace_back(a, b);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// First `count` vertex pairs absent from `graph_` (deterministic, all
+  /// guaranteed presence flips when added exactly once).
+  std::vector<std::pair<VertexId, VertexId>> NonEdges(std::size_t count) {
+    std::vector<std::pair<VertexId, VertexId>> out;
+    for (VertexId u = 0; u < graph_.NumVertices() && out.size() < count; ++u) {
+      const auto adj = graph_.Neighbors(u);
+      for (VertexId v = u + 1;
+           v < graph_.NumVertices() && out.size() < count; ++v) {
+        if (!std::binary_search(adj.begin(), adj.end(), v)) {
+          out.emplace_back(u, v);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// In-memory copy of `graph_` with extra undirected edges, for oracle
+  /// counts of the composed view.
+  Graph GraphPlus(const std::vector<std::pair<VertexId, VertexId>>& extra) {
+    std::vector<std::set<VertexId>> adj(graph_.NumVertices());
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      const auto n = graph_.Neighbors(v);
+      adj[v] = {n.begin(), n.end()};
+    }
+    for (const auto& [u, v] : extra) {
+      adj[u].insert(v);
+      adj[v].insert(u);
+    }
+    std::vector<EdgeId> offsets(adj.size() + 1, 0);
+    std::vector<VertexId> neighbors;
+    for (VertexId v = 0; v < adj.size(); ++v) {
+      neighbors.insert(neighbors.end(), adj[v].begin(), adj[v].end());
+      offsets[v + 1] = static_cast<EdgeId>(neighbors.size());
+    }
+    return Graph(std::move(offsets), std::move(neighbors));
+  }
+
+  std::filesystem::path dir_;
+  Graph graph_;
+  std::unique_ptr<DiskGraph> disk_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<QueryService> service_;
+};
+
+TEST_F(IncrServiceTest, SubscribeStreamsInitialAndUnsubscribes) {
+  StartService();
+  auto client = Connect();
+
+  std::vector<Embedding> streamed;
+  auto sub = client->Subscribe("triangle", /*initial_embeddings=*/true,
+                               [&](const std::vector<VertexId>& m) {
+                                 streamed.push_back(m);
+                               });
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub->initial_count, kGoldenTriangles);
+  EXPECT_EQ(sub->streamed_embeddings, kGoldenTriangles);
+  EXPECT_EQ(streamed.size(), kGoldenTriangles);
+
+  auto info = client->GetStatus();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->subscriptions_active, 1u);
+  EXPECT_EQ(info->admitted, 1u);
+
+  auto diffs = client->Unsubscribe(sub->subscription_id);
+  ASSERT_TRUE(diffs.ok()) << diffs.status().ToString();
+  EXPECT_EQ(*diffs, 0u);  // no updates happened
+
+  info = client->GetStatus();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->subscriptions_active, 0u);
+  EXPECT_EQ(info->completed, 1u);
+}
+
+TEST_F(IncrServiceTest, UpdatePushesFromScratchDeltaToSubscriber) {
+  StartService();
+  auto subscriber = Connect();
+  auto updater = Connect();
+
+  auto sub = subscriber->Subscribe("triangle");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  std::uint64_t live = sub->initial_count;
+  ASSERT_EQ(live, kGoldenTriangles);
+
+  // Two batches: first adds edges closing new triangles, second removes
+  // one of them again. Oracle counts come from in-memory copies.
+  const auto non_edges = TriangleClosingNonEdges(3);
+  ASSERT_EQ(non_edges.size(), 3u);
+  std::vector<incr::EdgeDelta> batch1;
+  for (const auto& [u, v] : non_edges) {
+    batch1.push_back({incr::DeltaOp::kAddEdge, u, v});
+  }
+  const std::uint64_t after1 =
+      CountOccurrences(GraphPlus(non_edges), *ParseQuery("triangle"));
+
+  auto ack1 = updater->Update(batch1);
+  ASSERT_TRUE(ack1.ok()) << ack1.status().ToString();
+  EXPECT_EQ(ack1->applied, 3u);
+  EXPECT_EQ(ack1->ignored, 0u);
+  EXPECT_EQ(ack1->subscriptions_notified, 1u);
+  EXPECT_GT(ack1->dirty_pages, 0u);
+
+  auto event1 = subscriber->NextEvent();
+  ASSERT_TRUE(event1.ok()) << event1.status().ToString();
+  EXPECT_FALSE(event1->ended);
+  EXPECT_EQ(event1->subscription_id, sub->subscription_id);
+  EXPECT_EQ(event1->sequence, ack1->sequence);
+  ASSERT_EQ(event1->arity, 3u);
+  EXPECT_EQ(event1->added.size() % 3, 0u);
+  live += event1->added.size() / 3;
+  live -= event1->retracted.size() / 3;
+  EXPECT_EQ(live, after1);
+
+  // Remove one added edge: the composed view steps back accordingly.
+  std::vector<std::pair<VertexId, VertexId>> remaining(non_edges.begin() + 1,
+                                                       non_edges.end());
+  const std::uint64_t after2 =
+      CountOccurrences(GraphPlus(remaining), *ParseQuery("triangle"));
+  auto ack2 = updater->Update(
+      {{incr::DeltaOp::kRemoveEdge, non_edges[0].first, non_edges[0].second},
+       // A no-op remove of a never-present edge is counted ignored.
+       {incr::DeltaOp::kRemoveEdge, non_edges[1].first,
+        non_edges[1].second == 199 ? VertexId{198} : VertexId{199}}});
+  ASSERT_TRUE(ack2.ok()) << ack2.status().ToString();
+  EXPECT_EQ(ack2->sequence, ack1->sequence + 1);
+  EXPECT_EQ(ack2->applied, 1u);
+
+  auto event2 = subscriber->NextEvent();
+  ASSERT_TRUE(event2.ok()) << event2.status().ToString();
+  live += event2->added.size() / 3;
+  live -= event2->retracted.size() / 3;
+  EXPECT_EQ(live, after2);
+  EXPECT_EQ(event2->windows_rerun + event2->windows_skipped,
+            ack2->windows_rerun + ack2->windows_skipped);
+
+  // A late subscriber's initial run sees the composed view, not the base.
+  auto late = Connect();
+  auto late_sub = late->Subscribe("triangle");
+  ASSERT_TRUE(late_sub.ok()) << late_sub.status().ToString();
+  EXPECT_EQ(late_sub->initial_count, after2);
+
+  auto diffs = subscriber->Unsubscribe(sub->subscription_id);
+  ASSERT_TRUE(diffs.ok()) << diffs.status().ToString();
+  EXPECT_EQ(*diffs, 2u);
+}
+
+TEST_F(IncrServiceTest, OneShotSubmitsKeepBaseSnapshotUnderChurn) {
+  StartService();
+  auto updater = Connect();
+  const auto non_edges = TriangleClosingNonEdges(4);
+  std::vector<incr::EdgeDelta> deltas;
+  for (const auto& [u, v] : non_edges) {
+    deltas.push_back({incr::DeltaOp::kAddEdge, u, v});
+  }
+  auto ack = updater->Update(deltas);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  ASSERT_EQ(ack->applied, 4u);
+
+  // The overlay is dirty, but a one-shot query still reports the base
+  // snapshot's golden count: SUBMIT semantics are stable under churn.
+  auto oneshot = Connect();
+  ClientRequest req;
+  req.query = "triangle";
+  auto result = oneshot->Run(req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->code, WireCode::kOk);
+  EXPECT_EQ(result->embeddings, kGoldenTriangles);
+
+  // A subscription's initial run sees the composed view instead.
+  const std::uint64_t composed =
+      CountOccurrences(GraphPlus(non_edges), *ParseQuery("triangle"));
+  auto sub = oneshot->Subscribe("triangle");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub->initial_count, composed);
+  EXPECT_NE(composed, kGoldenTriangles);
+}
+
+TEST_F(IncrServiceTest, SubscriptionCapAndInvalidQueriesRejectTyped) {
+  ServiceOptions sopt;
+  sopt.max_subscriptions = 1;
+  StartService(sopt);
+  auto client = Connect();
+
+  auto bad = client->Subscribe("nonsense");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto first = client->Subscribe("triangle");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  auto second = Connect()->Subscribe("edgelike 0-1,1-2");
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  auto capped = Connect()->Subscribe("square");
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+
+  auto info = client->GetStatus();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->subscriptions_active, 1u);
+  EXPECT_EQ(info->rejected_overload, 1u);
+  EXPECT_EQ(info->rejected_invalid, 2u);
+}
+
+TEST_F(IncrServiceTest, DrainEndsSubscriptionsWithShuttingDown) {
+  StartService();
+  auto subscriber = Connect();
+  auto sub = subscriber->Subscribe("triangle");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  auto admin = Connect();
+  std::thread shutdown([&] {
+    Status s = admin->Shutdown();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+
+  auto event = subscriber->NextEvent();
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_TRUE(event->ended);
+  EXPECT_EQ(event->subscription_id, sub->subscription_id);
+  EXPECT_EQ(event->end_code, WireCode::kShuttingDown);
+  EXPECT_EQ(event->diffs_pushed, 0u);
+
+  shutdown.join();
+  ASSERT_TRUE(service_->WaitForShutdown(10'000));
+  service_->Stop();
+}
+
+TEST_F(IncrServiceTest, ConcurrentSubscribersUpdatersAndQueriesSoak) {
+  ServiceOptions sopt;
+  sopt.num_workers = 2;
+  StartService(sopt);
+
+  constexpr int kUpdaters = 2;
+  constexpr int kBatchesPerUpdater = 5;
+  constexpr int kEdgesPerBatch = 2;
+  constexpr int kSubscribers = 2;
+  constexpr int kTotalBatches = kUpdaters * kBatchesPerUpdater;
+
+  // Disjoint per-updater pools of non-edges: every add is a guaranteed
+  // presence flip regardless of interleaving, and the final composed
+  // view is order-independent.
+  const auto pool =
+      NonEdges(static_cast<std::size_t>(kUpdaters) * kBatchesPerUpdater *
+               kEdgesPerBatch);
+  ASSERT_EQ(pool.size(),
+            static_cast<std::size_t>(kUpdaters * kBatchesPerUpdater *
+                                     kEdgesPerBatch));
+  const std::uint64_t final_count =
+      CountOccurrences(GraphPlus(pool), *ParseQuery("triangle"));
+
+  // Subscribers register before any update, so each must observe every
+  // batch exactly once (an empty diff still arrives as one final chunk).
+  struct SubscriberState {
+    std::unique_ptr<QueryClient> client;
+    std::uint64_t id = 0;
+    std::uint64_t live = 0;
+  };
+  std::vector<SubscriberState> subs(kSubscribers);
+  for (auto& s : subs) {
+    s.client = Connect();
+    auto sub = s.client->Subscribe("triangle");
+    ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+    s.id = sub->subscription_id;
+    s.live = sub->initial_count;
+    ASSERT_EQ(s.live, kGoldenTriangles);
+  }
+
+  std::vector<std::thread> threads;
+  for (int u = 0; u < kUpdaters; ++u) {
+    threads.emplace_back([&, u] {
+      auto client = Connect();
+      for (int b = 0; b < kBatchesPerUpdater; ++b) {
+        std::vector<incr::EdgeDelta> deltas;
+        for (int e = 0; e < kEdgesPerBatch; ++e) {
+          const auto& [x, y] =
+              pool[static_cast<std::size_t>(u) * kBatchesPerUpdater *
+                       kEdgesPerBatch +
+                   static_cast<std::size_t>(b) * kEdgesPerBatch +
+                   static_cast<std::size_t>(e)];
+          deltas.push_back({incr::DeltaOp::kAddEdge, x, y});
+        }
+        auto ack = client->Update(deltas);
+        ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+        EXPECT_EQ(ack->applied, kEdgesPerBatch);
+        EXPECT_EQ(ack->subscriptions_notified, kSubscribers);
+      }
+    });
+  }
+  // One-shot queries ride along; their counts never move off the base
+  // snapshot.
+  threads.emplace_back([&] {
+    auto client = Connect();
+    for (int i = 0; i < 6; ++i) {
+      ClientRequest req;
+      req.query = "triangle";
+      auto result = client->Run(req);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->code, WireCode::kOk);
+      EXPECT_EQ(result->embeddings, kGoldenTriangles);
+    }
+  });
+  // Each subscriber drains exactly kTotalBatches events concurrently
+  // with the updates.
+  for (auto& s : subs) {
+    threads.emplace_back([&] {
+      for (int e = 0; e < kTotalBatches; ++e) {
+        auto event = s.client->NextEvent();
+        ASSERT_TRUE(event.ok()) << event.status().ToString();
+        ASSERT_FALSE(event->ended);
+        ASSERT_EQ(event->arity, 3u);
+        s.live += event->added.size() / 3;
+        s.live -= event->retracted.size() / 3;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every subscriber's incrementally-maintained count landed on the
+  // from-scratch count of the final composed view.
+  for (auto& s : subs) {
+    EXPECT_EQ(s.live, final_count);
+    auto diffs = s.client->Unsubscribe(s.id);
+    ASSERT_TRUE(diffs.ok()) << diffs.status().ToString();
+    EXPECT_EQ(*diffs, static_cast<std::uint64_t>(kTotalBatches));
+  }
+  // And a fresh subscription's initial run agrees.
+  auto fresh = Connect()->Subscribe("triangle");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->initial_count, final_count);
+
+  auto info = subs[0].client->GetStatus();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->updates_received, kTotalBatches);
+  EXPECT_GE(info->delta_frames_sent,
+            static_cast<std::uint64_t>(kTotalBatches * kSubscribers));
+}
+
+}  // namespace
+}  // namespace dualsim::service

@@ -333,6 +333,215 @@ TEST(ServiceProtocolTest, NewFrameTypesHaveNames) {
                "WORKER_HELLO_ACK");
   EXPECT_STREQ(FrameTypeName(FrameType::kPartialResult), "PARTIAL_RESULT");
   EXPECT_STREQ(WireCodeName(WireCode::kPartialResult), "PARTIAL_RESULT");
+  EXPECT_STREQ(FrameTypeName(FrameType::kSubscribe), "SUBSCRIBE");
+  EXPECT_STREQ(FrameTypeName(FrameType::kUpdate), "UPDATE");
+  EXPECT_STREQ(FrameTypeName(FrameType::kUnsubscribe), "UNSUBSCRIBE");
+  EXPECT_STREQ(FrameTypeName(FrameType::kDelta), "DELTA");
+  EXPECT_STREQ(FrameTypeName(FrameType::kUpdateAck), "UPDATE_ACK");
+}
+
+TEST(ServiceProtocolTest, SubscribeRoundTripAndTruncation) {
+  SubscribeRequest in;
+  in.request_id = 0x1122334455667788ull;
+  in.initial_embeddings = true;
+  in.query = "triangle@0,1,*";
+  SubscribeRequest out;
+  ASSERT_TRUE(DecodeSubscribe(EncodeSubscribe(in), &out).ok());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_TRUE(out.initial_embeddings);
+  EXPECT_EQ(out.query, in.query);
+
+  SubscribeRequest plain;
+  plain.request_id = 2;
+  plain.query = "0-1,1-2,2-0";
+  ASSERT_TRUE(DecodeSubscribe(EncodeSubscribe(plain), &out).ok());
+  EXPECT_FALSE(out.initial_embeddings);
+
+  // No compat boundary in this payload: every proper prefix is a
+  // truncation, and a trailing extra byte is garbage.
+  const std::string full = EncodeSubscribe(in);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    SubscribeRequest ignored;
+    EXPECT_FALSE(
+        DecodeSubscribe(std::string_view(full).substr(0, cut), &ignored).ok())
+        << cut;
+  }
+  SubscribeRequest ignored;
+  EXPECT_FALSE(DecodeSubscribe(full + "x", &ignored).ok());
+}
+
+TEST(ServiceProtocolTest, UpdateRoundTripRejectsBadOpsAndSelfLoops) {
+  UpdateRequest in;
+  in.request_id = 99;
+  in.deltas = {{incr::DeltaOp::kAddEdge, 3, 17, LabelId{1}, kAnyLabel},
+               {incr::DeltaOp::kRemoveEdge, 4, 9}};
+  UpdateRequest out;
+  ASSERT_TRUE(DecodeUpdate(EncodeUpdate(in), &out).ok());
+  EXPECT_EQ(out.request_id, 99u);
+  ASSERT_EQ(out.deltas.size(), 2u);
+  EXPECT_EQ(out.deltas[0].op, incr::DeltaOp::kAddEdge);
+  EXPECT_EQ(out.deltas[0].u, 3u);
+  EXPECT_EQ(out.deltas[0].v, 17u);
+  EXPECT_EQ(out.deltas[0].u_label, LabelId{1});
+  EXPECT_EQ(out.deltas[0].v_label, kAnyLabel);
+  EXPECT_EQ(out.deltas[1].op, incr::DeltaOp::kRemoveEdge);
+
+  const std::string full = EncodeUpdate(in);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    UpdateRequest ignored;
+    EXPECT_FALSE(
+        DecodeUpdate(std::string_view(full).substr(0, cut), &ignored).ok())
+        << cut;
+  }
+
+  // An op byte past kRemoveEdge is malformed even though the rest of the
+  // record parses; same for a self-loop (u == v). The encoder never
+  // produces either, so both are exercised by direct mutation.
+  std::string bad_op = full;
+  bad_op[12] = 2;  // first delta's op byte (u64 id + u32 count = 12)
+  UpdateRequest ignored;
+  EXPECT_FALSE(DecodeUpdate(bad_op, &ignored).ok());
+
+  UpdateRequest self_loop;
+  self_loop.request_id = 1;
+  self_loop.deltas = {{incr::DeltaOp::kAddEdge, 7, 7}};
+  EXPECT_FALSE(DecodeUpdate(EncodeUpdate(self_loop), &ignored).ok());
+
+  // A delta count that would overflow the frame cap is rejected before
+  // any allocation.
+  std::string huge = full.substr(0, 12);
+  huge[8] = '\xFF';
+  huge[9] = '\xFF';
+  huge[10] = '\xFF';
+  huge[11] = '\xFF';
+  EXPECT_FALSE(DecodeUpdate(huge, &ignored).ok());
+}
+
+TEST(ServiceProtocolTest, UnsubscribeRoundTripAndBounds) {
+  std::uint64_t id = 0;
+  ASSERT_TRUE(DecodeUnsubscribe(EncodeUnsubscribe(0xFEEDull), &id).ok());
+  EXPECT_EQ(id, 0xFEEDull);
+  const std::string full = EncodeUnsubscribe(0xFEEDull);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeUnsubscribe(std::string_view(full).substr(0, cut), &id).ok())
+        << cut;
+  }
+  EXPECT_FALSE(DecodeUnsubscribe(full + "x", &id).ok());
+}
+
+TEST(ServiceProtocolTest, DeltaRoundTripChunkFlagsAndArity) {
+  DeltaFrame in;
+  in.request_id = 5;
+  in.sequence = 12;
+  in.arity = 3;
+  in.flags = 0;  // a non-final chunk
+  in.added = {1, 2, 3, 10, 20, 30};
+  in.retracted = {4, 5, 6};
+  in.windows_rerun = 2;
+  in.windows_skipped = 9;
+  in.pages_read = 31;
+  DeltaFrame out;
+  ASSERT_TRUE(DecodeDelta(EncodeDelta(in), &out).ok());
+  EXPECT_EQ(out.request_id, 5u);
+  EXPECT_EQ(out.sequence, 12u);
+  EXPECT_EQ(out.arity, 3);
+  EXPECT_EQ(out.flags & kDeltaFlagFinal, 0);
+  EXPECT_EQ(out.added, in.added);
+  EXPECT_EQ(out.retracted, in.retracted);
+  EXPECT_EQ(out.windows_rerun, 2u);
+  EXPECT_EQ(out.windows_skipped, 9u);
+  EXPECT_EQ(out.pages_read, 31u);
+
+  // An empty final chunk is legal — every applied batch produces at least
+  // one DELTA frame even when the diff is empty.
+  DeltaFrame empty;
+  empty.request_id = 5;
+  empty.sequence = 13;
+  empty.arity = 3;
+  ASSERT_TRUE(DecodeDelta(EncodeDelta(empty), &out).ok());
+  EXPECT_TRUE(out.added.empty());
+  EXPECT_TRUE(out.retracted.empty());
+  EXPECT_NE(out.flags & kDeltaFlagFinal, 0);
+
+  // A vertex count that is not a multiple of the arity cannot be split
+  // into embeddings; the decoder rejects it instead of guessing.
+  DeltaFrame ragged = in;
+  ragged.added = {1, 2};
+  DeltaFrame ignored;
+  EXPECT_FALSE(DecodeDelta(EncodeDelta(ragged), &ignored).ok());
+
+  const std::string full = EncodeDelta(in);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeDelta(std::string_view(full).substr(0, cut), &ignored).ok())
+        << cut;
+  }
+}
+
+TEST(ServiceProtocolTest, UpdateAckRoundTripAndTruncation) {
+  UpdateAck in;
+  in.request_id = 77;
+  in.sequence = 3;
+  in.applied = 4;
+  in.ignored = 1;
+  in.dirty_pages = 6;
+  in.windows_rerun = 8;
+  in.windows_skipped = 24;
+  in.pages_read = 40;
+  in.subscriptions_notified = 2;
+  UpdateAck out;
+  ASSERT_TRUE(DecodeUpdateAck(EncodeUpdateAck(in), &out).ok());
+  EXPECT_EQ(out.request_id, 77u);
+  EXPECT_EQ(out.sequence, 3u);
+  EXPECT_EQ(out.applied, 4u);
+  EXPECT_EQ(out.ignored, 1u);
+  EXPECT_EQ(out.dirty_pages, 6u);
+  EXPECT_EQ(out.windows_rerun, 8u);
+  EXPECT_EQ(out.windows_skipped, 24u);
+  EXPECT_EQ(out.pages_read, 40u);
+  EXPECT_EQ(out.subscriptions_notified, 2u);
+
+  const std::string full = EncodeUpdateAck(in);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    UpdateAck ignored;
+    EXPECT_FALSE(
+        DecodeUpdateAck(std::string_view(full).substr(0, cut), &ignored).ok())
+        << cut;
+  }
+}
+
+TEST(ServiceProtocolTest, StatusInfoContinuousQuerySuffixCompat) {
+  StatusInfo info;
+  info.received = 3;
+  info.subscriptions_active = 2;
+  info.updates_received = 40;
+  info.delta_frames_sent = 81;
+  StatusInfo out;
+  ASSERT_TRUE(DecodeStatusInfo(EncodeStatusInfo(info), &out).ok());
+  EXPECT_EQ(out.subscriptions_active, 2u);
+  EXPECT_EQ(out.updates_received, 40u);
+  EXPECT_EQ(out.delta_frames_sent, 81u);
+
+  // A legacy server's payload stops before the continuous-query suffix
+  // (20 bytes: u32 + u64 + u64); the decoder accepts it and zero-fills.
+  // Every other prefix is a truncation.
+  const std::string full = EncodeStatusInfo(info);
+  const std::size_t legacy_size = full.size() - 20;
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    StatusInfo cut_out;
+    const Status s =
+        DecodeStatusInfo(std::string_view(full).substr(0, cut), &cut_out);
+    if (cut == legacy_size) {
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(cut_out.received, 3u);
+      EXPECT_EQ(cut_out.subscriptions_active, 0u);
+      EXPECT_EQ(cut_out.updates_received, 0u);
+      EXPECT_EQ(cut_out.delta_frames_sent, 0u);
+    } else {
+      EXPECT_FALSE(s.ok()) << "prefix of " << cut << " bytes decoded";
+    }
+  }
 }
 
 TEST(ServiceProtocolTest, WireCodeForMapsEngineStatuses) {
